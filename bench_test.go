@@ -1,0 +1,291 @@
+package intellog
+
+// One benchmark per table and figure of the paper's evaluation (§6), plus
+// the ablation benches DESIGN.md calls out. Each bench regenerates its
+// table/figure end-to-end (simulate → train → measure) and reports the
+// headline numbers as custom metrics, so `go test -bench=. -benchmem`
+// reproduces the whole evaluation.
+
+import (
+	"sync"
+	"testing"
+
+	"intellog/internal/core"
+	"intellog/internal/experiments"
+	"intellog/internal/logging"
+)
+
+// trainFresh retrains a model from scratch (the unit BenchmarkTraining
+// times).
+func trainFresh(sessions []*logging.Session) *core.Model {
+	return core.Train(sessions, core.Config{})
+}
+
+// benchEnv shares one trained environment across benchmarks; building it
+// (training three systems on 20 jobs each) is itself measured by
+// BenchmarkTraining.
+var (
+	benchOnce sync.Once
+	benchInst *experiments.Env
+)
+
+func benchEnvironment() *experiments.Env {
+	benchOnce.Do(func() {
+		benchInst = experiments.NewEnv(101, 20)
+		for _, fw := range experiments.Systems {
+			benchInst.Model(fw) // pre-train
+		}
+	})
+	return benchInst
+}
+
+// BenchmarkTraining measures the full training pipeline (Spell → Intel
+// Keys → HW-graph) on one system's corpus.
+func BenchmarkTraining(b *testing.B) {
+	env := benchEnvironment()
+	sessions := env.Training(logging.Spark)
+	msgs := 0
+	for _, s := range sessions {
+		msgs += s.Len()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := trainFresh(sessions)
+		if len(m.Keys) == 0 {
+			b.Fatal("no keys")
+		}
+	}
+	b.ReportMetric(float64(msgs), "log-msgs")
+}
+
+// BenchmarkTable1NLLogs regenerates Table 1.
+func BenchmarkTable1NLLogs(b *testing.B) {
+	env := benchEnvironment()
+	var rows []experiments.NLRow
+	for i := 0; i < b.N; i++ {
+		rows = env.Table1(2)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Pct(), "pctNL-"+r.System)
+	}
+}
+
+// BenchmarkFigure1LogKeys regenerates the Fig. 1 walkthrough.
+func BenchmarkFigure1LogKeys(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure1() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure3POSTagging regenerates the Fig. 3 walkthrough.
+func BenchmarkFigure3POSTagging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure3() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure4IntelKey regenerates the Fig. 4 transformation.
+func BenchmarkFigure4IntelKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ik := experiments.Figure4()
+		if len(ik.Operations) < 2 {
+			b.Fatal("figure 4 lost operations")
+		}
+	}
+}
+
+// BenchmarkTable4Extraction regenerates Table 4 (per system).
+func BenchmarkTable4Extraction(b *testing.B) {
+	env := benchEnvironment()
+	for _, fw := range experiments.Systems {
+		fw := fw
+		b.Run(string(fw), func(b *testing.B) {
+			var row experiments.ExtractionRow
+			for i := 0; i < b.N; i++ {
+				row = env.Table4(fw)
+			}
+			b.ReportMetric(float64(row.IntelKeys), "intel-keys")
+			b.ReportMetric(float64(row.Entities.Total), "entities")
+			b.ReportMetric(float64(row.Entities.FP), "entity-FP")
+			b.ReportMetric(float64(row.Entities.FN), "entity-FN")
+			b.ReportMetric(float64(row.OpsMissed), "ops-missed")
+		})
+	}
+}
+
+// BenchmarkTable5GraphStats regenerates Table 5 (per system).
+func BenchmarkTable5GraphStats(b *testing.B) {
+	env := benchEnvironment()
+	for _, fw := range experiments.Systems {
+		fw := fw
+		b.Run(string(fw), func(b *testing.B) {
+			var row experiments.GraphStatsRow
+			for i := 0; i < b.N; i++ {
+				row = env.Table5(fw)
+			}
+			b.ReportMetric(row.AvgSessionLen, "session-len")
+			b.ReportMetric(float64(row.Groups), "groups")
+			b.ReportMetric(float64(row.CritGroups), "crit-groups")
+			b.ReportMetric(row.AvgSubCrit, "avg-sub-crit")
+		})
+	}
+}
+
+// BenchmarkFigure8SparkHWGraph renders the Spark HW-graph.
+func BenchmarkFigure8SparkHWGraph(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		if env.Figure8() == "" {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkFigure9Stitch builds the S³ graph of Spark.
+func BenchmarkFigure9Stitch(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		if env.Figure9() == "" {
+			b.Fatal("empty S3 graph")
+		}
+	}
+}
+
+// BenchmarkTable6Anomaly regenerates Table 6 (per system).
+func BenchmarkTable6Anomaly(b *testing.B) {
+	env := benchEnvironment()
+	for _, fw := range experiments.Systems {
+		fw := fw
+		b.Run(string(fw), func(b *testing.B) {
+			var row experiments.DetectionRow
+			for i := 0; i < b.N; i++ {
+				row, _ = env.Table6(fw)
+			}
+			b.ReportMetric(float64(row.Detected), "detected")
+			b.ReportMetric(float64(row.FP), "FP")
+			b.ReportMetric(float64(row.FN), "FN")
+			b.ReportMetric(float64(row.PB), "unexpected-found")
+		})
+	}
+}
+
+// BenchmarkTable7CaseStudies runs the three case studies.
+func BenchmarkTable7CaseStudies(b *testing.B) {
+	env := benchEnvironment()
+	isolated := 0.0
+	for i := 0; i < b.N; i++ {
+		isolated = 0
+		if env.CaseStudy1().RootCauseIsolated {
+			isolated++
+		}
+		s, z := env.CaseStudy2()
+		if s.RootCauseIsolated {
+			isolated++
+		}
+		if z.RootCauseIsolated {
+			isolated++
+		}
+		if env.CaseStudy3().RootCauseIsolated {
+			isolated++
+		}
+	}
+	b.ReportMetric(isolated, "cases-isolated-of-4")
+}
+
+// BenchmarkTable8Comparison regenerates the tool comparison.
+func BenchmarkTable8Comparison(b *testing.B) {
+	env := benchEnvironment()
+	var rows []experiments.ComparisonRow
+	for i := 0; i < b.N; i++ {
+		rows = env.Table8()
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.Precision, "P%-"+r.Tool)
+		b.ReportMetric(100*r.Recall, "R%-"+r.Tool)
+	}
+}
+
+// BenchmarkTensorFlowExtension runs the §9 future-work experiment.
+func BenchmarkTensorFlowExtension(b *testing.B) {
+	env := benchEnvironment()
+	var r experiments.TFExtensionResult
+	for i := 0; i < b.N; i++ {
+		r = env.TensorFlowExtension(10)
+	}
+	detected := 0.0
+	for _, ok := range []bool{r.KillDetected, r.NetDetected, r.StallDetected} {
+		if ok {
+			detected++
+		}
+	}
+	b.ReportMetric(detected, "faults-detected-of-3")
+	b.ReportMetric(float64(r.CleanFP), "clean-FP")
+}
+
+// BenchmarkCloudSeerClaim runs the §8 automaton contrast.
+func BenchmarkCloudSeerClaim(b *testing.B) {
+	env := benchEnvironment()
+	var c experiments.CloudSeerClaim
+	for i := 0; i < b.N; i++ {
+		c = env.CloudSeerExperiment()
+	}
+	if len(c.Points) > 0 {
+		b.ReportMetric(100*c.Points[0].NovaFPRate, "novaFP%-small-train")
+		b.ReportMetric(100*c.Points[0].SparkFPRate, "sparkFP%-small-train")
+	}
+	b.ReportMetric(c.SparkBranching, "spark-branching")
+}
+
+// BenchmarkAblationSpellThreshold sweeps Spell's t.
+func BenchmarkAblationSpellThreshold(b *testing.B) {
+	env := benchEnvironment()
+	var pts []experiments.SpellThresholdPoint
+	for i := 0; i < b.N; i++ {
+		pts = env.AblationSpellThreshold(logging.MapReduce, nil)
+	}
+	for _, p := range pts {
+		if p.T == 1.7 {
+			b.ReportMetric(float64(p.Keys), "keys-at-1.7")
+		}
+	}
+}
+
+// BenchmarkAblationLastWords measures Algorithm 1's suffix rule.
+func BenchmarkAblationLastWords(b *testing.B) {
+	env := benchEnvironment()
+	var lw experiments.LastWordsAblation
+	for i := 0; i < b.N; i++ {
+		lw = env.AblationLastWords(logging.Spark)
+	}
+	b.ReportMetric(float64(lw.WithRule), "groups-with-rule")
+	b.ReportMetric(float64(lw.WithoutRule), "groups-without-rule")
+}
+
+// BenchmarkAblationCriticalKeys measures critical-key marking.
+func BenchmarkAblationCriticalKeys(b *testing.B) {
+	env := benchEnvironment()
+	var ck experiments.CriticalKeysAblation
+	for i := 0; i < b.N; i++ {
+		ck = env.AblationCriticalKeys(logging.Spark, 4)
+	}
+	b.ReportMetric(float64(ck.DetectedWith), "kills-detected-with")
+	b.ReportMetric(float64(ck.DetectedWithout), "kills-detected-without")
+}
+
+// BenchmarkAblationDeepLogTopG sweeps DeepLog's g.
+func BenchmarkAblationDeepLogTopG(b *testing.B) {
+	env := benchEnvironment()
+	var pts []experiments.DeepLogGPoint
+	for i := 0; i < b.N; i++ {
+		pts = env.AblationDeepLogTopG(logging.Spark, []int{1, 9})
+	}
+	for _, p := range pts {
+		if p.G == 9 {
+			b.ReportMetric(100*p.Precision, "P%-g9")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command loggen generates simulated analytics-cluster log corpora: one
+// raw log file per YARN container session (the unit IntelLog analyses),
+// plus the YARN daemon log and a ground-truth manifest for scoring.
+//
+// Usage:
+//
+//	loggen -framework spark -jobs 3 -fault none -out ./logs
+//
+// Frameworks: spark, mapreduce, tez. Faults: none, kill, network, node,
+// spill, idle-containers, slow-shutdown.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"intellog/internal/logging"
+	"intellog/internal/sim"
+	"intellog/internal/workload"
+)
+
+func main() {
+	var (
+		framework = flag.String("framework", "spark", "spark | mapreduce | tez")
+		jobs      = flag.Int("jobs", 3, "number of jobs to submit")
+		fault     = flag.String("fault", "none", "fault to inject: none | kill | network | node | spill | idle-containers | slow-shutdown")
+		out       = flag.String("out", "logs", "output directory")
+		seed      = flag.Int64("seed", 1, "random seed")
+		nodes     = flag.Int("nodes", 26, "cluster worker nodes")
+	)
+	flag.Parse()
+
+	fw, err := parseFramework(*framework)
+	if err != nil {
+		fatal(err)
+	}
+	fk, err := parseFault(*fault)
+	if err != nil {
+		fatal(err)
+	}
+	if err := run(fw, fk, *jobs, *out, *seed, *nodes); err != nil {
+		fatal(err)
+	}
+}
+
+func run(fw logging.Framework, fk sim.FaultKind, jobs int, out string, seed int64, nodes int) error {
+	cluster := sim.NewCluster(nodes, seed)
+	gen := workload.NewGenerator(cluster, seed+1)
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	manifest := struct {
+		Framework string            `json:"framework"`
+		Fault     string            `json:"fault"`
+		Jobs      int               `json:"jobs"`
+		Sessions  int               `json:"sessions"`
+		Affected  map[string]bool   `json:"affected"`
+		Files     map[string]string `json:"files"`
+		JobNames  []string          `json:"jobNames"`
+	}{
+		Framework: string(fw), Fault: fk.String(), Jobs: jobs,
+		Affected: map[string]bool{}, Files: map[string]string{},
+	}
+
+	formatter := logging.FormatterFor(fw)
+	var yarnLines []string
+	total := 0
+	for i := 0; i < jobs; i++ {
+		res := gen.Submit(fw, fk)
+		manifest.JobNames = append(manifest.JobNames, res.Spec.Name)
+		for sid := range res.Affected {
+			manifest.Affected[sid] = true
+		}
+		for _, s := range res.Sessions {
+			name := s.ID + ".log"
+			var b strings.Builder
+			for _, rec := range s.Records {
+				b.WriteString(formatter.Render(rec))
+				b.WriteByte('\n')
+			}
+			if err := os.WriteFile(filepath.Join(out, name), []byte(b.String()), 0o644); err != nil {
+				return err
+			}
+			manifest.Files[s.ID] = name
+			manifest.Sessions++
+			total += s.Len()
+		}
+		yf := logging.FormatterFor(logging.Yarn)
+		for _, rec := range res.YarnRecords {
+			yarnLines = append(yarnLines, yf.Render(rec))
+		}
+	}
+	if err := os.WriteFile(filepath.Join(out, "yarn-daemon.log"),
+		[]byte(strings.Join(yarnLines, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(out, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifest); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d sessions (%d log messages) for %d %s jobs (fault=%s) to %s\n",
+		manifest.Sessions, total, jobs, fw, fk, out)
+	return nil
+}
+
+func parseFramework(s string) (logging.Framework, error) {
+	switch strings.ToLower(s) {
+	case "spark":
+		return logging.Spark, nil
+	case "mapreduce", "mr":
+		return logging.MapReduce, nil
+	case "tez":
+		return logging.Tez, nil
+	case "tensorflow", "tf":
+		return logging.TensorFlow, nil
+	default:
+		return "", fmt.Errorf("unknown framework %q (want spark, mapreduce, tez or tensorflow)", s)
+	}
+}
+
+func parseFault(s string) (sim.FaultKind, error) {
+	for fk := sim.FaultNone; fk <= sim.FaultSlowShutdown; fk++ {
+		if fk.String() == strings.ToLower(s) {
+			return fk, nil
+		}
+	}
+	return sim.FaultNone, fmt.Errorf("unknown fault %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loggen:", err)
+	os.Exit(1)
+}

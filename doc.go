@@ -1,0 +1,12 @@
+// Package intellog is a from-scratch Go reproduction of IntelLog
+// (Pi, Chen, Wang, Zhou — "Semantic-aware Workflow Construction and
+// Analysis for Distributed Data Analytics Systems", HPDC 2019): an
+// NLP-assisted, non-intrusive log-analysis tool that reconstructs the
+// hierarchical workflows of distributed data analytics systems and
+// detects anomalies against them.
+//
+// The public surface lives in the commands (cmd/intellog, cmd/loggen,
+// cmd/experiments) and the runnable examples (examples/...); the library
+// packages are under internal/ — see DESIGN.md for the inventory and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package intellog

@@ -1,0 +1,3 @@
+module intellog
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package cloudseer implements an automaton-based workflow checker in the
+// style of CloudSeer (Yu et al., ASPLOS 2016), the related-work baseline
+// of §8. CloudSeer mines an automaton over log keys from the short,
+// fixed-order sessions of infrastructure-level systems (e.g. OpenStack
+// request lifecycles) and flags sessions that leave the automaton. The
+// paper argues it "cannot be applied to distributed data analytics
+// systems since the lengths and orders of logs in such systems can vary
+// significantly" — the experiments package demonstrates exactly that
+// contrast on simulated corpora.
+package cloudseer
+
+// Model is a mined workflow automaton: the observed start keys, key
+// transitions, and end keys of normal sessions.
+type Model struct {
+	starts map[int]bool
+	ends   map[int]bool
+	next   map[int]map[int]bool
+	known  map[int]bool
+}
+
+// Train mines the automaton from normal sessions' key-ID sequences.
+func Train(seqs [][]int) *Model {
+	m := &Model{
+		starts: map[int]bool{}, ends: map[int]bool{},
+		next: map[int]map[int]bool{}, known: map[int]bool{},
+	}
+	for _, seq := range seqs {
+		if len(seq) == 0 {
+			continue
+		}
+		m.starts[seq[0]] = true
+		m.ends[seq[len(seq)-1]] = true
+		for i, k := range seq {
+			m.known[k] = true
+			if i == 0 {
+				continue
+			}
+			prev := seq[i-1]
+			if m.next[prev] == nil {
+				m.next[prev] = map[int]bool{}
+			}
+			m.next[prev][k] = true
+		}
+	}
+	return m
+}
+
+// Deviations returns the positions at which a session's key sequence
+// leaves the automaton: an unknown key, an unobserved transition, a bad
+// start, or a bad end.
+func (m *Model) Deviations(seq []int) []int {
+	var out []int
+	for i, k := range seq {
+		switch {
+		case !m.known[k]:
+			out = append(out, i)
+		case i == 0 && !m.starts[k]:
+			out = append(out, i)
+		case i > 0 && !m.next[seq[i-1]][k]:
+			out = append(out, i)
+		}
+	}
+	if len(seq) > 0 && !m.ends[seq[len(seq)-1]] {
+		out = append(out, len(seq)-1)
+	}
+	return out
+}
+
+// Anomalous applies the session rule: any deviation flags the session.
+func (m *Model) Anomalous(seq []int) bool { return len(m.Deviations(seq)) > 0 }
+
+// States returns the number of known keys (automaton states).
+func (m *Model) States() int { return len(m.known) }
+
+// Transitions returns the number of mined transitions.
+func (m *Model) Transitions() int {
+	n := 0
+	for _, t := range m.next {
+		n += len(t)
+	}
+	return n
+}

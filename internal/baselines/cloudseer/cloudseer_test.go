@@ -1,0 +1,61 @@
+package cloudseer
+
+import "testing"
+
+func fixedCorpus() [][]int {
+	// An OpenStack-like request lifecycle: short, fixed order.
+	return [][]int{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5},
+	}
+}
+
+func TestFixedOrderSessionsAccepted(t *testing.T) {
+	m := Train(fixedCorpus())
+	if m.Anomalous([]int{1, 2, 3, 4, 5}) {
+		t.Error("canonical sequence flagged")
+	}
+	if m.States() != 5 || m.Transitions() != 4 {
+		t.Errorf("automaton shape: states=%d transitions=%d", m.States(), m.Transitions())
+	}
+}
+
+func TestDeviationsFlagged(t *testing.T) {
+	m := Train(fixedCorpus())
+	if !m.Anomalous([]int{1, 3, 2, 4, 5}) {
+		t.Error("reordered sequence accepted")
+	}
+	if !m.Anomalous([]int{1, 2, 3}) {
+		t.Error("truncated sequence accepted (bad end)")
+	}
+	if !m.Anomalous([]int{2, 3, 4, 5}) {
+		t.Error("bad start accepted")
+	}
+	if !m.Anomalous([]int{1, 2, 99, 4, 5}) {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestInterleavedSessionsDefeatAutomaton(t *testing.T) {
+	// Two concurrent subroutines [1 2 3] and [7 8 9] interleave — analytics
+	// behaviour. Training sees two interleavings; a third legitimate one
+	// still deviates, the §8 failure mode.
+	m := Train([][]int{
+		{1, 7, 2, 8, 3, 9},
+		{7, 1, 8, 2, 9, 3},
+	})
+	if !m.Anomalous([]int{1, 2, 7, 8, 3, 9}) {
+		t.Error("novel legitimate interleaving unexpectedly accepted")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	m := Train(nil)
+	if !m.Anomalous([]int{1}) {
+		t.Error("empty automaton should reject everything")
+	}
+	if m.Anomalous(nil) {
+		t.Error("empty sequence should pass trivially")
+	}
+}

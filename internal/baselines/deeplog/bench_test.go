@@ -1,0 +1,36 @@
+package deeplog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeqs(n, l int) [][]int {
+	rng := rand.New(rand.NewSource(1))
+	seqs := make([][]int, n)
+	for i := range seqs {
+		seq := make([]int, l)
+		for j := range seq {
+			seq[j] = rng.Intn(40)
+		}
+		seqs[i] = seq
+	}
+	return seqs
+}
+
+func BenchmarkTrain(b *testing.B) {
+	seqs := benchSeqs(100, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(seqs, 3)
+	}
+}
+
+func BenchmarkSessionAnomalous(b *testing.B) {
+	seqs := benchSeqs(100, 200)
+	m := Train(seqs, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SessionAnomalous(seqs[i%len(seqs)], 9)
+	}
+}

@@ -1,0 +1,132 @@
+// Package deeplog reimplements the DeepLog baseline (Du et al., CCS 2017)
+// with an n-gram next-key language model in place of the original LSTM
+// (pure-stdlib substitution; see DESIGN.md). The anomaly rule is
+// DeepLog's: slide a history window over the session's log-key sequence,
+// predict the top-g most probable next keys, and alarm when the observed
+// key is not among them. The paper's Table 8 argument is structural — any
+// next-key sequence model degrades on analytics logs because intra-session
+// parallelism and data-dependent lengths make the next key unpredictable —
+// and holds for this model class as well.
+package deeplog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EndKey is the virtual end-of-session key appended to every sequence:
+// the model learns which histories legitimately terminate a session, so
+// abruptly truncated sessions (SIGKILL, node loss) raise an alarm at the
+// end-of-sequence prediction.
+const EndKey = -2
+
+// Model is a trained order-h next-key predictor.
+type Model struct {
+	// H is the history window length.
+	H int
+	// counts maps a history signature to next-key frequencies.
+	counts map[string]map[int]int
+	// known marks key IDs seen during training.
+	known map[int]bool
+}
+
+// Train fits the model on normal sessions' key-ID sequences.
+func Train(seqs [][]int, h int) *Model {
+	if h < 1 {
+		h = 3
+	}
+	m := &Model{H: h, counts: map[string]map[int]int{}, known: map[int]bool{}}
+	m.known[EndKey] = true
+	for _, raw := range seqs {
+		seq := append(append([]int(nil), raw...), EndKey)
+		for _, k := range seq {
+			m.known[k] = true
+		}
+		for i := 0; i < len(seq); i++ {
+			hist := history(seq, i, h)
+			c := m.counts[hist]
+			if c == nil {
+				c = map[int]int{}
+				m.counts[hist] = c
+			}
+			c[seq[i]]++
+		}
+	}
+	return m
+}
+
+// history renders the h keys before position i as a signature.
+func history(seq []int, i, h int) string {
+	lo := i - h
+	if lo < 0 {
+		lo = 0
+	}
+	parts := make([]string, 0, i-lo)
+	for _, k := range seq[lo:i] {
+		parts = append(parts, fmt.Sprintf("%d", k))
+	}
+	return strings.Join(parts, ",")
+}
+
+// TopG returns the g most frequent next keys for a history.
+func (m *Model) TopG(hist string, g int) []int {
+	c := m.counts[hist]
+	type kv struct {
+		key   int
+		count int
+	}
+	items := make([]kv, 0, len(c))
+	for k, n := range c {
+		items = append(items, kv{k, n})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].count != items[j].count {
+			return items[i].count > items[j].count
+		}
+		return items[i].key < items[j].key
+	})
+	if len(items) > g {
+		items = items[:g]
+	}
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.key
+	}
+	return out
+}
+
+// Anomalies returns the positions in seq where the observed key is not in
+// the top-g prediction (or is unknown, or the history was never seen).
+func (m *Model) Anomalies(raw []int, g int) []int {
+	if g < 1 {
+		g = 9
+	}
+	seq := append(append([]int(nil), raw...), EndKey)
+	var out []int
+	for i := 0; i < len(seq); i++ {
+		if !m.known[seq[i]] {
+			out = append(out, i)
+			continue
+		}
+		hist := history(seq, i, m.H)
+		preds := m.TopG(hist, g)
+		hit := false
+		for _, p := range preds {
+			if p == seq[i] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SessionAnomalous applies DeepLog's session rule: any anomalous position
+// marks the whole session.
+func (m *Model) SessionAnomalous(seq []int, g int) bool {
+	return len(m.Anomalies(seq, g)) > 0
+}

@@ -1,0 +1,87 @@
+package deeplog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func trainFixed() *Model {
+	seqs := [][]int{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5},
+		{1, 2, 4, 3, 5},
+	}
+	return Train(seqs, 2)
+}
+
+func TestCleanSequenceNotAnomalous(t *testing.T) {
+	m := trainFixed()
+	if m.SessionAnomalous([]int{1, 2, 3, 4, 5}, 9) {
+		t.Error("trained sequence flagged")
+	}
+}
+
+func TestUnknownKeyAnomalous(t *testing.T) {
+	m := trainFixed()
+	pos := m.Anomalies([]int{1, 2, 99, 4, 5}, 9)
+	if len(pos) == 0 || pos[0] != 2 {
+		t.Errorf("Anomalies = %v, want unknown key at 2", pos)
+	}
+}
+
+func TestUnseenHistoryAnomalous(t *testing.T) {
+	m := trainFixed()
+	// 5 directly after 1 was never observed.
+	if !m.SessionAnomalous([]int{1, 5, 5, 5}, 9) {
+		t.Error("unseen transition not flagged")
+	}
+}
+
+func TestTopGOrdering(t *testing.T) {
+	m := Train([][]int{{1, 2}, {1, 2}, {1, 3}}, 1)
+	got := m.TopG("1", 1)
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("TopG = %v, want [2]", got)
+	}
+	got = m.TopG("1", 5)
+	if !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("TopG = %v, want [2 3]", got)
+	}
+}
+
+func TestSmallGIncreasesAlarms(t *testing.T) {
+	// With many equally likely next keys, small g must alarm more — the
+	// mechanism behind DeepLog's precision collapse on parallel logs.
+	var seqs [][]int
+	for i := 0; i < 10; i++ {
+		seqs = append(seqs, []int{0, 1 + i%5, 6})
+	}
+	m := Train(seqs, 1)
+	wide := 0
+	narrow := 0
+	for i := 0; i < 5; i++ {
+		seq := []int{0, 1 + i, 6}
+		if m.SessionAnomalous(seq, 5) {
+			wide++
+		}
+		if m.SessionAnomalous(seq, 1) {
+			narrow++
+		}
+	}
+	if wide != 0 {
+		t.Errorf("g=5 flagged %d/5 normal variants", wide)
+	}
+	if narrow < 3 {
+		t.Errorf("g=1 flagged only %d/5 variants; expected most", narrow)
+	}
+}
+
+func TestTrainDefaults(t *testing.T) {
+	m := Train(nil, 0)
+	if m.H != 3 {
+		t.Errorf("default H = %d", m.H)
+	}
+	if !m.SessionAnomalous([]int{1}, 0) {
+		t.Error("empty model should flag everything")
+	}
+}

@@ -1,0 +1,187 @@
+// Package logcluster reimplements the LogCluster baseline (Lin et al.,
+// ICSE 2016): log sequences are vectorised with IDF-weighted log-key
+// counts, agglomeratively clustered by cosine similarity, and a
+// representative is kept per cluster as the knowledge base. At detection
+// time a sequence that is not similar to any known-normal representative
+// is surfaced for examination.
+package logcluster
+
+import "math"
+
+// Model is the trained knowledge base.
+type Model struct {
+	// Threshold is the cosine-similarity cut for cluster membership.
+	Threshold float64
+	// idf maps key ID → inverse document frequency over training sessions.
+	idf map[int]float64
+	// reps are the cluster representative vectors.
+	reps []map[int]float64
+	// Sizes records each cluster's training membership count.
+	Sizes []int
+}
+
+// Train clusters the training sessions' key sequences. threshold ≤ 0
+// defaults to 0.85 (the original paper's similarity regime).
+func Train(seqs [][]int, threshold float64) *Model {
+	if threshold <= 0 {
+		threshold = 0.85
+	}
+	m := &Model{Threshold: threshold, idf: computeIDF(seqs)}
+
+	vecs := make([]map[int]float64, len(seqs))
+	for i, s := range seqs {
+		vecs[i] = m.vectorize(s)
+	}
+
+	// Agglomerative clustering with centroid linkage: greedily assign each
+	// vector to the nearest existing centroid above threshold, else found a
+	// new cluster; a second pass re-merges centroid pairs above threshold.
+	var centroids []map[int]float64
+	var sizes []int
+	for _, v := range vecs {
+		best, bestSim := -1, threshold
+		for ci, c := range centroids {
+			if sim := cosine(v, c); sim >= bestSim {
+				best, bestSim = ci, sim
+			}
+		}
+		if best < 0 {
+			centroids = append(centroids, cloneVec(v))
+			sizes = append(sizes, 1)
+			continue
+		}
+		mergeInto(centroids[best], v, sizes[best])
+		sizes[best]++
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(centroids) && !changed; i++ {
+			for j := i + 1; j < len(centroids); j++ {
+				if cosine(centroids[i], centroids[j]) >= threshold {
+					mergeCentroids(centroids, sizes, i, j)
+					centroids = append(centroids[:j], centroids[j+1:]...)
+					sizes = append(sizes[:j], sizes[j+1:]...)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	m.reps = centroids
+	m.Sizes = sizes
+	return m
+}
+
+// Clusters returns the number of knowledge-base clusters.
+func (m *Model) Clusters() int { return len(m.reps) }
+
+// Anomalous reports whether a session's key sequence falls outside every
+// known-normal cluster.
+func (m *Model) Anomalous(seq []int) bool {
+	v := m.vectorize(seq)
+	for _, c := range m.reps {
+		if cosine(v, c) >= m.Threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// Similarity returns the best similarity to any cluster representative.
+func (m *Model) Similarity(seq []int) float64 {
+	v := m.vectorize(seq)
+	best := 0.0
+	for _, c := range m.reps {
+		if s := cosine(v, c); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// vectorize builds the IDF-weighted key-count vector of a sequence. Keys
+// unseen at training get a fixed high weight so novel keys push sequences
+// away from every cluster.
+func (m *Model) vectorize(seq []int) map[int]float64 {
+	tf := map[int]int{}
+	for _, k := range seq {
+		tf[k]++
+	}
+	v := map[int]float64{}
+	for k, n := range tf {
+		w, ok := m.idf[k]
+		if !ok {
+			w = 3.0
+		}
+		v[k] = (1 + math.Log(float64(n))) * w
+	}
+	return v
+}
+
+// computeIDF derives per-key IDF over the training sessions.
+func computeIDF(seqs [][]int) map[int]float64 {
+	df := map[int]int{}
+	for _, s := range seqs {
+		seen := map[int]bool{}
+		for _, k := range s {
+			if !seen[k] {
+				seen[k] = true
+				df[k]++
+			}
+		}
+	}
+	idf := map[int]float64{}
+	n := float64(len(seqs))
+	for k, d := range df {
+		idf[k] = math.Log(1 + n/float64(d))
+	}
+	return idf
+}
+
+func cosine(a, b map[int]float64) float64 {
+	var dot, na, nb float64
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+		na += av * av
+	}
+	for _, bv := range b {
+		nb += bv * bv
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func cloneVec(v map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// mergeInto updates centroid c (holding size members) with vector v.
+func mergeInto(c, v map[int]float64, size int) {
+	w := float64(size)
+	for k := range c {
+		c[k] = c[k] * w / (w + 1)
+	}
+	for k, x := range v {
+		c[k] += x / (w + 1)
+	}
+}
+
+// mergeCentroids folds centroid j into centroid i.
+func mergeCentroids(cs []map[int]float64, sizes []int, i, j int) {
+	wi, wj := float64(sizes[i]), float64(sizes[j])
+	for k := range cs[i] {
+		cs[i][k] = cs[i][k] * wi / (wi + wj)
+	}
+	for k, x := range cs[j] {
+		cs[i][k] += x * wj / (wi + wj)
+	}
+	sizes[i] += sizes[j]
+}

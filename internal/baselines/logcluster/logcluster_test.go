@@ -1,0 +1,73 @@
+package logcluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// corpus builds sequences of two distinct shapes with mild noise.
+func corpus(n int) [][]int {
+	rng := rand.New(rand.NewSource(1))
+	var out [][]int
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s := []int{1, 2, 3, 4, 5}
+			for j := 0; j < rng.Intn(3); j++ {
+				s = append(s, 3)
+			}
+			out = append(out, s)
+		} else {
+			out = append(out, []int{10, 11, 12, 13, 10, 11})
+		}
+	}
+	return out
+}
+
+func TestTrainFormsClusters(t *testing.T) {
+	m := Train(corpus(20), 0.85)
+	if c := m.Clusters(); c < 2 || c > 4 {
+		t.Errorf("Clusters = %d, want ~2", c)
+	}
+}
+
+func TestNormalSequencesMatch(t *testing.T) {
+	m := Train(corpus(20), 0.85)
+	if m.Anomalous([]int{1, 2, 3, 4, 5}) {
+		t.Error("known-normal shape flagged")
+	}
+	if m.Anomalous([]int{10, 11, 12, 13, 10, 11}) {
+		t.Error("second shape flagged")
+	}
+}
+
+func TestNovelSequenceFlagged(t *testing.T) {
+	m := Train(corpus(20), 0.85)
+	if !m.Anomalous([]int{77, 88, 99, 77, 88, 99}) {
+		t.Error("novel-keys sequence not flagged")
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	m := Train(corpus(10), 0.85)
+	s := m.Similarity([]int{1, 2, 3, 4, 5})
+	if s < 0.85 || s > 1.0001 {
+		t.Errorf("Similarity = %f", s)
+	}
+	if s2 := m.Similarity([]int{500}); s2 > 0.2 {
+		t.Errorf("unrelated similarity = %f", s2)
+	}
+}
+
+func TestThresholdDefault(t *testing.T) {
+	m := Train(corpus(4), 0)
+	if m.Threshold != 0.85 {
+		t.Errorf("default threshold = %f", m.Threshold)
+	}
+}
+
+func TestEmptyTraining(t *testing.T) {
+	m := Train(nil, 0.85)
+	if !m.Anomalous([]int{1}) {
+		t.Error("empty knowledge base should flag everything")
+	}
+}

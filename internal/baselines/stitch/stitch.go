@@ -1,0 +1,200 @@
+// Package stitch reimplements the S³-graph construction of Stitch (Zhao
+// et al., OSDI 2016), the workflow-reconstruction baseline of §6.3. Stitch
+// is identifier-only: it mines the relationships between identifier-type
+// pairs from their value co-occurrences — 1:1 (interchangeable), 1:n
+// (hierarchical), and m:n (only the combination identifies an object) —
+// and arranges types into the S³ hierarchy. Its limitation, which the
+// HW-graph addresses, is that no semantic information (entities,
+// operations) is attached.
+package stitch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"intellog/internal/extract"
+)
+
+// RelKind is the S³ relationship between two identifier types.
+type RelKind string
+
+// S³ relationship kinds.
+const (
+	RelEmpty RelKind = "empty"
+	Rel1to1  RelKind = "1:1"
+	Rel1toN  RelKind = "1:n"
+	RelNto1  RelKind = "n:1"
+	RelMtoN  RelKind = "m:n"
+)
+
+// Graph is the mined S³ graph.
+type Graph struct {
+	// Types are the identifier types in first-seen order.
+	Types []string
+	// Rel maps an ordered type pair {A,B} (A < B lexicographically) to the
+	// relationship of A towards B.
+	Rel map[[2]string]RelKind
+}
+
+// Build mines the S³ graph from Intel Messages: identifier values
+// co-occurring in one message associate their types. Stitch treats
+// localities (host names, addresses) as identifiers too — its Fig. 9 graph
+// roots at {HOST / IP ADDR} — so locality classes join the type universe.
+func Build(msgs []*extract.Message) *Graph {
+	g := &Graph{Rel: map[[2]string]RelKind{}}
+	seenType := map[string]bool{}
+	// assoc[{a,b}] maps a-value → set of b-values (a < b).
+	assoc := map[[2]string]map[string]map[string]bool{}
+	rev := map[[2]string]map[string]map[string]bool{}
+
+	for _, m := range msgs {
+		vals := map[string][]string{}
+		for t, vs := range m.Identifiers {
+			vals[t] = vs
+		}
+		for cls, vs := range m.Localities {
+			vals[cls] = append(vals[cls], vs...)
+		}
+		types := make([]string, 0, len(vals))
+		for t := range vals {
+			types = append(types, t)
+			if !seenType[t] {
+				seenType[t] = true
+				g.Types = append(g.Types, t)
+			}
+		}
+		sort.Strings(types)
+		for i := 0; i < len(types); i++ {
+			for j := i + 1; j < len(types); j++ {
+				a, b := types[i], types[j]
+				key := [2]string{a, b}
+				if assoc[key] == nil {
+					assoc[key] = map[string]map[string]bool{}
+					rev[key] = map[string]map[string]bool{}
+				}
+				for _, av := range vals[a] {
+					for _, bv := range vals[b] {
+						addAssoc(assoc[key], av, bv)
+						addAssoc(rev[key], bv, av)
+					}
+				}
+			}
+		}
+	}
+
+	for key, fwd := range assoc {
+		g.Rel[key] = classify(fwd, rev[key])
+	}
+	return g
+}
+
+func addAssoc(m map[string]map[string]bool, k, v string) {
+	if m[k] == nil {
+		m[k] = map[string]bool{}
+	}
+	m[k][v] = true
+}
+
+// classify derives the relationship kind from the forward and reverse
+// fanouts.
+func classify(fwd, rev map[string]map[string]bool) RelKind {
+	fOut := maxFanout(fwd)
+	rOut := maxFanout(rev)
+	switch {
+	case fOut == 0:
+		return RelEmpty
+	case fOut == 1 && rOut == 1:
+		return Rel1to1
+	case fOut > 1 && rOut == 1:
+		return Rel1toN
+	case fOut == 1 && rOut > 1:
+		return RelNto1
+	default:
+		return RelMtoN
+	}
+}
+
+func maxFanout(m map[string]map[string]bool) int {
+	best := 0
+	for _, vs := range m {
+		if len(vs) > best {
+			best = len(vs)
+		}
+	}
+	return best
+}
+
+// Relation returns the relationship of type a towards type b.
+func (g *Graph) Relation(a, b string) RelKind {
+	if a == b {
+		return RelEmpty
+	}
+	if a < b {
+		if r, ok := g.Rel[[2]string{a, b}]; ok {
+			return r
+		}
+		return RelEmpty
+	}
+	r := g.Relation(b, a)
+	switch r {
+	case Rel1toN:
+		return RelNto1
+	case RelNto1:
+		return Rel1toN
+	default:
+		return r
+	}
+}
+
+// Children returns the types that sit under t in the hierarchy (t 1:n
+// child).
+func (g *Graph) Children(t string) []string {
+	var out []string
+	for _, other := range g.Types {
+		if other != t && g.Relation(t, other) == Rel1toN {
+			out = append(out, other)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render prints the Fig. 9-style relation list, with isolated identifier
+// types (Fig. 9's standalone {BROADCAST}) on a final line.
+func (g *Graph) Render() string {
+	var b strings.Builder
+	types := append([]string(nil), g.Types...)
+	sort.Strings(types)
+	related := map[string]bool{}
+	for _, t := range types {
+		for _, u := range types {
+			if t != u && g.Relation(t, u) != RelEmpty {
+				related[t] = true
+			}
+		}
+	}
+	for i := 0; i < len(types); i++ {
+		for j := i + 1; j < len(types); j++ {
+			a, z := types[i], types[j]
+			r := g.Relation(a, z)
+			if r == RelEmpty {
+				continue
+			}
+			if r == RelNto1 { // print hierarchical pairs parent-first
+				a, z, r = z, a, Rel1toN
+			}
+			fmt.Fprintf(&b, "{%s} -> {%s}: %s\n", a, z, r)
+		}
+	}
+	var isolated []string
+	for _, t := range types {
+		if !related[t] {
+			isolated = append(isolated, "{"+t+"}")
+		}
+	}
+	if len(isolated) > 0 {
+		fmt.Fprintf(&b, "isolated: %s\n", strings.Join(isolated, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package stitch
+
+import (
+	"strings"
+	"testing"
+
+	"intellog/internal/extract"
+)
+
+// msg builds an Intel Message carrying identifier values.
+func msg(ids map[string][]string) *extract.Message {
+	return &extract.Message{Identifiers: ids}
+}
+
+func sparkCorpus() []*extract.Message {
+	var msgs []*extract.Message
+	// Two hosts, four executors (two per host): HOST 1:n EXECUTOR.
+	hosts := []string{"host1", "host2"}
+	tid := 0
+	for e := 0; e < 4; e++ {
+		host := hosts[e%2]
+		exec := []string{"exec1", "exec2", "exec3", "exec4"}[e]
+		msgs = append(msgs, msg(map[string][]string{"HOST": {host}, "EXECUTOR": {exec}}))
+		// Each executor runs tasks in two stages; TIDs are globally unique.
+		for stage := 0; stage < 2; stage++ {
+			for task := 0; task < 3; task++ {
+				tid++
+				msgs = append(msgs, msg(map[string][]string{
+					"EXECUTOR": {exec},
+					"STAGE":    {[]string{"s0", "s1"}[stage]},
+					"TASK":     {[]string{"t0", "t1", "t2"}[task]},
+					"TID":      {itoa(tid)},
+				}))
+			}
+		}
+	}
+	return msgs
+}
+
+func TestHostExecutorHierarchy(t *testing.T) {
+	g := Build(sparkCorpus())
+	if r := g.Relation("HOST", "EXECUTOR"); r != Rel1toN {
+		t.Errorf("HOST->EXECUTOR = %s, want 1:n", r)
+	}
+	if r := g.Relation("EXECUTOR", "HOST"); r != RelNto1 {
+		t.Errorf("EXECUTOR->HOST = %s, want n:1", r)
+	}
+}
+
+func TestStageTidHierarchy(t *testing.T) {
+	g := Build(sparkCorpus())
+	if r := g.Relation("STAGE", "TID"); r != Rel1toN {
+		t.Errorf("STAGE->TID = %s, want 1:n", r)
+	}
+	// STAGE and TASK only identify a unit together (task indices repeat
+	// across stages): m:n.
+	if r := g.Relation("STAGE", "TASK"); r != RelMtoN {
+		t.Errorf("STAGE->TASK = %s, want m:n", r)
+	}
+}
+
+func TestTidUniquePerMessageIs1to1WithNothing(t *testing.T) {
+	g := Build(sparkCorpus())
+	if r := g.Relation("TID", "TASK"); r != RelNto1 {
+		t.Errorf("TID->TASK = %s, want n:1 (many TIDs per task index)", r)
+	}
+}
+
+func TestEmptyRelationForNonCooccurring(t *testing.T) {
+	g := Build(sparkCorpus())
+	if r := g.Relation("HOST", "TID"); r != RelEmpty {
+		t.Errorf("HOST->TID = %s, want empty (never co-occur)", r)
+	}
+	if r := g.Relation("HOST", "HOST"); r != RelEmpty {
+		t.Errorf("self relation = %s", r)
+	}
+}
+
+func TestChildrenAndRender(t *testing.T) {
+	g := Build(sparkCorpus())
+	kids := g.Children("HOST")
+	if len(kids) != 1 || kids[0] != "EXECUTOR" {
+		t.Errorf("Children(HOST) = %v", kids)
+	}
+	out := g.Render()
+	if !strings.Contains(out, "{HOST} -> {EXECUTOR}: 1:n") {
+		t.Errorf("Render missing hierarchy:\n%s", out)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g := Build(nil)
+	if len(g.Types) != 0 || len(g.Rel) != 0 {
+		t.Error("empty corpus produced relations")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,132 @@
+// Package core is the IntelLog facade (Fig. 2): it wires the four stages —
+// log-key extraction (spell), information extraction (extract), HW-graph
+// modeling (group + hwgraph) and anomaly detection (detect) — behind a
+// Train/Detect API.
+package core
+
+import (
+	"intellog/internal/detect"
+	"intellog/internal/extract"
+	"intellog/internal/hwgraph"
+	"intellog/internal/logging"
+	"intellog/internal/nlp"
+	"intellog/internal/spell"
+)
+
+// Config controls training.
+type Config struct {
+	// SpellThreshold is Spell's matching threshold t (§5 sets 1.7).
+	// Values ≤ 1 use spell.DefaultThreshold.
+	SpellThreshold float64
+	// DisableHierarchyCheck turns off lifespan-relation checking during
+	// detection (ablation).
+	DisableHierarchyCheck bool
+	// DisableMissingGroupCheck turns off expected-group presence checking
+	// during detection (ablation).
+	DisableMissingGroupCheck bool
+	// DisableCriticalKeys treats no Intel Key as critical during detection
+	// (ablation of the Fig. 5 critical marking).
+	DisableCriticalKeys bool
+}
+
+// Model is a trained IntelLog model for one targeted system.
+type Model struct {
+	// Parser is the trained Spell instance.
+	Parser *spell.Parser
+	// Keys maps Intel Key ID → Intel Key.
+	Keys map[int]*extract.IntelKey
+	// Graph is the HW-graph.
+	Graph *hwgraph.Graph
+	// KeyGroups maps Intel Key ID → entity group names.
+	KeyGroups map[int][]string
+
+	cfg Config
+}
+
+// Train runs the full training pipeline over normal-execution sessions.
+func Train(sessions []*logging.Session, cfg Config) *Model {
+	parser := spell.NewParser(cfg.SpellThreshold)
+
+	// Stage 1: stream every message through Spell.
+	for _, s := range sessions {
+		for i := range s.Records {
+			parser.Consume(nlp.Texts(nlp.Tokenize(s.Records[i].Message)))
+		}
+	}
+
+	// Stage 2: build Intel Keys (independent per key — parallel).
+	keys := buildIntelKeys(parser.Keys())
+	keyIndex := map[int]*extract.IntelKey{}
+	for _, ik := range keys {
+		keyIndex[ik.ID] = ik
+	}
+
+	// Stage 3: HW-graph modeling. Binding each session to Intel Messages
+	// is independent per session (parallel); the graph builder itself
+	// folds sessions sequentially, in input order, for determinism.
+	builder := hwgraph.NewBuilder(keys)
+	for _, msgs := range bindSessions(parser, keyIndex, sessions) {
+		builder.AddSession(msgs)
+	}
+
+	return &Model{
+		Parser:    parser,
+		Keys:      keyIndex,
+		Graph:     builder.Graph(),
+		KeyGroups: builder.KeyGroups,
+		cfg:       cfg,
+	}
+}
+
+// BindSession converts a session's records to Intel Messages using the
+// trained keys, skipping unmatched and non-NL messages.
+func BindSession(parser *spell.Parser, keys map[int]*extract.IntelKey, s *logging.Session) []*extract.Message {
+	var msgs []*extract.Message
+	for i := range s.Records {
+		rec := &s.Records[i]
+		tokens := nlp.Tokenize(rec.Message)
+		k := parser.Lookup(nlp.Texts(tokens))
+		if k == nil {
+			continue
+		}
+		ik := keys[k.ID]
+		if ik == nil || !ik.NaturalLanguage {
+			continue
+		}
+		msgs = append(msgs, extract.Bind(ik, tokens, rec.Time, s.ID, rec.Message))
+	}
+	return msgs
+}
+
+// Messages converts sessions to Intel Messages with the trained model
+// (for storage and querying).
+func (m *Model) Messages(sessions []*logging.Session) []*extract.Message {
+	var out []*extract.Message
+	for _, s := range sessions {
+		out = append(out, BindSession(m.Parser, m.Keys, s)...)
+	}
+	return out
+}
+
+// Detector returns the anomaly detector configured per the model's
+// training config.
+func (m *Model) Detector() *detect.Detector {
+	d := detect.NewDetector(m.Parser, m.Keys, m.KeyGroups, m.Graph)
+	d.CheckHierarchy = !m.cfg.DisableHierarchyCheck
+	d.CheckMissingGroups = !m.cfg.DisableMissingGroupCheck
+	if m.cfg.DisableCriticalKeys {
+		for _, node := range m.Graph.Nodes {
+			for _, sub := range node.Subroutines {
+				for k := range sub.Critical {
+					sub.Critical[k] = false
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Detect checks sessions against the trained model.
+func (m *Model) Detect(sessions []*logging.Session) *detect.Report {
+	return m.Detector().Detect(sessions)
+}

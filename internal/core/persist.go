@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"intellog/internal/extract"
+	"intellog/internal/hwgraph"
+	"intellog/internal/spell"
+)
+
+// modelJSON is the on-disk form of a trained model. Both HW-graphs and
+// their instances serialise as JSON (§5: "output as JSON files which can
+// be queried by JSON query tools").
+type modelJSON struct {
+	Version   int                 `json:"version"`
+	Config    Config              `json:"config"`
+	SpellKeys []*spell.Key        `json:"spellKeys"`
+	IntelKeys []*extract.IntelKey `json:"intelKeys"`
+	KeyGroups map[int][]string    `json:"keyGroups"`
+	Graph     *hwgraph.Graph      `json:"graph"`
+}
+
+// modelVersion guards format compatibility.
+const modelVersion = 1
+
+// Save writes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	out := modelJSON{
+		Version:   modelVersion,
+		Config:    m.cfg,
+		SpellKeys: m.Parser.Keys(),
+		KeyGroups: m.KeyGroups,
+		Graph:     m.Graph,
+	}
+	for _, ik := range m.Keys {
+		out.IntelKeys = append(out.IntelKeys, ik)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Load restores a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode model: %w", err)
+	}
+	if in.Version != modelVersion {
+		return nil, fmt.Errorf("model version %d, want %d", in.Version, modelVersion)
+	}
+	if in.Graph == nil {
+		return nil, fmt.Errorf("model has no HW-graph")
+	}
+	m := &Model{
+		Parser:    spell.Restore(in.Config.SpellThreshold, in.SpellKeys),
+		Keys:      map[int]*extract.IntelKey{},
+		Graph:     in.Graph,
+		KeyGroups: in.KeyGroups,
+		cfg:       in.Config,
+	}
+	for _, ik := range in.IntelKeys {
+		m.Keys[ik.ID] = ik
+	}
+	return m, nil
+}

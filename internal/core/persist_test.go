@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainMini(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loaded.Keys) != len(m.Keys) {
+		t.Errorf("keys: %d vs %d", len(loaded.Keys), len(m.Keys))
+	}
+	if len(loaded.Graph.Nodes) != len(m.Graph.Nodes) {
+		t.Errorf("nodes: %d vs %d", len(loaded.Graph.Nodes), len(m.Graph.Nodes))
+	}
+	// The loaded model must detect identically.
+	clean := miniSession("container_rt", 70)
+	if got := loaded.Detect([]*logging.Session{clean}); len(got.Anomalies) != 0 {
+		for _, a := range got.Anomalies {
+			t.Logf("anomaly: %s %s %s", a.Kind, a.Group, a.Detail)
+		}
+		t.Errorf("loaded model flags clean session")
+	}
+	killed := miniSession("container_rk", 80)
+	killed.Records = killed.Records[:4]
+	origN := len(m.Detect([]*logging.Session{killed}).Anomalies)
+	loadN := len(loaded.Detect([]*logging.Session{killed}).Anomalies)
+	if origN == 0 || origN != loadN {
+		t.Errorf("detection differs after reload: %d vs %d", origN, loadN)
+	}
+	// Unexpected-message extraction still works through the loaded model.
+	s := miniSession("container_ru", 90)
+	s.Records[3].Message = "Failed to connect to host9:13562 for block fetch"
+	rep := loaded.Detect([]*logging.Session{s})
+	if len(rep.ByKind(detect.UnexpectedMessage)) == 0 {
+		t.Error("loaded model misses unexpected messages")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Error("model without graph accepted")
+	}
+}

@@ -1,0 +1,383 @@
+// Package detect implements IntelLog's anomaly-detection phase (§4.2).
+// For each incoming session it instantiates the trained HW-graph and
+// reports two kinds of anomalies: unexpected log messages (no Intel Key
+// matches) and erroneous HW-graph instances (missed critical Intel Keys,
+// order violations, abnormal signatures, missing expected groups, or
+// hierarchy violations). Unexpected messages additionally go through the
+// §3 extraction pipeline so users can query their fields.
+package detect
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"intellog/internal/extract"
+	"intellog/internal/hwgraph"
+	"intellog/internal/logging"
+	"intellog/internal/nlp"
+	"intellog/internal/spell"
+)
+
+// Kind classifies an anomaly finding.
+type Kind int
+
+// Anomaly kinds. UnexpectedMessage corresponds to the paper's first
+// category; the others are facets of "erroneous HW-graph instance".
+const (
+	UnexpectedMessage Kind = iota
+	MissingCriticalKeys
+	OrderViolation
+	UnknownSignature
+	MissingGroup
+	HierarchyViolation
+)
+
+var kindNames = [...]string{
+	"unexpected-message", "missing-critical-keys", "order-violation",
+	"unknown-signature", "missing-group", "hierarchy-violation",
+}
+
+// String returns the kebab-case kind name.
+func (k Kind) String() string {
+	if k < UnexpectedMessage || k > HierarchyViolation {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Anomaly is one finding in one session.
+type Anomaly struct {
+	Session   string
+	Kind      Kind
+	Group     string
+	Signature string
+	// Record is the offending log record (unexpected messages only).
+	Record *logging.Record
+	// Extracted is the §3 extraction applied to the unexpected message; it
+	// carries the entities/identifiers/localities users query during
+	// diagnosis (the paper's case study 1).
+	Extracted *extract.Message
+	// MissingKeys lists absent critical Intel Key IDs.
+	MissingKeys []int
+	// Pairs lists violated BEFORE relations (a should precede b).
+	Pairs [][2]int
+	// Detail is a human-readable summary.
+	Detail string
+}
+
+// Report aggregates detection over a batch of sessions.
+type Report struct {
+	Sessions  int
+	Anomalies []Anomaly
+}
+
+// ProblematicSessions returns the distinct session IDs with at least one
+// anomaly, in first-appearance order.
+func (r *Report) ProblematicSessions() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range r.Anomalies {
+		if !seen[a.Session] {
+			seen[a.Session] = true
+			out = append(out, a.Session)
+		}
+	}
+	return out
+}
+
+// ByKind returns the anomalies of one kind.
+func (r *Report) ByKind(k Kind) []Anomaly {
+	var out []Anomaly
+	for _, a := range r.Anomalies {
+		if a.Kind == k {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Summary renders an aggregate view: anomaly counts by kind and the
+// affected entity groups, ordered by count.
+func (r *Report) Summary() string {
+	if len(r.Anomalies) == 0 {
+		return fmt.Sprintf("%d sessions checked, no anomalies\n", r.Sessions)
+	}
+	kinds := map[Kind]int{}
+	groups := map[string]int{}
+	for _, a := range r.Anomalies {
+		kinds[a.Kind]++
+		if a.Group != "" {
+			groups[a.Group]++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d sessions checked, %d problematic, %d findings\n",
+		r.Sessions, len(r.ProblematicSessions()), len(r.Anomalies))
+	for k := UnexpectedMessage; k <= HierarchyViolation; k++ {
+		if n := kinds[k]; n > 0 {
+			fmt.Fprintf(&b, "  %-22s %d\n", k.String()+":", n)
+		}
+	}
+	if len(groups) > 0 {
+		names := make([]string, 0, len(groups))
+		for g := range groups {
+			names = append(names, g)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if groups[names[i]] != groups[names[j]] {
+				return groups[names[i]] > groups[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		b.WriteString("  entity groups involved: ")
+		for i, g := range names {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s (%d)", g, groups[g])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Detector checks sessions against a trained model.
+type Detector struct {
+	// Parser is the trained Spell instance (used via Lookup only).
+	Parser *spell.Parser
+	// Keys maps Intel Key ID → Intel Key.
+	Keys map[int]*extract.IntelKey
+	// KeyGroups maps Intel Key ID → entity groups.
+	KeyGroups map[int][]string
+	// Graph is the trained HW-graph.
+	Graph *hwgraph.Graph
+
+	// CheckHierarchy enables lifespan-relation checking (on by default via
+	// NewDetector).
+	CheckHierarchy bool
+	// CheckMissingGroups enables expected-group presence checking.
+	CheckMissingGroups bool
+}
+
+// NewDetector assembles a Detector with all checks enabled.
+func NewDetector(p *spell.Parser, keys map[int]*extract.IntelKey, keyGroups map[int][]string, g *hwgraph.Graph) *Detector {
+	return &Detector{
+		Parser: p, Keys: keys, KeyGroups: keyGroups, Graph: g,
+		CheckHierarchy: true, CheckMissingGroups: true,
+	}
+}
+
+// DetectSession checks one session and returns its anomalies.
+func (d *Detector) DetectSession(s *logging.Session) []Anomaly {
+	var anomalies []Anomaly
+	var msgs []*extract.Message
+
+	for i := range s.Records {
+		rec := &s.Records[i]
+		tokens := nlp.Tokenize(rec.Message)
+		key := d.Parser.Lookup(nlp.Texts(tokens))
+		if key == nil {
+			anomalies = append(anomalies, d.unexpected(s, rec, tokens))
+			continue
+		}
+		ik := d.Keys[key.ID]
+		if ik == nil || !ik.NaturalLanguage {
+			// §5: matched non-NL keys are on the ignore list — matching one
+			// never triggers an unexpected-message error.
+			continue
+		}
+		msgs = append(msgs, extract.Bind(ik, tokens, rec.Time, s.ID, rec.Message))
+	}
+
+	anomalies = append(anomalies, d.checkInstances(s.ID, msgs)...)
+	return anomalies
+}
+
+// Detect runs DetectSession over a batch. Sessions are independent, so
+// they are checked by a worker pool; the report lists anomalies in
+// session input order regardless of scheduling.
+func (d *Detector) Detect(sessions []*logging.Session) *Report {
+	r := &Report{Sessions: len(sessions)}
+	perSession := make([][]Anomaly, len(sessions))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := runtime.NumCPU()
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				perSession[i] = d.DetectSession(sessions[i])
+			}
+		}()
+	}
+	for i := range sessions {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, anomalies := range perSession {
+		r.Anomalies = append(r.Anomalies, anomalies...)
+	}
+	return r
+}
+
+// unexpected builds the UnexpectedMessage anomaly, running ad-hoc
+// extraction on the message so its fields are queryable.
+func (d *Detector) unexpected(s *logging.Session, rec *logging.Record, tokens []nlp.Token) Anomaly {
+	adhoc := &spell.Key{ID: -1, Tokens: nlp.Texts(tokens), Sample: nlp.Texts(tokens)}
+	ik := extract.BuildIntelKey(adhoc)
+	m := extract.Bind(ik, tokens, rec.Time, s.ID, rec.Message)
+	grp := ""
+	// Attribute the message to a trained entity group — the paper's
+	// diagnosis flow groups unexpected messages by entity ("all of the
+	// unexpected messages belong to the 'fetcher' entity group"). The
+	// operation's subject is the acting component, so it wins over other
+	// extracted entities.
+	var candidates []string
+	for _, op := range ik.Operations {
+		if op.Subject != "" {
+			candidates = append(candidates, op.Subject)
+		}
+	}
+	candidates = append(candidates, ik.Entities...)
+	for _, e := range candidates {
+		if n := d.findGroupOf(e); n != "" {
+			grp = n
+			break
+		}
+	}
+	if grp == "" && len(ik.Entities) > 0 {
+		grp = ik.Entities[0]
+	}
+	return Anomaly{
+		Session: s.ID, Kind: UnexpectedMessage, Group: grp,
+		Record: rec, Extracted: m,
+		Detail: fmt.Sprintf("no Intel Key matches %q", rec.Message),
+	}
+}
+
+// findGroupOf returns the trained group containing an entity phrase.
+func (d *Detector) findGroupOf(entity string) string {
+	for name, node := range d.Graph.Nodes {
+		for _, e := range node.Entities {
+			if e == entity {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// checkInstances verifies the session's HW-graph instance: per-group
+// subroutine instances against trained subroutines, expected-group
+// presence, and lifespan-relation consistency.
+func (d *Detector) checkInstances(session string, msgs []*extract.Message) []Anomaly {
+	var anomalies []Anomaly
+
+	byGroup := map[string][]*extract.Message{}
+	spans := map[string]hwgraph.Span{}
+	for idx, m := range msgs {
+		for _, g := range d.KeyGroups[m.KeyID] {
+			byGroup[g] = append(byGroup[g], m)
+			sp, ok := spans[g]
+			if !ok {
+				spans[g] = hwgraph.Span{First: idx, Last: idx}
+			} else {
+				sp.Last = idx
+				spans[g] = sp
+			}
+		}
+	}
+
+	groupNames := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+
+	for _, g := range groupNames {
+		node := d.Graph.Nodes[g]
+		if node == nil {
+			continue
+		}
+		for _, inst := range hwgraph.AssignInstances(byGroup[g]) {
+			sig := inst.Signature()
+			sub := node.Subroutines[sig]
+			if sub == nil {
+				if len(node.Subroutines) > 0 {
+					anomalies = append(anomalies, Anomaly{
+						Session: session, Kind: UnknownSignature, Group: g, Signature: sig,
+						Detail: fmt.Sprintf("group %q has no trained subroutine with signature %q", g, sig),
+					})
+				}
+				continue
+			}
+			seq := make([]int, len(inst.Msgs))
+			for i, m := range inst.Msgs {
+				seq[i] = m.KeyID
+			}
+			if missing := sub.MissingCritical(seq); len(missing) > 0 {
+				anomalies = append(anomalies, Anomaly{
+					Session: session, Kind: MissingCriticalKeys, Group: g, Signature: sig,
+					MissingKeys: missing,
+					Detail:      fmt.Sprintf("subroutine %q in group %q missed %d critical Intel Keys", sig, g, len(missing)),
+				})
+			}
+			if pairs := sub.Violations(seq); len(pairs) > 0 {
+				anomalies = append(anomalies, Anomaly{
+					Session: session, Kind: OrderViolation, Group: g, Signature: sig,
+					Pairs:  pairs,
+					Detail: fmt.Sprintf("subroutine %q in group %q broke %d BEFORE relations", sig, g, len(pairs)),
+				})
+			}
+		}
+	}
+
+	if d.CheckMissingGroups {
+		for _, g := range d.Graph.ExpectedGroups() {
+			if g == hwgraph.MiscGroup {
+				continue
+			}
+			if _, ok := byGroup[g]; !ok {
+				anomalies = append(anomalies, Anomaly{
+					Session: session, Kind: MissingGroup, Group: g,
+					Detail: fmt.Sprintf("group %q appeared in every training session but is absent", g),
+				})
+			}
+		}
+	}
+
+	if d.CheckHierarchy {
+		for i := 0; i < len(groupNames); i++ {
+			for j := i + 1; j < len(groupNames); j++ {
+				a, b := groupNames[i], groupNames[j]
+				// Single-message groups have point lifespans whose position
+				// jitters with scheduling; only wide spans carry structure.
+				if len(byGroup[a]) < 2 || len(byGroup[b]) < 2 ||
+					spans[a].First == spans[a].Last || spans[b].First == spans[b].Last {
+					continue
+				}
+				trained := d.Graph.Relation(a, b)
+				if trained != hwgraph.Parent && trained != hwgraph.Before {
+					continue
+				}
+				observed := hwgraph.SessionRelation(spans[a], spans[b])
+				if observed != trained {
+					anomalies = append(anomalies, Anomaly{
+						Session: session, Kind: HierarchyViolation, Group: a,
+						Detail: fmt.Sprintf("groups %q and %q trained %v but observed %v", a, b, trained, observed),
+					})
+				}
+			}
+		}
+	}
+
+	return anomalies
+}

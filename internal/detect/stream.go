@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"time"
+
+	"intellog/internal/extract"
+	"intellog/internal/logging"
+	"intellog/internal/nlp"
+)
+
+// StreamDetector consumes log records one at a time — the online mode of
+// Fig. 2, where IntelLog "consumes newly incoming logs and automatically
+// reports anomalies". Unexpected messages are reported immediately;
+// HW-graph instance checks run when a session ends (explicitly, or after
+// IdleTimeout with no records, judged by log timestamps).
+type StreamDetector struct {
+	// IdleTimeout closes a session when its log time falls this far behind
+	// the newest record seen. Zero disables idle finalization.
+	IdleTimeout time.Duration
+
+	d        *Detector
+	sessions map[string]*sessionBuf
+	order    []string
+	latest   time.Time
+}
+
+// sessionBuf accumulates one in-flight session.
+type sessionBuf struct {
+	id   string
+	msgs []*extract.Message
+	last time.Time
+}
+
+// NewStreamDetector wraps a trained Detector for streaming consumption.
+func NewStreamDetector(d *Detector, idle time.Duration) *StreamDetector {
+	return &StreamDetector{IdleTimeout: idle, d: d, sessions: map[string]*sessionBuf{}}
+}
+
+// Pending returns the number of in-flight sessions.
+func (s *StreamDetector) Pending() int { return len(s.sessions) }
+
+// Consume processes one record. The returned anomalies are the immediate
+// findings: an unexpected-message report for this record, plus the
+// end-of-session findings of any session the record's timestamp idles
+// out.
+func (s *StreamDetector) Consume(rec logging.Record) []Anomaly {
+	var out []Anomaly
+	if rec.Time.After(s.latest) {
+		s.latest = rec.Time
+	}
+	if s.IdleTimeout > 0 {
+		out = append(out, s.expireIdle()...)
+	}
+
+	buf, ok := s.sessions[rec.SessionID]
+	if !ok {
+		buf = &sessionBuf{id: rec.SessionID}
+		s.sessions[rec.SessionID] = buf
+		s.order = append(s.order, rec.SessionID)
+	}
+	buf.last = rec.Time
+
+	tokens := nlp.Tokenize(rec.Message)
+	key := s.d.Parser.Lookup(nlp.Texts(tokens))
+	if key == nil {
+		sess := &logging.Session{ID: rec.SessionID}
+		out = append(out, s.d.unexpected(sess, &rec, tokens))
+		return out
+	}
+	ik := s.d.Keys[key.ID]
+	if ik == nil || !ik.NaturalLanguage {
+		return out
+	}
+	buf.msgs = append(buf.msgs, extract.Bind(ik, tokens, rec.Time, rec.SessionID, rec.Message))
+	return out
+}
+
+// CloseSession finalizes one session and returns its structural findings.
+func (s *StreamDetector) CloseSession(id string) []Anomaly {
+	buf, ok := s.sessions[id]
+	if !ok {
+		return nil
+	}
+	delete(s.sessions, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return s.d.checkInstances(buf.id, buf.msgs)
+}
+
+// Flush finalizes every in-flight session (end of stream) and returns the
+// combined report.
+func (s *StreamDetector) Flush() *Report {
+	r := &Report{Sessions: len(s.order)}
+	ids := append([]string(nil), s.order...)
+	for _, id := range ids {
+		r.Anomalies = append(r.Anomalies, s.CloseSession(id)...)
+	}
+	return r
+}
+
+// expireIdle finalizes sessions whose last record is older than
+// IdleTimeout relative to the newest record seen.
+func (s *StreamDetector) expireIdle() []Anomaly {
+	var out []Anomaly
+	cutoff := s.latest.Add(-s.IdleTimeout)
+	ids := append([]string(nil), s.order...)
+	for _, id := range ids {
+		if buf := s.sessions[id]; buf != nil && buf.last.Before(cutoff) {
+			out = append(out, s.CloseSession(id)...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+func streamRec(session, msg string, at time.Time) logging.Record {
+	return logging.Record{SessionID: session, Message: msg, Time: at, Level: logging.Info}
+}
+
+func TestStreamImmediateUnexpected(t *testing.T) {
+	s := NewStreamDetector(fixture(t), 0)
+	t0 := time.Date(2019, 3, 2, 9, 0, 0, 0, time.UTC)
+	if got := s.Consume(streamRec("c1", "Registering worker node_07", t0)); len(got) != 0 {
+		t.Fatalf("normal record flagged: %+v", got)
+	}
+	got := s.Consume(streamRec("c1", "Totally novel failure on host8:1234", t0.Add(time.Second)))
+	if len(got) != 1 || got[0].Kind != UnexpectedMessage {
+		t.Fatalf("unexpected message not reported immediately: %+v", got)
+	}
+}
+
+func TestStreamCloseSessionStructuralChecks(t *testing.T) {
+	s := NewStreamDetector(fixture(t), 0)
+	t0 := time.Date(2019, 3, 2, 9, 0, 0, 0, time.UTC)
+	s.Consume(streamRec("c1", "Registering worker node_07", t0))
+	// Session truncated: Registered never arrives.
+	got := s.CloseSession("c1")
+	found := false
+	for _, a := range got {
+		if a.Kind == MissingCriticalKeys {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing critical key not found at close: %+v", got)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after close", s.Pending())
+	}
+}
+
+func TestStreamIdleTimeoutFinalizes(t *testing.T) {
+	s := NewStreamDetector(fixture(t), time.Minute)
+	t0 := time.Date(2019, 3, 2, 9, 0, 0, 0, time.UTC)
+	s.Consume(streamRec("old", "Registering worker node_07", t0))
+	// A much later record on another session idles out "old".
+	got := s.Consume(streamRec("new", "Registering worker node_08", t0.Add(5*time.Minute)))
+	foundMissing := false
+	for _, a := range got {
+		if a.Kind == MissingCriticalKeys && a.Session == "old" {
+			foundMissing = true
+		}
+	}
+	if !foundMissing {
+		t.Errorf("idle session not finalized: %+v", got)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1 (only 'new')", s.Pending())
+	}
+}
+
+func TestStreamFlushMatchesBatch(t *testing.T) {
+	d := fixture(t)
+	lines := []string{"Registering worker node_07", "Registered worker node_07"}
+	// Batch detection.
+	batch := d.DetectSession(session(lines...))
+	// Stream detection of the same session.
+	s := NewStreamDetector(d, 0)
+	t0 := time.Date(2019, 3, 2, 9, 0, 0, 0, time.UTC)
+	for i, l := range lines {
+		s.Consume(streamRec("test", l, t0.Add(time.Duration(i)*time.Second)))
+	}
+	stream := s.Flush()
+	if len(batch) != len(stream.Anomalies) {
+		t.Errorf("batch %d anomalies vs stream %d", len(batch), len(stream.Anomalies))
+	}
+}
+
+func TestStreamCloseUnknownSession(t *testing.T) {
+	s := NewStreamDetector(fixture(t), 0)
+	if got := s.CloseSession("nope"); got != nil {
+		t.Errorf("closing unknown session returned %+v", got)
+	}
+}

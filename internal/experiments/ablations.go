@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/baselines/deeplog"
+	"intellog/internal/core"
+	"intellog/internal/group"
+	"intellog/internal/logging"
+	"intellog/internal/nlp"
+	"intellog/internal/sim"
+	"intellog/internal/spell"
+)
+
+// SpellThresholdPoint is one point of the Spell-threshold ablation.
+type SpellThresholdPoint struct {
+	T    float64
+	Keys int
+}
+
+// AblationSpellThreshold sweeps Spell's threshold t over one system's
+// training corpus and reports the resulting key counts (the paper fixes
+// t=1.7 empirically; this shows the sensitivity).
+func (e *Env) AblationSpellThreshold(fw logging.Framework, ts []float64) []SpellThresholdPoint {
+	if len(ts) == 0 {
+		ts = []float64{1.1, 1.3, 1.5, 1.7, 2.0, 2.5, 3.0}
+	}
+	sessions := e.Training(fw)
+	var out []SpellThresholdPoint
+	for _, t := range ts {
+		p := spell.NewParser(t)
+		for _, s := range sessions {
+			for i := range s.Records {
+				p.Consume(nlp.Texts(nlp.Tokenize(s.Records[i].Message)))
+			}
+		}
+		out = append(out, SpellThresholdPoint{T: t, Keys: len(p.Keys())})
+	}
+	return out
+}
+
+// MergeGuardAblation compares Spell with and without the constant-word
+// merge guard.
+type MergeGuardAblation struct {
+	System string
+	// GuardedKeys is the key count with the guard (this repo's default).
+	GuardedKeys int
+	// ClassicKeys is the count under the original LCS-only rule.
+	ClassicKeys int
+	// Conflated counts classic keys whose wildcards cover positions that
+	// are constant words under the guarded parse — verb/entity text
+	// erased by over-merging ("Registering …" with "Registered …").
+	Conflated int
+}
+
+// AblationMergeGuard measures what the constant-word merge guard buys:
+// without it, distinct logging statements that share most tokens merge
+// into one key, erasing the semantic words IntelLog extracts from.
+func (e *Env) AblationMergeGuard(fw logging.Framework) MergeGuardAblation {
+	sessions := e.Training(fw)
+	guarded := spell.NewParser(0)
+	classic := spell.NewClassicParser(0)
+	for _, s := range sessions {
+		for i := range s.Records {
+			toks := nlp.Texts(nlp.Tokenize(s.Records[i].Message))
+			guarded.Consume(toks)
+			classic.Consume(append([]string(nil), toks...))
+		}
+	}
+	res := MergeGuardAblation{
+		System:      string(fw),
+		GuardedKeys: len(guarded.Keys()),
+		ClassicKeys: len(classic.Keys()),
+	}
+	// A classic key is conflated when it wildcards a pure-alphabetic word
+	// from its own sample — constant text a logging statement cannot vary.
+	for _, k := range classic.Keys() {
+		if len(k.Tokens) != len(k.Sample) {
+			res.Conflated++
+			continue
+		}
+		for i, tok := range k.Tokens {
+			if tok == spell.Wildcard && isAlphaWord(k.Sample[i]) {
+				res.Conflated++
+				break
+			}
+		}
+	}
+	return res
+}
+
+func isAlphaWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			if r < 'A' || r > 'Z' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LastWordsAblation compares entity-group counts with and without
+// Algorithm 1's shared-suffix rejection.
+type LastWordsAblation struct {
+	System       string
+	WithRule     int
+	WithoutRule  int
+	MergedGroups int // groups lost when the rule is off (over-merging)
+}
+
+// AblationLastWords measures the last-words rule's effect on grouping.
+func (e *Env) AblationLastWords(fw logging.Framework) LastWordsAblation {
+	m := e.Model(fw)
+	var entities []string
+	for _, ik := range m.Keys {
+		entities = append(entities, ik.Entities...)
+	}
+	with := group.Build(entities)
+	without := group.BuildWithOptions(entities, group.Options{DisableLastWordsRule: true})
+	return LastWordsAblation{
+		System:       string(fw),
+		WithRule:     len(with.List),
+		WithoutRule:  len(without.List),
+		MergedGroups: len(with.List) - len(without.List),
+	}
+}
+
+// CriticalKeysAblation compares kill-detection with and without critical
+// Intel Key marking.
+type CriticalKeysAblation struct {
+	System          string
+	DetectedWith    int
+	DetectedWithout int
+	Jobs            int
+}
+
+// AblationCriticalKeys measures how many SIGKILL injections only the
+// critical-key check catches.
+func (e *Env) AblationCriticalKeys(fw logging.Framework, jobs int) CriticalKeysAblation {
+	if jobs <= 0 {
+		jobs = 6
+	}
+	sessions := e.Training(fw)
+	with := core.Train(sessions, core.Config{})
+	without := core.Train(sessions, core.Config{
+		DisableCriticalKeys: true, DisableMissingGroupCheck: true, DisableHierarchyCheck: true,
+	})
+	res := CriticalKeysAblation{System: string(fw), Jobs: jobs}
+	for i := 0; i < jobs; i++ {
+		j := e.Gen.Submit(fw, sim.FaultKill)
+		if len(with.Detect(j.Sessions).Anomalies) > 0 {
+			res.DetectedWith++
+		}
+		if len(without.Detect(j.Sessions).Anomalies) > 0 {
+			res.DetectedWithout++
+		}
+	}
+	return res
+}
+
+// DeepLogGPoint is one point of the DeepLog top-g sweep.
+type DeepLogGPoint struct {
+	G         int
+	Precision float64
+	Recall    float64
+}
+
+// AblationDeepLogTopG sweeps DeepLog's top-g parameter on one system.
+func (e *Env) AblationDeepLogTopG(fw logging.Framework, gs []int) []DeepLogGPoint {
+	if len(gs) == 0 {
+		gs = []int{1, 3, 5, 9, 15}
+	}
+	m := e.Model(fw)
+	var trainSeqs [][]int
+	for _, s := range e.Training(fw) {
+		trainSeqs = append(trainSeqs, keySeq(m, s))
+	}
+	dl := deeplog.Train(trainSeqs, 3)
+	corpus := e.DetectionCorpus(fw)
+
+	var out []DeepLogGPoint
+	for _, g := range gs {
+		tp, fp, fn := 0, 0, 0
+		for _, j := range corpus {
+			problem := j.Class != ClassClean
+			for _, s := range j.Res.Sessions {
+				flagged := dl.SessionAnomalous(keySeq(m, s), g)
+				isProblem := problem && j.Res.Affected[s.ID]
+				switch {
+				case flagged && isProblem:
+					tp++
+				case flagged && !isProblem:
+					fp++
+				case !flagged && isProblem:
+					fn++
+				}
+			}
+		}
+		pt := DeepLogGPoint{G: g}
+		if tp+fp > 0 {
+			pt.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			pt.Recall = float64(tp) / float64(tp+fn)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// FormatAblations renders the ablation results.
+func FormatAblations(spellPts []SpellThresholdPoint, lw LastWordsAblation, ck CriticalKeysAblation, dl []DeepLogGPoint) string {
+	var b strings.Builder
+	b.WriteString("Spell threshold sweep (t -> #keys): ")
+	for _, p := range spellPts {
+		fmt.Fprintf(&b, "%.1f:%d ", p.T, p.Keys)
+	}
+	fmt.Fprintf(&b, "\nlast-words rule (%s): with=%d groups, without=%d groups\n",
+		lw.System, lw.WithRule, lw.WithoutRule)
+	fmt.Fprintf(&b, "critical keys (%s): kill detection %d/%d with, %d/%d without\n",
+		ck.System, ck.DetectedWith, ck.Jobs, ck.DetectedWithout, ck.Jobs)
+	b.WriteString("DeepLog top-g sweep (g -> P/R): ")
+	for _, p := range dl {
+		fmt.Fprintf(&b, "%d:%.2f/%.2f ", p.G, p.Precision, p.Recall)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"intellog/internal/baselines/cloudseer"
+	"intellog/internal/logging"
+	"intellog/internal/nlp"
+	"intellog/internal/spell"
+)
+
+// CloudSeerPoint is one training-size point of the §8 demonstration.
+type CloudSeerPoint struct {
+	TrainSessions int
+	NovaFPRate    float64
+	SparkFPRate   float64
+}
+
+// CloudSeerClaim holds the §8 demonstration: a CloudSeer-style automaton
+// is accurate on fixed-order infrastructure sessions (nova-compute
+// request lifecycles) but fails on analytics sessions (Spark executors)
+// in both of its regimes — under-trained it floods with false positives,
+// and with enough training it degenerates into accepting every
+// interleaving (transition density ≈ saturated), losing all detection
+// power.
+type CloudSeerClaim struct {
+	Points []CloudSeerPoint
+	// Branching is the automaton's average out-degree (transitions per
+	// state) after full training — a fixed-order lifecycle stays near 1,
+	// while interleaved analytics logs explode toward the key count.
+	NovaBranching  float64
+	SparkBranching float64
+}
+
+var novaInstancePattern = regexp.MustCompile(`instance-[0-9a-f]{8}`)
+
+// CloudSeerExperiment sweeps training sizes and measures clean-session
+// false-positive rates for both corpora, plus the trained automatons'
+// transition densities.
+func (e *Env) CloudSeerExperiment() CloudSeerClaim {
+	byInstance := func(r *logging.Record) string {
+		return novaInstancePattern.FindString(r.Message)
+	}
+	novaTrain := logging.SplitBySession(e.Cluster.RunNovaRequests(120), byInstance)
+	novaDetect := logging.SplitBySession(e.Cluster.RunNovaRequests(40), byInstance)
+
+	sparkTrain := e.Training(logging.Spark)
+	var sparkDetect []*logging.Session
+	for i := 0; i < 4; i++ {
+		res := e.Gen.Submit(logging.Spark, 0)
+		sparkDetect = append(sparkDetect, res.Sessions...)
+	}
+
+	var claim CloudSeerClaim
+	for _, n := range []int{12, 40, len(sparkTrain)} {
+		pt := CloudSeerPoint{TrainSessions: n}
+		pt.NovaFPRate, _ = automatonFPRate(capSessions(novaTrain, n), novaDetect)
+		pt.SparkFPRate, _ = automatonFPRate(capSessions(sparkTrain, n), sparkDetect)
+		claim.Points = append(claim.Points, pt)
+	}
+	_, claim.NovaBranching = automatonFPRate(novaTrain, novaDetect)
+	_, claim.SparkBranching = automatonFPRate(sparkTrain, sparkDetect)
+	return claim
+}
+
+func capSessions(s []*logging.Session, n int) []*logging.Session {
+	if n >= len(s) {
+		return s
+	}
+	return s[:n]
+}
+
+// automatonFPRate trains Spell + the automaton on the training sessions
+// and returns the fraction of clean detection sessions flagged, plus the
+// automaton's branching factor.
+func automatonFPRate(train, detect []*logging.Session) (float64, float64) {
+	parser := spell.NewParser(0)
+	var seqs [][]int
+	for _, s := range train {
+		seqs = append(seqs, consumeSeq(parser, s))
+	}
+	m := cloudseer.Train(seqs)
+	branching := 0.0
+	if st := m.States(); st > 0 {
+		branching = float64(m.Transitions()) / float64(st)
+	}
+	if len(detect) == 0 {
+		return 0, branching
+	}
+	fp := 0
+	for _, s := range detect {
+		if m.Anomalous(lookupSeq(parser, s)) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(detect)), branching
+}
+
+// consumeSeq streams a session through the parser (training mode).
+func consumeSeq(p *spell.Parser, s *logging.Session) []int {
+	seq := make([]int, 0, s.Len())
+	for i := range s.Records {
+		k := p.Consume(nlp.Texts(nlp.Tokenize(s.Records[i].Message)))
+		if k != nil {
+			seq = append(seq, k.ID)
+		}
+	}
+	return seq
+}
+
+// lookupSeq maps a session to key IDs without mutating the parser; -1
+// marks unmatched messages.
+func lookupSeq(p *spell.Parser, s *logging.Session) []int {
+	seq := make([]int, 0, s.Len())
+	for i := range s.Records {
+		k := p.Lookup(nlp.Texts(nlp.Tokenize(s.Records[i].Message)))
+		if k == nil {
+			seq = append(seq, -1)
+			continue
+		}
+		seq = append(seq, k.ID)
+	}
+	return seq
+}
+
+// Format renders the claim.
+func (c CloudSeerClaim) Format() string {
+	var b strings.Builder
+	b.WriteString("CloudSeer-style automaton checker (§8 related-work claim):\n")
+	b.WriteString("  clean-session FP rate by training size (nova | spark):\n")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "    %4d sessions: %5.0f%% | %5.0f%%\n",
+			p.TrainSessions, 100*p.NovaFPRate, 100*p.SparkFPRate)
+	}
+	fmt.Fprintf(&b, "  automaton branching factor after full training: nova %.1f, spark %.1f\n",
+		c.NovaBranching, c.SparkBranching)
+	b.WriteString("  -> on analytics logs the automaton either floods with FPs (small training)\n")
+	b.WriteString("     or saturates into accepting any interleaving (large training)\n")
+	return b.String()
+}

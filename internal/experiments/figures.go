@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"intellog/internal/baselines/stitch"
+	"intellog/internal/extract"
+	"intellog/internal/logging"
+	"intellog/internal/nlp"
+	"intellog/internal/sim"
+	"intellog/internal/spell"
+)
+
+// Figure1 reproduces the Fig. 1 walkthrough: the fetcher subroutine's raw
+// messages on the left, the extracted log keys on the right.
+func Figure1() string {
+	msgs := []string{
+		"fetcher#1 about to shuffle output of map attempt_01",
+		"fetcher#1 read 2264 bytes from map-output for attempt_01",
+		"host1:13562 freed by fetcher#1 in 4ms",
+		"fetcher#2 about to shuffle output of map attempt_02",
+		"fetcher#2 read 108 bytes from map-output for attempt_02",
+		"host2:13562 freed by fetcher#2 in 11ms",
+	}
+	p := spell.NewParser(0)
+	var keys []*spell.Key
+	for _, m := range msgs {
+		keys = append(keys, p.Consume(nlp.Texts(nlp.Tokenize(m))))
+	}
+	var b strings.Builder
+	b.WriteString("log messages                                            -> log keys\n")
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "%-55s -> %s\n", msgs[i], keys[i].String())
+	}
+	return b.String()
+}
+
+// Figure3 reproduces the Fig. 3 POS-tagging flow: the log key, its sample
+// message, and the tags mapped back onto the key.
+func Figure3() string {
+	sample := "Starting MapTask metrics system"
+	key := "* MapTask metrics system"
+	toks := nlp.TagMessage(sample)
+	var b strings.Builder
+	fmt.Fprintf(&b, "log key:        %s\n", key)
+	fmt.Fprintf(&b, "sample message: %s\n", sample)
+	b.WriteString("POS tags:       ")
+	for _, t := range toks {
+		fmt.Fprintf(&b, "%s/%s ", t.Text, t.Tag)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure4 reproduces the Fig. 4 transformation of the Spark task-finish
+// key into an Intel Key.
+func Figure4() *extract.IntelKey {
+	p := spell.NewParser(0)
+	msgs := []string{
+		"Finished task 1.0 in stage 1.0 (TID 4). 1109 bytes result sent to driver",
+		"Finished task 3.0 in stage 1.0 (TID 7). 1401 bytes result sent to driver",
+	}
+	var k *spell.Key
+	for _, m := range msgs {
+		k = p.Consume(nlp.Texts(nlp.Tokenize(m)))
+	}
+	return extract.BuildIntelKey(k)
+}
+
+// FormatFigure4 renders the Intel Key like the right side of Fig. 4.
+func FormatFigure4(ik *extract.IntelKey) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "log key:    %s\n", ik.String())
+	fmt.Fprintf(&b, "entities:   %s\n", strings.Join(ik.Entities, ", "))
+	var ids, vals []string
+	for _, s := range ik.Slots {
+		switch s.Kind {
+		case extract.SlotIdentifier:
+			ids = append(ids, s.Type)
+		case extract.SlotValue:
+			vals = append(vals, s.Type)
+		}
+	}
+	fmt.Fprintf(&b, "identifiers: %s\n", strings.Join(ids, ", "))
+	fmt.Fprintf(&b, "values:      %s\n", strings.Join(vals, ", "))
+	var ops []string
+	for _, op := range ik.Operations {
+		ops = append(ops, op.String())
+	}
+	fmt.Fprintf(&b, "operations:  %s\n", strings.Join(ops, " "))
+	return b.String()
+}
+
+// Figure8 renders the Spark HW-graph hierarchy (critical groups starred).
+func (e *Env) Figure8() string {
+	return e.Model(logging.Spark).Graph.Render()
+}
+
+// Figure8b renders the subroutine view of Fig. 8(b): each critical
+// group's subroutines with their Intel Keys' operations, critical keys
+// starred.
+func (e *Env) Figure8b() string {
+	m := e.Model(logging.Spark)
+	var b strings.Builder
+	for _, name := range m.Graph.CriticalGroups() {
+		node := m.Graph.Nodes[name]
+		sigs := make([]string, 0, len(node.Subroutines))
+		for sig := range node.Subroutines {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			sub := node.Subroutines[sig]
+			label := sig
+			if label == "" {
+				label = "NONE"
+			}
+			fmt.Fprintf(&b, "%s / %s:\n", name, label)
+			for _, kid := range sub.Keys {
+				ik := m.Keys[kid]
+				marker := " "
+				if sub.Critical[kid] {
+					marker = "*"
+				}
+				var ops []string
+				for _, op := range ik.Operations {
+					ops = append(ops, op.String())
+				}
+				fmt.Fprintf(&b, "  %s %s\n", marker, strings.Join(ops, " "))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Figure9 builds the Stitch S³ graph from one Spark job's Intel Messages.
+func (e *Env) Figure9() string {
+	m := e.Model(logging.Spark)
+	res := e.Gen.Submit(logging.Spark, sim.FaultNone)
+	msgs := m.Messages(res.Sessions)
+	return stitch.Build(msgs).Render()
+}

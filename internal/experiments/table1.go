@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/logging"
+	"intellog/internal/sim"
+)
+
+// NLRow is one Table 1 row: natural-language log lines vs total.
+type NLRow struct {
+	System string
+	NL     int
+	Total  int
+}
+
+// Pct returns the NL percentage.
+func (r NLRow) Pct() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.NL) / float64(r.Total)
+}
+
+// Table1 generates a mixed corpus (analytics jobs, YARN daemon logs, nova
+// requests) and counts natural-language log lines per system, using the
+// template ground-truth NL flag — the paper's clause criterion.
+func (e *Env) Table1(jobsPerSystem int) []NLRow {
+	if jobsPerSystem <= 0 {
+		jobsPerSystem = 5
+	}
+	counts := map[logging.Framework]map[string]int{
+		logging.Spark: {}, logging.MapReduce: {}, logging.Tez: {}, logging.Yarn: {},
+	}
+	for _, fw := range Systems {
+		for i := 0; i < jobsPerSystem; i++ {
+			res := e.Gen.Submit(fw, sim.FaultNone)
+			for _, s := range res.Sessions {
+				for _, rec := range s.Records {
+					counts[fw][rec.TemplateID]++
+				}
+			}
+			for _, rec := range res.YarnRecords {
+				counts[logging.Yarn][rec.TemplateID]++
+			}
+		}
+	}
+	novaCounts := map[string]int{}
+	for _, rec := range e.Cluster.RunNovaRequests(jobsPerSystem * 40) {
+		novaCounts[rec.TemplateID]++
+	}
+
+	var rows []NLRow
+	add := func(name string, inv *sim.Inventory, c map[string]int) {
+		nl, total := inv.NLStats(c)
+		rows = append(rows, NLRow{System: name, NL: nl, Total: total})
+	}
+	add("Spark", e.Cluster.Spark, counts[logging.Spark])
+	add("MapReduce", e.Cluster.MR, counts[logging.MapReduce])
+	add("Tez", e.Cluster.Tez, counts[logging.Tez])
+	add("Yarn", e.Cluster.Yarn, counts[logging.Yarn])
+	add("nova-compute", e.Cluster.Nova, novaCounts)
+	return rows
+}
+
+// FormatTable1 renders the rows like the paper's Table 1.
+func FormatTable1(rows []NLRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %8s\n", "System", "NL logs", "total", "% NL")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %10d %7.1f%%\n", r.System, r.NL, r.Total, r.Pct())
+	}
+	return b.String()
+}

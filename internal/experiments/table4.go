@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/extract"
+	"intellog/internal/logging"
+	"intellog/internal/nlp"
+)
+
+// Counts is a Total/FP/FN triple as reported in Table 4.
+type Counts struct {
+	Total, FP, FN int
+}
+
+func (c Counts) String() string { return fmt.Sprintf("%d / %d / %d", c.Total, c.FP, c.FN) }
+
+// ExtractionRow is one Table 4 row.
+type ExtractionRow struct {
+	System    string
+	Consumed  int
+	IntelKeys int
+	Entities  Counts
+	IDs       Counts
+	Values    Counts
+	Locs      Counts
+	OpsTotal  int
+	OpsMissed int
+}
+
+// Table4 scores information extraction for one system against the
+// simulator's template annotations: the ground truth plays the role of
+// the paper's manual comparison against logging statements in the source.
+func (e *Env) Table4(fw logging.Framework) ExtractionRow {
+	m := e.Model(fw)
+	sessions := e.Training(fw)
+
+	// Map templates to the Intel Keys their messages matched.
+	tplKeys := map[string]map[int]bool{}
+	consumed := 0
+	for _, s := range sessions {
+		for i := range s.Records {
+			rec := &s.Records[i]
+			consumed++
+			k := m.Parser.Lookup(nlp.Texts(nlp.Tokenize(rec.Message)))
+			if k == nil {
+				continue
+			}
+			if tplKeys[rec.TemplateID] == nil {
+				tplKeys[rec.TemplateID] = map[int]bool{}
+			}
+			tplKeys[rec.TemplateID][k.ID] = true
+		}
+	}
+
+	row := ExtractionRow{System: string(fw), Consumed: consumed, IntelKeys: len(m.Keys)}
+	inv := e.Cluster.Inventory(fw)
+	for _, tpl := range inv.Templates {
+		keys := tplKeys[tpl.ID]
+		if len(keys) == 0 || !tpl.NL {
+			// §5: key-value dumps are pattern-matched and ignored, so they
+			// are not scored for information extraction.
+			continue
+		}
+		// Union the extraction results of every key the template produced.
+		entities := map[string]bool{}
+		nIDs, nVals, nLocs := 0, 0, 0
+		preds := map[string]bool{}
+		for id := range keys {
+			ik := m.Keys[id]
+			if ik == nil {
+				continue
+			}
+			for _, e := range ik.Entities {
+				entities[e] = true
+			}
+			ids, vals, locs := slotCounts(ik)
+			nIDs = maxInt(nIDs, ids)
+			nVals = maxInt(nVals, vals)
+			nLocs = maxInt(nLocs, locs)
+			for _, op := range ik.Operations {
+				preds[op.Predicate] = true
+			}
+		}
+
+		// Entities: set comparison against the annotation.
+		gt := map[string]bool{}
+		for _, g := range tpl.Entities {
+			gt[g] = true
+		}
+		row.Entities.Total += len(gt)
+		for g := range gt {
+			if !entities[g] {
+				row.Entities.FN++
+			}
+		}
+		for ex := range entities {
+			if !gt[ex] {
+				row.Entities.FP++
+			}
+		}
+
+		// Identifier/value/locality counts.
+		scoreCounts(&row.IDs, len(tpl.IDFields), nIDs)
+		scoreCounts(&row.Values, len(tpl.ValueFields), nVals)
+		scoreCounts(&row.Locs, len(tpl.LocFields), nLocs)
+
+		// Operations: predicate coverage; there are no FP operations by
+		// construction (other fields cannot be categorized as operations).
+		row.OpsTotal += len(tpl.Operations)
+		for _, op := range tpl.Operations {
+			if !preds[op.Predicate] {
+				row.OpsMissed++
+			}
+		}
+	}
+	return row
+}
+
+// slotCounts counts a key's identifier, value and locality slots.
+func slotCounts(ik *extract.IntelKey) (ids, vals, locs int) {
+	for _, s := range ik.Slots {
+		switch s.Kind {
+		case extract.SlotIdentifier:
+			ids++
+		case extract.SlotValue:
+			vals++
+		case extract.SlotLocality:
+			locs++
+		}
+	}
+	return
+}
+
+// scoreCounts folds one template's field counts into a Counts cell.
+func scoreCounts(c *Counts, gt, got int) {
+	c.Total += gt
+	if got > gt {
+		c.FP += got - gt
+	}
+	if gt > got {
+		c.FN += gt - got
+	}
+}
+
+// FormatTable4 renders extraction rows like the paper's Table 4.
+func FormatTable4(rows []ExtractionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %5s | %-12s | %-12s | %-12s | %-12s | %s\n",
+		"System", "Consumed", "Keys", "Entities", "Identifiers", "Values", "Locations", "Ops (tot/miss)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %9d %5d | %-12s | %-12s | %-12s | %-12s | %d / %d\n",
+			r.System, r.Consumed, r.IntelKeys,
+			r.Entities.String(), r.IDs.String(), r.Values.String(), r.Locs.String(),
+			r.OpsTotal, r.OpsMissed)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

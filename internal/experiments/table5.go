@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/logging"
+)
+
+// GraphStatsRow is one Table 5 row: session lengths vs HW-graph sizes.
+type GraphStatsRow struct {
+	System        string
+	AvgSessionLen float64
+	Groups        int
+	CritGroups    int
+	MaxSubLen     int
+	AvgSubAll     float64
+	AvgSubCrit    float64
+}
+
+// Table5 measures the paper's five Table 5 metrics over the trained
+// HW-graph and the training sessions.
+func (e *Env) Table5(fw logging.Framework) GraphStatsRow {
+	m := e.Model(fw)
+	sessions := e.Training(fw)
+
+	totalLen := 0
+	for _, s := range sessions {
+		totalLen += s.Len()
+	}
+	row := GraphStatsRow{System: string(fw)}
+	if len(sessions) > 0 {
+		row.AvgSessionLen = float64(totalLen) / float64(len(sessions))
+	}
+
+	critical := map[string]bool{}
+	for _, g := range m.Graph.CriticalGroups() {
+		critical[g] = true
+	}
+	row.Groups = len(m.Graph.Nodes)
+	row.CritGroups = len(critical)
+
+	subsAll, lenAll := 0, 0
+	subsCrit, lenCrit := 0, 0
+	for name, node := range m.Graph.Nodes {
+		for _, sub := range node.Subroutines {
+			n := len(sub.Keys)
+			subsAll++
+			lenAll += n
+			if n > row.MaxSubLen {
+				row.MaxSubLen = n
+			}
+			if critical[name] {
+				subsCrit++
+				lenCrit += n
+			}
+		}
+	}
+	if subsAll > 0 {
+		row.AvgSubAll = float64(lenAll) / float64(subsAll)
+	}
+	if subsCrit > 0 {
+		row.AvgSubCrit = float64(lenCrit) / float64(subsCrit)
+	}
+	return row
+}
+
+// FormatTable5 renders the rows like the paper's Table 5.
+func FormatTable5(rows []GraphStatsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %14s %26s\n",
+		"System", "session len", "groups all/crit", "sub len max / avg / avg-crit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %9d / %-4d %12d / %.1f / %.1f\n",
+			r.System, r.AvgSessionLen, r.Groups, r.CritGroups,
+			r.MaxSubLen, r.AvgSubAll, r.AvgSubCrit)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/logging"
+	"intellog/internal/sim"
+	"intellog/internal/workload"
+)
+
+// JobClass labels a detection-corpus job for scoring.
+type JobClass int
+
+// Job classes: Injected problems count toward D/FN; Unexpected are real
+// problems beyond the injection set (the paper's "(P/B)" column:
+// performance issues and bugs); Clean jobs flagged are false positives.
+const (
+	ClassClean JobClass = iota
+	ClassInjected
+	ClassUnexpected
+)
+
+// LabeledJob pairs a simulated job with its scoring class.
+type LabeledJob struct {
+	Res   *sim.JobResult
+	Class JobClass
+}
+
+// DetectionCorpus reproduces the §6.4 injection protocol: five config
+// sets; per set, jobs injected with the three real-world problems plus
+// non-injected jobs. For Spark, some non-injected jobs carry the benign
+// slow-shutdown config effect (the paper's false-positive source) or the
+// SPARK-19731 idle-container bug; Tez carries memory-limit spills
+// (the paper's unexpected performance problems).
+func (e *Env) DetectionCorpus(fw logging.Framework) []LabeledJob {
+	var jobs []LabeledJob
+	submit := func(cfg workload.ConfigSet, fault sim.FaultKind, class JobClass) {
+		spec := e.Gen.SpecWithConfig(fw, cfg)
+		jobs = append(jobs, LabeledJob{Res: e.Cluster.RunJob(spec, fault), Class: class})
+	}
+	for ci, cfg := range workload.DefaultConfigSets {
+		submit(cfg, sim.FaultKill, ClassInjected)
+		submit(cfg, sim.FaultNetwork, ClassInjected)
+		submit(cfg, sim.FaultNode, ClassInjected)
+		// Three non-injected jobs per config set.
+		extra := [3]sim.FaultKind{sim.FaultNone, sim.FaultNone, sim.FaultNone}
+		var classes [3]JobClass
+		switch fw {
+		case logging.Spark:
+			if ci == 0 || ci == 2 {
+				extra[0] = sim.FaultSlowShutdown // benign config effect → FP if flagged
+			}
+			if ci == 1 || ci == 3 {
+				extra[1] = sim.FaultIdleContainers // the SPARK-19731 bug
+				classes[1] = ClassUnexpected
+			}
+			if ci == 4 {
+				extra[2] = sim.FaultSpill
+				classes[2] = ClassUnexpected
+			}
+		case logging.Tez:
+			if ci == 1 || ci == 3 || ci == 4 {
+				extra[0] = sim.FaultSpill
+				classes[0] = ClassUnexpected
+			}
+		}
+		for i, f := range extra {
+			submit(cfg, f, classes[i])
+		}
+	}
+	return jobs
+}
+
+// DetectionRow is one Table 6 row.
+type DetectionRow struct {
+	System      string
+	MinSessions int
+	MaxSessions int
+	MinLen      int
+	MaxLen      int
+	Detected    int // injected problems detected (D)
+	FP          int // non-problem jobs flagged
+	FN          int // injected problems missed
+	PB          int // unexpected real problems detected ((P/B))
+}
+
+// Table6 runs IntelLog detection over the corpus and scores it at job
+// granularity (a problem is detected when any of the job's sessions is
+// reported).
+func (e *Env) Table6(fw logging.Framework) (DetectionRow, []LabeledJob) {
+	m := e.Model(fw)
+	jobs := e.DetectionCorpus(fw)
+	row := DetectionRow{System: string(fw), MinSessions: 1 << 30, MinLen: 1 << 30}
+	for _, j := range jobs {
+		ns := len(j.Res.Sessions)
+		row.MinSessions = minInt(row.MinSessions, ns)
+		row.MaxSessions = maxInt(row.MaxSessions, ns)
+		for _, s := range j.Res.Sessions {
+			row.MinLen = minInt(row.MinLen, s.Len())
+			row.MaxLen = maxInt(row.MaxLen, s.Len())
+		}
+		flagged := len(m.Detect(j.Res.Sessions).Anomalies) > 0
+		switch j.Class {
+		case ClassInjected:
+			if flagged {
+				row.Detected++
+			} else {
+				row.FN++
+			}
+		case ClassUnexpected:
+			if flagged {
+				row.PB++
+			}
+		case ClassClean:
+			if flagged {
+				row.FP++
+			}
+		}
+	}
+	return row, jobs
+}
+
+// FormatTable6 renders rows like the paper's Table 6.
+func FormatTable6(rows []DetectionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %14s %18s\n", "System", "sessions", "session len", "D / FP / FN / (P/B)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %5d~%-6d %6d~%-7d %5d / %d / %d / (%d)\n",
+			r.System, r.MinSessions, r.MaxSessions, r.MinLen, r.MaxLen,
+			r.Detected, r.FP, r.FN, r.PB)
+	}
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/core"
+	"intellog/internal/logging"
+	"intellog/internal/sim"
+)
+
+// TFExtensionResult summarises the §9 future-work experiment: IntelLog
+// applied, unchanged, to a distributed machine-learning system.
+type TFExtensionResult struct {
+	IntelKeys     int
+	Groups        int
+	CritGroups    int
+	KillDetected  bool
+	NetDetected   bool
+	StallDetected bool
+	CleanFP       int
+	CleanJobs     int
+}
+
+// TensorFlowExtension trains IntelLog on simulated distributed-TensorFlow
+// jobs (parameter servers + workers) and checks that the same pipeline —
+// no code changes, only the log formatter — reconstructs the training
+// workflow and detects worker kills, parameter-server connectivity
+// failures and input-pipeline stalls.
+func (e *Env) TensorFlowExtension(trainJobs int) TFExtensionResult {
+	if trainJobs <= 0 {
+		trainJobs = 12
+	}
+	sessions := e.Gen.TrainingCorpus(logging.TensorFlow, trainJobs)
+	m := core.Train(sessions, core.Config{})
+
+	res := TFExtensionResult{
+		IntelKeys:  len(m.Keys),
+		Groups:     len(m.Graph.Nodes),
+		CritGroups: len(m.Graph.CriticalGroups()),
+	}
+	detected := func(fault sim.FaultKind) bool {
+		job := e.Gen.Submit(logging.TensorFlow, fault)
+		return len(m.Detect(job.Sessions).Anomalies) > 0
+	}
+	res.KillDetected = detected(sim.FaultKill)
+	res.NetDetected = detected(sim.FaultNetwork)
+	res.StallDetected = detected(sim.FaultSpill)
+	res.CleanJobs = 4
+	for i := 0; i < res.CleanJobs; i++ {
+		if detected(sim.FaultNone) {
+			res.CleanFP++
+		}
+	}
+	return res
+}
+
+// Format renders the extension result.
+func (r TFExtensionResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TensorFlow extension (§9 future work):\n")
+	fmt.Fprintf(&b, "  Intel Keys: %d, entity groups: %d (%d critical)\n",
+		r.IntelKeys, r.Groups, r.CritGroups)
+	fmt.Fprintf(&b, "  worker kill detected: %v\n", r.KillDetected)
+	fmt.Fprintf(&b, "  parameter-server connectivity failure detected: %v\n", r.NetDetected)
+	fmt.Fprintf(&b, "  input-pipeline stall detected: %v\n", r.StallDetected)
+	fmt.Fprintf(&b, "  clean-job false positives: %d/%d\n", r.CleanFP, r.CleanJobs)
+	return b.String()
+}

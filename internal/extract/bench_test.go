@@ -1,0 +1,43 @@
+package extract
+
+import (
+	"testing"
+	"time"
+
+	"intellog/internal/nlp"
+	"intellog/internal/spell"
+)
+
+func benchKey(b *testing.B) *spell.Key {
+	b.Helper()
+	p := spell.NewParser(0)
+	var k *spell.Key
+	for _, m := range []string{
+		"Finished task 1.0 in stage 1.0 (TID 4). 1109 bytes result sent to driver",
+		"Finished task 3.0 in stage 1.0 (TID 7). 1401 bytes result sent to driver",
+	} {
+		k = p.Consume(nlp.Texts(nlp.Tokenize(m)))
+	}
+	return k
+}
+
+func BenchmarkBuildIntelKey(b *testing.B) {
+	k := benchKey(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildIntelKey(k)
+	}
+}
+
+func BenchmarkBind(b *testing.B) {
+	ik := BuildIntelKey(benchKey(b))
+	raw := "Finished task 9.0 in stage 2.0 (TID 55). 1200 bytes result sent to driver"
+	toks := nlp.Tokenize(raw)
+	ts := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Bind(ik, toks, ts, "c1", raw)
+	}
+}

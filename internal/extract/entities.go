@@ -1,0 +1,166 @@
+package extract
+
+import (
+	"strings"
+
+	"intellog/internal/nlp"
+)
+
+// entityPatterns are the Table 2 POS patterns. 'N' matches any of the four
+// noun tags, 'J' an adjective, 'I' a preposition. Longer patterns are
+// preferred, so order within a length class does not matter.
+var entityPatterns = [][]byte{
+	{'J', 'J', 'N'},
+	{'J', 'N', 'N'},
+	{'N', 'J', 'N'},
+	{'N', 'N', 'N'},
+	{'N', 'I', 'N'},
+	{'J', 'N'},
+	{'N', 'N'},
+	{'N'},
+}
+
+// patternClass maps a POS tag to the pattern alphabet, or 0 if the tag
+// cannot participate in an entity phrase.
+func patternClass(tag string) byte {
+	switch {
+	case nlp.IsNoun(tag):
+		return 'N'
+	case tag == nlp.TagJJ:
+		return 'J'
+	case tag == nlp.TagIN:
+		return 'I'
+	}
+	return 0
+}
+
+// isEnumConstant reports whether tokens[i] is an all-caps enum value
+// ("INITED", "RUNNING", "TERM") rather than an entity word. All-caps
+// labels that introduce an identifier ("TID 4") stay entity-eligible.
+func isEnumConstant(tokens []nlp.Token, i int) bool {
+	text := tokens[i].Text
+	if len(text) < 2 || strings.ToUpper(text) != text || !isAlpha(text) {
+		return false
+	}
+	for j := i + 1; j < len(tokens); j++ {
+		t := tokens[j]
+		if t.Tag == nlp.TagSYM && t.Text != "*" {
+			continue
+		}
+		// A following number, wildcard or identifier marks a label.
+		if t.Tag == nlp.TagCD || t.Text == "*" || identifierShaped(t.Text) {
+			return false
+		}
+		break
+	}
+	return true
+}
+
+// entityToken is one candidate token for phrase matching after camel-case
+// expansion.
+type entityToken struct {
+	word  string // lower-cased surface word (camel parts split)
+	class byte   // pattern alphabet class
+	src   int    // index of the originating key token
+}
+
+// ExtractEntities runs the POS-pattern matcher of §3.1 over a tagged key.
+// skip marks token positions to exclude (variable fields and localities).
+// Camel-case words are split into their component words first; extracted
+// phrases are lemmatized to singular form. The returned phrases are in
+// first-occurrence order, deduplicated; srcOf maps each key-token index to
+// the phrase extracted from it ("" if none).
+func ExtractEntities(tokens []nlp.Token, skip map[int]bool) (phrases []string, srcOf map[int]string) {
+	// Build the candidate stream: constant word tokens only, camel words
+	// expanded, units attached to numbers dropped.
+	var stream []entityToken
+	brk := func(i int) { stream = append(stream, entityToken{class: 0, src: i}) }
+	for i, t := range tokens {
+		if skip[i] || t.Tag == nlp.TagSYM || t.Text == "*" {
+			// Skipped fields break phrase adjacency: "task 1.0 in stage"
+			// must not yield the phrase "task in stage".
+			brk(i)
+			continue
+		}
+		if IsUnit(t.Text) && i > 0 && (tokens[i-1].Tag == nlp.TagCD || tokens[i-1].Text == "*" || skip[i-1]) {
+			brk(i)
+			continue // "2264 bytes": the unit is part of a value, not an entity
+		}
+		if isEnumConstant(tokens, i) {
+			brk(i) // state names like INITED, RUNNING are enum values
+			continue
+		}
+		if nlp.IsCamel(t.Text) {
+			for _, part := range nlp.SplitCamel(t.Text) {
+				stream = append(stream, entityToken{word: part, class: 'N', src: i})
+			}
+			continue
+		}
+		c := patternClass(t.Tag)
+		if c == 0 {
+			brk(i) // a non-entity tag breaks phrase adjacency
+			continue
+		}
+		stream = append(stream, entityToken{word: strings.ToLower(t.Text), class: c, src: i})
+	}
+
+	seen := map[string]bool{}
+	srcOf = map[int]string{}
+	i := 0
+	for i < len(stream) {
+		if stream[i].class == 0 {
+			i++
+			continue
+		}
+		matched := false
+		for _, pat := range entityPatterns {
+			if i+len(pat) > len(stream) {
+				continue
+			}
+			ok := true
+			for j, cls := range pat {
+				if stream[i+j].class != cls {
+					ok = false
+					break
+				}
+				// The noun-preposition-noun pattern is only reliable for
+				// 'of' ("output of map"); other prepositions over-capture
+				// ("tokens for job"), the over-matching §7 warns about.
+				if cls == 'I' && stream[i+j].word != "of" {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// A phrase must end on a noun (all patterns do) and a one-word
+			// match must be a noun, which pattern {'N'} guarantees.
+			words := make([]string, len(pat))
+			for j := range pat {
+				w := stream[i+j].word
+				if j == len(pat)-1 {
+					w = nlp.Lemma(w, nlp.TagNNS) // lemmatize the head
+				}
+				words[j] = w
+			}
+			phrase := strings.Join(words, " ")
+			if !seen[phrase] {
+				seen[phrase] = true
+				phrases = append(phrases, phrase)
+			}
+			for j := range pat {
+				if _, have := srcOf[stream[i+j].src]; !have {
+					srcOf[stream[i+j].src] = phrase
+				}
+			}
+			i += len(pat)
+			matched = true
+			break
+		}
+		if !matched {
+			i++
+		}
+	}
+	return phrases, srcOf
+}

@@ -1,0 +1,33 @@
+package extract_test
+
+import (
+	"fmt"
+
+	"intellog/internal/extract"
+	"intellog/internal/nlp"
+	"intellog/internal/spell"
+)
+
+// The Fig. 4 flow: a Spark task-finish log key becomes an Intel Key with
+// entities, typed identifiers, values and operations.
+func ExampleBuildIntelKey() {
+	p := spell.NewParser(0)
+	var k *spell.Key
+	for _, m := range []string{
+		"Finished task 1.0 in stage 1.0 (TID 4). 1109 bytes result sent to driver",
+		"Finished task 3.0 in stage 1.0 (TID 7). 1401 bytes result sent to driver",
+	} {
+		k = p.Consume(nlp.Texts(nlp.Tokenize(m)))
+	}
+	ik := extract.BuildIntelKey(k)
+	fmt.Println("entities:", ik.Entities)
+	fmt.Println("identifier types:", ik.IdentifierTypes())
+	for _, op := range ik.Operations {
+		fmt.Println("operation:", op)
+	}
+	// Output:
+	// entities: [task stage tid result driver]
+	// identifier types: [TASK STAGE TID]
+	// operation: {, finish, task}
+	// operation: {result, send, driver}
+}

@@ -1,0 +1,202 @@
+package extract
+
+import (
+	"strings"
+	"unicode"
+
+	"intellog/internal/nlp"
+)
+
+// units recognised by the value heuristic (§3.1: "we categorize a field as
+// a value if it is followed by a unit, such as '12 MB' and '5 ms'").
+var units = map[string]bool{
+	"b": true, "kb": true, "mb": true, "gb": true, "tb": true, "pb": true,
+	"kib": true, "mib": true, "gib": true,
+	"byte": true, "bytes": true, "bit": true, "bits": true,
+	"ms": true, "s": true, "sec": true, "secs": true, "us": true, "ns": true,
+	"second": true, "seconds": true, "millisecond": true, "milliseconds": true,
+	"minute": true, "minutes": true, "hour": true, "hours": true,
+	"record": true, "records": true, "row": true, "rows": true,
+	"segment": true, "segments": true, "core": true, "cores": true,
+	"slot": true, "slots": true, "%": true, "percent": true,
+}
+
+// IsUnit reports whether tok is a measurement unit word.
+func IsUnit(tok string) bool { return units[strings.ToLower(tok)] }
+
+// LocalityClass classifies a token per the locality patterns of §3.1:
+// host names, IP addresses and ports, local directory paths, and
+// distributed-filesystem paths. It returns the class name and true, or
+// "" and false.
+func LocalityClass(tok string) (string, bool) {
+	switch {
+	case strings.Contains(tok, "://"):
+		return "URI", true
+	case strings.HasPrefix(tok, "/"):
+		return "PATH", true
+	case isAddr(tok):
+		return "ADDR", true
+	case isHostName(tok):
+		return "HOST", true
+	}
+	return "", false
+}
+
+// isAddr reports whether tok is "host:port" or "ip:port" or a bare IPv4.
+func isAddr(tok string) bool {
+	if isIPv4(tok) {
+		return true
+	}
+	i := strings.LastIndexByte(tok, ':')
+	if i <= 0 || i == len(tok)-1 {
+		return false
+	}
+	port := tok[i+1:]
+	if !allDigits(port) {
+		return false
+	}
+	host := tok[:i]
+	return isIPv4(host) || isHostName(host)
+}
+
+// isHostName matches the simulator's and common clusters' node naming:
+// letters followed by digits, possibly dotted ("host1", "node07",
+// "worker3.cluster.local"). A single dictionary word is not a host.
+func isHostName(tok string) bool {
+	if tok == "" || !unicode.IsLetter(rune(tok[0])) {
+		return false
+	}
+	hasDigitRune := false
+	for _, r := range tok {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '-' && r != '.' {
+			return false
+		}
+		if unicode.IsDigit(r) {
+			hasDigitRune = true
+		}
+	}
+	// Dotted names ("nn.example.com") or letter+digit names ("host1").
+	return strings.Contains(tok, ".") && !allDigits(strings.ReplaceAll(tok, ".", "")) || hasDigitRune
+}
+
+func isIPv4(tok string) bool {
+	parts := strings.Split(tok, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 3 || !allDigits(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// identifierShaped reports whether tok mixes letters with digits or
+// identifier punctuation ('attempt_01', 'fetcher#1', 'broadcast_7') —
+// heuristic 3 of §3.1.
+func identifierShaped(tok string) bool {
+	hasLetterRune := false
+	hasDigitOrSep := false
+	for _, r := range tok {
+		switch {
+		case unicode.IsLetter(r):
+			hasLetterRune = true
+		case unicode.IsDigit(r) || r == '_' || r == '#':
+			hasDigitOrSep = true
+		}
+	}
+	return hasLetterRune && hasDigitOrSep && !strings.Contains(tok, "://") && !strings.HasPrefix(tok, "/")
+}
+
+// numericValued reports whether tok is a pure number (possibly decimal,
+// comma-grouped or percent) or a number with an attached unit ("4ms",
+// "366.3MB").
+func numericValued(tok string) (num string, unit string, ok bool) {
+	i := 0
+	digits := 0
+	for i < len(tok) {
+		c := tok[i]
+		if c >= '0' && c <= '9' {
+			digits++
+			i++
+			continue
+		}
+		if c == '.' || c == ',' || (i == 0 && (c == '-' || c == '+')) {
+			i++
+			continue
+		}
+		break
+	}
+	if digits == 0 {
+		return "", "", false
+	}
+	num, unit = tok[:i], tok[i:]
+	if unit == "" || IsUnit(unit) {
+		return num, strings.ToLower(unit), true
+	}
+	return "", "", false
+}
+
+// IdentifierType derives the capitalized identifier type of §4.1
+// ("'container_01' and 'container_02' have a type of 'CONTAINER'").
+// prevWord is the word preceding the field, used for numeric identifiers
+// ("task 4" → TASK). Returns "" when no type can be derived.
+func IdentifierType(tok, prevWord string) string {
+	// Alphabetic prefix before '_' or '#': container_01 → CONTAINER.
+	for _, sep := range []byte{'_', '#'} {
+		if i := strings.IndexByte(tok, sep); i > 0 {
+			prefix := tok[:i]
+			if isAlpha(prefix) {
+				return normalizeType(prefix)
+			}
+		}
+	}
+	if identifierShaped(tok) {
+		// Mixed letters/digits without separator: strip trailing digits
+		// ("executor3" → EXECUTOR). If nothing alphabetic remains, fall
+		// through to the previous word.
+		trimmed := strings.TrimRight(tok, "0123456789.")
+		if isAlpha(trimmed) && trimmed != "" {
+			return normalizeType(trimmed)
+		}
+	}
+	if prevWord != "" && isAlpha(prevWord) {
+		return normalizeType(prevWord)
+	}
+	return ""
+}
+
+// normalizeType maps a word to its identifier type: camel-case names keep
+// their last component's stem ("BlockManagerId" → ID is unhelpful, so the
+// full phrase is collapsed), plain words upper-case their lemma.
+func normalizeType(w string) string {
+	if nlp.IsCamel(w) {
+		return strings.ToUpper(strings.Join(nlp.SplitCamel(w), ""))
+	}
+	return strings.ToUpper(nlp.Lemma(w, nlp.TagNN))
+}
+
+func isAlpha(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return true
+}

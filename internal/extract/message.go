@@ -1,0 +1,107 @@
+package extract
+
+import (
+	"sort"
+	"time"
+
+	"intellog/internal/nlp"
+	"intellog/internal/spell"
+)
+
+// Message is an Intel Message (§3.3): a log message matched to an Intel
+// Key with every variable field bound. It is a key-value structure that
+// serialises naturally to JSON and time-series stores.
+type Message struct {
+	// KeyID is the Intel Key this message matched.
+	KeyID int `json:"keyId"`
+	// Time is the log timestamp.
+	Time time.Time `json:"time"`
+	// Session is the YARN container (session) ID.
+	Session string `json:"session,omitempty"`
+	// Raw is the original message text.
+	Raw string `json:"raw"`
+	// Entities copies the key's entity phrases.
+	Entities []string `json:"entities,omitempty"`
+	// Identifiers maps identifier type → observed values, e.g.
+	// {"FETCHER": ["fetcher#1"], "ATTEMPT": ["attempt_01"]}.
+	Identifiers map[string][]string `json:"identifiers,omitempty"`
+	// Values maps unit (or "" for unitless) → numeric literals.
+	Values map[string][]string `json:"values,omitempty"`
+	// Localities maps locality class → tokens, e.g. {"ADDR": ["host1:13562"]}.
+	Localities map[string][]string `json:"localities,omitempty"`
+	// Operations copies the key's operations.
+	Operations []Operation `json:"operations,omitempty"`
+}
+
+// IdentifierSet returns the sorted set of all identifier values in the
+// message — the log.Sv of Algorithm 2.
+func (m *Message) IdentifierSet() []string {
+	var out []string
+	for _, vals := range m.Identifiers {
+		out = append(out, vals...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind matches a tokenized log message against an Intel Key and produces
+// the Intel Message. Token counts must align positionally with the key
+// (the spell.Parser guarantees this for looked-up keys).
+func Bind(key *IntelKey, tokens []nlp.Token, ts time.Time, session, raw string) *Message {
+	m := &Message{
+		KeyID:       key.ID,
+		Time:        ts,
+		Session:     session,
+		Raw:         raw,
+		Entities:    key.Entities,
+		Operations:  key.Operations,
+		Identifiers: map[string][]string{},
+		Values:      map[string][]string{},
+		Localities:  map[string][]string{},
+	}
+	for _, slot := range key.Slots {
+		if slot.Pos >= len(tokens) {
+			continue
+		}
+		tok := tokens[slot.Pos].Text
+		switch slot.Kind {
+		case SlotIdentifier:
+			typ := slot.Type
+			if typ == "" {
+				typ = "ID"
+			}
+			m.Identifiers[typ] = append(m.Identifiers[typ], tok)
+		case SlotValue:
+			num, unit, ok := numericValued(tok)
+			if !ok {
+				num, unit = tok, slot.Type
+			}
+			if unit == "" {
+				unit = slot.Type
+			}
+			m.Values[unit] = append(m.Values[unit], num)
+		case SlotLocality:
+			m.Localities[slot.Type] = append(m.Localities[slot.Type], tok)
+		}
+	}
+	return m
+}
+
+// BindRaw tokenizes raw message text and binds it to the key.
+func BindRaw(key *IntelKey, ts time.Time, session, raw string) *Message {
+	return Bind(key, nlp.Tokenize(raw), ts, session, raw)
+}
+
+// Matches reports whether a tokenized message positionally matches the
+// Intel Key's log key.
+func Matches(key *IntelKey, tokens []nlp.Token) bool {
+	if len(tokens) != len(key.Tokens) {
+		return false
+	}
+	for i, kt := range key.Tokens {
+		if kt != spell.Wildcard && kt != tokens[i].Text {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package extract
+
+import (
+	"strings"
+
+	"intellog/internal/nlp"
+)
+
+// ExtractOperations turns the dependency parse of a sample message into
+// the {subj-entity, predicate, obj-entity} tuples of §3.2. srcOf maps
+// token indices to extracted entity phrases so arguments resolve to entity
+// names; identifier-shaped and locality arguments resolve through their
+// type ("fetcher#1" → "fetcher").
+func ExtractOperations(parse nlp.Parse, srcOf map[int]string) []Operation {
+	var ops []Operation
+	for _, root := range parse.Roots {
+		pred := nlp.Lemma(parse.Tokens[root].Text, parse.Tokens[root].Tag)
+		op := Operation{Predicate: pred}
+		// Objects by preference: a direct object outranks an indirect
+		// object, which outranks a nominal modifier.
+		var dobj, iobj, nmod string
+		for _, arc := range parse.ArcsFor(root) {
+			arg := argumentEntity(parse.Tokens, arc.Dep, srcOf)
+			switch arc.Rel {
+			case nlp.RelNsubj, nlp.RelNsubjPass:
+				if op.Subject == "" {
+					op.Subject = arg
+				}
+			case nlp.RelDobj:
+				if dobj == "" {
+					dobj = arg
+				}
+			case nlp.RelIobj:
+				if iobj == "" {
+					iobj = arg
+				}
+			case nlp.RelNmod:
+				if nmod == "" {
+					nmod = arg
+				}
+			case nlp.RelXcomp:
+				// Chained predicate: emit a second operation sharing the
+				// subject.
+				x := Operation{
+					Subject:   op.Subject,
+					Predicate: nlp.Lemma(parse.Tokens[arc.Dep].Text, parse.Tokens[arc.Dep].Tag),
+				}
+				ops = append(ops, x)
+			}
+		}
+		switch {
+		case dobj != "":
+			op.Object = dobj
+		case iobj != "":
+			op.Object = iobj
+		default:
+			op.Object = nmod
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// argumentEntity maps an argument token to an entity-like name.
+func argumentEntity(tokens []nlp.Token, idx int, srcOf map[int]string) string {
+	if phrase, ok := srcOf[idx]; ok && phrase != "" {
+		return phrase
+	}
+	text := tokens[idx].Text
+	if cls, ok := LocalityClass(text); ok {
+		return strings.ToLower(cls)
+	}
+	if t := IdentifierType(text, prevWordOf(tokens, idx)); t != "" {
+		return strings.ToLower(t)
+	}
+	if tokens[idx].Tag == nlp.TagCD {
+		return ""
+	}
+	if nlp.IsCamel(text) {
+		return nlp.CamelPhrase(text)
+	}
+	return nlp.Lemma(text, tokens[idx].Tag)
+}
+
+// prevWordOf returns the alphabetic word immediately before idx, skipping
+// punctuation, or "".
+func prevWordOf(tokens []nlp.Token, idx int) string {
+	for j := idx - 1; j >= 0; j-- {
+		if tokens[j].Tag == nlp.TagSYM {
+			continue
+		}
+		if isAlpha(tokens[j].Text) {
+			return tokens[j].Text
+		}
+		return ""
+	}
+	return ""
+}

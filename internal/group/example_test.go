@@ -1,0 +1,31 @@
+package group_test
+
+import (
+	"fmt"
+
+	"intellog/internal/group"
+)
+
+// The paper's motivating example: block-related entities share the
+// sub-phrase "block" and group together, while "security manager" shares
+// only the general-meaning suffix "manager" with "block manager" and is
+// kept apart (Algorithm 1's last-words rule).
+func ExampleBuild() {
+	g := group.Build([]string{
+		"block", "block manager", "block manager endpoint", "security manager",
+	})
+	for _, gr := range g.List {
+		fmt.Println(gr.Name, "->", gr.Entities)
+	}
+	// Output:
+	// block -> [block block manager block manager endpoint]
+	// security manager -> [security manager]
+}
+
+func ExampleLongestCommonPhrase() {
+	fmt.Println(group.LongestCommonPhrase("block manager", "block manager endpoint"))
+	fmt.Println(group.LongestCommonPhrase("block manager", "security manager") == "")
+	// Output:
+	// block manager
+	// true
+}

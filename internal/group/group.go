@@ -1,0 +1,217 @@
+// Package group implements Algorithm 1 of the paper: nomenclature-based
+// entity grouping. Correlated entities usually share a common sub-phrase
+// in their names ("block", "block manager", "block manager endpoint");
+// entities that share only their last few words ("block manager" vs
+// "security manager") have general-meaning suffixes and are not grouped.
+package group
+
+import (
+	"sort"
+	"strings"
+)
+
+// Group is one entity group: a name (the shared sub-phrase, which shrinks
+// toward the common core as members join) and its member entities.
+type Group struct {
+	Name     string
+	Entities []string
+}
+
+// Groups is the result of Build: the ordered group list plus the reverse
+// index from entity to group names (the D_r of Algorithm 1).
+type Groups struct {
+	List     []*Group
+	ByEntity map[string][]string
+}
+
+// Names returns the group names in creation order.
+func (g *Groups) Names() []string {
+	out := make([]string, len(g.List))
+	for i, gr := range g.List {
+		out[i] = gr.Name
+	}
+	return out
+}
+
+// Find returns the group with the given name, or nil.
+func (g *Groups) Find(name string) *Group {
+	for _, gr := range g.List {
+		if gr.Name == name {
+			return gr
+		}
+	}
+	return nil
+}
+
+// GroupsOf returns the group names an entity belongs to.
+func (g *Groups) GroupsOf(entity string) []string { return g.ByEntity[entity] }
+
+// Options tunes Algorithm 1 for ablation studies.
+type Options struct {
+	// DisableLastWordsRule turns off the shared-suffix rejection, grouping
+	// any entities with a common sub-phrase ("block manager" with
+	// "security manager").
+	DisableLastWordsRule bool
+}
+
+// Build runs Algorithm 1 over the extracted entities. Entities are
+// processed in ascending word-count order (the algorithm's input
+// contract); each entity joins every group it shares an admissible common
+// phrase with, or founds a new group.
+func Build(entities []string) *Groups { return BuildWithOptions(entities, Options{}) }
+
+// BuildWithOptions is Build with ablation switches.
+func BuildWithOptions(entities []string, opts Options) *Groups {
+	uniq := dedup(entities)
+	sort.SliceStable(uniq, func(i, j int) bool {
+		wi, wj := len(strings.Fields(uniq[i])), len(strings.Fields(uniq[j]))
+		if wi != wj {
+			return wi < wj
+		}
+		return uniq[i] < uniq[j]
+	})
+
+	g := &Groups{ByEntity: map[string][]string{}}
+	for _, e := range uniq {
+		grouped := false
+		for _, gr := range g.List {
+			com := longestCommonPhrase(gr.Name, e, opts)
+			if com == "" {
+				continue
+			}
+			gr.Entities = append(gr.Entities, e)
+			gr.Name = com
+			grouped = true
+		}
+		if !grouped {
+			g.List = append(g.List, &Group{Name: e, Entities: []string{e}})
+		}
+	}
+	// Merge groups whose names collapsed to the same phrase.
+	g.List = mergeSameName(g.List)
+	// Reverse index.
+	for _, gr := range g.List {
+		sort.Strings(gr.Entities)
+		gr.Entities = dedup(gr.Entities)
+		for _, e := range gr.Entities {
+			g.ByEntity[e] = append(g.ByEntity[e], gr.Name)
+		}
+	}
+	return g
+}
+
+// mergeSameName merges groups that converged to identical names,
+// preserving first-appearance order.
+func mergeSameName(list []*Group) []*Group {
+	index := map[string]*Group{}
+	var out []*Group
+	for _, gr := range list {
+		if have, ok := index[gr.Name]; ok {
+			have.Entities = append(have.Entities, gr.Entities...)
+			continue
+		}
+		index[gr.Name] = gr
+		out = append(out, gr)
+	}
+	return out
+}
+
+// LongestCommonPhrase implements the helper of Algorithm 1 at word
+// granularity. It returns the longest common contiguous word sub-phrase
+// of g and e, or "" when the phrases are not correlated:
+//
+//   - if either phrase has one word, the common phrase is that word when
+//     it occurs in the other phrase (one-word phrases are part of the
+//     multi-word phrase, hence correlated);
+//   - if two multi-word phrases share only their last few words
+//     ("block manager" / "security manager" share "manager"), the shared
+//     suffix has a general meaning and the phrases are not correlated —
+//     unless one phrase wholly contains the other.
+func LongestCommonPhrase(g, e string) string {
+	return longestCommonPhrase(g, e, Options{})
+}
+
+func longestCommonPhrase(g, e string, opts Options) string {
+	gw, ew := strings.Fields(g), strings.Fields(e)
+	if len(gw) == 0 || len(ew) == 0 {
+		return ""
+	}
+	com := longestCommonRun(gw, ew)
+	if len(com) == 0 {
+		return ""
+	}
+	if len(gw) == 1 || len(ew) == 1 {
+		return strings.Join(com, " ")
+	}
+	// Containment trumps the last-words rule: "temporary folder" within
+	// "cleanup temporary folder" is a genuine correlation.
+	if len(com) == len(gw) || len(com) == len(ew) {
+		return strings.Join(com, " ")
+	}
+	// The last word of a compound is its general-meaning head ("manager",
+	// "file", "output"): a common run that is the suffix of either phrase
+	// signals head-sharing, not correlation ("security manager" vs "block
+	// manager endpoint" share only "manager").
+	if !opts.DisableLastWordsRule && (isSuffix(com, gw) || isSuffix(com, ew)) {
+		return ""
+	}
+	return strings.Join(com, " ")
+}
+
+// longestCommonRun returns the longest common contiguous word run of a
+// and b (leftmost in a on ties).
+func longestCommonRun(a, b []string) []string {
+	best := 0
+	bestEnd := 0
+	// dp[j] = length of common run ending at a[i-1], b[j-1].
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+					bestEnd = i
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	return a[bestEnd-best : bestEnd]
+}
+
+// isSuffix reports whether run is a suffix of words.
+func isSuffix(run, words []string) bool {
+	if len(run) > len(words) {
+		return false
+	}
+	off := len(words) - len(run)
+	for i, w := range run {
+		if words[off+i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package group
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLongestCommonPhrase(t *testing.T) {
+	cases := []struct{ g, e, want string }{
+		// One-word phrases are correlated with phrases containing them.
+		{"block", "block manager", "block"},
+		{"manager", "block manager", "manager"},
+		{"task", "output", ""},
+		// The paper's motivating example: shared suffix → not correlated.
+		{"block manager", "security manager", ""},
+		{"map output", "task output", ""},
+		// Shared prefix → correlated.
+		{"block manager", "block manager endpoint", "block manager"},
+		// Containment trumps the last-words rule.
+		{"temporary folder", "cleanup temporary folder", "temporary folder"},
+		// Disjoint.
+		{"block manager", "task attempt", ""},
+		{"", "block", ""},
+	}
+	for _, c := range cases {
+		if got := LongestCommonPhrase(c.g, c.e); got != c.want {
+			t.Errorf("LongestCommonPhrase(%q, %q) = %q, want %q", c.g, c.e, got, c.want)
+		}
+	}
+}
+
+func TestBuildSparkLikeEntities(t *testing.T) {
+	entities := []string{
+		"block", "block manager", "block manager endpoint",
+		"security manager", "task", "task attempt",
+		"memory", "memory store", "shuffle memory",
+		"driver",
+	}
+	g := Build(entities)
+
+	blockGroup := findGroupContaining(g, "block manager endpoint")
+	if blockGroup == nil {
+		t.Fatal("no group contains 'block manager endpoint'")
+	}
+	if blockGroup.Name != "block" {
+		t.Errorf("block group name = %q, want 'block' (shrunk to core)", blockGroup.Name)
+	}
+	if !contains(blockGroup.Entities, "block") || !contains(blockGroup.Entities, "block manager") {
+		t.Errorf("block group = %v", blockGroup.Entities)
+	}
+	if contains(blockGroup.Entities, "security manager") {
+		t.Errorf("'security manager' grouped with block: %v", blockGroup.Entities)
+	}
+
+	taskGroup := findGroupContaining(g, "task attempt")
+	if taskGroup == nil || !contains(taskGroup.Entities, "task") {
+		t.Fatalf("task group wrong: %+v", taskGroup)
+	}
+
+	memGroup := findGroupContaining(g, "memory store")
+	if memGroup == nil || !contains(memGroup.Entities, "memory") {
+		t.Fatalf("memory group wrong: %+v", memGroup)
+	}
+	if !contains(memGroup.Entities, "shuffle memory") {
+		t.Errorf("'shuffle memory' should join memory group (contains 'memory'): %v", memGroup.Entities)
+	}
+
+	if findGroupContaining(g, "driver") == nil {
+		t.Error("singleton 'driver' lost")
+	}
+}
+
+func TestBuildReverseIndex(t *testing.T) {
+	g := Build([]string{"block", "block manager", "driver"})
+	if got := g.GroupsOf("block manager"); len(got) != 1 || got[0] != "block" {
+		t.Errorf("GroupsOf(block manager) = %v", got)
+	}
+	if got := g.GroupsOf("driver"); len(got) != 1 || got[0] != "driver" {
+		t.Errorf("GroupsOf(driver) = %v", got)
+	}
+	if got := g.GroupsOf("nonexistent"); got != nil {
+		t.Errorf("GroupsOf(nonexistent) = %v", got)
+	}
+}
+
+func TestBuildDeduplicates(t *testing.T) {
+	g := Build([]string{"task", "task", "task attempt", ""})
+	gr := findGroupContaining(g, "task")
+	if gr == nil {
+		t.Fatal("no task group")
+	}
+	count := 0
+	for _, e := range gr.Entities {
+		if e == "task" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("'task' appears %d times", count)
+	}
+}
+
+func TestFindAndNames(t *testing.T) {
+	g := Build([]string{"block", "driver"})
+	if g.Find("block") == nil || g.Find("bogus") != nil {
+		t.Error("Find wrong")
+	}
+	names := g.Names()
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"block", "driver"}) {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+// Property: every input entity lands in at least one group, and every
+// group's name is a sub-phrase of (or equals) each member's words set
+// relation is too strong after shrinking — instead check the name is
+// non-empty and each member contains at least one of the name's words or
+// founded the group.
+func TestPropertyAllEntitiesGrouped(t *testing.T) {
+	words := []string{"block", "manager", "task", "memory", "store", "output"}
+	f := func(picks []uint8) bool {
+		var entities []string
+		for i := 0; i+1 < len(picks) && i < 10; i += 2 {
+			a := words[int(picks[i])%len(words)]
+			b := words[int(picks[i+1])%len(words)]
+			if a == b {
+				entities = append(entities, a)
+			} else {
+				entities = append(entities, a+" "+b)
+			}
+		}
+		g := Build(entities)
+		for _, e := range entities {
+			if e != "" && len(g.GroupsOf(e)) == 0 {
+				return false
+			}
+		}
+		for _, gr := range g.List {
+			if gr.Name == "" || len(gr.Entities) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LongestCommonPhrase is symmetric in emptiness — if it returns
+// "" one way for two multi-word phrases, the reverse is "" too.
+func TestPropertyLCPSymmetricEmptiness(t *testing.T) {
+	phrases := []string{"block manager", "security manager", "block manager endpoint", "map output", "task output", "shuffle memory"}
+	for _, a := range phrases {
+		for _, b := range phrases {
+			x, y := LongestCommonPhrase(a, b), LongestCommonPhrase(b, a)
+			if (x == "") != (y == "") {
+				t.Errorf("LCP(%q,%q)=%q but LCP(%q,%q)=%q", a, b, x, b, a, y)
+			}
+		}
+	}
+}
+
+func findGroupContaining(g *Groups, entity string) *Group {
+	for _, gr := range g.List {
+		if contains(gr.Entities, entity) {
+			return gr
+		}
+	}
+	return nil
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package hwgraph
+
+import (
+	"sort"
+
+	"intellog/internal/extract"
+	"intellog/internal/group"
+)
+
+// MiscGroup collects Intel Keys that extracted no entities; they still
+// participate in detection (unexpected-message matching) but carry no
+// nomenclature signal.
+const MiscGroup = "(misc)"
+
+// Builder accumulates training sessions and produces the HW-graph.
+type Builder struct {
+	// Keys maps Intel Key ID → key.
+	Keys map[int]*extract.IntelKey
+	// Groups is the Algorithm 1 entity grouping.
+	Groups *group.Groups
+	// KeyGroups maps Intel Key ID → the entity groups it belongs to.
+	KeyGroups map[int][]string
+
+	subs          map[string]map[string]*Subroutine // group → signature → subroutine
+	rels          *relTracker
+	groupSessions map[string]int
+	groupKeys     map[string]map[int]bool
+	multiPerSess  map[string]bool // group had a key with >1 message in one session
+	sessions      int
+}
+
+// NewBuilder indexes the Intel Keys, builds the entity grouping from
+// their entities, and prepares per-group state.
+func NewBuilder(keys []*extract.IntelKey) *Builder {
+	b := &Builder{
+		Keys:          map[int]*extract.IntelKey{},
+		KeyGroups:     map[int][]string{},
+		subs:          map[string]map[string]*Subroutine{},
+		rels:          newRelTracker(),
+		groupSessions: map[string]int{},
+		groupKeys:     map[string]map[int]bool{},
+		multiPerSess:  map[string]bool{},
+	}
+	var entities []string
+	for _, k := range keys {
+		b.Keys[k.ID] = k
+		entities = append(entities, k.Entities...)
+	}
+	b.Groups = group.Build(entities)
+	for _, k := range keys {
+		groups := map[string]bool{}
+		for _, e := range k.Entities {
+			for _, g := range b.Groups.GroupsOf(e) {
+				groups[g] = true
+			}
+		}
+		if len(groups) == 0 {
+			groups[MiscGroup] = true
+		}
+		names := make([]string, 0, len(groups))
+		for g := range groups {
+			names = append(names, g)
+		}
+		sort.Strings(names)
+		b.KeyGroups[k.ID] = names
+		for _, g := range names {
+			if b.groupKeys[g] == nil {
+				b.groupKeys[g] = map[int]bool{}
+			}
+			b.groupKeys[g][k.ID] = true
+		}
+	}
+	return b
+}
+
+// GroupMessages partitions a session's messages by entity group,
+// preserving order and recording each message's session index. A message
+// belongs to every group its Intel Key belongs to.
+func (b *Builder) GroupMessages(msgs []*extract.Message) (map[string][]*extract.Message, map[string]Span) {
+	byGroup := map[string][]*extract.Message{}
+	spans := map[string]Span{}
+	for idx, m := range msgs {
+		for _, g := range b.KeyGroups[m.KeyID] {
+			byGroup[g] = append(byGroup[g], m)
+			sp, ok := spans[g]
+			if !ok {
+				spans[g] = Span{First: idx, Last: idx}
+			} else {
+				sp.Last = idx
+				spans[g] = sp
+			}
+		}
+	}
+	return byGroup, spans
+}
+
+// AddSession folds one training session (its Intel Messages in log order)
+// into the model: group lifespans feed the relation tracker, and each
+// group's messages are split into subroutine instances (Algorithm 2)
+// that update the per-signature subroutines.
+func (b *Builder) AddSession(msgs []*extract.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	b.sessions++
+	byGroup, spans := b.GroupMessages(msgs)
+	b.rels.observe(spans)
+	for g, gmsgs := range byGroup {
+		b.groupSessions[g]++
+		// Criterion 2 for critical groups: a key with multiple messages in
+		// a single session.
+		perKey := map[int]int{}
+		for _, m := range gmsgs {
+			perKey[m.KeyID]++
+			if perKey[m.KeyID] > 1 {
+				b.multiPerSess[g] = true
+			}
+		}
+		for _, inst := range AssignInstances(gmsgs) {
+			sig := inst.Signature()
+			if b.subs[g] == nil {
+				b.subs[g] = map[string]*Subroutine{}
+			}
+			sub := b.subs[g][sig]
+			if sub == nil {
+				sub = NewSubroutine(sig)
+				b.subs[g][sig] = sub
+			}
+			seq := make([]int, len(inst.Msgs))
+			for i, m := range inst.Msgs {
+				seq[i] = m.KeyID
+			}
+			sub.Update(seq)
+		}
+	}
+}
+
+// Graph finalises the model into the HW-graph. PARENT/BEFORE relations
+// require support in at least 10% of training sessions (min 2) to be
+// trusted; rare co-occurrences stay PARALLEL.
+func (b *Builder) Graph() *Graph {
+	b.rels.minSupport = b.sessions / 10
+	if b.rels.minSupport < 2 {
+		b.rels.minSupport = 2
+	}
+	g := &Graph{Nodes: map[string]*Node{}, TotalSessions: b.sessions, rels: b.rels}
+	for _, gr := range b.Groups.List {
+		b.addNode(g, gr.Name, gr.Entities)
+	}
+	if _, ok := b.groupKeys[MiscGroup]; ok {
+		b.addNode(g, MiscGroup, nil)
+	}
+	g.assemble()
+	return g
+}
+
+func (b *Builder) addNode(g *Graph, name string, entities []string) {
+	keyIDs := make([]int, 0, len(b.groupKeys[name]))
+	for id := range b.groupKeys[name] {
+		keyIDs = append(keyIDs, id)
+	}
+	sort.Ints(keyIDs)
+	subs := b.subs[name]
+	if subs == nil {
+		subs = map[string]*Subroutine{}
+	}
+	g.Nodes[name] = &Node{
+		Name:        name,
+		Entities:    entities,
+		Keys:        keyIDs,
+		Subroutines: subs,
+		Critical:    len(keyIDs) > 1 || b.multiPerSess[name],
+		Sessions:    b.groupSessions[name],
+	}
+}

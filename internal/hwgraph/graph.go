@@ -1,0 +1,410 @@
+package hwgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation between two entity groups, derived from their lifespans across
+// every training session (Fig. 6). PARENT and BEFORE require the relation
+// to hold in every session where both groups appear; otherwise the groups
+// are PARALLEL.
+type Relation int
+
+// Relations of Fig. 6 plus the auxiliary inverses of Fig. 7.
+const (
+	Parallel Relation = iota
+	Parent
+	Before
+	Child
+	After
+)
+
+var relationNames = [...]string{"PARALLEL", "PARENT", "BEFORE", "CHILD", "AFTER"}
+
+// String returns the paper's upper-case relation name.
+func (r Relation) String() string {
+	if r < Parallel || r > After {
+		return fmt.Sprintf("REL(%d)", int(r))
+	}
+	return relationNames[r]
+}
+
+// Inverse returns the opposite relation (PARENT↔CHILD, BEFORE↔AFTER).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Parent:
+		return Child
+	case Before:
+		return After
+	case Child:
+		return Parent
+	case After:
+		return Before
+	default:
+		return Parallel
+	}
+}
+
+// Span is a group's lifespan within one session, measured in message
+// indices (robust against timestamp ties).
+type Span struct {
+	First, Last int
+}
+
+// relTracker aggregates pairwise relations across sessions.
+type relTracker struct {
+	// state maps canonical pair → current aggregate relation from the
+	// perspective of the lexicographically smaller name. Absent = not yet
+	// co-observed.
+	state map[[2]string]Relation
+	seen  map[[2]string]bool
+	// support counts the sessions in which both groups appeared. PARENT and
+	// BEFORE are only trusted with enough support: a relation that held in
+	// a handful of co-occurrences is likely incidental ordering, not
+	// structure.
+	support map[[2]string]int
+	// minSupport is the trust threshold applied by relation().
+	minSupport int
+}
+
+func newRelTracker() *relTracker {
+	return &relTracker{
+		state:   map[[2]string]Relation{},
+		seen:    map[[2]string]bool{},
+		support: map[[2]string]int{},
+	}
+}
+
+// observe folds one session's spans into the aggregate.
+func (t *relTracker) observe(spans map[string]Span) {
+	names := make([]string, 0, len(spans))
+	for n := range spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			r := spanRelation(spans[a], spans[b])
+			key := [2]string{a, b}
+			t.support[key]++
+			if !t.seen[key] {
+				t.seen[key] = true
+				t.state[key] = r
+				continue
+			}
+			if t.state[key] != r {
+				t.state[key] = Parallel
+			}
+		}
+	}
+}
+
+// Relation returns the aggregate relation of a towards b, downgraded to
+// PARALLEL when the pair lacks support.
+func (t *relTracker) relation(a, b string) Relation {
+	if a == b {
+		return Parallel
+	}
+	key := [2]string{a, b}
+	inverse := false
+	if a > b {
+		key = [2]string{b, a}
+		inverse = true
+	}
+	if t.support[key] < t.minSupport {
+		return Parallel
+	}
+	r := t.state[key]
+	if inverse {
+		return r.Inverse()
+	}
+	return r
+}
+
+// SessionRelation derives the Fig. 6 relation of a towards b for one
+// session's spans. Exposed for the detection phase's hierarchy check.
+func SessionRelation(a, b Span) Relation { return spanRelation(a, b) }
+
+// spanRelation derives the Fig. 6 relation of a towards b for one session.
+func spanRelation(a, b Span) Relation {
+	switch {
+	case a.First == b.First && a.Last == b.Last:
+		return Parallel
+	case a.First <= b.First && b.Last <= a.Last:
+		return Parent
+	case b.First <= a.First && a.Last <= b.Last:
+		return Child
+	case a.Last < b.First:
+		return Before
+	case b.Last < a.First:
+		return After
+	default:
+		return Parallel
+	}
+}
+
+// Node is one entity group in the HW-graph.
+type Node struct {
+	// Name is the group name (the shared sub-phrase).
+	Name string `json:"name"`
+	// Entities are the member entity phrases.
+	Entities []string `json:"entities"`
+	// Keys are the Intel Key IDs whose entities map into this group.
+	Keys []int `json:"keys"`
+	// Subroutines maps signature → trained subroutine.
+	Subroutines map[string]*Subroutine `json:"subroutines"`
+	// Children are child group names (their lifespans nest inside ours in
+	// every session).
+	Children []string `json:"children,omitempty"`
+	// Next are sibling groups that always start after this group ends.
+	Next []string `json:"next,omitempty"`
+	// Critical marks groups per the §6.3 criteria: multiple Intel Keys, or
+	// an Intel Key with multiple messages in one session.
+	Critical bool `json:"critical"`
+	// Sessions counts training sessions in which the group appeared.
+	Sessions int `json:"sessions"`
+}
+
+// Graph is the trained HW-graph for one targeted system.
+type Graph struct {
+	// Nodes maps group name → node.
+	Nodes map[string]*Node `json:"nodes"`
+	// Roots are top-level group names in placement order.
+	Roots []string `json:"roots"`
+	// TotalSessions counts the training sessions consumed.
+	TotalSessions int `json:"totalSessions"`
+
+	rels *relTracker
+}
+
+// Relation exposes the aggregate lifespan relation of group a towards b.
+func (g *Graph) Relation(a, b string) Relation { return g.rels.relation(a, b) }
+
+// ExpectedGroups returns groups present in every training session — their
+// absence in a detection session is an anomaly (how the paper's case
+// study 3 flags Spark containers that never run a task).
+func (g *Graph) ExpectedGroups() []string {
+	var out []string
+	for name, n := range g.Nodes {
+		if n.Sessions == g.TotalSessions && g.TotalSessions > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CriticalGroups returns the names of critical groups, sorted.
+func (g *Graph) CriticalGroups() []string {
+	var out []string
+	for name, n := range g.Nodes {
+		if n.Critical {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelationRecord is the serialised form of one trained pairwise relation.
+type RelationRecord struct {
+	A       string   `json:"a"`
+	B       string   `json:"b"`
+	Rel     Relation `json:"rel"`
+	Support int      `json:"support"`
+}
+
+// graphJSON is the serialised graph.
+type graphJSON struct {
+	Nodes         map[string]*Node `json:"nodes"`
+	Roots         []string         `json:"roots"`
+	TotalSessions int              `json:"totalSessions"`
+	MinSupport    int              `json:"minSupport"`
+	Relations     []RelationRecord `json:"relations"`
+}
+
+// MarshalJSON renders the graph including the trained pairwise relations,
+// so a loaded graph can still run the detection-phase hierarchy check.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := graphJSON{Nodes: g.Nodes, Roots: g.Roots, TotalSessions: g.TotalSessions}
+	if g.rels != nil {
+		out.MinSupport = g.rels.minSupport
+		keys := make([][2]string, 0, len(g.rels.state))
+		for k := range g.rels.state {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			out.Relations = append(out.Relations, RelationRecord{
+				A: k[0], B: k[1], Rel: g.rels.state[k], Support: g.rels.support[k],
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a graph serialised by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	g.Nodes = in.Nodes
+	g.Roots = in.Roots
+	g.TotalSessions = in.TotalSessions
+	g.rels = newRelTracker()
+	g.rels.minSupport = in.MinSupport
+	for _, r := range in.Relations {
+		key := [2]string{r.A, r.B}
+		g.rels.state[key] = r.Rel
+		g.rels.seen[key] = true
+		g.rels.support[key] = r.Support
+	}
+	return nil
+}
+
+// assemble performs the Fig. 7 construction: repeatedly take the groups
+// with no unplaced parent and no unplaced predecessor; place them (under
+// their most specific placed parent, or as roots), then cross out their
+// relations.
+func (g *Graph) assemble() {
+	names := make([]string, 0, len(g.Nodes))
+	for n := range g.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	placed := map[string]bool{}
+	for len(placed) < len(names) {
+		var ready []string
+		for _, n := range names {
+			if placed[n] {
+				continue
+			}
+			blocked := false
+			for _, m := range names {
+				if m == n || placed[m] {
+					continue
+				}
+				switch g.rels.relation(n, m) {
+				case Child, After:
+					blocked = true
+				}
+				if blocked {
+					break
+				}
+			}
+			if !blocked {
+				ready = append(ready, n)
+			}
+		}
+		if len(ready) == 0 {
+			// Inconsistent relations (possible when PARENT and BEFORE
+			// observations conflict across pairs): break the tie by
+			// placing all remaining groups at once.
+			for _, n := range names {
+				if !placed[n] {
+					ready = append(ready, n)
+				}
+			}
+		}
+		for _, n := range ready {
+			parent := g.mostSpecificParent(n, placed)
+			if parent == "" {
+				g.Roots = append(g.Roots, n)
+			} else {
+				p := g.Nodes[parent]
+				p.Children = append(p.Children, n)
+			}
+			placed[n] = true
+		}
+	}
+	// Sibling BEFORE edges.
+	for _, n := range names {
+		for _, m := range names {
+			if n != m && g.rels.relation(n, m) == Before && sameParent(g, n, m) {
+				g.Nodes[n].Next = append(g.Nodes[n].Next, m)
+			}
+		}
+		sort.Strings(g.Nodes[n].Next)
+	}
+}
+
+// mostSpecificParent returns the placed PARENT of n that is itself a
+// descendant of every other placed parent of n ("" if none).
+func (g *Graph) mostSpecificParent(n string, placed map[string]bool) string {
+	var parents []string
+	for m := range g.Nodes {
+		if m != n && placed[m] && g.rels.relation(m, n) == Parent {
+			parents = append(parents, m)
+		}
+	}
+	if len(parents) == 0 {
+		return ""
+	}
+	sort.Strings(parents)
+	best := parents[0]
+	for _, p := range parents[1:] {
+		// p more specific than best if best is p's ancestor (best PARENT p).
+		if g.rels.relation(best, p) == Parent {
+			best = p
+		}
+	}
+	return best
+}
+
+// sameParent reports whether two groups were placed under the same parent
+// (or are both roots).
+func sameParent(g *Graph, a, b string) bool {
+	return parentOf(g, a) == parentOf(g, b)
+}
+
+func parentOf(g *Graph, n string) string {
+	for name, node := range g.Nodes {
+		for _, c := range node.Children {
+			if c == n {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// Render returns an indented text rendering of the hierarchy, for the
+// Fig. 8-style workflow views.
+func (g *Graph) Render() string {
+	var b strings.Builder
+	var walk func(name string, depth int)
+	walk = func(name string, depth int) {
+		n := g.Nodes[name]
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(name)
+		if n.Critical {
+			b.WriteString(" *")
+		}
+		if len(n.Next) > 0 {
+			b.WriteString(" -> " + strings.Join(n.Next, ", "))
+		}
+		b.WriteString("\n")
+		children := append([]string(nil), n.Children...)
+		sort.Strings(children)
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	roots := append([]string(nil), g.Roots...)
+	sort.Strings(roots)
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+// Package hwgraph builds the Hierarchical Workflow graph of §4.1: entity
+// groups with lifespan-derived PARENT/BEFORE/PARALLEL relations between
+// them, and per-group subroutines — ordered Intel Key sequences with
+// critical-key marking — assembled by Algorithm 2 across training
+// sessions.
+package hwgraph
+
+import (
+	"sort"
+	"strings"
+
+	"intellog/internal/extract"
+)
+
+// Instance is one subroutine instance inside a session: the log messages
+// sharing (subset-related) identifier values, per Algorithm 2.
+type Instance struct {
+	// IDs is the union of identifier values observed (the S_v).
+	IDs map[string]bool
+	// Types is the set of identifier types, whose sorted join is the
+	// subroutine signature.
+	Types map[string]bool
+	// Msgs holds the instance's messages in log order.
+	Msgs []*extract.Message
+}
+
+// Signature returns the instance's subroutine signature: the sorted
+// identifier types joined with "+", or "" for the NONE instance.
+func (in *Instance) Signature() string { return signatureOf(in.Types) }
+
+func signatureOf(types map[string]bool) string {
+	if len(types) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(types))
+	for t := range types {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "+")
+}
+
+// AssignInstances implements the per-session loop of Algorithm 2: messages
+// with no identifiers accumulate in the NONE instance; a message whose
+// identifier set is a subset or superset of an existing instance's set
+// joins (and widens) that instance; otherwise it founds a new instance.
+func AssignInstances(msgs []*extract.Message) []*Instance {
+	none := &Instance{IDs: map[string]bool{}, Types: map[string]bool{}}
+	instances := []*Instance{none}
+	for _, m := range msgs {
+		set := m.IdentifierSet()
+		if len(set) == 0 {
+			none.Msgs = append(none.Msgs, m)
+			continue
+		}
+		var target *Instance
+		for _, in := range instances[1:] {
+			if subsetRelated(set, in.IDs) {
+				target = in
+				break
+			}
+		}
+		if target == nil {
+			target = &Instance{IDs: map[string]bool{}, Types: map[string]bool{}}
+			instances = append(instances, target)
+		}
+		for _, v := range set {
+			target.IDs[v] = true
+		}
+		for t := range m.Identifiers {
+			target.Types[t] = true
+		}
+		target.Msgs = append(target.Msgs, m)
+	}
+	if len(none.Msgs) == 0 {
+		instances = instances[1:]
+	}
+	return instances
+}
+
+// subsetRelated reports whether set ⊆ ids or ids ⊆ set (Algorithm 2 line
+// 9–10).
+func subsetRelated(set []string, ids map[string]bool) bool {
+	inIds := 0
+	for _, v := range set {
+		if ids[v] {
+			inIds++
+		}
+	}
+	if inIds == len(set) {
+		return true // set ⊆ ids
+	}
+	return inIds == len(ids) && len(ids) > 0 // ids ⊆ set
+}
+
+// Subroutine is the trained order model for one signature within an
+// entity group: the Intel Keys observed, BEFORE relations among them, and
+// the critical keys that appear in every instance (Fig. 5).
+type Subroutine struct {
+	// Signature is the sorted identifier-type join.
+	Signature string `json:"signature"`
+	// Keys lists Intel Key IDs in first-seen order.
+	Keys []int `json:"keys"`
+	// Critical marks keys present in every observed instance.
+	Critical map[int]bool `json:"critical"`
+	// Before holds the surviving order relations: Before[a][b] means key a
+	// always appeared before key b.
+	Before map[int]map[int]bool `json:"before"`
+	// Instances counts observed instances.
+	Instances int `json:"instances"`
+
+	// broken records key pairs whose order relation was observed in both
+	// directions and therefore removed (parallel keys, Fig. 5).
+	broken map[[2]int]bool
+}
+
+// NewSubroutine returns an empty subroutine for a signature.
+func NewSubroutine(sig string) *Subroutine {
+	return &Subroutine{
+		Signature: sig,
+		Critical:  map[int]bool{},
+		Before:    map[int]map[int]bool{},
+	}
+}
+
+// Update implements UPDATESUBROUTINE (Fig. 5) for one instance's key
+// sequence: first co-occurrence of a key pair records a BEFORE relation;
+// a later inversion breaks it (the keys become parallel); keys absent
+// from an instance lose critical status; keys first seen after other
+// instances existed are never critical.
+func (s *Subroutine) Update(seq []int) {
+	order := firstOccurrence(seq)
+	present := map[int]bool{}
+	for _, k := range order {
+		present[k] = true
+	}
+	// Key membership and criticality.
+	known := map[int]bool{}
+	for _, k := range s.Keys {
+		known[k] = true
+	}
+	for _, k := range order {
+		if !known[k] {
+			s.Keys = append(s.Keys, k)
+			// Critical only if this is the very first instance.
+			s.Critical[k] = s.Instances == 0
+		}
+	}
+	if s.Instances > 0 {
+		for k := range s.Critical {
+			if s.Critical[k] && !present[k] {
+				s.Critical[k] = false
+			}
+		}
+	}
+	// Order relations among co-present keys.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			a, b := order[i], order[j]
+			if s.before(b, a) {
+				// Inversion observed: break both directions → parallel.
+				delete(s.Before[b], a)
+				delete(s.Before[a], b)
+				s.brokenPairs()[pairKey(a, b)] = true
+				continue
+			}
+			if !s.pairSeen(a, b) {
+				if s.Before[a] == nil {
+					s.Before[a] = map[int]bool{}
+				}
+				s.Before[a][b] = true
+			}
+		}
+	}
+	s.Instances++
+}
+
+// Violations returns the order relations an instance's key sequence
+// breaks: pairs (a,b) with a trained BEFORE b but b observed first.
+func (s *Subroutine) Violations(seq []int) [][2]int {
+	order := firstOccurrence(seq)
+	pos := map[int]int{}
+	for i, k := range order {
+		pos[k] = i
+	}
+	var out [][2]int
+	for a, succ := range s.Before {
+		pa, oka := pos[a]
+		if !oka {
+			continue
+		}
+		for b := range succ {
+			if pb, okb := pos[b]; okb && pb < pa {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// MissingCritical returns the critical keys absent from an instance's key
+// sequence.
+func (s *Subroutine) MissingCritical(seq []int) []int {
+	present := map[int]bool{}
+	for _, k := range seq {
+		present[k] = true
+	}
+	var out []int
+	for _, k := range s.Keys {
+		if s.Critical[k] && !present[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// CriticalLen returns the number of critical keys.
+func (s *Subroutine) CriticalLen() int {
+	n := 0
+	for _, c := range s.Critical {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// before reports whether a trained BEFORE relation a→b exists.
+func (s *Subroutine) before(a, b int) bool { return s.Before[a][b] }
+
+// pairSeen reports whether keys a and b have co-occurred before, either
+// with a surviving order relation or as an explicitly broken (parallel)
+// pair.
+func (s *Subroutine) pairSeen(a, b int) bool {
+	if s.before(a, b) || s.before(b, a) {
+		return true
+	}
+	return s.brokenPairs()[pairKey(a, b)]
+}
+
+// brokenPairs lazily allocates the broken-pair set.
+func (s *Subroutine) brokenPairs() map[[2]int]bool {
+	if s.broken == nil {
+		s.broken = map[[2]int]bool{}
+	}
+	return s.broken
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// firstOccurrence reduces a key sequence to first occurrences, preserving
+// order.
+func firstOccurrence(seq []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range seq {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

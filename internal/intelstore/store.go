@@ -1,0 +1,183 @@
+// Package intelstore stores Intel Messages as queryable structured
+// records (§3.3: "an Intel Message can be considered as a collection of
+// key-value pairs … users can use queries to request data"). The GroupBy
+// operators are the ones the paper's case study 1 applies to narrow 259
+// sessions down to one failing host.
+package intelstore
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"intellog/internal/extract"
+)
+
+// Store is an immutable query view over Intel Messages.
+type Store struct {
+	msgs []*extract.Message
+}
+
+// New wraps messages in a store.
+func New(msgs []*extract.Message) *Store { return &Store{msgs: msgs} }
+
+// Len returns the number of messages in the view.
+func (s *Store) Len() int { return len(s.msgs) }
+
+// Messages returns the view's messages.
+func (s *Store) Messages() []*extract.Message { return s.msgs }
+
+// Filter returns the sub-view matching the predicate.
+func (s *Store) Filter(pred func(*extract.Message) bool) *Store {
+	var out []*extract.Message
+	for _, m := range s.msgs {
+		if pred(m) {
+			out = append(out, m)
+		}
+	}
+	return &Store{msgs: out}
+}
+
+// WithEntity keeps messages whose key extracted the entity phrase.
+func (s *Store) WithEntity(entity string) *Store {
+	return s.Filter(func(m *extract.Message) bool {
+		for _, e := range m.Entities {
+			if e == entity {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// WithIdentifierType keeps messages carrying an identifier of the type.
+func (s *Store) WithIdentifierType(typ string) *Store {
+	return s.Filter(func(m *extract.Message) bool {
+		return len(m.Identifiers[typ]) > 0
+	})
+}
+
+// WithSession keeps one session's messages.
+func (s *Store) WithSession(id string) *Store {
+	return s.Filter(func(m *extract.Message) bool { return m.Session == id })
+}
+
+// GroupByIdentifier partitions the view by the values of one identifier
+// type. Messages without that type are dropped.
+func (s *Store) GroupByIdentifier(typ string) map[string]*Store {
+	return s.groupBy(func(m *extract.Message) []string { return m.Identifiers[typ] })
+}
+
+// GroupByLocality partitions the view by locality values of one class
+// (e.g. "ADDR" or "HOST").
+func (s *Store) GroupByLocality(class string) map[string]*Store {
+	return s.groupBy(func(m *extract.Message) []string { return m.Localities[class] })
+}
+
+// GroupBySession partitions the view by session ID.
+func (s *Store) GroupBySession() map[string]*Store {
+	return s.groupBy(func(m *extract.Message) []string {
+		if m.Session == "" {
+			return nil
+		}
+		return []string{m.Session}
+	})
+}
+
+func (s *Store) groupBy(keys func(*extract.Message) []string) map[string]*Store {
+	groups := map[string]*Store{}
+	for _, m := range s.msgs {
+		for _, k := range keys(m) {
+			g, ok := groups[k]
+			if !ok {
+				g = &Store{}
+				groups[k] = g
+			}
+			g.msgs = append(g.msgs, m)
+		}
+	}
+	return groups
+}
+
+// Sessions returns the distinct session IDs in the view, sorted.
+func (s *Store) Sessions() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range s.msgs {
+		if m.Session != "" && !seen[m.Session] {
+			seen[m.Session] = true
+			out = append(out, m.Session)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExportJSON writes the view as a JSON array of Intel Messages — the
+// paper's storage format, queryable with JSON tools.
+func (s *Store) ExportJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.msgs)
+}
+
+// Between keeps the messages within [from, to).
+func (s *Store) Between(from, to time.Time) *Store {
+	return s.Filter(func(m *extract.Message) bool {
+		return !m.Time.Before(from) && m.Time.Before(to)
+	})
+}
+
+// Point is one sample of a value time series.
+type Point struct {
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}
+
+// Series extracts the time series of a value unit across the view —
+// the paper notes Intel Messages "naturally fit in the storage structure
+// of time series databases" (§3.3); this is that projection. Messages
+// whose value fails to parse are skipped.
+func (s *Store) Series(unit string) []Point {
+	var out []Point
+	for _, m := range s.msgs {
+		for _, raw := range m.Values[unit] {
+			f, err := strconv.ParseFloat(strings.ReplaceAll(raw, ",", ""), 64)
+			if err != nil {
+				continue
+			}
+			out = append(out, Point{Time: m.Time, Value: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// ValueStats summarises a value unit's series.
+type ValueStats struct {
+	Count     int
+	Min, Max  float64
+	Mean, Sum float64
+}
+
+// Stats computes summary statistics for a value unit across the view.
+func (s *Store) Stats(unit string) ValueStats {
+	var st ValueStats
+	for _, p := range s.Series(unit) {
+		if st.Count == 0 || p.Value < st.Min {
+			st.Min = p.Value
+		}
+		if st.Count == 0 || p.Value > st.Max {
+			st.Max = p.Value
+		}
+		st.Sum += p.Value
+		st.Count++
+	}
+	if st.Count > 0 {
+		st.Mean = st.Sum / float64(st.Count)
+	}
+	return st
+}

@@ -1,0 +1,136 @@
+package intelstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"intellog/internal/extract"
+)
+
+func corpus() []*extract.Message {
+	return []*extract.Message{
+		{KeyID: 1, Session: "c1", Entities: []string{"fetcher"},
+			Identifiers: map[string][]string{"FETCHER": {"fetcher#1"}},
+			Localities:  map[string][]string{"ADDR": {"hostA:13562"}}},
+		{KeyID: 1, Session: "c1", Entities: []string{"fetcher"},
+			Identifiers: map[string][]string{"FETCHER": {"fetcher#2"}},
+			Localities:  map[string][]string{"ADDR": {"hostA:13562"}}},
+		{KeyID: 2, Session: "c2", Entities: []string{"task"},
+			Identifiers: map[string][]string{"TASK": {"t9"}}},
+	}
+}
+
+func TestWithEntityAndLen(t *testing.T) {
+	s := New(corpus())
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	f := s.WithEntity("fetcher")
+	if f.Len() != 2 {
+		t.Errorf("fetcher view = %d msgs", f.Len())
+	}
+	if s.WithEntity("driver").Len() != 0 {
+		t.Error("nonexistent entity matched")
+	}
+}
+
+func TestGroupByIdentifier(t *testing.T) {
+	groups := New(corpus()).GroupByIdentifier("FETCHER")
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups["fetcher#1"].Len() != 1 {
+		t.Error("fetcher#1 group wrong")
+	}
+}
+
+// The case-study-1 flow: entity filter → GroupBy identifier → GroupBy
+// locality narrows to the single failing host.
+func TestCaseStudyFlow(t *testing.T) {
+	byLoc := New(corpus()).WithEntity("fetcher").GroupByLocality("ADDR")
+	if len(byLoc) != 1 {
+		t.Fatalf("locality groups = %d, want 1", len(byLoc))
+	}
+	if _, ok := byLoc["hostA:13562"]; !ok {
+		t.Error("missing hostA group")
+	}
+}
+
+func TestSessionsAndGroupBySession(t *testing.T) {
+	s := New(corpus())
+	if got := s.Sessions(); !reflect.DeepEqual(got, []string{"c1", "c2"}) {
+		t.Errorf("Sessions = %v", got)
+	}
+	bySess := s.GroupBySession()
+	if bySess["c1"].Len() != 2 || bySess["c2"].Len() != 1 {
+		t.Error("GroupBySession wrong")
+	}
+	if s.WithSession("c2").Len() != 1 {
+		t.Error("WithSession wrong")
+	}
+}
+
+func TestWithIdentifierType(t *testing.T) {
+	if New(corpus()).WithIdentifierType("TASK").Len() != 1 {
+		t.Error("WithIdentifierType wrong")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(corpus()).ExportJSON(&buf); err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Errorf("decoded %d messages", len(decoded))
+	}
+}
+
+func TestSeriesAndStats(t *testing.T) {
+	t0 := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	msgs := []*extract.Message{
+		{Time: t0.Add(2 * time.Second), Values: map[string][]string{"ms": {"30"}}},
+		{Time: t0, Values: map[string][]string{"ms": {"10"}}},
+		{Time: t0.Add(time.Second), Values: map[string][]string{"ms": {"20"}, "byte": {"1,024"}}},
+		{Time: t0.Add(3 * time.Second), Values: map[string][]string{"ms": {"bogus"}}},
+	}
+	s := New(msgs)
+	series := s.Series("ms")
+	if len(series) != 3 {
+		t.Fatalf("series has %d points, want 3", len(series))
+	}
+	if !sort.SliceIsSorted(series, func(i, j int) bool { return series[i].Time.Before(series[j].Time) }) {
+		t.Error("series not time-ordered")
+	}
+	st := s.Stats("ms")
+	if st.Count != 3 || st.Min != 10 || st.Max != 30 || st.Mean != 20 {
+		t.Errorf("Stats = %+v", st)
+	}
+	// Comma-grouped values parse.
+	if b := s.Stats("byte"); b.Count != 1 || b.Sum != 1024 {
+		t.Errorf("byte stats = %+v", b)
+	}
+	// Empty unit.
+	if e := s.Stats("zz"); e.Count != 0 || e.Mean != 0 {
+		t.Errorf("empty stats = %+v", e)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	t0 := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	msgs := []*extract.Message{
+		{Time: t0}, {Time: t0.Add(time.Minute)}, {Time: t0.Add(2 * time.Minute)},
+	}
+	got := New(msgs).Between(t0.Add(30*time.Second), t0.Add(90*time.Second))
+	if got.Len() != 1 {
+		t.Errorf("Between kept %d, want 1", got.Len())
+	}
+}

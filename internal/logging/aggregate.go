@@ -1,0 +1,53 @@
+package logging
+
+import "regexp"
+
+// containerIDPattern matches YARN container IDs wherever they appear in a
+// log line ("container_1551400000000_0001_01_000002", with or without an
+// epoch component).
+var containerIDPattern = regexp.MustCompile(`container(?:_e\d+)?_\d{10,13}_\d{4}_\d{2}_\d{6}`)
+
+// SessionIDExtractor derives a session ID from a record, or "" when the
+// record carries none.
+type SessionIDExtractor func(*Record) string
+
+// ContainerIDExtractor finds a YARN container ID in the record's message
+// — the common case for log-aggregation output, where one file interleaves
+// many containers' lines, each mentioning its container.
+func ContainerIDExtractor(rec *Record) string {
+	return containerIDPattern.FindString(rec.Message)
+}
+
+// SplitBySession partitions an aggregated record stream into sessions
+// using the extractor. Records without a session ID stick to the session
+// of the most recent extractable record (log aggregation interleaves a
+// container's block of lines contiguously), or are dropped if none has
+// been seen yet. Sessions are ordered by first appearance.
+func SplitBySession(records []Record, extract SessionIDExtractor) []*Session {
+	if extract == nil {
+		extract = ContainerIDExtractor
+	}
+	index := map[string]*Session{}
+	var order []*Session
+	current := ""
+	for i := range records {
+		id := extract(&records[i])
+		if id == "" {
+			id = current
+		}
+		if id == "" {
+			continue
+		}
+		current = id
+		s, ok := index[id]
+		if !ok {
+			s = &Session{ID: id, Framework: records[i].Framework}
+			index[id] = s
+			order = append(order, s)
+		}
+		rec := records[i]
+		rec.SessionID = id
+		s.Records = append(s.Records, rec)
+	}
+	return order
+}

@@ -1,0 +1,213 @@
+package logging
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Formatter converts between raw log lines and Records for one framework's
+// on-disk log format. The paper implements these as small pattern-matching
+// front-ends (§5); new systems plug in by adding a Formatter.
+type Formatter interface {
+	// Parse converts one raw line into a Record. ok is false for lines that
+	// do not match the format (e.g. stack-trace continuations), which
+	// callers append to the previous record or skip.
+	Parse(line string) (rec Record, ok bool)
+	// Render converts a Record back into the framework's raw line format.
+	Render(rec Record) string
+}
+
+// hadoopLayout is the log4j timestamp used by Hadoop, Tez and YARN.
+const hadoopLayout = "2006-01-02 15:04:05,000"
+
+// sparkLayout is Spark's default conversion pattern timestamp.
+const sparkLayout = "06/01/02 15:04:05"
+
+// novaLayout is the oslo.log timestamp used by OpenStack services.
+const novaLayout = "2006-01-02 15:04:05.000"
+
+var (
+	hadoopLine = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3}) (TRACE|DEBUG|INFO|WARN|ERROR|FATAL) \[([^\]]*)\] (\S+): (.*)$`)
+	sparkLine  = regexp.MustCompile(`^(\d{2}/\d{2}/\d{2} \d{2}:\d{2}:\d{2}) (TRACE|DEBUG|INFO|WARN|ERROR|FATAL) ([^:]+): (.*)$`)
+	novaLine   = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3}) (\d+) (TRACE|DEBUG|INFO|WARNING|ERROR|CRITICAL) (\S+) (?:\[([^\]]*)\] )?(.*)$`)
+	tfLine     = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{6}): ([IWEF]) (\S+)\] (.*)$`)
+)
+
+// tfLayout is the absl/glog timestamp TensorFlow uses.
+const tfLayout = "2006-01-02 15:04:05.000000"
+
+// TFFormatter parses TensorFlow's glog-style layout:
+//
+//	2019-03-01 12:00:00.123456: I tensorflow/core/distributed_runtime/master.cc:267] message
+type TFFormatter struct{}
+
+// Parse implements Formatter.
+func (TFFormatter) Parse(line string) (Record, bool) {
+	m := tfLine.FindStringSubmatch(line)
+	if m == nil {
+		return Record{}, false
+	}
+	t, err := time.Parse(tfLayout, m[1])
+	if err != nil {
+		return Record{}, false
+	}
+	lvl := Info
+	switch m[2] {
+	case "W":
+		lvl = Warn
+	case "E":
+		lvl = Error
+	case "F":
+		lvl = Fatal
+	}
+	return Record{
+		Time: t, Level: lvl, Source: m[3], Message: m[4], Framework: TensorFlow,
+	}, true
+}
+
+// Render implements Formatter.
+func (TFFormatter) Render(rec Record) string {
+	letter := "I"
+	switch rec.Level {
+	case Warn:
+		letter = "W"
+	case Error:
+		letter = "E"
+	case Fatal:
+		letter = "F"
+	}
+	return fmt.Sprintf("%s: %s %s] %s",
+		rec.Time.Format(tfLayout), letter, rec.Source, rec.Message)
+}
+
+// HadoopFormatter parses the log4j layout shared by Hadoop MapReduce, Tez
+// and the YARN daemons:
+//
+//	2019-03-01 12:00:00,123 INFO [thread] org.apache.hadoop.mapred.MapTask: message
+type HadoopFormatter struct {
+	// Framework is stamped onto parsed records (MapReduce, Tez or Yarn).
+	Framework Framework
+}
+
+// Parse implements Formatter.
+func (f HadoopFormatter) Parse(line string) (Record, bool) {
+	m := hadoopLine.FindStringSubmatch(line)
+	if m == nil {
+		return Record{}, false
+	}
+	t, err := time.Parse(hadoopLayout, m[1])
+	if err != nil {
+		return Record{}, false
+	}
+	return Record{
+		Time:      t,
+		Level:     ParseLevel(m[2]),
+		Source:    m[4],
+		Message:   m[5],
+		Framework: f.Framework,
+	}, true
+}
+
+// Render implements Formatter. The thread field is rendered as "main"; the
+// analysis pipeline never consults it.
+func (f HadoopFormatter) Render(rec Record) string {
+	return fmt.Sprintf("%s %s [main] %s: %s",
+		rec.Time.Format(hadoopLayout), rec.Level, rec.Source, rec.Message)
+}
+
+// SparkFormatter parses Spark's default console layout:
+//
+//	19/03/01 12:00:00 INFO BlockManager: message
+type SparkFormatter struct{}
+
+// Parse implements Formatter.
+func (SparkFormatter) Parse(line string) (Record, bool) {
+	m := sparkLine.FindStringSubmatch(line)
+	if m == nil {
+		return Record{}, false
+	}
+	t, err := time.Parse(sparkLayout, m[1])
+	if err != nil {
+		return Record{}, false
+	}
+	return Record{
+		Time:      t,
+		Level:     ParseLevel(m[2]),
+		Source:    strings.TrimSpace(m[3]),
+		Message:   m[4],
+		Framework: Spark,
+	}, true
+}
+
+// Render implements Formatter.
+func (SparkFormatter) Render(rec Record) string {
+	return fmt.Sprintf("%s %s %s: %s",
+		rec.Time.Format(sparkLayout), rec.Level, rec.Source, rec.Message)
+}
+
+// NovaFormatter parses the oslo.log layout of OpenStack nova-compute:
+//
+//	2019-03-01 12:00:00.123 4392 INFO nova.compute.manager [req-...] message
+type NovaFormatter struct{}
+
+// Parse implements Formatter.
+func (NovaFormatter) Parse(line string) (Record, bool) {
+	m := novaLine.FindStringSubmatch(line)
+	if m == nil {
+		return Record{}, false
+	}
+	t, err := time.Parse(novaLayout, m[1])
+	if err != nil {
+		return Record{}, false
+	}
+	return Record{
+		Time:      t,
+		Level:     ParseLevel(m[3]),
+		Source:    m[4],
+		Message:   m[6],
+		Framework: NovaCompute,
+	}, true
+}
+
+// Render implements Formatter.
+func (NovaFormatter) Render(rec Record) string {
+	return fmt.Sprintf("%s 4392 %s %s [req-0] %s",
+		rec.Time.Format(novaLayout), rec.Level, rec.Source, rec.Message)
+}
+
+// FormatterFor returns the Formatter for a framework.
+func FormatterFor(fw Framework) Formatter {
+	switch fw {
+	case Spark:
+		return SparkFormatter{}
+	case NovaCompute:
+		return NovaFormatter{}
+	case TensorFlow:
+		return TFFormatter{}
+	default:
+		return HadoopFormatter{Framework: fw}
+	}
+}
+
+// ParseLines parses a raw log file's lines with the given formatter.
+// Non-matching lines (stack traces, wrapped messages) are appended to the
+// message of the preceding record, matching how log collectors treat
+// multi-line events; leading non-matching lines are dropped.
+func ParseLines(f Formatter, lines []string) []Record {
+	var out []Record
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		if rec, ok := f.Parse(line); ok {
+			out = append(out, rec)
+			continue
+		}
+		if len(out) > 0 {
+			out[len(out)-1].Message += "\n" + line
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package logging
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustTime(t *testing.T, layout, s string) time.Time {
+	t.Helper()
+	tm, err := time.Parse(layout, s)
+	if err != nil {
+		t.Fatalf("parse time %q: %v", s, err)
+	}
+	return tm
+}
+
+func TestHadoopFormatterParse(t *testing.T) {
+	f := HadoopFormatter{Framework: MapReduce}
+	line := "2019-03-01 12:00:00,123 INFO [fetcher#1] org.apache.hadoop.mapreduce.task.reduce.Fetcher: fetcher#1 about to shuffle output of map attempt_01"
+	rec, ok := f.Parse(line)
+	if !ok {
+		t.Fatalf("Parse(%q) failed", line)
+	}
+	if rec.Level != Info {
+		t.Errorf("Level = %v, want Info", rec.Level)
+	}
+	if rec.Source != "org.apache.hadoop.mapreduce.task.reduce.Fetcher" {
+		t.Errorf("Source = %q", rec.Source)
+	}
+	if rec.Message != "fetcher#1 about to shuffle output of map attempt_01" {
+		t.Errorf("Message = %q", rec.Message)
+	}
+	want := mustTime(t, hadoopLayout, "2019-03-01 12:00:00,123")
+	if !rec.Time.Equal(want) {
+		t.Errorf("Time = %v, want %v", rec.Time, want)
+	}
+	if rec.Framework != MapReduce {
+		t.Errorf("Framework = %v, want mapreduce", rec.Framework)
+	}
+}
+
+func TestHadoopFormatterRoundTrip(t *testing.T) {
+	f := HadoopFormatter{Framework: Tez}
+	in := Record{
+		Time:      mustTime(t, hadoopLayout, "2019-06-22 08:01:02,007"),
+		Level:     Warn,
+		Source:    "org.apache.tez.runtime.task.TezTaskRunner",
+		Message:   "Task attempt attempt_1 failed",
+		Framework: Tez,
+	}
+	out, ok := f.Parse(f.Render(in))
+	if !ok {
+		t.Fatal("round-trip parse failed")
+	}
+	if out.Message != in.Message || out.Level != in.Level || out.Source != in.Source || !out.Time.Equal(in.Time) {
+		t.Errorf("round trip mismatch: got %+v want %+v", out, in)
+	}
+}
+
+func TestSparkFormatterRoundTrip(t *testing.T) {
+	f := SparkFormatter{}
+	in := Record{
+		Time:      mustTime(t, sparkLayout, "19/03/01 12:00:00"),
+		Level:     Info,
+		Source:    "BlockManager",
+		Message:   "Registering BlockManager BlockManagerId(1, host1, 38211, None)",
+		Framework: Spark,
+	}
+	out, ok := f.Parse(f.Render(in))
+	if !ok {
+		t.Fatal("round-trip parse failed")
+	}
+	if out.Message != in.Message || out.Source != in.Source || !out.Time.Equal(in.Time) {
+		t.Errorf("round trip mismatch: got %+v want %+v", out, in)
+	}
+}
+
+func TestNovaFormatterParse(t *testing.T) {
+	f := NovaFormatter{}
+	line := "2019-03-01 12:00:00.123 4392 INFO nova.compute.manager [req-abc 1 2] Took 12.07 seconds to build instance."
+	rec, ok := f.Parse(line)
+	if !ok {
+		t.Fatalf("Parse(%q) failed", line)
+	}
+	if rec.Source != "nova.compute.manager" {
+		t.Errorf("Source = %q", rec.Source)
+	}
+	if rec.Message != "Took 12.07 seconds to build instance." {
+		t.Errorf("Message = %q", rec.Message)
+	}
+	if rec.Framework != NovaCompute {
+		t.Errorf("Framework = %v", rec.Framework)
+	}
+}
+
+func TestNovaFormatterWarningLevel(t *testing.T) {
+	f := NovaFormatter{}
+	line := "2019-03-01 12:00:00.123 4392 WARNING nova.compute.manager [req-abc] Instance shutdown by itself."
+	rec, ok := f.Parse(line)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if rec.Level != Warn {
+		t.Errorf("Level = %v, want Warn", rec.Level)
+	}
+}
+
+func TestParseLinesMultiline(t *testing.T) {
+	f := SparkFormatter{}
+	lines := []string{
+		"19/03/01 12:00:00 ERROR Executor: Exception in task 0.0 in stage 1.0 (TID 4)",
+		"java.io.IOException: Connection reset by peer",
+		"\tat sun.nio.ch.FileDispatcherImpl.read0(Native Method)",
+		"19/03/01 12:00:01 INFO Executor: Finished task 1.0 in stage 1.0 (TID 5). 1109 bytes result sent to driver",
+	}
+	recs := ParseLines(f, lines)
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if !strings.Contains(recs[0].Message, "Connection reset by peer") {
+		t.Errorf("stack trace not folded into record: %q", recs[0].Message)
+	}
+	if recs[0].Level != Error {
+		t.Errorf("Level = %v, want Error", recs[0].Level)
+	}
+}
+
+func TestParseLinesDropsLeadingGarbage(t *testing.T) {
+	f := SparkFormatter{}
+	recs := ParseLines(f, []string{"not a log line", ""})
+	if len(recs) != 0 {
+		t.Fatalf("got %d records, want 0", len(recs))
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"INFO": Info, "info": Info, "WARN": Warn, "WARNING": Warn,
+		"ERROR": Error, "FATAL": Fatal, "DEBUG": Debug, "TRACE": Trace,
+		"bogus": Info, "": Info,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Info.String() != "INFO" || Fatal.String() != "FATAL" {
+		t.Error("level names wrong")
+	}
+	if got := Level(42).String(); got != "LEVEL(42)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestGroupSessions(t *testing.T) {
+	recs := []Record{
+		{SessionID: "c1", Message: "a", Framework: Spark},
+		{SessionID: "c2", Message: "b", Framework: Spark},
+		{SessionID: "c1", Message: "c", Framework: Spark},
+	}
+	sessions := GroupSessions(recs)
+	if len(sessions) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(sessions))
+	}
+	if sessions[0].ID != "c1" || sessions[0].Len() != 2 {
+		t.Errorf("session 0 = %q len %d, want c1 len 2", sessions[0].ID, sessions[0].Len())
+	}
+	if got := sessions[0].Messages(); got[0] != "a" || got[1] != "c" {
+		t.Errorf("messages out of order: %v", got)
+	}
+}
+
+func TestSessionSpan(t *testing.T) {
+	var s Session
+	first, last := s.Span()
+	if !first.IsZero() || !last.IsZero() {
+		t.Error("empty session should span zero times")
+	}
+	t0 := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	s.Records = []Record{{Time: t0}, {Time: t0.Add(time.Minute)}}
+	first, last = s.Span()
+	if !first.Equal(t0) || !last.Equal(t0.Add(time.Minute)) {
+		t.Errorf("Span() = %v..%v", first, last)
+	}
+}
+
+func TestFormatterFor(t *testing.T) {
+	if _, ok := FormatterFor(Spark).(SparkFormatter); !ok {
+		t.Error("FormatterFor(Spark) not SparkFormatter")
+	}
+	if _, ok := FormatterFor(NovaCompute).(NovaFormatter); !ok {
+		t.Error("FormatterFor(NovaCompute) not NovaFormatter")
+	}
+	hf, ok := FormatterFor(Yarn).(HadoopFormatter)
+	if !ok || hf.Framework != Yarn {
+		t.Error("FormatterFor(Yarn) not HadoopFormatter{Yarn}")
+	}
+}
+
+func TestContainerIDExtractor(t *testing.T) {
+	cases := map[string]string{
+		"Start request for container container_1551400000000_0001_01_000002 by user h": "container_1551400000000_0001_01_000002",
+		"Assigned container_e17_1551400000000_0001_01_000002 to attempt":               "container_e17_1551400000000_0001_01_000002",
+		"no id here": "",
+	}
+	for msg, want := range cases {
+		rec := Record{Message: msg}
+		if got := ContainerIDExtractor(&rec); got != want {
+			t.Errorf("ContainerIDExtractor(%q) = %q, want %q", msg, got, want)
+		}
+	}
+}
+
+func TestSplitBySession(t *testing.T) {
+	recs := []Record{
+		{Message: "leading line without id"},
+		{Message: "Launching container container_1551400000000_0001_01_000001 now"},
+		{Message: "some continuation line"},
+		{Message: "Launching container container_1551400000000_0001_01_000002 now"},
+		{Message: "another continuation"},
+		{Message: "back to container_1551400000000_0001_01_000001 again"},
+	}
+	sessions := SplitBySession(recs, nil)
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(sessions))
+	}
+	if sessions[0].Len() != 3 { // launch + continuation + back-to
+		t.Errorf("session 1 has %d records, want 3", sessions[0].Len())
+	}
+	if sessions[1].Len() != 2 {
+		t.Errorf("session 2 has %d records, want 2", sessions[1].Len())
+	}
+	for _, s := range sessions {
+		for _, r := range s.Records {
+			if r.SessionID != s.ID {
+				t.Errorf("record session %q != %q", r.SessionID, s.ID)
+			}
+		}
+	}
+}
+
+func TestSplitBySessionCustomExtractor(t *testing.T) {
+	recs := []Record{
+		{Source: "w1", Message: "a"},
+		{Source: "w2", Message: "b"},
+		{Source: "w1", Message: "c"},
+	}
+	bySource := func(r *Record) string { return r.Source }
+	sessions := SplitBySession(recs, bySource)
+	if len(sessions) != 2 || sessions[0].Len() != 2 {
+		t.Errorf("custom extractor sessions wrong: %d", len(sessions))
+	}
+}

@@ -1,0 +1,46 @@
+package nlp
+
+import "testing"
+
+var benchMsgs = []string{
+	"fetcher#1 about to shuffle output of map attempt_1551400000000_0001_m_000017_0",
+	"host1:13562 freed by fetcher#1 in 4ms",
+	"Finished task 1.0 in stage 1.0 (TID 4). 1109 bytes result sent to driver",
+	"Registering block manager host1:38211 with 366.3 MB RAM, BlockManagerId(driver, host1, 38211, None)",
+	"Container container_1551400000000_0001_01_000002 transitioned from LOCALIZED to RUNNING",
+	"memoryLimit=334338464 mergeThreshold=220663392 ioSortFactor=10",
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchMsgs[i%len(benchMsgs)])
+	}
+}
+
+func BenchmarkTagMessage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TagMessage(benchMsgs[i%len(benchMsgs)])
+	}
+}
+
+func BenchmarkParseDeps(b *testing.B) {
+	tagged := make([][]Token, len(benchMsgs))
+	for i, m := range benchMsgs {
+		tagged[i] = TagMessage(m)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParseDeps(tagged[i%len(tagged)])
+	}
+}
+
+func BenchmarkLemma(b *testing.B) {
+	words := [][2]string{{"directories", TagNNS}, {"Registered", TagVBN}, {"metrics", TagNNS}, {"initializing", TagVBG}}
+	for i := 0; i < b.N; i++ {
+		w := words[i%len(words)]
+		Lemma(w[0], w[1])
+	}
+}

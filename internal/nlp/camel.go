@@ -1,0 +1,67 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// IsCamel reports whether word follows the camel-case class-name
+// convention: at least two case transitions with an interior upper-case
+// letter ("MapTask", "BlockManagerId", "taskAttempt"). Single capitalized
+// words ("Starting") are not camel case.
+func IsCamel(word string) bool {
+	if len(word) < 2 || strings.ContainsAny(word, "_-#/:.") || hasDigit(word) {
+		return false
+	}
+	interiorUpper := false
+	hasLower := false
+	for i, r := range word {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+		if unicode.IsUpper(r) && i > 0 {
+			interiorUpper = true
+		}
+		if unicode.IsLower(r) {
+			hasLower = true
+		}
+	}
+	return interiorUpper && hasLower
+}
+
+// SplitCamel splits a camel-case word into lower-cased words, keeping
+// acronym runs together: "MapTask" → [map task], "HDFSBlockManager" →
+// [hdfs block manager], "taskAttemptID" → [task attempt id]. Non-camel
+// input returns the lower-cased word unchanged. This implements the
+// camel-case entity filter of §3.1.
+func SplitCamel(word string) []string {
+	if word == "" {
+		return nil
+	}
+	runes := []rune(word)
+	var parts []string
+	start := 0
+	for i := 1; i < len(runes); i++ {
+		prev, cur := runes[i-1], runes[i]
+		boundary := false
+		switch {
+		case unicode.IsLower(prev) && unicode.IsUpper(cur):
+			boundary = true // wordBreak: "mapTask"
+		case unicode.IsUpper(prev) && unicode.IsUpper(cur) && i+1 < len(runes) && unicode.IsLower(runes[i+1]):
+			boundary = true // acronym end: "HDFSBlock" splits before "Block"
+		case unicode.IsLetter(prev) != unicode.IsLetter(cur):
+			boundary = true // letter/digit transition
+		}
+		if boundary {
+			parts = append(parts, strings.ToLower(string(runes[start:i])))
+			start = i
+		}
+	}
+	parts = append(parts, strings.ToLower(string(runes[start:])))
+	return parts
+}
+
+// CamelPhrase is SplitCamel joined with spaces: "MapTask" → "map task".
+func CamelPhrase(word string) string {
+	return strings.Join(SplitCamel(word), " ")
+}

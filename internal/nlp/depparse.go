@@ -1,0 +1,342 @@
+package nlp
+
+// Arc is one typed dependency: tokens[Dep] attaches to tokens[Head] with
+// relation Rel. ROOT arcs use Head = -1.
+type Arc struct {
+	Head int
+	Dep  int
+	Rel  string
+}
+
+// Universal Dependencies relations emitted by the parser — exactly the
+// seven relations of Table 3 in the paper.
+const (
+	RelRoot      = "ROOT"
+	RelXcomp     = "xcomp"
+	RelNsubj     = "nsubj"
+	RelNsubjPass = "nsubjpass"
+	RelDobj      = "dobj"
+	RelIobj      = "iobj"
+	RelNmod      = "nmod"
+)
+
+// Parse is a dependency analysis of a tagged token sequence. A log message
+// may contain several sentences ("4 finished. Closing"), so Roots can hold
+// more than one predicate index.
+type Parse struct {
+	Tokens []Token
+	Arcs   []Arc
+	Roots  []int
+}
+
+// ArcsFor returns the arcs whose head is the given token index.
+func (p *Parse) ArcsFor(head int) []Arc {
+	var out []Arc
+	for _, a := range p.Arcs {
+		if a.Head == head {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ParseDeps analyses tagged tokens with head-percolation rules specialised
+// for the single-clause register of log messages (§3.2): it locates each
+// clause's predicate (main verb, auxiliary+participle, or an "about
+// to"/"failed to" xcomp chain), then attaches the surrounding noun-phrase
+// heads as nsubj/nsubjpass, dobj/iobj and nmod.
+//
+// The Stanford parser the paper uses produces full trees; only the Table 3
+// relations influence IntelLog, so this parser emits exactly those.
+func ParseDeps(tokens []Token) Parse {
+	p := Parse{Tokens: tokens}
+	start := 0
+	for i := 0; i <= len(tokens); i++ {
+		atBreak := i == len(tokens) ||
+			(tokens[i].Tag == TagSYM && (tokens[i].Text == "." || tokens[i].Text == ";"))
+		if !atBreak {
+			continue
+		}
+		if i > start {
+			parseClause(&p, start, i)
+		}
+		start = i + 1
+	}
+	return p
+}
+
+// parseClause analyses tokens[lo:hi] as one clause and appends arcs.
+func parseClause(p *Parse, lo, hi int) {
+	toks := p.Tokens
+	pred, passive, aux := findPredicate(toks, lo, hi)
+	if pred < 0 {
+		return
+	}
+	p.Roots = append(p.Roots, pred)
+	p.Arcs = append(p.Arcs, Arc{Head: -1, Dep: pred, Rel: RelRoot})
+
+	// Subject: head of the NP immediately left of the predicate (or of its
+	// auxiliary/xcomp chain start).
+	leftEdge := pred
+	if aux >= 0 {
+		leftEdge = aux
+	}
+	if subj := npHeadLeft(toks, lo, leftEdge); subj >= 0 {
+		rel := RelNsubj
+		if passive {
+			rel = RelNsubjPass
+		}
+		p.Arcs = append(p.Arcs, Arc{Head: pred, Dep: subj, Rel: rel})
+	}
+
+	// Complements: scan right of the predicate. NPs inside parentheses are
+	// annotations ("(TID 4)") and attach as nmod rather than objects.
+	i := pred + 1
+	depth := 0
+	var bareNPs []int
+	for i < hi {
+		t := toks[i]
+		switch {
+		case t.Tag == TagSYM:
+			switch t.Text {
+			case "(", "[", "{":
+				depth++
+			case ")", "]", "}":
+				if depth > 0 {
+					depth--
+				}
+			}
+			i++
+		case t.Tag == TagIN || t.Tag == TagTO:
+			// Prepositional phrase → nmod on its NP head.
+			obj, next := npHeadRight(toks, i+1, hi)
+			if obj >= 0 {
+				p.Arcs = append(p.Arcs, Arc{Head: pred, Dep: obj, Rel: RelNmod})
+				i = next
+			} else {
+				i++
+			}
+		case IsVerb(t.Tag) && t.Tag == TagVB && i > pred+1 && toks[i-1].Tag == TagTO:
+			// Secondary xcomp inside the clause ("trying to connect ...").
+			p.Arcs = append(p.Arcs, Arc{Head: pred, Dep: i, Rel: RelXcomp})
+			i++
+		case IsNoun(t.Tag) || t.Tag == TagJJ || t.Tag == TagCD || t.Tag == TagDT:
+			obj, next := npHeadRight(toks, i, hi)
+			if obj < 0 {
+				i++
+				continue
+			}
+			if depth > 0 {
+				p.Arcs = append(p.Arcs, Arc{Head: pred, Dep: obj, Rel: RelNmod})
+			} else {
+				bareNPs = append(bareNPs, obj)
+			}
+			if next <= i {
+				next = i + 1
+			}
+			i = next
+		default:
+			i++
+		}
+	}
+	switch len(bareNPs) {
+	case 0:
+	case 1:
+		p.Arcs = append(p.Arcs, Arc{Head: pred, Dep: bareNPs[0], Rel: RelDobj})
+	default:
+		// Double-object construction: first NP is the recipient.
+		p.Arcs = append(p.Arcs, Arc{Head: pred, Dep: bareNPs[0], Rel: RelIobj})
+		p.Arcs = append(p.Arcs, Arc{Head: pred, Dep: bareNPs[1], Rel: RelDobj})
+	}
+}
+
+// findPredicate locates the clause's main predicate in tokens[lo:hi].
+// It returns the predicate index, whether the clause is passive, and the
+// index of an auxiliary/xcomp-chain start (-1 if none).
+func findPredicate(toks []Token, lo, hi int) (pred int, passive bool, aux int) {
+	aux = -1
+	for i := lo; i < hi; i++ {
+		t := toks[i]
+		if !IsVerb(t.Tag) {
+			continue
+		}
+		if isAuxiliary(t.Text) {
+			// "is/was/has been" + participle → the participle is the root.
+			for j := i + 1; j < hi; j++ {
+				tj := toks[j]
+				if tj.Tag == TagRB || tj.Tag == TagSYM || isAuxiliary(tj.Text) {
+					continue
+				}
+				if tj.Tag == TagVBN {
+					return j, true, i
+				}
+				if tj.Tag == TagVBG {
+					return j, false, i
+				}
+				break
+			}
+			// Copula with no participle ("X is done" handled above; "X is
+			// ready" has no operation predicate) — keep scanning.
+			continue
+		}
+		if t.Tag == TagVB && i > lo && toks[i-1].Tag == TagTO {
+			// "about to shuffle", "failed to connect": the infinitive is the
+			// effective predicate (xcomp in Table 3). The chain start is the
+			// first IN/verb before "to".
+			start := i - 1
+			for start > lo && (toks[start-1].Tag == TagIN || IsVerb(toks[start-1].Tag)) {
+				start--
+			}
+			return i, false, start
+		}
+		if t.Tag == TagVBN {
+			// Bare participle: passive if followed by a preposition or
+			// clause end, e.g. "host freed by fetcher", "result sent to
+			// driver", "4 finished". Sentence-initial participles
+			// ("Registered BlockManager bm1") act as active predicates.
+			if i == lo {
+				return i, false, -1
+			}
+			return i, followedByNP(toks, i+1, hi) == false, -1
+		}
+		if t.Tag == TagVBD && !followedByNP(toks, i+1, hi) && i > lo {
+			// Past form with no object and a preceding NP: ambiguous
+			// active/passive ("result sent to driver" when tagged VBD);
+			// treat as passive only if the verb also has a VBN reading.
+			if tags, ok := lexicon[lemmaKey(t.Text)]; ok {
+				for _, tg := range tags {
+					if tg == TagVBN {
+						return i, true, -1
+					}
+				}
+			}
+			return i, false, -1
+		}
+		return i, false, -1
+	}
+	return -1, false, -1
+}
+
+func lemmaKey(w string) string {
+	return toLower(w)
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+// isAuxiliary reports whether the word is a form of be/have used as an
+// auxiliary.
+func isAuxiliary(w string) bool {
+	switch toLower(w) {
+	case "is", "are", "was", "were", "be", "been", "being", "has", "have", "had", "am":
+		return true
+	}
+	return false
+}
+
+// followedByNP reports whether a bare noun phrase starts at or after i
+// (before any preposition) — evidence for an active reading.
+func followedByNP(toks []Token, i, hi int) bool {
+	for ; i < hi; i++ {
+		t := toks[i]
+		switch {
+		case t.Tag == TagSYM || t.Tag == TagRB:
+			continue
+		case t.Tag == TagDT || t.Tag == TagJJ || t.Tag == TagCD || IsNoun(t.Tag):
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// npHeadLeft finds the head (last noun) of the noun phrase that ends
+// immediately left of idx, scanning down to lo. Intervening adverbs,
+// punctuation and chain prepositions are skipped.
+func npHeadLeft(toks []Token, lo, idx int) int {
+	i := idx - 1
+	for i >= lo {
+		t := toks[i]
+		if t.Tag == TagSYM || t.Tag == TagRB || t.Tag == TagIN || t.Tag == TagTO {
+			i--
+			continue
+		}
+		break
+	}
+	if i >= lo && IsNoun(toks[i].Tag) {
+		return i
+	}
+	if i >= lo && toks[i].Tag == TagCD {
+		// A numeric modifier may trail its head noun ("fetcher # 1 about
+		// to …"); prefer the noun when one precedes the number.
+		for j := i - 1; j >= lo; j-- {
+			if toks[j].Tag == TagSYM {
+				continue
+			}
+			if IsNoun(toks[j].Tag) {
+				return j
+			}
+			break
+		}
+		// "4 finished" — a bare number can stand in for an omitted noun.
+		return i
+	}
+	return -1
+}
+
+// npHeadRight finds the head of the noun phrase starting at or after i and
+// returns (head index, index just past the NP). The head is the last noun
+// of the maximal DT/JJ/CD/noun run; numeric-only phrases head at the
+// number.
+func npHeadRight(toks []Token, i, hi int) (int, int) {
+	for i < hi && (toks[i].Tag == TagSYM || toks[i].Tag == TagRB) {
+		i++
+	}
+	head := -1
+	lastCD := -1
+	j := i
+	for ; j < hi; j++ {
+		t := toks[j]
+		switch {
+		case IsNoun(t.Tag):
+			head = j
+		case t.Tag == TagJJ || t.Tag == TagDT:
+		case t.Tag == TagCD:
+			lastCD = j
+		case t.Tag == TagSYM && t.Text == "#":
+			// "fetcher # 1": the number is a modifier of the noun head.
+		case t.Tag == TagSYM && (t.Text == "(" || t.Text == ")" || t.Text == "," || t.Text == "="):
+			// NPs often carry parenthetical identifier annotations:
+			// "task 1.0 in stage 1.0 (TID 4)"; a comma or '=' ends the NP.
+			if head >= 0 || lastCD >= 0 {
+				if head < 0 {
+					head = lastCD
+				}
+				return head, j
+			}
+			return -1, j + 1
+		default:
+			if head < 0 {
+				head = lastCD
+			}
+			return head, j
+		}
+	}
+	if head < 0 {
+		head = lastCD
+	}
+	return head, j
+}

@@ -1,0 +1,71 @@
+package nlp
+
+import "testing"
+
+// TestTaggerGoldenCorpus pins the tags of the load-bearing words across a
+// corpus of realistic log lines from all five systems. Each case lists
+// the tokens whose tags the downstream stages depend on.
+func TestTaggerGoldenCorpus(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want map[string]string
+	}{
+		{"Changing view acls to hadoop",
+			map[string]string{"Changing": TagVBG, "view": TagNN, "acls": TagNNS}},
+		{"Connecting to driver spark://CoarseGrainedScheduler@host1:35000",
+			map[string]string{"Connecting": TagVBG, "driver": TagNN}},
+		// Regular past forms prefer the participle reading ("Registered X",
+		// "freed by Y" dominate logs); the parser treats VBN and VBD roots
+		// alike, so "started" pins to VBN here.
+		{"MemoryStore started with capacity 366 MB",
+			map[string]string{"MemoryStore": TagNNP, "started": TagVBN, "capacity": TagNN, "366": TagCD}},
+		{"Created local directory at /tmp/blockmgr-8e2/11",
+			map[string]string{"Created": TagVBN, "local": TagJJ, "directory": TagNN, "/tmp/blockmgr-8e2/11": TagNNP}},
+		{"Registering BlockManager BlockManagerId_1_host3",
+			map[string]string{"Registering": TagVBG, "BlockManager": TagNNP}},
+		{"Got assigned task 42",
+			map[string]string{"Got": TagVBD, "task": TagNN, "42": TagCD}},
+		{"Getting 5 non-empty blocks out of 8 blocks",
+			map[string]string{"Getting": TagVBG, "non-empty": TagJJ, "blocks": TagNNS}},
+		{"Started 3 remote fetches in 12 ms",
+			map[string]string{"Started": TagVBN, "remote": TagJJ, "fetches": TagNNS}},
+		{"Invoking stop from shutdown hook",
+			map[string]string{"Invoking": TagVBG, "stop": TagNN, "shutdown": TagNN, "hook": TagNN}},
+		{"Job job_1551400000000_0001 transitioned from INITED to SETUP",
+			map[string]string{"Job": TagNN, "job_1551400000000_0001": TagNNP, "transitioned": TagVBN}},
+		{"Assigning host2:13562 with 1 map outputs to fetcher#3",
+			map[string]string{"Assigning": TagVBG, "host2:13562": TagNNP, "map": TagNN, "outputs": TagNNS}},
+		{"Merging 12 sorted segments",
+			map[string]string{"Merging": TagVBG, "sorted": TagJJ, "segments": TagNNS}},
+		{"Saved output of task attempt_01 to hdfs://nn1:8020/out/part-r-00000",
+			map[string]string{"Saved": TagVBN, "output": TagNN, "task": TagNN}},
+		{"Initializing table scan operator TS_0",
+			map[string]string{"Initializing": TagVBG, "table": TagNN, "scan": TagNN, "operator": TagNN, "TS_0": TagNNP}},
+		// "set" after a noun and before "to" reads nominal (like "outputs
+		// to fetcher"); the operation in this key is a known miss (§6.2's
+		// grammatically-awkward keys).
+		{"Vertex vertex_01 parallelism set to 8 tasks",
+			map[string]string{"Vertex": TagNN, "parallelism": TagNN}},
+		{"Launching container container_01 on node host4",
+			map[string]string{"Launching": TagVBG, "container": TagNN, "node": TagNN, "host4": TagNNP}},
+		{"Took 12.07 seconds to build instance instance-0a1b2c3d",
+			map[string]string{"Took": TagVBD, "12.07": TagCD, "seconds": TagNNS, "build": TagVB}},
+		{"Restoring parameters from checkpoint at /ckpt/model.ckpt-0",
+			map[string]string{"Restoring": TagVBG, "parameters": TagNNS, "checkpoint": TagNN}},
+		{"global step 60 reached loss of 1.7580",
+			map[string]string{"global": TagJJ, "step": TagNN, "reached": TagVBN, "loss": TagNN, "1.7580": TagCD}},
+	}
+	for _, c := range cases {
+		got := map[string]string{}
+		for _, tok := range TagMessage(c.msg) {
+			if _, ok := got[tok.Text]; !ok {
+				got[tok.Text] = tok.Tag
+			}
+		}
+		for word, want := range c.want {
+			if got[word] != want {
+				t.Errorf("%q: %q tagged %s, want %s", c.msg, word, got[word], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package nlp
+
+import "strings"
+
+// irregularNounLemmas maps irregular plurals to singulars.
+var irregularNounLemmas = map[string]string{
+	"children": "child", "indices": "index", "vertices": "vertex",
+	"statuses": "status", "processes": "process", "classes": "class",
+	"addresses": "address", "accesses": "access", "caches": "cache",
+	"stages": "stage", "nodes": "node", "bytes": "byte", "data": "data",
+	"metrics": "metric", "media": "medium", "criteria": "criterion",
+	"queries": "query", "entries": "entry", "copies": "copy",
+	"registries": "registry", "directories": "directory",
+	"properties": "property", "dependencies": "dependency",
+	"policies": "policy", "strategies": "strategy", "retries": "retry",
+	"replicas": "replica", "quotas": "quota", "analyses": "analysis",
+}
+
+// verbLemmas maps inflected verb forms to base forms for the irregular
+// verbs in the lexicon; regular forms are stripped by rule.
+var verbLemmas = map[string]string{}
+
+func init() {
+	for base, irr := range irregularVerbs {
+		verbLemmas[irr[0]] = base
+		verbLemmas[irr[1]] = base
+	}
+	verbLemmas["is"] = "be"
+	verbLemmas["are"] = "be"
+	verbLemmas["was"] = "be"
+	verbLemmas["were"] = "be"
+	verbLemmas["been"] = "be"
+	verbLemmas["being"] = "be"
+	verbLemmas["has"] = "have"
+	verbLemmas["had"] = "have"
+	verbLemmas["done"] = "do"
+	verbLemmas["freed"] = "free"
+}
+
+// Lemma reduces a word to its dictionary form given its POS tag: plural
+// nouns to singulars (§3.1 lemmatizes extracted entity phrases to singular
+// form) and inflected verbs to base form (used to canonicalize operation
+// predicates).
+func Lemma(word, tag string) string {
+	lower := strings.ToLower(word)
+	switch {
+	case tag == TagNNS || tag == TagNNPS:
+		return nounLemma(lower)
+	case IsVerb(tag):
+		return verbLemma(lower)
+	default:
+		return lower
+	}
+}
+
+// nounLemma singularizes a plural noun.
+func nounLemma(w string) string {
+	if s, ok := irregularNounLemmas[w]; ok {
+		return s
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "sses"), strings.HasSuffix(w, "shes"),
+		strings.HasSuffix(w, "ches"), strings.HasSuffix(w, "xes"), strings.HasSuffix(w, "zzes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"), strings.HasSuffix(w, "us"), strings.HasSuffix(w, "is"):
+		return w
+	case strings.HasSuffix(w, "s") && len(w) > 2:
+		return w[:len(w)-1]
+	default:
+		return w
+	}
+}
+
+// verbLemma reduces an inflected verb to base form.
+func verbLemma(w string) string {
+	if b, ok := verbLemmas[w]; ok {
+		return b
+	}
+	// If the word is itself a known base verb, keep it.
+	if tags, ok := lexicon[w]; ok {
+		for _, t := range tags {
+			if t == TagVB {
+				return w
+			}
+		}
+	}
+	switch {
+	case strings.HasSuffix(w, "ying") && len(w) > 5:
+		if base := w[:len(w)-4] + "ie"; isBaseVerb(base) {
+			return base
+		}
+		return w[:len(w)-3]
+	case strings.HasSuffix(w, "ing") && len(w) > 4:
+		stem := w[:len(w)-3]
+		return unstem(stem)
+	case strings.HasSuffix(w, "ied") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ed") && len(w) > 3:
+		stem := w[:len(w)-2]
+		return unstem(stem)
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "es") && len(w) > 3:
+		if isBaseVerb(w[:len(w)-2]) {
+			return w[:len(w)-2]
+		}
+		return w[:len(w)-1]
+	case strings.HasSuffix(w, "s") && len(w) > 2:
+		return w[:len(w)-1]
+	default:
+		return w
+	}
+}
+
+// unstem recovers a base verb from an -ing/-ed stem: restores a dropped
+// final 'e' ("initializ" → "initialize") and undoes consonant doubling
+// ("stopp" → "stop").
+func unstem(stem string) string {
+	if isBaseVerb(stem) {
+		return stem
+	}
+	if withE := stem + "e"; isBaseVerb(withE) {
+		return withE
+	}
+	if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] {
+		if short := stem[:len(stem)-1]; isBaseVerb(short) {
+			return short
+		}
+	}
+	return stem
+}
+
+// isBaseVerb reports whether w has a VB reading in the lexicon.
+func isBaseVerb(w string) bool {
+	tags, ok := lexicon[w]
+	if !ok {
+		return false
+	}
+	for _, t := range tags {
+		if t == TagVB {
+			return true
+		}
+	}
+	return false
+}

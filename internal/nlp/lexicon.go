@@ -1,0 +1,376 @@
+package nlp
+
+import "strings"
+
+// The lexicon maps lower-cased surface forms to Penn Treebank tags in
+// priority order (first = preferred reading absent contextual evidence).
+// It is built at init from closed-class word lists, a base-verb list whose
+// inflections are generated, a domain-noun list and an adjective list.
+// Log vocabulary is narrow, so a few hundred lemmas give near-total
+// coverage of analytics-system logs; everything else falls to the tagger's
+// suffix/shape heuristics.
+var lexicon = map[string][]string{}
+
+// addLex appends tags for a word, keeping earlier (higher-priority)
+// readings first and skipping duplicates.
+func addLex(word string, tags ...string) {
+	have := lexicon[word]
+	for _, t := range tags {
+		dup := false
+		for _, h := range have {
+			if h == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			have = append(have, t)
+		}
+	}
+	lexicon[word] = have
+}
+
+// closedClass lists function words with a single dominant reading in logs.
+var closedClass = map[string]string{
+	// determiners
+	"the": TagDT, "a": TagDT, "an": TagDT, "this": TagDT, "that": TagDT,
+	"these": TagDT, "those": TagDT, "all": TagDT, "each": TagDT, "every": TagDT,
+	"any": TagDT, "some": TagDT, "no": TagDT, "another": TagDT, "both": TagDT,
+	"many": TagDT, "few": TagDT, "several": TagDT, "most": TagDT, "much": TagDT,
+	// prepositions / subordinating conjunctions
+	"of": TagIN, "in": TagIN, "on": TagIN, "at": TagIN, "by": TagIN,
+	"for": TagIN, "from": TagIN, "with": TagIN, "without": TagIN,
+	"into": TagIN, "onto": TagIN, "over": TagIN, "under": TagIN,
+	"after": TagIN, "before": TagIN, "during": TagIN, "until": TagIN,
+	"via": TagIN, "per": TagIN, "as": TagIN, "out": TagIN, "off": TagIN,
+	"within": TagIN, "about": TagIN, "against": TagIN, "between": TagIN,
+	"because": TagIN, "since": TagIN, "while": TagIN, "if": TagIN,
+	"whether": TagIN, "than": TagIN, "through": TagIN, "towards": TagIN,
+	"up": TagIN, "down": TagIN,
+	// conjunctions
+	"and": TagCC, "or": TagCC, "but": TagCC, "nor": TagCC,
+	// to
+	"to": TagTO,
+	// pronouns
+	"it": TagPRP, "its": TagPRP, "itself": TagPRP, "we": TagPRP, "they": TagPRP,
+	// modals
+	"will": TagMD, "would": TagMD, "can": TagMD, "cannot": TagMD,
+	"could": TagMD, "should": TagMD, "must": TagMD, "may": TagMD, "might": TagMD,
+	// adverbs common in logs
+	"not": TagRB, "now": TagRB, "already": TagRB, "again": TagRB,
+	"successfully": TagRB, "currently": TagRB, "only": TagRB, "also": TagRB,
+	"still": TagRB, "yet": TagRB, "soon": TagRB, "immediately": TagRB,
+	"gracefully": TagRB, "normally": TagRB, "later": TagRB, "too": TagRB,
+	"instead": TagRB, "there": TagRB, "here": TagRB, "randomly": TagRB,
+	"asynchronously": TagRB, "periodically": TagRB, "locally": TagRB,
+	"remotely": TagRB, "directly": TagRB, "first": TagRB,
+}
+
+// irregularVerbs maps base → [past, past participle]. 3rd-person -s and
+// -ing are still generated regularly from the base.
+var irregularVerbs = map[string][2]string{
+	"get":    {"got", "gotten"},
+	"send":   {"sent", "sent"},
+	"read":   {"read", "read"},
+	"tell":   {"told", "told"},
+	"take":   {"took", "taken"},
+	"run":    {"ran", "run"},
+	"begin":  {"began", "begun"},
+	"write":  {"wrote", "written"},
+	"shut":   {"shut", "shut"},
+	"set":    {"set", "set"},
+	"put":    {"put", "put"},
+	"find":   {"found", "found"},
+	"lose":   {"lost", "lost"},
+	"make":   {"made", "made"},
+	"keep":   {"kept", "kept"},
+	"leave":  {"left", "left"},
+	"give":   {"gave", "given"},
+	"go":     {"went", "gone"},
+	"do":     {"did", "done"},
+	"see":    {"saw", "seen"},
+	"hit":    {"hit", "hit"},
+	"split":  {"split", "split"},
+	"spill":  {"spilled", "spilt"},
+	"build":  {"built", "built"},
+	"bind":   {"bound", "bound"},
+	"throw":  {"threw", "thrown"},
+	"catch":  {"caught", "caught"},
+	"hold":   {"held", "held"},
+	"meet":   {"met", "met"},
+	"choose": {"chose", "chosen"},
+}
+
+// baseVerbs lists the verbs observed in analytics-system logs. Inflections
+// are generated at init.
+var baseVerbs = []string{
+	"start", "stop", "register", "initialize", "initiate", "launch", "fetch",
+	"shuffle", "free", "assign", "complete", "finish", "receive", "allocate",
+	"merge", "sort", "clean", "close", "open", "connect", "disconnect",
+	"submit", "schedule", "kill", "abort", "retry", "store", "remove", "add",
+	"create", "delete", "update", "report", "request", "process", "commit",
+	"execute", "invoke", "call", "load", "save", "delegate", "transition",
+	"succeed", "fail", "expire", "terminate", "wait", "notify", "download",
+	"upload", "copy", "move", "rename", "flush", "spawn", "fork", "exit",
+	"reach", "exceed", "enable", "disable", "authenticate", "authorize",
+	"change", "use", "try", "attempt", "handle", "resolve", "bind", "listen",
+	"accept", "reject", "deny", "grant", "refresh", "recover", "restart",
+	"resume", "suspend", "pause", "skip", "ignore", "drop", "discard",
+	"evict", "replicate", "persist", "serialize", "deserialize", "compress",
+	"decompress", "encrypt", "decrypt", "validate", "verify", "check",
+	"scan", "search", "estimate", "compute", "calculate", "aggregate",
+	"collect", "emit", "output", "generate", "produce", "consume", "poll",
+	"acknowledge", "broadcast", "stream", "cache", "uncache", "unregister",
+	"deallocate", "preempt", "localize", "contact", "ping", "mark", "track",
+	"monitor", "measure", "record", "log", "trace", "dump", "rollback",
+	"reload", "rebuild", "rerun", "need", "shrink", "grow", "stage",
+	"return", "signal", "map", "reduce", "partition", "combine", "group",
+	"join", "filter", "transform", "materialize", "instantiate", "destroy",
+	"recommission", "decommission", "blacklist", "whitelist", "renew",
+	"book", "reserve", "unreserve", "acquire", "release", "lock", "unlock",
+	"own", "serve", "forward", "redirect", "respond", "reply", "time",
+	"satisfy", "recalculate", "reschedule", "interrupt", "shut",
+}
+
+// domainNouns lists nouns from the analytics-log domain. Plurals are
+// generated at init.
+var domainNouns = []string{
+	"task", "job", "container", "block", "manager", "memory", "executor",
+	"driver", "stage", "fetcher", "output", "input", "node", "host",
+	"directory", "file", "path", "data", "byte", "attempt", "application",
+	"master", "system", "metric", "event", "heartbeat", "process", "thread",
+	"segment", "pass", "record", "partition", "query", "vertex", "dag",
+	"session", "token", "resource", "limit", "capacity", "size", "time",
+	"handler", "hook", "variable", "result", "instance", "image",
+	"disk", "buffer", "stream", "server", "service", "client", "connection",
+	"port", "address", "user", "acl", "permission", "level", "progress",
+	"status", "state", "error", "exception", "failure", "timeout",
+	"cleanup", "folder", "store", "storage", "scheduler", "allocator",
+	"tracker", "committer", "listener", "endpoint", "registry", "view",
+	"mode", "version", "class", "plugin", "operator", "phase", "checkpoint",
+	"worker", "core", "machine", "cluster", "queue", "pool", "shutdown",
+	"startup", "configuration", "config", "property", "value", "key",
+	"identifier", "id", "name", "type", "count", "number", "total",
+	"rate", "ratio", "percentage", "second", "millisecond", "minute",
+	"hour", "slot", "round", "iteration", "loop", "batch", "window",
+	"offset", "length", "width", "height", "depth", "row", "column",
+	"table", "database", "schema", "index", "entry", "element", "item",
+	"object", "component", "module", "package", "library", "framework",
+	"protocol", "message", "signature", "certificate", "credential",
+	"authentication", "authorization", "security", "network", "interface",
+	"gateway", "proxy", "router", "switch", "channel", "socket", "pipe",
+	"schedule", "lifecycle", "lifespan", "duration", "interval", "period", "deadline",
+	"environment", "context", "scope", "domain", "zone", "region", "rack",
+	"replica", "copy", "backup", "snapshot", "log", "logger", "appender",
+	"console", "terminal", "command", "argument", "option", "flag",
+	"parameter", "setting", "default", "override", "priority", "weight",
+	"score", "rank", "position", "location", "locality", "source", "target",
+	"destination", "origin", "sink", "upstream", "downstream", "parent",
+	"child", "sibling", "root", "leaf", "branch", "tree", "graph", "edge",
+	"cycle", "chain", "sequence", "order", "list", "array", "set",
+	"collection", "bucket", "bin", "shard", "chunk", "piece", "part",
+	"fraction", "portion", "share", "quota", "budget", "allocation",
+	"reservation", "assignment", "placement", "mapping", "binding",
+	"association", "relation", "dependency", "requirement", "constraint",
+	"rule", "policy", "strategy", "algorithm", "method", "function",
+	"procedure", "routine", "subroutine", "operation", "action", "activity",
+	"step", "transition", "tuple", "bit", "word", "line", "page",
+	"frame", "header", "footer", "body", "payload", "content", "format",
+	"encoding", "compression", "encryption", "checksum", "hash", "digest",
+	"sample", "trace", "profile", "report", "summary", "detail", "info",
+	"information", "knowledge", "insight", "statistic", "measurement",
+	"observation", "reading", "signal", "alarm", "alert", "warning",
+	"notification", "reminder", "request", "response", "reply", "answer",
+	"call", "invocation", "execution", "completion", "termination",
+	"initialization", "finalization", "preparation", "validation",
+	"verification", "inspection", "audit", "review", "analysis", "merge",
+	"spill", "split", "fetch", "map", "reduce", "shuffle", "broadcast",
+	"cache", "commit", "rollback", "flush", "sync", "update", "upgrade",
+	"downgrade", "patch", "fix", "bug", "issue", "problem", "cause",
+	"effect", "impact", "consequence", "outcome", "retry", "delegation",
+	"renewer", "filesystem", "namenode", "datanode", "localizer", "uberization",
+	"kind", "sleep", "code", "tree", "reference", "slave", "range", "factor",
+	"plan", "runner", "processor", "daemon", "agent", "monitor", "collector",
+	"reporter", "emitter", "writer", "reader", "merger", "sorter", "combiner",
+	"shuffler", "deserializer", "serializer", "decoder", "encoder",
+}
+
+// adjectives lists attributive adjectives seen in logs.
+var adjectives = []string{
+	"remote", "local", "temporary", "final", "initial", "new", "empty",
+	"non-empty", "successful", "last", "physical", "virtual", "current",
+	"available", "sorted", "complete", "incomplete", "abnormal", "normal",
+	"maximum", "minimum", "internal", "external", "idle", "active",
+	"inactive", "pending", "running", "finished", "failed", "killed",
+	"unassigned", "assigned", "unhealthy", "healthy", "valid", "invalid",
+	"stale", "fresh", "dirty", "big", "small", "large", "short", "long",
+	"high", "low", "fast", "slow", "early", "late", "old", "soft", "hard",
+	"full", "partial", "main", "primary", "secondary", "single", "multiple",
+	"next", "previous", "such", "same", "different", "various", "certain",
+	"possible", "impossible", "unable", "able", "ready", "busy", "free",
+	"open", "closed", "shared", "exclusive", "public", "private",
+	"configured", "default", "custom", "unknown", "null", "missing",
+	"extra", "additional", "intermediate", "raw", "clean", "whole",
+	"speculative", "preemptible", "lazy", "eager", "persistent",
+	"transient", "ephemeral", "permanent", "deprecated", "legacy",
+	"completed", "global",
+}
+
+// nounVerbAmbiguous lists words whose noun reading should win when flanked
+// by noun evidence even though they inflect as verbs too.
+var nounVerbAmbiguous = []string{
+	"output", "map", "reduce", "shuffle", "merge", "spill", "split", "fetch",
+	"request", "process", "store", "cache", "commit", "report", "signal",
+	"attempt", "transition", "record", "log", "trace", "broadcast", "stream",
+	"stop", "scan",
+	"copy", "result", "call", "time", "stage", "partition", "group",
+	"update", "retry", "sort", "flush", "cleanup", "start", "return",
+}
+
+func init() {
+	for w, t := range closedClass {
+		addLex(w, t)
+	}
+	// Forms of "be" and "have" get verb tags directly.
+	addLex("is", TagVBZ)
+	addLex("are", TagVBP)
+	addLex("was", TagVBD)
+	addLex("were", TagVBD)
+	addLex("be", TagVB)
+	addLex("been", TagVBN)
+	addLex("being", TagVBG)
+	addLex("has", TagVBZ)
+	addLex("have", TagVBP)
+	addLex("had", TagVBD)
+	addLex("am", TagVBP)
+
+	for _, v := range baseVerbs {
+		addLex(v, TagVB)
+		addLex(thirdPerson(v), TagVBZ)
+		addLex(gerund(v), TagVBG)
+		if irr, ok := irregularVerbs[v]; ok {
+			addLex(irr[0], TagVBD)
+			addLex(irr[1], TagVBN)
+		} else {
+			p := pastTense(v)
+			addLex(p, TagVBN, TagVBD) // participle reading first: logs favour "Registered X", "freed by Y"
+		}
+	}
+	for v, irr := range irregularVerbs {
+		// Irregular verbs not in baseVerbs (e.g. "see") still get entries.
+		addLex(v, TagVB)
+		addLex(thirdPerson(v), TagVBZ)
+		addLex(gerund(v), TagVBG)
+		addLex(irr[0], TagVBD)
+		addLex(irr[1], TagVBN)
+	}
+	for _, n := range domainNouns {
+		addLex(n, TagNN)
+		addLex(plural(n), TagNNS)
+	}
+	for _, a := range adjectives {
+		addLex(a, TagJJ)
+	}
+	// Ambiguous words: ensure the noun reading is present; context rules
+	// pick between readings.
+	for _, w := range nounVerbAmbiguous {
+		addLex(w, TagNN)
+	}
+	// A few forced fixes where generation produces the wrong surface form
+	// or the domain demands an unusual priority.
+	lexicon["done"] = []string{TagVBN}
+	lexicon["data"] = []string{TagNN}
+	lexicon["metrics"] = []string{TagNNS}
+	lexicon["bytes"] = []string{TagNNS}
+	lexicon["ms"] = []string{TagNN}
+	lexicon["mb"] = []string{TagNN}
+	lexicon["kb"] = []string{TagNN}
+	lexicon["gb"] = []string{TagNN}
+	lexicon["left"] = []string{TagJJ, TagVBN}
+	lexicon["freed"] = []string{TagVBN, TagVBD}
+}
+
+// thirdPerson forms the 3rd-person singular present of a base verb.
+func thirdPerson(v string) string {
+	switch {
+	case strings.HasSuffix(v, "s") || strings.HasSuffix(v, "sh") ||
+		strings.HasSuffix(v, "ch") || strings.HasSuffix(v, "x") || strings.HasSuffix(v, "z"):
+		return v + "es"
+	case strings.HasSuffix(v, "y") && len(v) > 1 && !isVowel(v[len(v)-2]):
+		return v[:len(v)-1] + "ies"
+	case strings.HasSuffix(v, "o"):
+		return v + "es"
+	default:
+		return v + "s"
+	}
+}
+
+// gerund forms the -ing participle of a base verb.
+func gerund(v string) string {
+	switch {
+	case strings.HasSuffix(v, "ie"):
+		return v[:len(v)-2] + "ying"
+	case strings.HasSuffix(v, "e") && !strings.HasSuffix(v, "ee") && v != "be":
+		return v[:len(v)-1] + "ing"
+	case doublesFinal(v):
+		return v + string(v[len(v)-1]) + "ing"
+	default:
+		return v + "ing"
+	}
+}
+
+// pastTense forms the regular -ed past of a base verb.
+func pastTense(v string) string {
+	switch {
+	case strings.HasSuffix(v, "e"):
+		return v + "d"
+	case strings.HasSuffix(v, "y") && len(v) > 1 && !isVowel(v[len(v)-2]):
+		return v[:len(v)-1] + "ied"
+	case doublesFinal(v):
+		return v + string(v[len(v)-1]) + "ed"
+	default:
+		return v + "ed"
+	}
+}
+
+// doublesFinal reports whether a verb doubles its final consonant before
+// -ing/-ed (CVC pattern in a stressed final syllable; approximated for the
+// verbs in this lexicon).
+func doublesFinal(v string) bool {
+	switch v {
+	case "stop", "submit", "commit", "drop", "skip", "map", "ping", "plan",
+		"refer", "transfer", "swap", "trim", "log", "tag", "grab", "scan":
+		return v != "ping" // "pinging", not "pingging"
+	}
+	return false
+}
+
+// plural forms the plural of a noun.
+func plural(n string) string {
+	switch {
+	case strings.HasSuffix(n, "is") && len(n) > 3:
+		return n[:len(n)-2] + "es" // analysis → analyses
+	case strings.HasSuffix(n, "s") || strings.HasSuffix(n, "sh") ||
+		strings.HasSuffix(n, "ch") || strings.HasSuffix(n, "x") || strings.HasSuffix(n, "z"):
+		return n + "es"
+	case strings.HasSuffix(n, "y") && len(n) > 1 && !isVowel(n[len(n)-2]):
+		return n[:len(n)-1] + "ies"
+	default:
+		return n + "s"
+	}
+}
+
+func isVowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// LookupLexicon returns the tag readings for a lower-cased word and whether
+// the word is known.
+func LookupLexicon(word string) ([]string, bool) {
+	tags, ok := lexicon[word]
+	return tags, ok
+}

@@ -1,0 +1,377 @@
+package nlp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func tagsOf(msg string) map[string]string {
+	out := map[string]string{}
+	for _, t := range TagMessage(msg) {
+		out[t.Text] = t.Tag
+	}
+	return out
+}
+
+func TestTokenizeKeepsAtomicFields(t *testing.T) {
+	// "fetcher#1" splits into "fetcher # 1" (the paper's Fig. 1 shows
+	// exactly this tokenization); underscore identifiers stay atomic.
+	toks := Tokenize("[fetcher#1] read 2264 bytes from map-output for attempt_01")
+	texts := Texts(toks)
+	want := []string{"[", "fetcher", "#", "1", "]", "read", "2264", "bytes", "from", "map-output", "for", "attempt_01"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Errorf("Tokenize = %v, want %v", texts, want)
+	}
+}
+
+func TestTokenizeHostPortAndTrailing(t *testing.T) {
+	toks := Tokenize("host1:13562 freed by fetcher#1 in 4ms.")
+	texts := Texts(toks)
+	want := []string{"host1:13562", "freed", "by", "fetcher", "#", "1", "in", "4ms", "."}
+	if !reflect.DeepEqual(texts, want) {
+		t.Errorf("Tokenize = %v, want %v", texts, want)
+	}
+}
+
+func TestTokenizePathsAndURLs(t *testing.T) {
+	toks := Tokenize("Created local directory at /tmp/blockmgr-8e2/11 from hdfs://nn:8020/user/data")
+	texts := Texts(toks)
+	if texts[4] != "/tmp/blockmgr-8e2/11" {
+		t.Errorf("path token = %q", texts[4])
+	}
+	if texts[6] != "hdfs://nn:8020/user/data" {
+		t.Errorf("url token = %q", texts[6])
+	}
+}
+
+func TestTokenizeKeyValueSplit(t *testing.T) {
+	toks := Tokenize("memoryLimit=334338464")
+	texts := Texts(toks)
+	want := []string{"memoryLimit", "=", "334338464"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Errorf("Tokenize = %v, want %v", texts, want)
+	}
+}
+
+func TestTokenizeWordsDropsPunct(t *testing.T) {
+	toks := TokenizeWords("[fetcher#1] read (2264) bytes.")
+	for _, tok := range toks {
+		if tok.Tag == TagSYM {
+			t.Errorf("punct token %q survived TokenizeWords", tok.Text)
+		}
+	}
+	if len(toks) != 5 { // fetcher, 1, read, 2264, bytes
+		t.Errorf("got %d word tokens, want 5: %v", len(toks), Texts(toks))
+	}
+}
+
+// Figure 3 of the paper: "Starting MapTask metrics system" tags as
+// VBG NNP NNS NN.
+func TestTagFigure3(t *testing.T) {
+	toks := TagMessage("Starting MapTask metrics system")
+	want := []string{TagVBG, TagNNP, TagNNS, TagNN}
+	if got := Tags(toks); !reflect.DeepEqual(got, want) {
+		t.Errorf("Tags = %v, want %v (tokens %v)", got, want, Texts(toks))
+	}
+}
+
+// Figure 1 line 1: fetcher and map are entities; attempt_01 an identifier.
+func TestTagFetcherShuffle(t *testing.T) {
+	m := tagsOf("fetcher#1 about to shuffle output of map attempt_01")
+	if m["fetcher"] != TagNN {
+		t.Errorf("fetcher = %s, want NN", m["fetcher"])
+	}
+	if m["1"] != TagCD || m["#"] != TagSYM {
+		t.Errorf("fetcher id tokens wrong: 1=%s #=%s", m["1"], m["#"])
+	}
+	if m["shuffle"] != TagVB {
+		t.Errorf("shuffle = %s, want VB after 'to'", m["shuffle"])
+	}
+	if m["output"] != TagNN {
+		t.Errorf("output = %s, want NN", m["output"])
+	}
+	if m["map"] != TagNN {
+		t.Errorf("map = %s, want NN", m["map"])
+	}
+	if m["attempt_01"] != TagNNP {
+		t.Errorf("attempt_01 = %s, want NNP", m["attempt_01"])
+	}
+}
+
+func TestTagFetcherRead(t *testing.T) {
+	m := tagsOf("[fetcher#1] read 2264 bytes from map-output for attempt_01")
+	if m["read"] != TagVBD && m["read"] != TagVB && m["read"] != TagVBN {
+		t.Errorf("read = %s, want a verb tag", m["read"])
+	}
+	if m["2264"] != TagCD {
+		t.Errorf("2264 = %s, want CD", m["2264"])
+	}
+	if m["bytes"] != TagNNS {
+		t.Errorf("bytes = %s, want NNS", m["bytes"])
+	}
+}
+
+func TestTagPassiveFreed(t *testing.T) {
+	m := tagsOf("host1:13562 freed by fetcher#1 in 4ms")
+	if m["host1:13562"] != TagNNP {
+		t.Errorf("host:port = %s, want NNP", m["host1:13562"])
+	}
+	if m["freed"] != TagVBN {
+		t.Errorf("freed = %s, want VBN", m["freed"])
+	}
+	if m["4ms"] != TagNNP { // mixed alphanumeric
+		t.Errorf("4ms = %s, want NNP", m["4ms"])
+	}
+}
+
+func TestTagNumbersAndPercent(t *testing.T) {
+	m := tagsOf("reduce > copy at 0.51 done 85% of 12,345 tasks")
+	if m["0.51"] != TagCD || m["85%"] != TagCD || m["12,345"] != TagCD {
+		t.Errorf("numeric tags wrong: %v", m)
+	}
+}
+
+func TestTagUnknownSuffixes(t *testing.T) {
+	m := tagsOf("uberizing clusterized frobly unstoppable quxness")
+	if m["uberizing"] != TagVBG {
+		t.Errorf("uberizing = %s", m["uberizing"])
+	}
+	if m["clusterized"] != TagVBN {
+		t.Errorf("clusterized = %s", m["clusterized"])
+	}
+	if m["frobly"] != TagRB {
+		t.Errorf("frobly = %s", m["frobly"])
+	}
+	if m["unstoppable"] != TagJJ {
+		t.Errorf("unstoppable = %s", m["unstoppable"])
+	}
+}
+
+func TestIsCamel(t *testing.T) {
+	yes := []string{"MapTask", "BlockManagerId", "taskAttempt", "HDFSBlock", "MRAppMaster"}
+	no := []string{"Starting", "task", "ALLCAPS", "attempt_01", "map-output", "v1.2", "a"}
+	for _, w := range yes {
+		if !IsCamel(w) {
+			t.Errorf("IsCamel(%q) = false, want true", w)
+		}
+	}
+	for _, w := range no {
+		if IsCamel(w) {
+			t.Errorf("IsCamel(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestSplitCamel(t *testing.T) {
+	cases := map[string][]string{
+		"MapTask":        {"map", "task"},
+		"BlockManagerId": {"block", "manager", "id"},
+		"HDFSBlock":      {"hdfs", "block"},
+		"taskAttemptID":  {"task", "attempt", "id"},
+		"MRAppMaster":    {"mr", "app", "master"},
+		"simple":         {"simple"},
+	}
+	for in, want := range cases {
+		if got := SplitCamel(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("SplitCamel(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if CamelPhrase("MapTask") != "map task" {
+		t.Error("CamelPhrase wrong")
+	}
+}
+
+func TestLemmaNouns(t *testing.T) {
+	cases := [][3]string{
+		{"tasks", TagNNS, "task"},
+		{"metrics", TagNNS, "metric"},
+		{"directories", TagNNS, "directory"},
+		{"processes", TagNNS, "process"},
+		{"vertices", TagNNS, "vertex"},
+		{"bytes", TagNNS, "byte"},
+		{"status", TagNN, "status"},
+		{"events", TagNNS, "event"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c[0], c[1]); got != c[2] {
+			t.Errorf("Lemma(%q,%s) = %q, want %q", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestLemmaVerbs(t *testing.T) {
+	cases := [][3]string{
+		{"Starting", TagVBG, "start"},
+		{"Registered", TagVBN, "register"},
+		{"freed", TagVBN, "free"},
+		{"stopped", TagVBD, "stop"},
+		{"initialized", TagVBN, "initialize"},
+		{"got", TagVBD, "get"},
+		{"sent", TagVBN, "send"},
+		{"read", TagVBD, "read"},
+		{"finishes", TagVBZ, "finish"},
+		{"done", TagVBN, "do"},
+		{"told", TagVBD, "tell"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c[0], c[1]); got != c[2] {
+			t.Errorf("Lemma(%q,%s) = %q, want %q", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+// relOf returns the text of the dependent for the first arc with the given
+// relation, or "".
+func relOf(p Parse, rel string) string {
+	for _, a := range p.Arcs {
+		if a.Rel == rel {
+			return p.Tokens[a.Dep].Text
+		}
+	}
+	return ""
+}
+
+func TestParseActiveClause(t *testing.T) {
+	p := ParseDeps(TagMessage("[fetcher#1] read 2264 bytes from map-output for attempt_01"))
+	if len(p.Roots) != 1 {
+		t.Fatalf("Roots = %v, want one root", p.Roots)
+	}
+	if got := p.Tokens[p.Roots[0]].Text; got != "read" {
+		t.Errorf("root = %q, want read", got)
+	}
+	if got := relOf(p, RelNsubj); got != "fetcher" {
+		t.Errorf("nsubj = %q, want fetcher", got)
+	}
+	if got := relOf(p, RelDobj); got != "bytes" {
+		t.Errorf("dobj = %q, want bytes", got)
+	}
+	nmods := []string{}
+	for _, a := range p.Arcs {
+		if a.Rel == RelNmod {
+			nmods = append(nmods, p.Tokens[a.Dep].Text)
+		}
+	}
+	if len(nmods) != 2 || nmods[0] != "map-output" || nmods[1] != "attempt_01" {
+		t.Errorf("nmods = %v, want [map-output attempt_01]", nmods)
+	}
+}
+
+func TestParsePassiveClause(t *testing.T) {
+	p := ParseDeps(TagMessage("host1:13562 freed by fetcher#1 in 4ms"))
+	if len(p.Roots) != 1 || p.Tokens[p.Roots[0]].Text != "freed" {
+		t.Fatalf("root wrong: %+v", p.Roots)
+	}
+	if got := relOf(p, RelNsubjPass); got != "host1:13562" {
+		t.Errorf("nsubjpass = %q, want host1:13562", got)
+	}
+	if got := relOf(p, RelNmod); got != "fetcher" {
+		t.Errorf("first nmod = %q, want fetcher", got)
+	}
+}
+
+func TestParseXcompChain(t *testing.T) {
+	p := ParseDeps(TagMessage("fetcher#1 about to shuffle output of map attempt_01"))
+	if len(p.Roots) != 1 || p.Tokens[p.Roots[0]].Text != "shuffle" {
+		t.Fatalf("root = %v, want shuffle", p.Roots)
+	}
+	if got := relOf(p, RelNsubj); got != "fetcher" {
+		t.Errorf("nsubj = %q, want fetcher", got)
+	}
+	if got := relOf(p, RelDobj); got != "output" {
+		t.Errorf("dobj = %q, want output", got)
+	}
+}
+
+// Figure 4: two sentences, two predicates.
+func TestParseFigure4TwoSentences(t *testing.T) {
+	msg := "Finished task 1.0 in stage 1.0 (TID 4). 1109 bytes result sent to driver"
+	p := ParseDeps(TagMessage(msg))
+	if len(p.Roots) != 2 {
+		t.Fatalf("Roots = %d (%v), want 2", len(p.Roots), p.Roots)
+	}
+	if p.Tokens[p.Roots[0]].Text != "Finished" {
+		t.Errorf("root 1 = %q, want Finished", p.Tokens[p.Roots[0]].Text)
+	}
+	if p.Tokens[p.Roots[1]].Text != "sent" {
+		t.Errorf("root 2 = %q, want sent", p.Tokens[p.Roots[1]].Text)
+	}
+	if got := relOf(p, RelDobj); got != "task" {
+		t.Errorf("dobj of Finished = %q, want task", got)
+	}
+	if got := relOf(p, RelNsubjPass); got != "result" {
+		t.Errorf("nsubjpass = %q, want result", got)
+	}
+}
+
+func TestParseAuxiliaryPassive(t *testing.T) {
+	p := ParseDeps(TagMessage("Task attempt_01 is done"))
+	if len(p.Roots) != 1 || p.Tokens[p.Roots[0]].Text != "done" {
+		t.Fatalf("root wrong: %v", p.Roots)
+	}
+	if got := relOf(p, RelNsubjPass); got != "attempt_01" {
+		t.Errorf("nsubjpass = %q, want attempt_01", got)
+	}
+}
+
+func TestParseNoPredicate(t *testing.T) {
+	// The paper calls out this MapReduce key as having no predicate.
+	p := ParseDeps(TagMessage("Down to the last merge-pass, with 706 segments left of total size: 120 bytes"))
+	if len(p.Roots) != 0 {
+		roots := []string{}
+		for _, r := range p.Roots {
+			roots = append(roots, p.Tokens[r].Text)
+		}
+		t.Errorf("Roots = %v, want none", roots)
+	}
+}
+
+func TestParseVagueTezKeys(t *testing.T) {
+	p := ParseDeps(TagMessage("4 finished. Closing"))
+	if len(p.Roots) != 2 {
+		t.Fatalf("Roots = %v, want 2", p.Roots)
+	}
+}
+
+func TestIsNounIsVerbHelpers(t *testing.T) {
+	for _, tag := range []string{TagNN, TagNNS, TagNNP, TagNNPS} {
+		if !IsNoun(tag) {
+			t.Errorf("IsNoun(%s) = false", tag)
+		}
+	}
+	if IsNoun(TagJJ) || IsNoun(TagVB) {
+		t.Error("IsNoun over-accepts")
+	}
+	for _, tag := range []string{TagVB, TagVBD, TagVBG, TagVBN, TagVBP, TagVBZ} {
+		if !IsVerb(tag) {
+			t.Errorf("IsVerb(%s) = false", tag)
+		}
+	}
+	if IsVerb(TagNN) {
+		t.Error("IsVerb over-accepts")
+	}
+	if !IsAdjective(TagJJ) || IsAdjective(TagNN) {
+		t.Error("IsAdjective wrong")
+	}
+}
+
+func TestLookupLexicon(t *testing.T) {
+	tags, ok := LookupLexicon("task")
+	if !ok || len(tags) == 0 || tags[0] != TagNN {
+		t.Errorf("LookupLexicon(task) = %v, %v", tags, ok)
+	}
+	if _, ok := LookupLexicon("zzzzz"); ok {
+		t.Error("unknown word found in lexicon")
+	}
+}
+
+func TestTagMessageIdempotentTexts(t *testing.T) {
+	msg := "Registering block manager host1:38211 with 366.3 MB RAM, BlockManagerId(driver, host1, 38211, None)"
+	toks := TagMessage(msg)
+	joined := strings.Join(Texts(toks), " ")
+	for _, w := range []string{"Registering", "block", "manager", "host1:38211", "BlockManagerId"} {
+		if !strings.Contains(joined, w) {
+			t.Errorf("token %q missing from %q", w, joined)
+		}
+	}
+}

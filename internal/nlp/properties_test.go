@@ -1,0 +1,148 @@
+package nlp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+// TestPropertyNounLemmaRoundTrip: pluralizing then lemmatizing a domain
+// noun returns the noun.
+func TestPropertyNounLemmaRoundTrip(t *testing.T) {
+	for _, n := range domainNouns {
+		pl := plural(n)
+		if got := Lemma(pl, TagNNS); got != n {
+			// Irregulars mapped explicitly are exempt only if they round
+			// trip through the irregular table.
+			t.Errorf("Lemma(plural(%q)=%q) = %q", n, pl, got)
+		}
+	}
+}
+
+// TestPropertyVerbLemmaRoundTrip: every generated inflection of a base
+// verb lemmatizes back to the base.
+func TestPropertyVerbLemmaRoundTrip(t *testing.T) {
+	for _, v := range baseVerbs {
+		forms := map[string]string{
+			thirdPerson(v): TagVBZ,
+			gerund(v):      TagVBG,
+		}
+		if irr, ok := irregularVerbs[v]; ok {
+			forms[irr[0]] = TagVBD
+			forms[irr[1]] = TagVBN
+		} else {
+			forms[pastTense(v)] = TagVBN
+		}
+		for form, tag := range forms {
+			if got := Lemma(form, tag); got != v {
+				t.Errorf("Lemma(%q,%s) = %q, want %q", form, tag, got, v)
+			}
+		}
+	}
+}
+
+// TestPropertyTokenizeNoEmptyTokens: tokenization never yields empty
+// token texts and covers every non-space character run.
+func TestPropertyTokenizeNoEmptyTokens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		words := []string{
+			"task", "attempt_01", "fetcher#1", "host1:8020", "/tmp/x",
+			"12,345", "4ms", "(TID", "4).", "[main]", "a=b", "MapTask",
+		}
+		var parts []string
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			parts = append(parts, words[rng.Intn(len(words))])
+		}
+		msg := strings.Join(parts, " ")
+		for _, tok := range Tokenize(msg) {
+			if tok.Text == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTagTotal: every token receives a non-empty tag, and
+// punctuation-only tokens receive SYM.
+func TestPropertyTagTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build a printable ASCII message from the fuzz bytes.
+		var b strings.Builder
+		for _, c := range raw {
+			r := rune(c%95 + 32)
+			b.WriteRune(r)
+		}
+		for _, tok := range TagMessage(b.String()) {
+			if tok.Tag == "" {
+				return false
+			}
+			punctOnly := true
+			for _, r := range tok.Text {
+				if unicode.IsLetter(r) || unicode.IsDigit(r) {
+					punctOnly = false
+				}
+			}
+			if punctOnly && tok.Tag != TagSYM {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySplitCamelLossless: the concatenation of SplitCamel parts
+// equals the lower-cased input for letter-only words.
+func TestPropertySplitCamelLossless(t *testing.T) {
+	words := []string{"MapTask", "BlockManagerId", "HDFSBlock", "taskAttemptID", "simple", "X", "MRAppMaster"}
+	for _, w := range words {
+		joined := strings.Join(SplitCamel(w), "")
+		if joined != strings.ToLower(w) {
+			t.Errorf("SplitCamel(%q) lossy: %q", w, joined)
+		}
+	}
+}
+
+// TestPropertyParseRootsAreVerbsOrCD: every clause root the parser emits
+// carries a verb tag (or the bare-number stand-in never happens for
+// roots).
+func TestPropertyParseRootsAreVerbs(t *testing.T) {
+	msgs := []string{
+		"fetcher#1 about to shuffle output of map attempt_01",
+		"host1:13562 freed by fetcher#1 in 4ms",
+		"Starting MapTask metrics system",
+		"Finished task 1.0 in stage 1.0 (TID 4). 1109 bytes result sent to driver",
+		"Task attempt_01 is done",
+		"4 finished. Closing",
+		"Registered signal handler for TERM",
+		"Block broadcast_1 stored as values in memory with estimated size 4 KB",
+	}
+	for _, m := range msgs {
+		p := ParseDeps(TagMessage(m))
+		for _, r := range p.Roots {
+			if !IsVerb(p.Tokens[r].Tag) {
+				t.Errorf("%q: root %q tagged %s", m, p.Tokens[r].Text, p.Tokens[r].Tag)
+			}
+		}
+		// Arcs reference valid token indices and known relations.
+		for _, a := range p.Arcs {
+			if a.Dep < 0 || a.Dep >= len(p.Tokens) {
+				t.Fatalf("%q: arc dep out of range", m)
+			}
+			switch a.Rel {
+			case RelRoot, RelXcomp, RelNsubj, RelNsubjPass, RelDobj, RelIobj, RelNmod:
+			default:
+				t.Errorf("%q: unknown relation %q", m, a.Rel)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tag assigns a Penn Treebank part-of-speech tag to every token in place
+// and returns the slice. The tagger is a lexicon-plus-rules design:
+//
+//  1. shape rules classify numbers, identifiers, paths and camel-case
+//     class names, which dominate log text and defeat statistical taggers
+//     trained on newswire (the motivation for a log-specific tagger, §3);
+//  2. the domain lexicon supplies candidate readings for words;
+//  3. contextual rules disambiguate noun/verb readings ("map output" vs
+//     "about to shuffle") using the neighbouring tags;
+//  4. suffix heuristics cover out-of-lexicon words.
+func Tag(tokens []Token) []Token {
+	// First pass: shape rules and lexicon candidates.
+	candidates := make([][]string, len(tokens))
+	for i := range tokens {
+		t := &tokens[i]
+		if t.Tag == TagSYM { // punctuation pre-tagged by the tokenizer
+			candidates[i] = []string{TagSYM}
+			continue
+		}
+		if tag, ok := shapeTag(t.Text); ok {
+			t.Tag = tag
+			candidates[i] = []string{tag}
+			continue
+		}
+		lower := strings.ToLower(t.Text)
+		if tags, ok := lexicon[lower]; ok {
+			candidates[i] = tags
+			t.Tag = tags[0]
+			continue
+		}
+		tag := suffixTag(t.Text)
+		t.Tag = tag
+		candidates[i] = []string{tag}
+	}
+	// Second pass: contextual disambiguation, left to right so earlier
+	// decisions feed later ones.
+	for i := range tokens {
+		if len(candidates[i]) < 2 {
+			continue
+		}
+		tokens[i].Tag = disambiguate(tokens, candidates, i)
+	}
+	return tokens
+}
+
+// TagMessage tokenizes and tags a message in one call.
+func TagMessage(msg string) []Token {
+	return Tag(Tokenize(msg))
+}
+
+// shapeTag classifies tokens by surface shape alone. ok is false when the
+// token is an ordinary word that the lexicon or suffix rules should handle.
+func shapeTag(text string) (string, bool) {
+	if text == "" {
+		return TagSYM, true
+	}
+	if text == "*" { // variable field placeholder in a log key
+		return TagSYM, true
+	}
+	if !hasLetter(text) && !hasDigit(text) {
+		return TagSYM, true // pure punctuation: "#", "->", "..."
+	}
+	if isNumeric(text) {
+		return TagCD, true
+	}
+	if strings.Contains(text, "://") || strings.HasPrefix(text, "/") ||
+		isHostPort(text) || isIPAddr(text) {
+		return TagNNP, true // localities read as proper nouns
+	}
+	if strings.ContainsAny(text, "_#$@") {
+		return TagNNP, true // identifier conventions
+	}
+	if hasDigit(text) && hasLetter(text) {
+		return TagNNP, true // mixed alphanumerics: attempt IDs, versions
+	}
+	if IsCamel(text) {
+		return TagNNP, true // class names: MapTask, BlockManagerId
+	}
+	if !hasLetter(text) {
+		return TagSYM, true
+	}
+	return "", false
+}
+
+// isNumeric reports whether text is a number: digits with optional sign,
+// decimal point, comma separators or trailing %.
+func isNumeric(text string) bool {
+	s := strings.TrimSuffix(text, "%")
+	s = strings.TrimPrefix(s, "-")
+	s = strings.TrimPrefix(s, "+")
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case r == '.' || r == ',':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// suffixTag guesses a tag for an out-of-lexicon word.
+func suffixTag(text string) string {
+	lower := strings.ToLower(text)
+	switch {
+	case strings.HasSuffix(lower, "ing") && len(lower) > 4:
+		return TagVBG
+	case strings.HasSuffix(lower, "ed") && len(lower) > 3:
+		return TagVBN
+	case strings.HasSuffix(lower, "ly") && len(lower) > 3:
+		return TagRB
+	case strings.HasSuffix(lower, "ful"), strings.HasSuffix(lower, "able"),
+		strings.HasSuffix(lower, "ible"), strings.HasSuffix(lower, "ous"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "ant"),
+		strings.HasSuffix(lower, "ent"), strings.HasSuffix(lower, "less"):
+		return TagJJ
+	case strings.HasSuffix(lower, "s") && !strings.HasSuffix(lower, "ss") && len(lower) > 3:
+		return TagNNS
+	case unicode.IsUpper(rune(text[0])):
+		return TagNNP
+	default:
+		return TagNN
+	}
+}
+
+// disambiguate picks among multiple lexicon readings for tokens[i] using
+// the surrounding context. candidates[i] is ordered by lexical priority.
+func disambiguate(tokens []Token, candidates [][]string, i int) string {
+	cands := candidates[i]
+	hasReading := func(pred func(string) bool) (string, bool) {
+		for _, c := range cands {
+			if pred(c) {
+				return c, true
+			}
+		}
+		return "", false
+	}
+	nounReading, hasNoun := hasReading(IsNoun)
+	verbReading, hasVerb := hasReading(IsVerb)
+	baseReading, hasBase := hasReading(func(t string) bool { return t == TagVB })
+	jjReading, hasJJ := hasReading(IsAdjective)
+
+	prevTag := ""
+	for j := i - 1; j >= 0; j-- { // previous non-punctuation tag
+		if tokens[j].Tag != TagSYM {
+			prevTag = tokens[j].Tag
+			break
+		}
+	}
+	nextTag := ""
+	nextNounish := false
+	for j := i + 1; j < len(tokens); j++ {
+		if tokens[j].Tag != TagSYM {
+			nextTag = tokens[j].Tag
+			// The next token's own tag is preliminary at this point; a noun
+			// reading among its candidates is enough evidence ("map outputs"
+			// where "outputs" still reads VBZ).
+			nextNounish = IsNoun(nextTag)
+			for _, c := range candidates[j] {
+				if IsNoun(c) {
+					nextNounish = true
+				}
+			}
+			break
+		}
+	}
+
+	switch {
+	case prevTag == TagTO && hasBase:
+		// "about to shuffle", "failed to connect"
+		return baseReading
+	case prevTag == TagMD && hasBase:
+		// "cannot fetch"
+		return baseReading
+	case (prevTag == TagDT || prevTag == TagJJ || prevTag == TagIN || prevTag == "" && i > 0) && hasNoun:
+		// determiner/adjective/preposition precedes → nominal: "the output",
+		// "remote fetch", "from map". (prevTag=="" && i>0 means only
+		// punctuation precedes, e.g. "[fetcher] ..." — keep priority order.)
+		if prevTag == "" {
+			break
+		}
+		return nounReading
+	case IsNoun(prevTag) && hasNoun && (nextTag == "" || nextNounish || nextTag == TagIN || nextTag == TagTO || nextTag == TagCD):
+		// noun compound continuation: "map output", "shuffle output of map",
+		// "map outputs to fetcher"
+		return nounReading
+	case IsVerb(prevTag) && hasNoun:
+		// direct-object position: "shuffle output", "read bytes"
+		return nounReading
+	case i > 0 && hasJJ && nextNounish && !isAuxiliary(wordBefore(tokens, i)):
+		// attributive participial adjective mid-sentence: "sorted
+		// segments", "completed container" — but keep "is sorted" verbal
+		// and sentence-initial participles ("Finished task …") predicative.
+		return jjReading
+	case prevTag == TagCD && hasNoun && nextNounish:
+		// counted noun compound: "5 map outputs"
+		return nounReading
+	case i == 0 && hasNoun && (IsNoun(nextTag) || nextTag == TagVBN):
+		// noun-compound subject at sentence start: "Spill file created …",
+		// "Shuffle assigned …" — a following noun or participle signals the
+		// nominal reading.
+		return nounReading
+	case i == 0 && hasVerb:
+		// imperative/participial sentence start: "Starting ...", "Registered ..."
+		return verbReading
+	case prevTag == TagPRP && hasVerb:
+		return verbReading
+	case IsNoun(prevTag) && hasVerb && (nextTag == TagDT || nextTag == TagCD || nextTag == TagNNP):
+		// subject + verb + object evidence: "fetcher read 2264 bytes"
+		return verbReading
+	}
+	return cands[0]
+}
+
+// wordBefore returns the previous non-punctuation token text, or "".
+func wordBefore(tokens []Token, i int) string {
+	for j := i - 1; j >= 0; j-- {
+		if tokens[j].Tag != TagSYM {
+			return tokens[j].Text
+		}
+	}
+	return ""
+}

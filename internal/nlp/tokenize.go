@@ -1,0 +1,207 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a log message into tokens. It differs from a free-text
+// tokenizer in what it keeps intact: identifiers ("attempt_01",
+// "fetcher#1"), host:port pairs, IP addresses, filesystem and HDFS paths,
+// URLs, decimal numbers ("1.0", "12,345") and size/duration literals stay
+// single tokens, because downstream stages classify whole variable fields.
+// Surrounding punctuation ([], (), quotes, trailing sentence punctuation)
+// is stripped and emitted as SYM tokens so token positions still cover the
+// full message.
+func Tokenize(msg string) []Token {
+	var tokens []Token
+	for _, field := range strings.Fields(msg) {
+		tokens = appendFieldTokens(tokens, field)
+	}
+	return tokens
+}
+
+// TokenizeWords is Tokenize with punctuation tokens removed; convenient for
+// callers that only care about words (POS patterns, grouping).
+func TokenizeWords(msg string) []Token {
+	all := Tokenize(msg)
+	out := all[:0]
+	for _, t := range all {
+		if t.Tag != TagSYM {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// appendFieldTokens splits one whitespace-delimited field into tokens.
+func appendFieldTokens(tokens []Token, field string) []Token {
+	// Strip and emit leading bracket punctuation.
+	for len(field) > 0 {
+		r := rune(field[0])
+		if r == '[' || r == '(' || r == '{' || r == '"' || r == '\'' || r == '<' {
+			tokens = append(tokens, Token{Text: string(r), Tag: TagSYM})
+			field = field[1:]
+			continue
+		}
+		break
+	}
+	// Strip trailing punctuation into a pending list (emitted after the word).
+	var trailing []string
+	for len(field) > 0 {
+		r := rune(field[len(field)-1])
+		// '.' and ':' are structural only mid-token (decimals, versions,
+		// host:port); at the end of a field they are sentence punctuation.
+		if r == ']' || r == ')' || r == '}' || r == '"' || r == '\'' || r == '>' ||
+			r == ',' || r == ';' || r == '!' || r == '?' || r == '.' || r == ':' {
+			trailing = append([]string{string(r)}, trailing...)
+			field = field[:len(field)-1]
+			continue
+		}
+		break
+	}
+	if field != "" {
+		tokens = append(tokens, splitInnerPunct(field)...)
+	}
+	for _, p := range trailing {
+		tokens = append(tokens, Token{Text: p, Tag: TagSYM})
+	}
+	return tokens
+}
+
+// splitInnerPunct handles fields with internal structure. Atomic fields
+// (identifiers, paths, host:port, IPs, numbers, URLs) are kept whole;
+// "word=value" splits on '=' so both sides are classified independently.
+func splitInnerPunct(field string) []Token {
+	// "key=value" splits first — identifiers like "records_read=332015"
+	// must expose the constant key and the variable value separately, or
+	// every rendering becomes a distinct token.
+	if i := strings.IndexByte(field, '='); i > 0 && i < len(field)-1 && !strings.Contains(field, "://") {
+		left := splitInnerPunct(field[:i])
+		right := splitInnerPunct(field[i+1:])
+		out := append(left, Token{Text: "=", Tag: TagSYM})
+		return append(out, right...)
+	}
+	// "word#number" splits into word, #, number — the paper's Fig. 1 shows
+	// "fetcher#1" tokenized as "fetcher # 1", which lets the word join
+	// entity phrases while the number remains an identifier field.
+	if i := strings.IndexByte(field, '#'); i > 0 && i < len(field)-1 &&
+		isAlphaOnly(field[:i]) && allDigitsStr(field[i+1:]) {
+		return []Token{
+			{Text: field[:i]},
+			{Text: "#", Tag: TagSYM},
+			{Text: field[i+1:]},
+		}
+	}
+	return []Token{{Text: field}}
+}
+
+func isAlphaOnly(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func allDigitsStr(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// isAtomicField reports whether field should never be split further.
+func isAtomicField(field string) bool {
+	if strings.Contains(field, "://") || strings.HasPrefix(field, "/") {
+		return true // URL or absolute path
+	}
+	if strings.ContainsAny(field, "_#") {
+		return true // identifier convention: attempt_01, fetcher#1
+	}
+	if isHostPort(field) || isIPAddr(field) {
+		return true
+	}
+	if hasDigit(field) && !strings.Contains(field, "=") {
+		return true // mixed alphanumerics, versions, decimals
+	}
+	return false
+}
+
+func hasDigit(s string) bool {
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasLetter(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHostPort reports whether s looks like "host:port" or "ip:port".
+func isHostPort(s string) bool {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return false
+	}
+	port := s[i+1:]
+	for _, r := range port {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	host := s[:i]
+	return hostLike(host)
+}
+
+// hostLike reports whether s could be a hostname or IP.
+func hostLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	if isIPAddr(s) {
+		return true
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '-' && r != '.' {
+			return false
+		}
+	}
+	return unicode.IsLetter(rune(s[0]))
+}
+
+// isIPAddr reports whether s is a dotted-quad IPv4 address.
+func isIPAddr(s string) bool {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return false
+		}
+		for _, r := range p {
+			if !unicode.IsDigit(r) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// FaultKind enumerates the injectable problems. Kill, Network and Node
+// reproduce the paper's three real-world scenarios (§6.4); Spill and
+// IdleContainers reproduce the performance issue and SPARK-19731 bug of
+// the case studies; SlowShutdown reproduces the paper's false-positive
+// scenario (a benign message unseen in training due to config changes).
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultKill
+	FaultNetwork
+	FaultNode
+	FaultSpill
+	FaultIdleContainers
+	FaultSlowShutdown
+)
+
+var faultNames = [...]string{"none", "kill", "network", "node", "spill", "idle-containers", "slow-shutdown"}
+
+// String returns the fault's name.
+func (f FaultKind) String() string {
+	if f < FaultNone || f > FaultSlowShutdown {
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+	return faultNames[f]
+}
+
+// JobSpec describes one submitted job.
+type JobSpec struct {
+	// Framework selects the generator.
+	Framework logging.Framework
+	// Name is the workload name (WordCount, KMeans, TPC-H Q8, …).
+	Name string
+	// InputMB drives session counts and lengths (the paper: "different
+	// data sizes and configurations cause various log sequence lengths").
+	InputMB int
+	// Containers is the number of worker containers (executors / parallel
+	// task slots); the AM is extra where applicable.
+	Containers int
+	// CoresPerContainer bounds intra-container task parallelism.
+	CoresPerContainer int
+	// MemoryMB is the per-container memory (configuration flavour only).
+	MemoryMB int
+}
+
+// JobResult is a finished simulated job.
+type JobResult struct {
+	Spec JobSpec
+	// Fault is the injected problem (FaultNone for clean jobs).
+	Fault FaultKind
+	// Sessions are the per-container log sessions (the unit IntelLog
+	// analyses).
+	Sessions []*logging.Session
+	// YarnRecords are the daemon-side NM/RM log lines (Table 1 corpus).
+	YarnRecords []logging.Record
+	// Affected marks the session IDs the fault touched (ground truth for
+	// precision/recall).
+	Affected map[string]bool
+}
+
+// TotalRecords returns the number of log messages across sessions.
+func (r *JobResult) TotalRecords() int {
+	n := 0
+	for _, s := range r.Sessions {
+		n += s.Len()
+	}
+	return n
+}
+
+// Cluster is the simulated YARN cluster.
+type Cluster struct {
+	Nodes []string
+
+	Spark *Inventory
+	MR    *Inventory
+	Tez   *Inventory
+	Yarn  *Inventory
+	Nova  *Inventory
+	TF    *Inventory
+
+	rng    *rand.Rand
+	clock  time.Time
+	appSeq int
+	epoch  int64
+}
+
+// NewCluster builds a cluster of n worker nodes with a deterministic RNG.
+func NewCluster(n int, seed int64) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("host%d", i+1)
+	}
+	return &Cluster{
+		Nodes: nodes,
+		Spark: SparkTemplates(),
+		MR:    MapReduceTemplates(),
+		Tez:   TezTemplates(),
+		Yarn:  YarnTemplates(),
+		Nova:  NovaTemplates(),
+		TF:    TensorFlowTemplates(),
+		rng:   rand.New(rand.NewSource(seed)),
+		clock: time.Date(2019, 3, 1, 8, 0, 0, 0, time.UTC),
+		epoch: 1551400000000,
+	}
+}
+
+// nextApp reserves an application number and advances the cluster clock.
+func (c *Cluster) nextApp() int {
+	c.appSeq++
+	c.clock = c.clock.Add(time.Duration(30+c.rng.Intn(90)) * time.Second)
+	return c.appSeq
+}
+
+// appID formats a YARN application ID.
+func (c *Cluster) appID(seq int) string { return fmt.Sprintf("application_%d_%04d", c.epoch, seq) }
+
+// containerID formats a YARN container ID.
+func (c *Cluster) containerID(app, n int) string {
+	return fmt.Sprintf("container_%d_%04d_01_%06d", c.epoch, app, n)
+}
+
+// attemptID formats an MR task attempt ID ("m" or "r" kind).
+func (c *Cluster) attemptID(app int, kind string, task int) string {
+	return fmt.Sprintf("attempt_%d_%04d_%s_%06d_0", c.epoch, app, kind, task)
+}
+
+// pickNode returns a random node name.
+func (c *Cluster) pickNode() string { return c.Nodes[c.rng.Intn(len(c.Nodes))] }
+
+// event is a template emission at a relative offset within a session.
+type event struct {
+	at   time.Duration
+	tpl  *Template
+	vals map[string]string
+}
+
+// threadGen accumulates one logical thread's events with a drifting clock.
+type threadGen struct {
+	events []event
+	now    time.Duration
+	rng    *rand.Rand
+}
+
+// newThread starts a thread at the given offset.
+func newThread(rng *rand.Rand, start time.Duration) *threadGen {
+	return &threadGen{now: start, rng: rng}
+}
+
+// emit appends an event after a small random delay.
+func (g *threadGen) emit(tpl *Template, vals map[string]string) {
+	g.now += time.Duration(1+g.rng.Intn(40)) * time.Millisecond
+	g.events = append(g.events, event{at: g.now, tpl: tpl, vals: vals})
+}
+
+// wait advances the thread clock.
+func (g *threadGen) wait(d time.Duration) { g.now += d }
+
+// mergeThreads interleaves threads by offset (stable).
+func mergeThreads(threads ...*threadGen) []event {
+	var all []event
+	for _, t := range threads {
+		all = append(all, t.events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].at < all[j].at })
+	return all
+}
+
+// materialize renders events into a session starting at the given time.
+func materialize(id string, fw logging.Framework, start time.Time, events []event) *logging.Session {
+	s := &logging.Session{ID: id, Framework: fw}
+	for _, e := range events {
+		s.Records = append(s.Records, logging.Record{
+			Time:       start.Add(e.at),
+			Level:      e.tpl.Level,
+			Source:     e.tpl.Source,
+			Message:    e.tpl.Render(e.vals),
+			Framework:  fw,
+			SessionID:  id,
+			TemplateID: e.tpl.ID,
+		})
+	}
+	return s
+}
+
+// truncateAt drops the events after fraction f of the span — the SIGKILL
+// model (no grace period, so no cleanup messages).
+func truncateAt(events []event, f float64) []event {
+	if len(events) == 0 {
+		return events
+	}
+	cut := time.Duration(float64(events[len(events)-1].at) * f)
+	out := events[:0]
+	for _, e := range events {
+		if e.at <= cut {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		out = events[:1]
+	}
+	return out
+}
+
+// v is shorthand for a values map.
+func v(kv ...string) map[string]string {
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// itoa is shorthand for decimal formatting.
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

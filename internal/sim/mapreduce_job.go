@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// runMapReduce simulates one MapReduce job: an MRAppMaster container plus
+// map-task and reduce-task containers, each a session. Reducers run the
+// Fig. 1 fetcher subroutine against every map output.
+func (c *Cluster) runMapReduce(spec JobSpec, fault FaultKind) *JobResult {
+	app := c.nextApp()
+	res := &JobResult{Spec: spec, Fault: fault, Affected: map[string]bool{}}
+	jobID := fmt.Sprintf("job_%d_%04d", c.epoch, app)
+
+	maps := maxInt(1, spec.InputMB/128)
+	reduces := maxInt(1, spec.Containers/4)
+	total := maps + reduces
+
+	killIdx, netNode, deadNode := c.pickFaultTargets(total, fault)
+
+	mapAttempts := make([]string, maps)
+	mapAddrs := make([]string, maps)
+	for i := range mapAttempts {
+		mapAttempts[i] = c.attemptID(app, "m", i)
+		node := c.pickNode()
+		if fault == FaultNode && i == killIdx {
+			node = deadNode
+		}
+		mapAddrs[i] = fmt.Sprintf("%s:13562", node)
+	}
+	// A network failure only matters on a node that hosts work: fail the
+	// node serving one of the map outputs, so the reducers' fetches hit it.
+	if fault == FaultNetwork && maps > 0 {
+		netNode = addrNode(mapAddrs[c.rng.Intn(maps)])
+	}
+
+	// --- AM container -------------------------------------------------------
+	am := newThread(c.rng, 0)
+	am.emit(c.MR.Get("mr.am.created"), v("appid", c.appID(app)))
+	am.emit(c.MR.Get("mr.am.tokens"), v("jobid", jobID))
+	am.emit(c.MR.Get("mr.am.job.setup"), v("jobid", jobID))
+	am.emit(c.MR.Get("mr.am.uber"), v("jobid", jobID))
+	am.emit(c.MR.Get("mr.am.committer"), nil)
+	am.emit(c.MR.Get("mr.am.splits"), v("n", itoa(maps), "jobid", jobID))
+	am.emit(c.MR.Get("mr.am.job.running"), v("jobid", jobID))
+	allAttempts := append(append([]string(nil), mapAttempts...), func() []string {
+		var rs []string
+		for i := 0; i < reduces; i++ {
+			rs = append(rs, c.attemptID(app, "r", i))
+		}
+		return rs
+	}()...)
+	for i, att := range allAttempts {
+		am.emit(c.MR.Get("mr.am.attempt.unassigned"), v("attempt", att))
+		am.emit(c.MR.Get("mr.am.container.assigned"), v("cid", c.containerID(app, i+2), "attempt", att))
+		am.emit(c.MR.Get("mr.am.attempt.assigned"), v("attempt", att))
+		am.emit(c.MR.Get("mr.am.attempt.running"), v("attempt", att))
+	}
+	am.emit(c.MR.Get("mr.am.stats.kv"), v("a", itoa(reduces), "b", itoa(maps), "c", "0", "d", itoa(maps)))
+	am.emit(c.MR.Get("mr.am.progress"), v("n", itoa(reduces)))
+	for _, att := range allAttempts {
+		if fault == FaultNode && attOnNode(att, mapAttempts, killIdx) {
+			am.emit(c.MR.Get("mr.anom.attempt.failed"), v("attempt", att))
+			continue
+		}
+		am.emit(c.MR.Get("mr.am.attempt.succeeded"), v("attempt", att))
+	}
+	if fault == FaultNode {
+		am.emit(c.MR.Get("mr.anom.lostnode"), v("host", deadNode, "n", itoa(1+c.rng.Intn(maps))))
+	}
+	for i := range allAttempts {
+		am.emit(c.MR.Get("mr.am.completed"), v("cid", c.containerID(app, i+2)))
+	}
+	am.emit(c.MR.Get("mr.am.job.committing"), v("jobid", jobID))
+	am.emit(c.MR.Get("mr.am.job.succeeded"), v("jobid", jobID))
+	am.emit(c.MR.Get("mr.am.history"), v("uri", fmt.Sprintf("hdfs://nn1:8020/history/%s.jhist", jobID)))
+	amCID := c.containerID(app, 1)
+	amEvents := am.events
+	if fault == FaultNode {
+		res.Affected[amCID] = true
+	}
+	res.Sessions = append(res.Sessions, materialize(amCID, logging.MapReduce, c.clock, amEvents))
+
+	// --- map containers -------------------------------------------------------
+	for i := 0; i < maps; i++ {
+		cid := c.containerID(app, i+2)
+		th := newThread(c.rng, time.Duration(200+c.rng.Intn(400))*time.Millisecond)
+		c.mrMapContainer(th, spec, app, i, mapAttempts[i])
+		events := th.events
+		if (fault == FaultKill || fault == FaultNode) && i == killIdx {
+			events = truncateAt(events, 0.3+0.5*c.rng.Float64())
+			res.Affected[cid] = true
+		}
+		res.Sessions = append(res.Sessions, materialize(cid, logging.MapReduce, c.clock, events))
+	}
+
+	// --- reduce containers ------------------------------------------------------
+	for i := 0; i < reduces; i++ {
+		idx := maps + i
+		cid := c.containerID(app, idx+2)
+		att := c.attemptID(app, "r", i)
+		main := newThread(c.rng, time.Duration(1500+c.rng.Intn(500))*time.Millisecond)
+		main.emit(c.MR.Get("mr.map.child.starting"), v("attempt", att))
+		main.emit(c.MR.Get("mr.reduce.metrics.starting"), nil)
+		main.emit(c.MR.Get("mr.reduce.merger.kv"),
+			v("a", itoa(spec.MemoryMB*70/100), "b", itoa(spec.MemoryMB/4), "c", itoa(spec.MemoryMB/2), "d", "10"))
+		main.emit(c.MR.Get("mr.reduce.eventfetcher"), v("attempt", att))
+
+		// Fetchers pull every map output, interleaved over a configuration-
+		// and load-dependent number of fetcher threads; the event fetcher
+		// keeps polling for map-completion events concurrently. The thread
+		// count and per-fetch message repetitions make the interleaving
+		// order data-dependent, as on a real cluster.
+		nFetchers := 2 + c.rng.Intn(6)
+		fetchers := make([]*threadGen, nFetchers)
+		for f := range fetchers {
+			fetchers[f] = newThread(c.rng, main.now+time.Duration(f)*7*time.Millisecond)
+		}
+		poller := newThread(c.rng, main.now)
+		for p := 0; p < 1+len(mapAttempts)/4; p++ {
+			poller.emit(c.MR.Get("mr.reduce.eventfetcher"), v("attempt", att))
+			poller.wait(time.Duration(30+c.rng.Intn(60)) * time.Millisecond)
+		}
+		anomalous := false
+		for m, srcAtt := range mapAttempts {
+			f := c.rng.Intn(nFetchers)
+			th := fetchers[f]
+			fid := itoa(f + 1)
+			addr := mapAddrs[m]
+			failing := (fault == FaultNetwork || fault == FaultNode) &&
+				addrNode(addr) == netNode
+			th.emit(c.MR.Get("mr.reduce.assigning"), v("addr", addr, "n", "1", "fid", fid))
+			if failing {
+				th.emit(c.MR.Get("mr.anom.fetch.connect"), v("fid", fid, "addr", addr, "n", "1"))
+				th.emit(c.MR.Get("mr.anom.fetch.retry"), v("addr", addr, "n", itoa(1+c.rng.Intn(3))))
+				if fault == FaultNetwork {
+					th.emit(c.MR.Get("mr.anom.toomany"), v("attempt", srcAtt, "addr", addr))
+				}
+				anomalous = true
+				continue
+			}
+			th.emit(c.MR.Get("mr.fetcher.shuffle"), v("fid", fid, "attempt", srcAtt))
+			for r := 0; r < 1+c.rng.Intn(3); r++ {
+				th.emit(c.MR.Get("mr.fetcher.read"),
+					v("fid", fid, "attempt", srcAtt, "bytes", itoa(1000+c.rng.Intn(90000))))
+			}
+			th.emit(c.MR.Get("mr.fetcher.freed"), v("addr", addr, "fid", fid, "ms", itoa(1+c.rng.Intn(20))))
+		}
+		fetchers = append(fetchers, poller)
+		tail := newThread(c.rng, mergeEnd(fetchers)+10*time.Millisecond)
+		tail.emit(c.MR.Get("mr.reduce.eventfetcher.stop"), nil)
+		tail.emit(c.MR.Get("mr.reduce.phase.copy"), v("attempt", att))
+		tail.emit(c.MR.Get("mr.reduce.merge.segments"), v("n", itoa(maps)))
+		tail.emit(c.MR.Get("mr.reduce.merge.lastpass"), v("n", itoa(maps), "bytes", itoa(10000+c.rng.Intn(500000))))
+		tail.emit(c.MR.Get("mr.reduce.merge.disk"), v("n", itoa(maps), "bytes", itoa(10000+c.rng.Intn(500000))))
+		tail.emit(c.MR.Get("mr.reduce.phase.sort"), v("attempt", att))
+		tail.emit(c.MR.Get("mr.reduce.phase.reduce"), v("attempt", att))
+		tail.emit(c.MR.Get("mr.task.committing"), v("attempt", att))
+		tail.emit(c.MR.Get("mr.reduce.save"),
+			v("attempt", att, "uri", fmt.Sprintf("hdfs://nn1:8020/out/%s/part-r-%05d", jobID, i)))
+		tail.emit(c.MR.Get("mr.task.done"), v("attempt", att))
+
+		events := mergeThreads(append(fetchers, main, tail)...)
+		if (fault == FaultKill || fault == FaultNode) && idx == killIdx {
+			events = truncateAt(events, 0.3+0.5*c.rng.Float64())
+			res.Affected[cid] = true
+		} else if anomalous {
+			res.Affected[cid] = true
+		}
+		res.Sessions = append(res.Sessions, materialize(cid, logging.MapReduce, c.clock, events))
+	}
+
+	res.YarnRecords = c.yarnForJob(app, len(res.Sessions))
+	return res
+}
+
+// mrMapContainer emits a map-task container's events.
+func (c *Cluster) mrMapContainer(th *threadGen, spec JobSpec, app, idx int, attempt string) {
+	th.emit(c.MR.Get("mr.map.child.starting"), v("attempt", attempt))
+	th.emit(c.MR.Get("mr.map.metrics.starting"), nil)
+	th.emit(c.MR.Get("mr.map.metrics.started"), nil)
+	th.emit(c.MR.Get("mr.map.split"),
+		v("uri", fmt.Sprintf("hdfs://nn1:8020/in/part-%05d:%d+134217728", idx, idx*134217728)))
+	th.emit(c.MR.Get("mr.map.output.collector"), nil)
+	th.emit(c.MR.Get("mr.map.buffer.kv"),
+		v("a", itoa(spec.MemoryMB*83886), "b", "0", "c", itoa(spec.MemoryMB*104857), "d", "26214396"))
+	reporterStart := th.now
+	// Spill rounds scale with the job's input: bigger jobs overflow the
+	// sort buffer more often, which is what stretches map sessions (§2.2).
+	spills := 1 + c.rng.Intn(3) + spec.InputMB/1024
+	th.wait(time.Duration(60+c.rng.Intn(200)) * time.Millisecond)
+	for s := 0; s < spills; s++ {
+		th.wait(time.Duration(30+c.rng.Intn(120)) * time.Millisecond)
+		th.emit(c.MR.Get("mr.map.spill.starting"), nil)
+		th.emit(c.MR.Get("mr.map.buffer.kv"),
+			v("a", itoa(c.rng.Intn(1<<24)), "b", itoa(c.rng.Intn(1<<24)), "c", itoa(c.rng.Intn(1<<24)), "d", itoa(c.rng.Intn(1<<20))))
+		th.emit(c.MR.Get("mr.map.spill.finished"), v("spillid", itoa(s)))
+	}
+	th.emit(c.MR.Get("mr.map.flush.starting"), nil)
+	th.wait(time.Duration(30+c.rng.Intn(80)) * time.Millisecond)
+	th.emit(c.MR.Get("mr.map.spill.finished"), v("spillid", itoa(spills)))
+	th.emit(c.MR.Get("mr.map.sort.kv"), v("a", itoa(c.rng.Intn(1<<20)), "b", itoa(c.rng.Intn(1<<20)), "c", itoa(c.rng.Intn(1<<18))))
+	th.emit(c.MR.Get("mr.task.committing"), v("attempt", attempt))
+	th.emit(c.MR.Get("mr.task.done"), v("attempt", attempt))
+	th.emit(c.MR.Get("mr.map.metrics.stopping"), nil)
+	th.emit(c.MR.Get("mr.map.metrics.stopped"), nil)
+
+	// The TaskReporter heartbeats from its own thread in Hadoop, so
+	// progress lines interleave nondeterministically with the work
+	// messages; the count scales with input size (data size drives session
+	// length, §2.2).
+	reporter := newThread(c.rng, reporterStart)
+	progress := 14 + c.rng.Intn(10) + spec.InputMB/128
+	interval := (th.now - reporterStart) / time.Duration(progress+1)
+	for step := 1; step <= progress && reporter.now < th.now; step++ {
+		reporter.emit(c.MR.Get("mr.map.progress"),
+			v("attempt", attempt, "frac", fmt.Sprintf("0.%02d", minI(99, step*100/(progress+1)))))
+		reporter.wait(interval + time.Duration(c.rng.Intn(20))*time.Millisecond)
+	}
+	th.events = mergeThreads(th, reporter)
+}
+
+// attOnNode reports whether the attempt is the map attempt hosted on the
+// failed node.
+func attOnNode(att string, mapAttempts []string, killIdx int) bool {
+	if killIdx < 0 || killIdx >= len(mapAttempts) {
+		return false
+	}
+	return att == mapAttempts[killIdx]
+}
+
+// addrNode strips the port from "host:port".
+func addrNode(addr string) string {
+	for i := 0; i < len(addr); i++ {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mergeEnd returns the max clock across threads.
+func mergeEnd(threads []*threadGen) time.Duration {
+	var end time.Duration
+	for _, t := range threads {
+		end = maxDur(end, t.now)
+	}
+	return end
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"intellog/internal/logging"
+)
+
+func TestTemplateRender(t *testing.T) {
+	tp := tpl("x.y", "Src", "fetcher#{fid} read {bytes} bytes")
+	got := tp.Render(map[string]string{"fid": "1", "bytes": "2264"})
+	if got != "fetcher#1 read 2264 bytes" {
+		t.Errorf("Render = %q", got)
+	}
+	// Missing placeholder renders as 0, never leaking braces.
+	if got := tp.Render(nil); strings.ContainsAny(got, "{}") {
+		t.Errorf("Render leaked braces: %q", got)
+	}
+}
+
+func TestTemplatePlaceholders(t *testing.T) {
+	tp := tpl("x.y", "Src", "a {p} b {q} c")
+	ph := tp.Placeholders()
+	if len(ph) != 2 || ph[0] != "p" || ph[1] != "q" {
+		t.Errorf("Placeholders = %v", ph)
+	}
+}
+
+func TestInventoryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate template ID did not panic")
+		}
+	}()
+	NewInventory(logging.Spark, []*Template{tpl("a", "S", "x"), tpl("a", "S", "y")})
+}
+
+func TestInventoryUnknownGetPanics(t *testing.T) {
+	inv := NewInventory(logging.Spark, []*Template{tpl("a", "S", "x")})
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown template ID did not panic")
+		}
+	}()
+	inv.Get("nope")
+}
+
+// TestAnnotationFieldsExist verifies every annotated ID/value/locality
+// field is an actual placeholder of its template, across all inventories.
+func TestAnnotationFieldsExist(t *testing.T) {
+	for _, inv := range []*Inventory{SparkTemplates(), MapReduceTemplates(), TezTemplates(), YarnTemplates(), NovaTemplates()} {
+		for _, tp := range inv.Templates {
+			ph := map[string]bool{}
+			for _, p := range tp.Placeholders() {
+				ph[p] = true
+			}
+			for _, lists := range [][]string{tp.IDFields, tp.ValueFields, tp.LocFields} {
+				for _, f := range lists {
+					if !ph[f] {
+						t.Errorf("%s: annotated field %q is not a placeholder", tp.ID, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSparkJobShape(t *testing.T) {
+	c := NewCluster(8, 42)
+	res := c.RunJob(JobSpec{Framework: logging.Spark, Name: "WordCount", InputMB: 1024, Containers: 4, CoresPerContainer: 2, MemoryMB: 2048}, FaultNone)
+	if len(res.Sessions) != 4 {
+		t.Fatalf("sessions = %d, want 4 executors", len(res.Sessions))
+	}
+	for _, s := range res.Sessions {
+		if s.Len() < 20 {
+			t.Errorf("session %s has only %d records", s.ID, s.Len())
+		}
+		first, last := s.Records[0], s.Records[s.Len()-1]
+		if first.TemplateID != "spark.signal.registered" {
+			t.Errorf("session starts with %s", first.TemplateID)
+		}
+		if last.TemplateID != "spark.shutdown.hook" {
+			t.Errorf("session ends with %s", last.TemplateID)
+		}
+		for i := 1; i < s.Len(); i++ {
+			if s.Records[i].Time.Before(s.Records[i-1].Time) {
+				t.Fatalf("timestamps not monotonic in %s", s.ID)
+			}
+		}
+	}
+	if len(res.Affected) != 0 {
+		t.Errorf("clean job marked affected sessions: %v", res.Affected)
+	}
+	if len(res.YarnRecords) == 0 {
+		t.Error("no YARN daemon records")
+	}
+}
+
+func TestSparkNoAnomalousTemplatesWhenClean(t *testing.T) {
+	c := NewCluster(8, 7)
+	res := c.RunJob(JobSpec{Framework: logging.Spark, Name: "KMeans", InputMB: 2048, Containers: 6, CoresPerContainer: 4, MemoryMB: 4096}, FaultNone)
+	inv := SparkTemplates()
+	for _, s := range res.Sessions {
+		for _, r := range s.Records {
+			if inv.Get(r.TemplateID).Anomalous {
+				t.Fatalf("clean run emitted anomalous template %s", r.TemplateID)
+			}
+		}
+	}
+}
+
+func TestSparkKillTruncates(t *testing.T) {
+	c := NewCluster(8, 11)
+	res := c.RunJob(JobSpec{Framework: logging.Spark, Name: "Sort", InputMB: 1024, Containers: 4, CoresPerContainer: 2, MemoryMB: 2048}, FaultKill)
+	if len(res.Affected) != 1 {
+		t.Fatalf("kill affected %d sessions, want 1", len(res.Affected))
+	}
+	for _, s := range res.Sessions {
+		if res.Affected[s.ID] {
+			if s.Records[s.Len()-1].TemplateID == "spark.shutdown.hook" {
+				t.Error("killed session still ends with shutdown hook")
+			}
+		}
+	}
+}
+
+func TestSparkIdleContainers(t *testing.T) {
+	c := NewCluster(8, 13)
+	res := c.RunJob(JobSpec{Framework: logging.Spark, Name: "WordCount", InputMB: 256, Containers: 8, CoresPerContainer: 2, MemoryMB: 2048}, FaultIdleContainers)
+	if len(res.Affected) == 0 {
+		t.Fatal("no idle containers marked")
+	}
+	for _, s := range res.Sessions {
+		hasTask := false
+		for _, r := range s.Records {
+			if strings.HasPrefix(r.TemplateID, "spark.task.") {
+				hasTask = true
+			}
+		}
+		if res.Affected[s.ID] && hasTask {
+			t.Errorf("idle session %s has task messages", s.ID)
+		}
+		if !res.Affected[s.ID] && !hasTask {
+			t.Errorf("busy session %s has no task messages", s.ID)
+		}
+	}
+}
+
+func TestMapReduceJobShape(t *testing.T) {
+	c := NewCluster(8, 21)
+	res := c.RunJob(JobSpec{Framework: logging.MapReduce, Name: "WordCount", InputMB: 1024, Containers: 8, CoresPerContainer: 2, MemoryMB: 2048}, FaultNone)
+	// 1 AM + 8 maps (1024/128) + 2 reduces.
+	if len(res.Sessions) != 11 {
+		t.Fatalf("sessions = %d, want 11", len(res.Sessions))
+	}
+	// Reducers run the Fig. 1 fetcher subroutine.
+	foundShuffle := false
+	for _, s := range res.Sessions {
+		for _, r := range s.Records {
+			if r.TemplateID == "mr.fetcher.shuffle" {
+				foundShuffle = true
+				if !strings.Contains(r.Message, "about to shuffle output of map attempt_") {
+					t.Errorf("fetcher message = %q", r.Message)
+				}
+			}
+		}
+	}
+	if !foundShuffle {
+		t.Error("no fetcher shuffle messages")
+	}
+}
+
+func TestMapReduceNetworkFault(t *testing.T) {
+	c := NewCluster(4, 33)
+	res := c.RunJob(JobSpec{Framework: logging.MapReduce, Name: "Sort", InputMB: 2048, Containers: 8, CoresPerContainer: 2, MemoryMB: 2048}, FaultNetwork)
+	if len(res.Affected) == 0 {
+		t.Fatal("network fault affected no sessions")
+	}
+	// Affected sessions carry fetch-failure messages naming one host.
+	hosts := map[string]bool{}
+	for _, s := range res.Sessions {
+		for _, r := range s.Records {
+			if r.TemplateID == "mr.anom.fetch.connect" {
+				parts := strings.Fields(r.Message)
+				for _, p := range parts {
+					if strings.Contains(p, ":13562") {
+						hosts[strings.Split(p, ":")[0]] = true
+					}
+				}
+			}
+		}
+	}
+	if len(hosts) != 1 {
+		t.Errorf("fetch failures name %d hosts, want exactly 1 (the failed node): %v", len(hosts), hosts)
+	}
+}
+
+func TestTezJobShape(t *testing.T) {
+	c := NewCluster(8, 55)
+	res := c.RunJob(JobSpec{Framework: logging.Tez, Name: "Query 8", InputMB: 1024, Containers: 4, CoresPerContainer: 1, MemoryMB: 1024}, FaultNone)
+	if len(res.Sessions) != 5 { // AM + 4 containers
+		t.Fatalf("sessions = %d, want 5", len(res.Sessions))
+	}
+	vague := 0
+	for _, s := range res.Sessions {
+		for _, r := range s.Records {
+			if r.TemplateID == "tez.op.finished.closing" || r.TemplateID == "tez.op.close.done" {
+				vague++
+			}
+		}
+	}
+	if vague == 0 {
+		t.Error("no vague Hive operator keys emitted")
+	}
+}
+
+func TestNLStatsPerFramework(t *testing.T) {
+	c := NewCluster(8, 77)
+	counts := map[string]int{}
+	for i := 0; i < 3; i++ {
+		res := c.RunJob(JobSpec{Framework: logging.MapReduce, Name: "WordCount", InputMB: 1024, Containers: 8, CoresPerContainer: 2, MemoryMB: 2048}, FaultNone)
+		for _, s := range res.Sessions {
+			for _, r := range s.Records {
+				counts[r.TemplateID]++
+			}
+		}
+	}
+	nl, total := c.MR.NLStats(counts)
+	if total == 0 || nl == 0 {
+		t.Fatal("no messages counted")
+	}
+	frac := float64(nl) / float64(total)
+	if frac < 0.80 || frac >= 1.0 {
+		t.Errorf("MR NL fraction = %.3f, want high but below 1.0", frac)
+	}
+}
+
+func TestNovaRequests(t *testing.T) {
+	c := NewCluster(4, 99)
+	recs := c.RunNovaRequests(5)
+	if len(recs) < 35 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Framework != logging.NovaCompute {
+			t.Fatal("wrong framework")
+		}
+	}
+	// Nova corpus is 100% NL (Table 1).
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.TemplateID]++
+	}
+	nl, total := c.Nova.NLStats(counts)
+	if nl != total {
+		t.Errorf("nova NL = %d/%d, want 100%%", nl, total)
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if FaultKill.String() != "kill" || FaultNone.String() != "none" || FaultIdleContainers.String() != "idle-containers" {
+		t.Error("fault names wrong")
+	}
+	if FaultKind(42).String() != "fault(42)" {
+		t.Error("out-of-range fault name")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		c := NewCluster(8, 123)
+		res := c.RunJob(JobSpec{Framework: logging.Spark, Name: "WordCount", InputMB: 512, Containers: 2, CoresPerContainer: 2, MemoryMB: 1024}, FaultNone)
+		var b strings.Builder
+		for _, s := range res.Sessions {
+			for _, r := range s.Records {
+				b.WriteString(r.Message)
+				b.WriteByte('\n')
+			}
+		}
+		return b.String()
+	}
+	if run() != run() {
+		t.Error("same seed produced different logs")
+	}
+}

@@ -1,0 +1,142 @@
+// Package sim simulates the log-facing behaviour of the paper's testbed:
+// a YARN-managed cluster running Hadoop MapReduce, Spark and Tez (plus the
+// YARN daemons and a nova-compute corpus for Table 1). IntelLog only ever
+// sees log text, so the simulator's contract is to emit realistic,
+// natural-language log sessions — variable lengths driven by input size
+// and configuration, interleaved concurrent subroutines, per-container
+// sessions — with ground-truth annotations carried on each template so
+// extraction accuracy (Table 4) and anomaly detection (Tables 6–8) can be
+// scored without manual source inspection.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/extract"
+	"intellog/internal/logging"
+)
+
+// Template is one logging statement of a simulated framework. Text
+// contains {name} placeholders for variable fields; the annotation fields
+// are the ground truth a perfect extractor would produce for the
+// corresponding log key.
+type Template struct {
+	// ID is a unique dotted name, e.g. "spark.task.finished".
+	ID string
+	// Framework is the producing system.
+	Framework logging.Framework
+	// Source is the logging component name put in the log header.
+	Source string
+	// Level is the record's severity.
+	Level logging.Level
+	// Text is the message with {placeholder} variable fields.
+	Text string
+	// NL marks whether the message is natural language (contains a clause);
+	// ground truth for Table 1.
+	NL bool
+
+	// Entities lists the entity phrases of the key (ground truth).
+	Entities []string
+	// IDFields names the placeholders that are identifiers.
+	IDFields []string
+	// ValueFields names the placeholders that are values.
+	ValueFields []string
+	// LocFields names the placeholders that are localities.
+	LocFields []string
+	// Operations lists the ground-truth operations.
+	Operations []extract.Operation
+	// Anomalous marks fault-only templates that never appear in normal
+	// training runs (used when scoring detection).
+	Anomalous bool
+}
+
+// Render substitutes placeholder values into the template text. Missing
+// placeholders render as "0" so templates never leak braces.
+func (t *Template) Render(vals map[string]string) string {
+	var b strings.Builder
+	text := t.Text
+	for {
+		i := strings.IndexByte(text, '{')
+		if i < 0 {
+			b.WriteString(text)
+			return b.String()
+		}
+		j := strings.IndexByte(text[i:], '}')
+		if j < 0 {
+			b.WriteString(text)
+			return b.String()
+		}
+		b.WriteString(text[:i])
+		name := text[i+1 : i+j]
+		if v, ok := vals[name]; ok {
+			b.WriteString(v)
+		} else {
+			b.WriteString("0")
+		}
+		text = text[i+j+1:]
+	}
+}
+
+// Placeholders returns the placeholder names in order of appearance.
+func (t *Template) Placeholders() []string {
+	var out []string
+	text := t.Text
+	for {
+		i := strings.IndexByte(text, '{')
+		if i < 0 {
+			return out
+		}
+		j := strings.IndexByte(text[i:], '}')
+		if j < 0 {
+			return out
+		}
+		out = append(out, text[i+1:i+j])
+		text = text[i+j+1:]
+	}
+}
+
+// Inventory is a framework's template set indexed by ID.
+type Inventory struct {
+	Framework logging.Framework
+	Templates []*Template
+	byID      map[string]*Template
+}
+
+// NewInventory indexes templates and validates ID uniqueness.
+func NewInventory(fw logging.Framework, templates []*Template) *Inventory {
+	inv := &Inventory{Framework: fw, Templates: templates, byID: map[string]*Template{}}
+	for _, t := range templates {
+		if _, dup := inv.byID[t.ID]; dup {
+			panic(fmt.Sprintf("sim: duplicate template id %q", t.ID))
+		}
+		if t.Framework == "" {
+			t.Framework = fw
+		}
+		inv.byID[t.ID] = t
+	}
+	return inv
+}
+
+// Get returns the template with the given ID, panicking on unknown IDs
+// (template references are static, so a miss is a programming error).
+func (inv *Inventory) Get(id string) *Template {
+	t, ok := inv.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown template id %q", id))
+	}
+	return t
+}
+
+// NLStats counts natural-language vs total templates weighted by the
+// given per-template message counts (Table 1's inputs).
+func (inv *Inventory) NLStats(counts map[string]int) (nl, total int) {
+	for _, t := range inv.Templates {
+		n := counts[t.ID]
+		total += n
+		if t.NL {
+			nl += n
+		}
+	}
+	return nl, total
+}

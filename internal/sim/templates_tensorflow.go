@@ -1,0 +1,96 @@
+package sim
+
+import "intellog/internal/logging"
+
+// TensorFlowTemplates models distributed TensorFlow training containers
+// (parameter servers + workers under ParameterServerStrategy) — the
+// paper's §9 future work. Messages follow tf.estimator / distributed
+// runtime logging.
+func TensorFlowTemplates() *Inventory {
+	ts := []*Template{
+		// --- server bring-up (both roles) --------------------------------------
+		tpl("tf.server.started", "tensorflow/core/distributed_runtime/rpc/grpc_server_lib.cc",
+			"Started server with target {target}",
+			ents("server", "target"), locs("target"),
+			ops(op("", "start", "server"))),
+		tpl("tf.channel.cache", "tensorflow/core/distributed_runtime/rpc/grpc_channel.cc",
+			"Initialize GrpcChannelCache for job {jobname} at {addr}",
+			ents("grpc channel cache", "job"), ids("jobname"), locs("addr"),
+			ops(op("", "initialize", "grpc channel cache"))),
+		tpl("tf.device.created", "tensorflow/core/common_runtime/device_factory.cc",
+			"Created device {device} with {mb} MB memory",
+			ents("device", "memory"), ids("device"), vals("mb"),
+			ops(op("", "create", "device"))),
+
+		// --- parameter server ---------------------------------------------------
+		tpl("tf.ps.joined", "tensorflow/core/distributed_runtime/server_lib.cc",
+			"Parameter server task {tasknum} joined the cluster",
+			ents("parameter server task", "cluster"), ids("tasknum"),
+			ops(op("parameter server task", "join", "cluster"))),
+		tpl("tf.ps.serving", "tensorflow/core/distributed_runtime/master.cc",
+			"Serving variable shards for {n} workers",
+			ents("variable shard", "worker"), vals("n"),
+			ops(op("", "serve", "variable shard"))),
+
+		// --- worker training loop ------------------------------------------------
+		tpl("tf.worker.session", "tensorflow/core/distributed_runtime/master_session.cc",
+			"Start master session {sessid} with config",
+			ents("master session"), ids("sessid"),
+			ops(op("", "start", "master session"))),
+		tpl("tf.graph.init", "tensorflow/python/training/monitored_session.py",
+			"Graph was finalized",
+			ents("graph"), ops(op("graph", "finish", ""))),
+		tpl("tf.ckpt.restoring", "tensorflow/python/training/saver.py",
+			"Restoring parameters from checkpoint at {path}",
+			ents("parameter", "checkpoint"), locs("path"),
+			ops(op("", "restore", "parameter"))),
+		tpl("tf.init.running", "tensorflow/python/training/monitored_session.py",
+			"Running local init op",
+			ents("local init op"), ops(op("", "run", "local init op"))),
+		tpl("tf.init.done", "tensorflow/python/training/monitored_session.py",
+			"Done running local init op",
+			ents("local init op"), ops(op("", "run", "local init op"))),
+		tpl("tf.step.loss", "tensorflow/python/training/basic_session_run_hooks.py",
+			"global step {step} reached loss of {loss}",
+			ents("global step", "loss"), ids("step"), vals("loss"),
+			ops(op("global step", "reach", "loss"))),
+		tpl("tf.step.rate.kv", "tensorflow/python/training/basic_session_run_hooks.py",
+			"steps_per_sec={a} examples_per_sec={b}",
+			nonNL(), vals("a", "b")),
+		tpl("tf.ckpt.saving", "tensorflow/python/training/basic_session_run_hooks.py",
+			"Saving checkpoints for step {step} into {path}",
+			ents("checkpoint"), ids("step"), locs("path"),
+			ops(op("", "save", "checkpoint"))),
+		tpl("tf.loss.final", "tensorflow/python/training/estimator.py",
+			"Loss for final step is {loss}",
+			ents("loss", "final step"), vals("loss"),
+			ops()),
+		tpl("tf.worker.shutdown", "tensorflow/core/distributed_runtime/worker.cc",
+			"Worker session closed and shutdown complete",
+			ents("worker session", "shutdown"),
+			ops(op("worker session", "close", ""))),
+
+		// --- anomalous -------------------------------------------------------------
+		tpl("tf.anom.grpc.unavailable", "tensorflow/core/distributed_runtime/rpc/grpc_remote_worker.cc",
+			"Failed to connect to all addresses for job ps task {tasknum} at {addr}",
+			level(logging.Error), anomalous(),
+			ents("address", "job"), ids("tasknum"), locs("addr"),
+			ops(op("", "fail", ""), op("", "connect", "address"))),
+		tpl("tf.anom.grpc.retry", "tensorflow/core/distributed_runtime/rpc/grpc_remote_worker.cc",
+			"Retrying rpc to {addr} after {ms} ms backoff",
+			level(logging.Warn), anomalous(),
+			ents("rpc"), locs("addr"), vals("ms"),
+			ops(op("", "retry", "rpc"))),
+		tpl("tf.anom.step.stall", "tensorflow/python/training/basic_session_run_hooks.py",
+			"No progress on global step for {s} seconds",
+			level(logging.Warn), anomalous(),
+			ents("progress", "global step"), vals("s"),
+			ops()),
+		tpl("tf.anom.ckpt.failed", "tensorflow/python/training/saver.py",
+			"Failed to save checkpoint to {path} because the filesystem is unavailable",
+			level(logging.Error), anomalous(),
+			ents("checkpoint", "filesystem"), locs("path"),
+			ops(op("", "fail", ""), op("", "save", "checkpoint"))),
+	}
+	return NewInventory(logging.TensorFlow, ts)
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// runTensorFlow simulates one distributed training job under
+// ParameterServerStrategy: Containers/4 parameter-server containers (min
+// 1) plus worker containers, each a session. Training length (global
+// steps) scales with InputMB; workers heartbeat loss lines and save
+// checkpoints periodically, so sessions have the variable-length,
+// value-heavy profile of real ML training logs.
+func (c *Cluster) runTensorFlow(spec JobSpec, fault FaultKind) *JobResult {
+	app := c.nextApp()
+	res := &JobResult{Spec: spec, Fault: fault, Affected: map[string]bool{}}
+
+	ps := maxInt(1, spec.Containers/4)
+	workers := maxInt(1, spec.Containers-ps)
+	steps := maxInt(20, spec.InputMB/16)
+	killIdx, netNode, deadNode := c.pickFaultTargets(workers, fault)
+
+	// Parameter-server containers.
+	psAddrs := make([]string, ps)
+	for i := 0; i < ps; i++ {
+		node := c.pickNode()
+		psAddrs[i] = fmt.Sprintf("%s:%d", node, 2222+i)
+		if fault == FaultNode && i == 0 && killIdx < 0 {
+			node = deadNode
+		}
+		cid := c.containerID(app, i+1)
+		th := newThread(c.rng, 0)
+		th.emit(c.TF.Get("tf.server.started"), v("target", "grpc://"+psAddrs[i]))
+		th.emit(c.TF.Get("tf.device.created"), v("device", fmt.Sprintf("device_CPU_%d", i), "mb", itoa(spec.MemoryMB)))
+		th.emit(c.TF.Get("tf.channel.cache"), v("jobname", fmt.Sprintf("job_worker_%d", i), "addr", psAddrs[i]))
+		th.emit(c.TF.Get("tf.ps.joined"), v("tasknum", itoa(i)))
+		th.emit(c.TF.Get("tf.ps.serving"), v("n", itoa(workers)))
+		th.wait(time.Duration(steps*40) * time.Millisecond)
+		th.emit(c.TF.Get("tf.worker.shutdown"), nil)
+		res.Sessions = append(res.Sessions, materialize(cid, logging.TensorFlow, c.clock, th.events))
+	}
+
+	// For a network fault, one PS address lives on the failed node.
+	badPS := 0
+	if fault == FaultNetwork || fault == FaultNode {
+		badPS = c.rng.Intn(ps)
+		psAddrs[badPS] = netNode + ":2222"
+	}
+
+	// Worker containers.
+	for w := 0; w < workers; w++ {
+		cid := c.containerID(app, ps+w+1)
+		node := c.pickNode()
+		if fault == FaultNode && w == killIdx {
+			node = deadNode
+		}
+		_ = node
+		th := newThread(c.rng, time.Duration(100+c.rng.Intn(200))*time.Millisecond)
+		th.emit(c.TF.Get("tf.server.started"), v("target", fmt.Sprintf("grpc://%s:2223", c.pickNode())))
+		th.emit(c.TF.Get("tf.device.created"), v("device", fmt.Sprintf("device_CPU_%d", w), "mb", itoa(spec.MemoryMB)))
+		for i := 0; i < ps; i++ {
+			th.emit(c.TF.Get("tf.channel.cache"), v("jobname", fmt.Sprintf("job_ps_%d", i), "addr", psAddrs[i]))
+		}
+		th.emit(c.TF.Get("tf.worker.session"), v("sessid", fmt.Sprintf("session_%08x", c.rng.Int63n(1<<31))))
+		th.emit(c.TF.Get("tf.graph.init"), nil)
+		th.emit(c.TF.Get("tf.ckpt.restoring"), v("path", fmt.Sprintf("/ckpt/%s/model.ckpt-0", c.appID(app))))
+		th.emit(c.TF.Get("tf.init.running"), nil)
+		th.emit(c.TF.Get("tf.init.done"), nil)
+
+		anomalous := false
+		loss := 4.0 + c.rng.Float64()
+		for s := 1; s <= steps; s += 5 + c.rng.Intn(10) {
+			loss *= 0.85 + 0.1*c.rng.Float64()
+			th.emit(c.TF.Get("tf.step.loss"),
+				v("step", itoa(s), "loss", fmt.Sprintf("%.4f", loss)))
+			if c.rng.Intn(3) == 0 {
+				th.emit(c.TF.Get("tf.step.rate.kv"),
+					v("a", fmt.Sprintf("%d.%d", 10+c.rng.Intn(40), c.rng.Intn(10)), "b", itoa(800+c.rng.Intn(4000))))
+			}
+			if c.rng.Intn(4) == 0 {
+				th.emit(c.TF.Get("tf.ckpt.saving"),
+					v("step", itoa(s), "path", fmt.Sprintf("/ckpt/%s/model.ckpt-%d", c.appID(app), s)))
+			}
+			if (fault == FaultNetwork || fault == FaultNode) && c.rng.Intn(3) == 0 {
+				th.emit(c.TF.Get("tf.anom.grpc.unavailable"),
+					v("tasknum", itoa(badPS), "addr", psAddrs[badPS]))
+				th.emit(c.TF.Get("tf.anom.grpc.retry"),
+					v("addr", psAddrs[badPS], "ms", itoa(100*(1+c.rng.Intn(8)))))
+				anomalous = true
+			}
+			if fault == FaultSpill && c.rng.Intn(6) == 0 {
+				// For ML jobs the "performance issue" analogue is a stalled
+				// step counter (e.g. slow input pipeline).
+				th.emit(c.TF.Get("tf.anom.step.stall"), v("s", itoa(30+c.rng.Intn(200))))
+				anomalous = true
+			}
+		}
+		th.emit(c.TF.Get("tf.loss.final"), v("loss", fmt.Sprintf("%.4f", loss)))
+		th.emit(c.TF.Get("tf.ckpt.saving"),
+			v("step", itoa(steps), "path", fmt.Sprintf("/ckpt/%s/model.ckpt-%d", c.appID(app), steps)))
+		th.emit(c.TF.Get("tf.worker.shutdown"), nil)
+
+		events := th.events
+		if (fault == FaultKill || fault == FaultNode) && w == killIdx {
+			events = truncateAt(events, 0.3+0.5*c.rng.Float64())
+			res.Affected[cid] = true
+		} else if anomalous {
+			res.Affected[cid] = true
+		}
+		res.Sessions = append(res.Sessions, materialize(cid, logging.TensorFlow, c.clock, events))
+	}
+
+	res.YarnRecords = c.yarnForJob(app, len(res.Sessions))
+	return res
+}

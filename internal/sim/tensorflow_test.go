@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"intellog/internal/logging"
+)
+
+func tfSpec(containers, inputMB int) JobSpec {
+	return JobSpec{
+		Framework: logging.TensorFlow, Name: "ResNet50",
+		InputMB: inputMB, Containers: containers, CoresPerContainer: 4, MemoryMB: 8192,
+	}
+}
+
+func TestTensorFlowJobShape(t *testing.T) {
+	c := NewCluster(8, 61)
+	res := c.RunJob(tfSpec(8, 1024), FaultNone)
+	// 2 parameter servers + 6 workers.
+	if len(res.Sessions) != 8 {
+		t.Fatalf("sessions = %d, want 8", len(res.Sessions))
+	}
+	psSessions, workerSessions := 0, 0
+	for _, s := range res.Sessions {
+		joined, loss := false, false
+		for _, r := range s.Records {
+			switch r.TemplateID {
+			case "tf.ps.joined":
+				joined = true
+			case "tf.step.loss":
+				loss = true
+			}
+		}
+		switch {
+		case joined && !loss:
+			psSessions++
+		case loss && !joined:
+			workerSessions++
+		default:
+			t.Errorf("session %s is neither pure PS nor pure worker", s.ID)
+		}
+	}
+	if psSessions != 2 || workerSessions != 6 {
+		t.Errorf("ps=%d workers=%d, want 2/6", psSessions, workerSessions)
+	}
+	if len(res.Affected) != 0 {
+		t.Error("clean TF job marked affected")
+	}
+}
+
+func TestTensorFlowSessionLengthScalesWithInput(t *testing.T) {
+	c := NewCluster(8, 62)
+	small := c.RunJob(tfSpec(4, 256), FaultNone)
+	big := c.RunJob(tfSpec(4, 4096), FaultNone)
+	if big.TotalRecords() <= small.TotalRecords() {
+		t.Errorf("records: big=%d small=%d — training length should scale with input",
+			big.TotalRecords(), small.TotalRecords())
+	}
+}
+
+func TestTensorFlowKillTruncates(t *testing.T) {
+	c := NewCluster(8, 63)
+	res := c.RunJob(tfSpec(8, 512), FaultKill)
+	if len(res.Affected) != 1 {
+		t.Fatalf("kill affected %d sessions", len(res.Affected))
+	}
+	for _, s := range res.Sessions {
+		if res.Affected[s.ID] && s.Records[s.Len()-1].TemplateID == "tf.worker.shutdown" {
+			t.Error("killed worker still shut down cleanly")
+		}
+	}
+}
+
+func TestTensorFlowNetworkFaultNamesOnePS(t *testing.T) {
+	c := NewCluster(8, 64)
+	res := c.RunJob(tfSpec(8, 1024), FaultNetwork)
+	if len(res.Affected) == 0 {
+		t.Fatal("network fault affected nothing")
+	}
+	addrs := map[string]bool{}
+	for _, s := range res.Sessions {
+		for _, r := range s.Records {
+			if r.TemplateID == "tf.anom.grpc.unavailable" {
+				for _, f := range strings.Fields(r.Message) {
+					if strings.Contains(f, ":2222") {
+						addrs[f] = true
+					}
+				}
+			}
+		}
+	}
+	if len(addrs) != 1 {
+		t.Errorf("grpc failures name %d addresses, want 1: %v", len(addrs), addrs)
+	}
+}
+
+func TestTensorFlowFormatterRoundTrip(t *testing.T) {
+	c := NewCluster(4, 65)
+	res := c.RunJob(tfSpec(4, 256), FaultNone)
+	f := logging.FormatterFor(logging.TensorFlow)
+	rec := res.Sessions[0].Records[0]
+	parsed, ok := f.Parse(f.Render(rec))
+	if !ok {
+		t.Fatalf("round-trip parse failed for %q", f.Render(rec))
+	}
+	if parsed.Message != rec.Message || parsed.Level != rec.Level {
+		t.Errorf("round trip mismatch: %+v vs %+v", parsed, rec)
+	}
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// hiveOperators are the Hive physical operators a TPC-H-like query plan
+// draws from (table scan, filter, select, join, group-by, reduce sink,
+// file sink, limit), each with its per-kind init template.
+var hiveOperators = []struct {
+	prefix string
+	tplID  string
+}{
+	{"TS", "tez.op.init.ts"},
+	{"FIL", "tez.op.init.fil"},
+	{"SEL", "tez.op.init.sel"},
+	{"JOIN", "tez.op.init.join"},
+	{"GBY", "tez.op.init.gby"},
+	{"RS", "tez.op.init.rs"},
+	{"FS", "tez.op.init.fs"},
+	{"LIM", "tez.op.init.lim"},
+}
+
+// runTez simulates one Tez (Hive) query: a DAGAppMaster container plus
+// reusable task containers; each container runs several task attempts for
+// the query's vertices, with Hive operator logs — including the vague
+// "{op} finished. Closing" / "{op} Close done" keys of §6.2.
+func (c *Cluster) runTez(spec JobSpec, fault FaultKind) *JobResult {
+	app := c.nextApp()
+	res := &JobResult{Spec: spec, Fault: fault, Affected: map[string]bool{}}
+	dagID := fmt.Sprintf("dag_%d_%04d_1", c.epoch, app)
+
+	vertices := 2 + c.rng.Intn(4) // Map/Reducer vertices in the query plan
+	tasksPerVertex := maxInt(1, spec.InputMB/256)
+	containers := maxInt(1, spec.Containers)
+	killIdx, netNode, deadNode := c.pickFaultTargets(containers, fault)
+
+	// --- DAG AM -------------------------------------------------------------
+	am := newThread(c.rng, 0)
+	am.emit(c.Tez.Get("tez.am.created"), v("appid", c.appID(app)))
+	am.emit(c.Tez.Get("tez.am.dag.submitted"), v("dagid", dagID, "user", "hive"))
+	var attempts []tezAttempt
+	for vtx := 0; vtx < vertices; vtx++ {
+		vid := fmt.Sprintf("vertex_%d_%04d_1_%02d", c.epoch, app, vtx)
+		am.emit(c.Tez.Get("tez.am.vertex.created"), v("vid", vid, "dagid", dagID))
+		am.emit(c.Tez.Get("tez.am.vertex.init"), v("vid", vid))
+		am.emit(c.Tez.Get("tez.am.parallelism"), v("vid", vid, "n", itoa(tasksPerVertex)))
+		if vtx > 0 {
+			prev := fmt.Sprintf("vertex_%d_%04d_1_%02d", c.epoch, app, vtx-1)
+			am.emit(c.Tez.Get("tez.am.edge"), v("v1", prev, "v2", vid))
+		}
+		am.emit(c.Tez.Get("tez.am.vertex.running"), v("vid", vid))
+		scheduledContainers := map[int]bool{}
+		for t := 0; t < tasksPerVertex; t++ {
+			att := fmt.Sprintf("attempt_%d_%04d_1_%02d_%06d_0", c.epoch, app, vtx, t)
+			cidx := (vtx*tasksPerVertex + t) % containers
+			attempts = append(attempts, tezAttempt{vid: vid, att: att, vtx: vtx, container: cidx})
+			if scheduledContainers[cidx] || vtx > 0 {
+				am.emit(c.Tez.Get("tez.am.container.reused"), v("cid", c.containerID(app, cidx+2), "attempt", att))
+			} else {
+				am.emit(c.Tez.Get("tez.am.task.scheduled"), v("attempt", att, "cid", c.containerID(app, cidx+2)))
+			}
+			scheduledContainers[cidx] = true
+		}
+	}
+	for vtx := 0; vtx < vertices; vtx++ {
+		vid := fmt.Sprintf("vertex_%d_%04d_1_%02d", c.epoch, app, vtx)
+		am.emit(c.Tez.Get("tez.am.vertex.succeeded"), v("vid", vid))
+	}
+	am.emit(c.Tez.Get("tez.am.dag.finished"), v("dagid", dagID))
+	amCID := c.containerID(app, 1)
+	res.Sessions = append(res.Sessions, materialize(amCID, logging.Tez, c.clock, am.events))
+
+	// --- task containers ---------------------------------------------------------
+	forcedFail := false
+	for cidx := 0; cidx < containers; cidx++ {
+		cid := c.containerID(app, cidx+2)
+		node := c.pickNode()
+		if fault == FaultNode && cidx == killIdx {
+			node = deadNode
+		}
+		_ = node
+		th := newThread(c.rng, time.Duration(300+c.rng.Intn(300))*time.Millisecond)
+		th.emit(c.Tez.Get("tez.child.starting"), v("cid", cid, "attempt", firstAttemptOf(attempts, cidx)))
+		th.emit(c.Tez.Get("tez.child.localized"),
+			v("uri", fmt.Sprintf("hdfs://nn1:8020/apps/tez/%s/hive-exec.jar", c.appID(app))))
+		th.emit(c.Tez.Get("tez.child.workdir"),
+			v("path", fmt.Sprintf("/data/yarn/local/%s/%02d", c.appID(app), cidx)))
+		anomalous := false
+		for _, a := range attempts {
+			if a.container != cidx {
+				continue
+			}
+			if c.tezAttempt(th, spec, a, fault, netNode, &forcedFail) {
+				anomalous = true
+			}
+		}
+		th.emit(c.Tez.Get("tez.child.exit"), v("cid", cid))
+
+		events := th.events
+		if (fault == FaultKill || fault == FaultNode) && cidx == killIdx {
+			events = truncateAt(events, 0.3+0.5*c.rng.Float64())
+			res.Affected[cid] = true
+		} else if anomalous {
+			res.Affected[cid] = true
+		}
+		res.Sessions = append(res.Sessions, materialize(cid, logging.Tez, c.clock, events))
+	}
+
+	res.YarnRecords = c.yarnForJob(app, len(res.Sessions))
+	return res
+}
+
+type tezAttempt struct {
+	vid       string
+	att       string
+	vtx       int
+	container int
+}
+
+// tezAttempt emits one task attempt's lifecycle; returns whether it
+// produced anomalous messages.
+func (c *Cluster) tezAttempt(th *threadGen, spec JobSpec, a tezAttempt, fault FaultKind, netNode string, forcedFail *bool) bool {
+	anomalous := false
+	th.emit(c.Tez.Get("tez.task.init"), v("attempt", a.att))
+	th.emit(c.Tez.Get("tez.task.starting"), v("attempt", a.att))
+	heartbeatStart := th.now
+	th.emit(c.Tez.Get("tez.input.init"), v("inputid", fmt.Sprintf("input_%d_0", a.vtx), "vid", a.vid))
+	th.emit(c.Tez.Get("tez.output.init"), v("outputid", fmt.Sprintf("output_%d_0", a.vtx), "vid", a.vid))
+	th.emit(c.Tez.Get("tez.processor.init"), v("vid", a.vid))
+
+	// Reduce-side vertices shuffle their inputs concurrently with operator
+	// initialisation (Tez pipelines the two), so their log lines interleave
+	// nondeterministically.
+	shuffleTh := newThread(c.rng, th.now)
+	if a.vtx > 0 {
+		n := 1 + c.rng.Intn(6)
+		shuffleTh.emit(c.Tez.Get("tez.shuffle.assigned"), v("n", itoa(n), "attempt", a.att))
+		for f := 0; f < n; f++ {
+			netFault := fault == FaultNetwork || fault == FaultNode
+			fail := netFault && c.rng.Intn(8) == 0
+			if netFault && !*forcedFail {
+				fail = true // at least one fetch in the job hits the failed node
+			}
+			if fail {
+				*forcedFail = true
+				shuffleTh.emit(c.Tez.Get("tez.anom.fetch.failed"),
+					v("fid", itoa(f%2+1), "addr", netNode+":13563", "attempt", a.att))
+				anomalous = true
+				continue
+			}
+			src := fmt.Sprintf("attempt_%s_src_%06d_0", a.att[8:len(a.att)-9], f)
+			shuffleTh.emit(c.Tez.Get("tez.shuffle.fetch"),
+				v("fid", itoa(f%2+1), "srcattempt", src, "bytes", itoa(2000+c.rng.Intn(80000))))
+		}
+		shuffleTh.emit(c.Tez.Get("tez.shuffle.done"), v("attempt", a.att, "ms", itoa(5+c.rng.Intn(90))))
+	}
+
+	// Hive operator pipeline, initialising while the shuffle runs. The
+	// operator mix is a random draw per attempt — query plans differ.
+	opTh := newThread(c.rng, th.now)
+	nops := 3 + c.rng.Intn(len(hiveOperators)-2)
+	opids := make([]string, nops)
+	kinds := c.rng.Perm(len(hiveOperators))
+	for i := 0; i < nops; i++ {
+		kind := hiveOperators[kinds[i%len(kinds)]]
+		opids[i] = fmt.Sprintf("%s_%d", kind.prefix, i)
+		opTh.emit(c.Tez.Get(kind.tplID), v("opid", opids[i]))
+	}
+	th.events = append(th.events, mergeThreads(shuffleTh, opTh)...)
+	th.now = maxDur(shuffleTh.now, opTh.now)
+	if fault == FaultSpill && c.rng.Intn(2) == 0 {
+		th.emit(c.Tez.Get("tez.anom.spill"),
+			v("path", fmt.Sprintf("/tmp/hive/spill_%04x.out", c.rng.Intn(1<<16))))
+		th.emit(c.Tez.Get("tez.anom.spill.file"),
+			v("path", fmt.Sprintf("/tmp/hive/spill_%04x.out", c.rng.Intn(1<<16)), "mb", itoa(spec.MemoryMB/2)))
+		anomalous = true
+	}
+	for i := 0; i < nops; i++ {
+		th.emit(c.Tez.Get("tez.op.forward"), v("opid", opids[i], "n", itoa(100+c.rng.Intn(100000))))
+	}
+	for i := nops - 1; i >= 0; i-- {
+		th.emit(c.Tez.Get("tez.op.finished.closing"), v("opid", opids[i]))
+		th.emit(c.Tez.Get("tez.op.close.done"), v("opid", opids[i]))
+	}
+	th.emit(c.Tez.Get("tez.task.counters.kv"),
+		v("a", itoa(c.rng.Intn(1<<20)), "b", itoa(c.rng.Intn(1<<20)), "c", itoa(c.rng.Intn(1<<10))))
+	th.emit(c.Tez.Get("tez.task.done"), v("attempt", a.att))
+	th.emit(c.Tez.Get("tez.task.closed"), v("attempt", a.att, "ms", itoa(10+c.rng.Intn(200))))
+
+	// The TaskReporter heartbeats concurrently with the whole attempt.
+	beats := 2 + c.rng.Intn(3) + spec.InputMB/1024
+	reporter := newThread(c.rng, heartbeatStart)
+	interval := (th.now - heartbeatStart) / time.Duration(beats+1)
+	for step := 1; step <= beats && reporter.now < th.now; step++ {
+		reporter.emit(c.Tez.Get("tez.task.heartbeat"),
+			v("attempt", a.att, "frac", fmt.Sprintf("0.%02d", minI(99, step*100/(beats+1)))))
+		reporter.wait(interval + time.Duration(c.rng.Intn(15))*time.Millisecond)
+	}
+	th.events = mergeThreads(th, reporter)
+	return anomalous
+}
+
+func firstAttemptOf(attempts []tezAttempt, cidx int) string {
+	for _, a := range attempts {
+		if a.container == cidx {
+			return a.att
+		}
+	}
+	return "attempt_0_0000_1_00_000000_0"
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"intellog/internal/extract"
+	"intellog/internal/logging"
+)
+
+// Option configures a template at construction.
+type Option func(*Template)
+
+// tpl builds a template. Templates default to INFO level and natural
+// language; options attach the ground-truth annotations.
+func tpl(id, source, text string, opts ...Option) *Template {
+	t := &Template{ID: id, Source: source, Level: logging.Info, Text: text, NL: true}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// ents annotates the ground-truth entity phrases.
+func ents(e ...string) Option { return func(t *Template) { t.Entities = e } }
+
+// ids annotates the identifier placeholders.
+func ids(f ...string) Option { return func(t *Template) { t.IDFields = f } }
+
+// vals annotates the value placeholders.
+func vals(f ...string) Option { return func(t *Template) { t.ValueFields = f } }
+
+// locs annotates the locality placeholders.
+func locs(f ...string) Option { return func(t *Template) { t.LocFields = f } }
+
+// ops annotates the ground-truth operations.
+func ops(o ...extract.Operation) Option { return func(t *Template) { t.Operations = o } }
+
+// op is a shorthand operation constructor.
+func op(subj, pred, obj string) extract.Operation {
+	return extract.Operation{Subject: subj, Predicate: pred, Object: obj}
+}
+
+// nonNL marks a template as not natural language (key-value dump).
+func nonNL() Option { return func(t *Template) { t.NL = false } }
+
+// anomalous marks a fault-only template.
+func anomalous() Option { return func(t *Template) { t.Anomalous = true } }
+
+// level overrides the record severity.
+func level(l logging.Level) Option { return func(t *Template) { t.Level = l } }

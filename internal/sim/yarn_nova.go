@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// RunJob dispatches to the framework generator.
+func (c *Cluster) RunJob(spec JobSpec, fault FaultKind) *JobResult {
+	if spec.Containers < 1 {
+		spec.Containers = 1
+	}
+	if spec.CoresPerContainer < 1 {
+		spec.CoresPerContainer = 1
+	}
+	if spec.MemoryMB < 256 {
+		spec.MemoryMB = 1024
+	}
+	if spec.InputMB < 1 {
+		spec.InputMB = 128
+	}
+	switch spec.Framework {
+	case logging.Spark:
+		return c.runSpark(spec, fault)
+	case logging.MapReduce:
+		return c.runMapReduce(spec, fault)
+	case logging.Tez:
+		return c.runTez(spec, fault)
+	case logging.TensorFlow:
+		return c.runTensorFlow(spec, fault)
+	default:
+		panic(fmt.Sprintf("sim: no generator for framework %q", spec.Framework))
+	}
+}
+
+// yarnForJob emits the NodeManager/ResourceManager daemon lines for one
+// job's containers (Table 1 corpus; not per-container sessions).
+func (c *Cluster) yarnForJob(app, containers int) []logging.Record {
+	th := newThread(c.rng, 0)
+	appID := c.appID(app)
+	th.emit(c.Yarn.Get("yarn.rm.submitted"), v("appid", appID, "user", "hadoop"))
+	th.emit(c.Yarn.Get("yarn.rm.accepted"), v("appid", appID, "user", "hadoop", "queue", "default"))
+	for i := 0; i < containers; i++ {
+		cid := c.containerID(app, i+1)
+		host := c.pickNode()
+		th.emit(c.Yarn.Get("yarn.rm.allocated"), v("cid", cid, "mb", itoa(1024+1024*c.rng.Intn(4)), "host", host))
+		th.emit(c.Yarn.Get("yarn.nm.start.request"), v("cid", cid, "user", "hadoop"))
+		th.emit(c.Yarn.Get("yarn.nm.transition.localizing"), v("cid", cid))
+		if i == 0 {
+			th.emit(c.Yarn.Get("yarn.nm.localizing"), v("uri", fmt.Sprintf("hdfs://nn1:8020/apps/%s/job.jar", appID)))
+		}
+		th.emit(c.Yarn.Get("yarn.nm.transition.localized"), v("cid", cid))
+		th.emit(c.Yarn.Get("yarn.nm.launch"), v("cid", cid, "host", host))
+		th.emit(c.Yarn.Get("yarn.nm.transition.running"), v("cid", cid))
+		th.emit(c.Yarn.Get("yarn.nm.monitor.kv"),
+			v("pid", itoa(10000+c.rng.Intn(50000)), "cid", cid, "a", itoa(400+c.rng.Intn(2000)), "b", itoa(2000+c.rng.Intn(4000))))
+	}
+	for i := 0; i < containers; i++ {
+		cid := c.containerID(app, i+1)
+		th.emit(c.Yarn.Get("yarn.nm.stopping"), v("cid", cid))
+		th.emit(c.Yarn.Get("yarn.nm.transition.done"), v("cid", cid))
+		th.emit(c.Yarn.Get("yarn.nm.removing"), v("cid", cid, "appid", appID))
+	}
+	th.emit(c.Yarn.Get("yarn.rm.completed"), v("appid", appID))
+
+	var out []logging.Record
+	for _, e := range th.events {
+		out = append(out, logging.Record{
+			Time: c.clock.Add(e.at), Level: e.tpl.Level, Source: e.tpl.Source,
+			Message: e.tpl.Render(e.vals), Framework: logging.Yarn, TemplateID: e.tpl.ID,
+		})
+	}
+	return out
+}
+
+// RunNovaRequests emits n VM-request lifecycles from nova-compute (the
+// Table 1 nova corpus; the paper excludes the periodic resource dumps, so
+// none are generated).
+func (c *Cluster) RunNovaRequests(n int) []logging.Record {
+	var out []logging.Record
+	for i := 0; i < n; i++ {
+		inst := fmt.Sprintf("instance-%08x", c.rng.Int63n(1<<31))
+		th := newThread(c.rng, time.Duration(i)*time.Second)
+		th.emit(c.Nova.Get("nova.spawn.start"), v("inst", inst))
+		th.emit(c.Nova.Get("nova.image.creating"), v("inst", inst))
+		th.emit(c.Nova.Get("nova.claim.total"), v("host", c.pickNode(), "inst", inst))
+		th.emit(c.Nova.Get("nova.vm.started"), v("inst", inst))
+		th.emit(c.Nova.Get("nova.build.took"), v("s", fmt.Sprintf("%d.%02d", 8+c.rng.Intn(20), c.rng.Intn(100)), "inst", inst))
+		if c.rng.Intn(4) == 0 {
+			th.emit(c.Nova.Get("nova.vm.paused"), v("inst", inst))
+			th.emit(c.Nova.Get("nova.vm.resumed"), v("inst", inst))
+		}
+		th.emit(c.Nova.Get("nova.terminating"), v("inst", inst))
+		th.emit(c.Nova.Get("nova.destroyed"), v("inst", inst))
+		th.emit(c.Nova.Get("nova.cleanup"), v("path", fmt.Sprintf("/var/lib/nova/instances/%s", inst)))
+		for _, e := range th.events {
+			out = append(out, logging.Record{
+				Time: c.clock.Add(e.at), Level: e.tpl.Level, Source: e.tpl.Source,
+				Message: e.tpl.Render(e.vals), Framework: logging.NovaCompute, TemplateID: e.tpl.ID,
+			})
+		}
+	}
+	return out
+}
+
+// Inventory returns the template inventory for a framework.
+func (c *Cluster) Inventory(fw logging.Framework) *Inventory {
+	switch fw {
+	case logging.Spark:
+		return c.Spark
+	case logging.MapReduce:
+		return c.MR
+	case logging.Tez:
+		return c.Tez
+	case logging.Yarn:
+		return c.Yarn
+	case logging.NovaCompute:
+		return c.Nova
+	case logging.TensorFlow:
+		return c.TF
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,34 @@
+package spell_test
+
+import (
+	"fmt"
+	"strings"
+
+	"intellog/internal/spell"
+)
+
+// Streaming two renderings of the same logging statement merges them into
+// one log key with the variable fields wildcarded — the Fig. 1 flow.
+func ExampleParser_Consume() {
+	p := spell.NewParser(1.7)
+	p.Consume(strings.Fields("Got assigned task 1"))
+	k := p.Consume(strings.Fields("Got assigned task 42"))
+	fmt.Println(k)
+	fmt.Println(k.Count, k.NumWildcards())
+	// Output:
+	// Got assigned task *
+	// 2 1
+}
+
+// Lookup matches without mutating the key set — the detection-phase mode,
+// where unmatched messages are anomalies rather than new keys.
+func ExampleParser_Lookup() {
+	p := spell.NewParser(0)
+	p.Consume(strings.Fields("Got assigned task 1"))
+	p.Consume(strings.Fields("Got assigned task 2"))
+	fmt.Println(p.Lookup(strings.Fields("Got assigned task 99")) != nil)
+	fmt.Println(p.Lookup(strings.Fields("something else entirely")) == nil)
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,331 @@
+// Package spell implements Spell (Du & Li, ICDM 2017), the streaming
+// log-key extractor IntelLog uses as its first stage (§2.1, §5). Raw log
+// messages stream in; Spell clusters them by longest-common-subsequence
+// similarity and maintains one log key per cluster, with variable fields
+// replaced by "*".
+//
+// Two refinements over a naive LCS matcher keep keys faithful for the
+// analytics-log domain:
+//
+//   - a merge only wildcards tokens that look variable (contain digits,
+//     '#', '_', '/', ':' …). Pure alphabetic words are part of the constant
+//     text by construction of logging statements, so "Registering block
+//     manager …" and "Registered block manager …" stay distinct keys;
+//   - candidate keys are pre-filtered by length (within 2× of the message),
+//     the simple-loop optimisation from the Spell paper.
+//
+// The threshold t (IntelLog sets t = 1.7 empirically) controls how much of
+// a message must be covered by the LCS: a key matches when
+// lcs·t ≥ max(len(key), len(msg)).
+package spell
+
+import "strings"
+
+// Wildcard is the placeholder for a variable field in a log key.
+const Wildcard = "*"
+
+// Key is one extracted log key.
+type Key struct {
+	// ID is a dense index assigned in discovery order.
+	ID int
+	// Tokens is the key's token sequence; variable fields are Wildcard.
+	Tokens []string
+	// Sample is the token sequence of the first message that created this
+	// key. IntelLog feeds the sample (not the key) to the POS tagger (§3).
+	Sample []string
+	// Count is the number of messages matched to this key.
+	Count int
+}
+
+// String renders the key with wildcards, e.g. "fetcher#* about to shuffle
+// output of map *".
+func (k *Key) String() string { return strings.Join(k.Tokens, " ") }
+
+// NumWildcards returns the number of variable fields in the key.
+func (k *Key) NumWildcards() int {
+	n := 0
+	for _, t := range k.Tokens {
+		if t == Wildcard {
+			n++
+		}
+	}
+	return n
+}
+
+// Parser is a streaming Spell instance. The zero value is not usable; use
+// NewParser.
+type Parser struct {
+	t    float64
+	keys []*Key
+	// byLen indexes keys by token count for the simple-loop length filter.
+	byLen map[int][]*Key
+	// classicLCS disables the constant-word merge guard, reverting to the
+	// original Spell rule (merge whenever the LCS clears the threshold,
+	// wildcarding any divergent token). Exposed for the ablation that
+	// motivates the guard.
+	classicLCS bool
+}
+
+// NewClassicParser returns a Parser using the original Spell matching
+// rule without the constant-word merge guard (ablation).
+func NewClassicParser(t float64) *Parser {
+	p := NewParser(t)
+	p.classicLCS = true
+	return p
+}
+
+// DefaultThreshold is the t value the paper found effective (§5).
+const DefaultThreshold = 1.7
+
+// NewParser returns a Parser with the given matching threshold t; values
+// ≤ 1 fall back to DefaultThreshold.
+func NewParser(t float64) *Parser {
+	if t <= 1 {
+		t = DefaultThreshold
+	}
+	return &Parser{t: t, byLen: make(map[int][]*Key)}
+}
+
+// Keys returns all keys discovered so far, in discovery order.
+func (p *Parser) Keys() []*Key { return p.keys }
+
+// Restore rebuilds a Parser around previously extracted keys (model
+// loading). The threshold governs future Consume calls; Lookup works
+// immediately.
+func Restore(t float64, keys []*Key) *Parser {
+	p := NewParser(t)
+	for _, k := range keys {
+		p.keys = append(p.keys, k)
+		p.byLen[len(k.Tokens)] = append(p.byLen[len(k.Tokens)], k)
+	}
+	return p
+}
+
+// Consume processes one tokenized message and returns its key, creating or
+// refining keys as needed.
+func (p *Parser) Consume(tokens []string) *Key {
+	if len(tokens) == 0 {
+		return nil
+	}
+	// Fast path: positional match against same-length keys.
+	for _, k := range p.byLen[len(tokens)] {
+		if positionalMatch(k.Tokens, tokens) {
+			k.Count++
+			return k
+		}
+	}
+	// LCS path: best mergeable key within the length window. A merge is
+	// admissible when (a) only variable-looking tokens get wildcarded
+	// (constant words in logging statements never vary), (b) the merged
+	// key covers the originals: len(merged)·t ≥ max length, so a gap may
+	// collapse at most (t−1)/t of a message, and (c) at least one constant
+	// token anchors the key. Among admissible keys the one keeping the
+	// most constant tokens wins.
+	var best *Key
+	var bestMerged []string
+	bestConst := 0
+	for l := len(tokens)/2 + len(tokens)%2; l <= len(tokens)*2; l++ {
+		for _, k := range p.byLen[l] {
+			merged, ok := tryMerge(k.Tokens, tokens)
+			if !ok && !p.classicLCS {
+				continue
+			}
+			maxLen := len(tokens)
+			if len(k.Tokens) > maxLen {
+				maxLen = len(k.Tokens)
+			}
+			if float64(len(merged))*p.t < float64(maxLen) {
+				continue
+			}
+			c := len(merged) - countWildcards(merged)
+			if c == 0 {
+				continue
+			}
+			if c > bestConst {
+				best, bestMerged, bestConst = k, merged, c
+			}
+		}
+	}
+	if best != nil {
+		if len(bestMerged) != len(best.Tokens) {
+			p.reindex(best, bestMerged)
+		} else {
+			best.Tokens = bestMerged
+		}
+		best.Count++
+		return best
+	}
+	k := &Key{ID: len(p.keys), Tokens: append([]string(nil), tokens...), Sample: append([]string(nil), tokens...), Count: 1}
+	p.keys = append(p.keys, k)
+	p.byLen[len(tokens)] = append(p.byLen[len(tokens)], k)
+	return k
+}
+
+// Lookup returns the key matching tokens without modifying parser state,
+// or nil. Used in the detection phase where unmatched messages are
+// anomalies rather than new keys.
+func (p *Parser) Lookup(tokens []string) *Key {
+	for _, k := range p.byLen[len(tokens)] {
+		if positionalMatch(k.Tokens, tokens) {
+			return k
+		}
+	}
+	return nil
+}
+
+// reindex moves a key between length buckets after a merge changed its
+// token count.
+func (p *Parser) reindex(k *Key, merged []string) {
+	old := p.byLen[len(k.Tokens)]
+	for i, kk := range old {
+		if kk == k {
+			p.byLen[len(k.Tokens)] = append(old[:i], old[i+1:]...)
+			break
+		}
+	}
+	k.Tokens = merged
+	p.byLen[len(merged)] = append(p.byLen[len(merged)], k)
+}
+
+// positionalMatch reports whether tokens aligns with key position by
+// position, treating Wildcard as matching any single token.
+func positionalMatch(key, tokens []string) bool {
+	if len(key) != len(tokens) {
+		return false
+	}
+	for i, kt := range key {
+		if kt != Wildcard && kt != tokens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lcsLen returns the length of the longest common subsequence of a and b,
+// with Wildcard in a matching any token of b.
+func lcsLen(a, b []string) int {
+	// One-row DP.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] || a[i-1] == Wildcard {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// variableLooking reports whether a token may be a variable field: it
+// contains a digit, identifier punctuation, or is a path/URL. Constant
+// text in logging statements is plain words, so only variable-looking
+// tokens may be wildcarded by a merge.
+func variableLooking(tok string) bool {
+	if tok == Wildcard {
+		return true
+	}
+	if strings.ContainsAny(tok, "0123456789_#/:@") {
+		return true
+	}
+	return false
+}
+
+// countWildcards returns the number of Wildcard tokens in a key sequence.
+func countWildcards(key []string) int {
+	n := 0
+	for _, t := range key {
+		if t == Wildcard {
+			n++
+		}
+	}
+	return n
+}
+
+// tryMerge aligns key and tokens by LCS and produces the merged key:
+// aligned tokens stay, divergent runs collapse to a single Wildcard. ok is
+// false if any divergent token is not variable-looking.
+func tryMerge(key, tokens []string) ([]string, bool) {
+	n, m := len(key), len(tokens)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if key[i-1] == tokens[j-1] || key[i-1] == Wildcard {
+				dp[i][j] = dp[i-1][j-1] + 1
+			} else if dp[i-1][j] >= dp[i][j-1] {
+				dp[i][j] = dp[i-1][j]
+			} else {
+				dp[i][j] = dp[i][j-1]
+			}
+		}
+	}
+	// Backtrack, building the merged sequence in reverse.
+	var rev []string
+	ok := true
+	i, j := n, m
+	pendingGap := false
+	flushGap := func() {
+		if pendingGap {
+			if len(rev) == 0 || rev[len(rev)-1] != Wildcard {
+				rev = append(rev, Wildcard)
+			}
+			pendingGap = false
+		}
+	}
+	for i > 0 && j > 0 {
+		if key[i-1] == tokens[j-1] || key[i-1] == Wildcard {
+			flushGap()
+			tok := key[i-1]
+			if tok == Wildcard {
+				// keep wildcard
+			} else if len(rev) > 0 && rev[len(rev)-1] == Wildcard && tok == Wildcard {
+				// collapse
+			}
+			rev = append(rev, tok)
+			i--
+			j--
+			continue
+		}
+		if dp[i-1][j] >= dp[i][j-1] {
+			if !variableLooking(key[i-1]) {
+				ok = false
+			}
+			pendingGap = true
+			i--
+		} else {
+			if !variableLooking(tokens[j-1]) {
+				ok = false
+			}
+			pendingGap = true
+			j--
+		}
+	}
+	for i > 0 {
+		if !variableLooking(key[i-1]) {
+			ok = false
+		}
+		pendingGap = true
+		i--
+	}
+	for j > 0 {
+		if !variableLooking(tokens[j-1]) {
+			ok = false
+		}
+		pendingGap = true
+		j--
+	}
+	flushGap()
+	// Reverse.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev, ok
+}

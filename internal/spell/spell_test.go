@@ -1,0 +1,237 @@
+package spell
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func toks(s string) []string { return strings.Fields(s) }
+
+func TestConsumeCreatesAndMerges(t *testing.T) {
+	p := NewParser(0)
+	k1 := p.Consume(toks("Got assigned task 1"))
+	k2 := p.Consume(toks("Got assigned task 5"))
+	if k1 != k2 {
+		t.Fatalf("same template produced two keys: %q vs %q", k1, k2)
+	}
+	if k1.String() != "Got assigned task *" {
+		t.Errorf("key = %q, want 'Got assigned task *'", k1.String())
+	}
+	if k1.Count != 2 {
+		t.Errorf("Count = %d, want 2", k1.Count)
+	}
+	if k1.NumWildcards() != 1 {
+		t.Errorf("NumWildcards = %d, want 1", k1.NumWildcards())
+	}
+}
+
+func TestConsumeKeepsVerbVariantsSeparate(t *testing.T) {
+	p := NewParser(0)
+	a := p.Consume(toks("Registering block manager host1:38211"))
+	b := p.Consume(toks("Registered block manager host1:38211"))
+	if a == b {
+		t.Fatalf("'Registering' and 'Registered' merged into %q", a)
+	}
+	if len(p.Keys()) != 2 {
+		t.Errorf("got %d keys, want 2", len(p.Keys()))
+	}
+}
+
+func TestConsumeFigure1Keys(t *testing.T) {
+	p := NewParser(0)
+	msgs := []string{
+		"fetcher#1 about to shuffle output of map attempt_01",
+		"fetcher#2 about to shuffle output of map attempt_02",
+		"fetcher#1 read 2264 bytes from map-output for attempt_01",
+		"fetcher#2 read 108 bytes from map-output for attempt_02",
+		"host1:13562 freed by fetcher#1 in 4ms",
+		"host2:13562 freed by fetcher#2 in 11ms",
+	}
+	for _, m := range msgs {
+		p.Consume(toks(m))
+	}
+	keys := p.Keys()
+	if len(keys) != 3 {
+		for _, k := range keys {
+			t.Logf("key: %s", k)
+		}
+		t.Fatalf("got %d keys, want 3", len(keys))
+	}
+	if got := keys[0].String(); got != "* about to shuffle output of map *" {
+		t.Errorf("key 0 = %q", got)
+	}
+	if got := keys[2].String(); got != "* freed by * in *" {
+		t.Errorf("key 2 = %q", got)
+	}
+}
+
+func TestSampleRetained(t *testing.T) {
+	p := NewParser(0)
+	k := p.Consume(toks("Starting MapTask metrics system"))
+	p.Consume(toks("Starting ReduceTask metrics system"))
+	// Wait: ReduceTask vs MapTask are alphabetic — merge must be refused.
+	if len(p.Keys()) != 2 {
+		t.Fatalf("alphabetic-divergent messages merged; keys = %d", len(p.Keys()))
+	}
+	if !reflect.DeepEqual(k.Sample, toks("Starting MapTask metrics system")) {
+		t.Errorf("Sample = %v", k.Sample)
+	}
+}
+
+func TestLookupDoesNotMutate(t *testing.T) {
+	p := NewParser(0)
+	p.Consume(toks("Got assigned task 1"))
+	p.Consume(toks("Got assigned task 2"))
+	if k := p.Lookup(toks("Got assigned task 99")); k == nil {
+		t.Error("Lookup failed to match wildcard key")
+	}
+	if k := p.Lookup(toks("completely different message here")); k != nil {
+		t.Errorf("Lookup matched unrelated message: %q", k)
+	}
+	if len(p.Keys()) != 1 {
+		t.Errorf("Lookup created keys: %d", len(p.Keys()))
+	}
+}
+
+func TestMergeCollapsesGapToSingleWildcard(t *testing.T) {
+	p := NewParser(0)
+	p.Consume(toks("read 10 20 bytes"))
+	k := p.Consume(toks("read 999 bytes"))
+	if got := k.String(); got != "read * bytes" {
+		t.Errorf("merged key = %q, want 'read * bytes'", got)
+	}
+}
+
+func TestPositionalMatch(t *testing.T) {
+	if !positionalMatch(toks("a * c"), toks("a b c")) {
+		t.Error("wildcard should match")
+	}
+	if positionalMatch(toks("a * c"), toks("a b d")) {
+		t.Error("mismatched constant matched")
+	}
+	if positionalMatch(toks("a *"), toks("a b c")) {
+		t.Error("length mismatch matched")
+	}
+}
+
+func TestLCSLen(t *testing.T) {
+	if got := lcsLen(toks("a b c d"), toks("a x c y")); got != 2 {
+		t.Errorf("lcsLen = %d, want 2", got)
+	}
+	if got := lcsLen(toks("* b"), toks("z b")); got != 2 {
+		t.Errorf("wildcard lcsLen = %d, want 2", got)
+	}
+	if got := lcsLen(nil, toks("a")); got != 0 {
+		t.Errorf("empty lcsLen = %d", got)
+	}
+}
+
+func TestConsumeEmpty(t *testing.T) {
+	p := NewParser(0)
+	if k := p.Consume(nil); k != nil {
+		t.Error("Consume(nil) should return nil")
+	}
+}
+
+func TestThresholdRejectsDissimilar(t *testing.T) {
+	p := NewParser(1.7)
+	p.Consume(toks("alpha_1 beta_2 gamma_3 delta_4 epsilon_5"))
+	p.Consume(toks("alpha_1 zeta_9 eta_8 theta_7 iota_6"))
+	// LCS = 1 of 5; 1*1.7 < 5, so these must not merge.
+	if len(p.Keys()) != 2 {
+		t.Errorf("dissimilar messages merged; keys = %d", len(p.Keys()))
+	}
+}
+
+// Property: consuming the same message twice never creates a second key,
+// and the second consume returns the first key.
+func TestPropertyIdempotentConsume(t *testing.T) {
+	f := func(words []uint8) bool {
+		if len(words) == 0 || len(words) > 12 {
+			return true
+		}
+		tokens := make([]string, len(words))
+		for i, w := range words {
+			tokens[i] = fmt.Sprintf("w%d", w%7)
+		}
+		p := NewParser(0)
+		k1 := p.Consume(tokens)
+		k2 := p.Consume(tokens)
+		return k1 == k2 && len(p.Keys()) == 1 && k1.Count == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a key always positionally matches the messages that formed it
+// when they have the key's length.
+func TestPropertyKeyMatchesOrigin(t *testing.T) {
+	f := func(a, b uint16) bool {
+		m1 := toks(fmt.Sprintf("task %d finished on host", a))
+		m2 := toks(fmt.Sprintf("task %d finished on host", b))
+		p := NewParser(0)
+		p.Consume(m1)
+		k := p.Consume(m2)
+		return positionalMatch(k.Tokens, m1) && positionalMatch(k.Tokens, m2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConsume(b *testing.B) {
+	msgs := make([][]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		msgs = append(msgs, toks(fmt.Sprintf("fetcher#%d read %d bytes from map-output for attempt_%d", i%4, i*137, i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewParser(0)
+		for _, m := range msgs {
+			p.Consume(m)
+		}
+	}
+}
+
+func TestClassicParserConflates(t *testing.T) {
+	// Under the original LCS rule these two statements merge; the guard
+	// keeps them apart (they differ in a constant verb).
+	msgs := []string{
+		"Registering block manager host1:38211",
+		"Registered block manager host1:38211",
+	}
+	classic := NewClassicParser(0)
+	guarded := NewParser(0)
+	for _, m := range msgs {
+		classic.Consume(toks(m))
+		guarded.Consume(toks(m))
+	}
+	if len(classic.Keys()) != 1 {
+		t.Errorf("classic keys = %d, want 1 (conflated)", len(classic.Keys()))
+	}
+	if len(guarded.Keys()) != 2 {
+		t.Errorf("guarded keys = %d, want 2", len(guarded.Keys()))
+	}
+}
+
+func TestRestoreLookup(t *testing.T) {
+	p := NewParser(0)
+	p.Consume(toks("Got assigned task 1"))
+	p.Consume(toks("Got assigned task 2"))
+	restored := Restore(0, p.Keys())
+	if restored.Lookup(toks("Got assigned task 7")) == nil {
+		t.Error("restored parser cannot look up")
+	}
+	if len(restored.Keys()) != 1 {
+		t.Errorf("restored keys = %d", len(restored.Keys()))
+	}
+	// Restored parser keeps consuming correctly.
+	k := restored.Consume(toks("Got assigned task 9"))
+	if k == nil || len(restored.Keys()) != 1 {
+		t.Error("restored parser consume broken")
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+
+	"intellog/internal/core"
+	"intellog/internal/logging"
+	"intellog/internal/sim"
+)
+
+// trainModel trains IntelLog on n clean jobs of a framework.
+func trainModel(t *testing.T, fw logging.Framework, n int) (*core.Model, *Generator) {
+	t.Helper()
+	cluster := sim.NewCluster(8, 1)
+	gen := NewGenerator(cluster, 2)
+	sessions := gen.TrainingCorpus(fw, n)
+	if len(sessions) == 0 {
+		t.Fatal("no training sessions")
+	}
+	return core.Train(sessions, core.Config{}), gen
+}
+
+func jobDetected(m *core.Model, res *sim.JobResult) bool {
+	report := m.Detect(res.Sessions)
+	return len(report.Anomalies) > 0
+}
+
+func TestSparkCleanJobsNoFalsePositives(t *testing.T) {
+	m, gen := trainModel(t, logging.Spark, 12)
+	fp := 0
+	for i := 0; i < 5; i++ {
+		res := gen.Submit(logging.Spark, sim.FaultNone)
+		if jobDetected(m, res) {
+			report := m.Detect(res.Sessions)
+			for _, a := range report.Anomalies[:minInt(5, len(report.Anomalies))] {
+				t.Logf("FP anomaly: %s group=%s %s", a.Kind, a.Group, a.Detail)
+			}
+			fp++
+		}
+	}
+	if fp > 1 {
+		t.Errorf("%d/5 clean Spark jobs flagged", fp)
+	}
+}
+
+func TestSparkFaultsDetected(t *testing.T) {
+	m, gen := trainModel(t, logging.Spark, 12)
+	for _, fault := range []sim.FaultKind{sim.FaultKill, sim.FaultNetwork, sim.FaultNode, sim.FaultSpill, sim.FaultIdleContainers} {
+		res := gen.Submit(logging.Spark, fault)
+		if !jobDetected(m, res) {
+			t.Errorf("Spark %s fault not detected", fault)
+		}
+	}
+}
+
+func TestMapReduceFaultsDetected(t *testing.T) {
+	m, gen := trainModel(t, logging.MapReduce, 10)
+	fp := 0
+	for i := 0; i < 3; i++ {
+		if jobDetected(m, gen.Submit(logging.MapReduce, sim.FaultNone)) {
+			fp++
+		}
+	}
+	if fp > 1 {
+		t.Errorf("%d/3 clean MR jobs flagged", fp)
+	}
+	for _, fault := range []sim.FaultKind{sim.FaultKill, sim.FaultNetwork, sim.FaultNode} {
+		res := gen.Submit(logging.MapReduce, fault)
+		if !jobDetected(m, res) {
+			t.Errorf("MR %s fault not detected", fault)
+		}
+	}
+}
+
+func TestTezFaultsDetected(t *testing.T) {
+	m, gen := trainModel(t, logging.Tez, 10)
+	fp := 0
+	for i := 0; i < 3; i++ {
+		if jobDetected(m, gen.Submit(logging.Tez, sim.FaultNone)) {
+			fp++
+		}
+	}
+	if fp > 1 {
+		t.Errorf("%d/3 clean Tez jobs flagged", fp)
+	}
+	for _, fault := range []sim.FaultKind{sim.FaultKill, sim.FaultNetwork, sim.FaultSpill} {
+		res := gen.Submit(logging.Tez, fault)
+		if !jobDetected(m, res) {
+			t.Errorf("Tez %s fault not detected", fault)
+		}
+	}
+}
+
+func TestGeneratorDrawsFromSuites(t *testing.T) {
+	gen := NewGenerator(sim.NewCluster(4, 5), 6)
+	seenSpark := map[string]bool{}
+	seenTez := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		seenSpark[gen.RandomSpec(logging.Spark).Name] = true
+		seenTez[gen.RandomSpec(logging.Tez).Name] = true
+	}
+	if len(seenSpark) < 4 {
+		t.Errorf("Spark job diversity too low: %v", seenSpark)
+	}
+	if len(seenTez) < 4 {
+		t.Errorf("Tez query diversity too low: %v", seenTez)
+	}
+	for name := range seenTez {
+		if name[:5] != "Query" {
+			t.Errorf("Tez drew non-TPC-H job %q", name)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestFaultMatrix exercises every framework × fault combination once and
+// asserts job-level detection for the disruptive faults.
+func TestFaultMatrix(t *testing.T) {
+	frameworks := []logging.Framework{logging.Spark, logging.MapReduce, logging.Tez, logging.TensorFlow}
+	disruptive := []sim.FaultKind{sim.FaultKill, sim.FaultNetwork, sim.FaultNode}
+	for _, fw := range frameworks {
+		m, gen := trainModel(t, fw, 10)
+		for _, fault := range disruptive {
+			res := gen.Submit(fw, fault)
+			if len(res.Affected) == 0 {
+				t.Errorf("%s/%s: fault affected no sessions", fw, fault)
+				continue
+			}
+			if !jobDetected(m, res) {
+				t.Errorf("%s/%s: not detected", fw, fault)
+			}
+		}
+	}
+}
+
+func TestTensorFlowCleanNoFP(t *testing.T) {
+	m, gen := trainModel(t, logging.TensorFlow, 10)
+	fp := 0
+	for i := 0; i < 4; i++ {
+		if jobDetected(m, gen.Submit(logging.TensorFlow, sim.FaultNone)) {
+			fp++
+		}
+	}
+	if fp > 1 {
+		t.Errorf("%d/4 clean TF jobs flagged", fp)
+	}
+}

@@ -1,0 +1,120 @@
+// Package workload reproduces the paper's workload generator (§6.1): it
+// randomly draws HiBench-style jobs for Spark and MapReduce and TPC-H
+// queries (via a Hive-like interface) for Tez, with randomized input
+// sizes and resource configurations, and submits them to the simulated
+// cluster.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"intellog/internal/logging"
+	"intellog/internal/sim"
+)
+
+// HiBenchJobs mirrors the HiBench suite's breadth: text processing,
+// machine learning and graph processing.
+var HiBenchJobs = []string{
+	"WordCount", "Sort", "TeraSort", "Grep", "KMeans", "Bayes", "PageRank",
+	"NWeight", "Aggregation", "Join", "Scan",
+}
+
+// MLJobs lists distributed-training workloads for the TensorFlow
+// extension (§9 future work).
+var MLJobs = []string{
+	"ResNet50", "Inception", "Word2Vec", "Transformer", "NCF", "WideDeep",
+}
+
+// TPCHQueries lists the 22 TPC-H queries submitted through Hive on Tez.
+var TPCHQueries = func() []string {
+	qs := make([]string, 22)
+	for i := range qs {
+		qs[i] = fmt.Sprintf("Query %d", i+1)
+	}
+	return qs
+}()
+
+// ConfigSet is one resource configuration (the paper submits jobs under
+// five sets with different input sizes and allocations).
+type ConfigSet struct {
+	InputMB    int
+	Containers int
+	Cores      int
+	MemoryMB   int
+}
+
+// DefaultConfigSets are the five configurations used by the Table 6
+// experiments.
+var DefaultConfigSets = []ConfigSet{
+	{InputMB: 512, Containers: 4, Cores: 2, MemoryMB: 2048},
+	{InputMB: 1024, Containers: 6, Cores: 4, MemoryMB: 4096},
+	{InputMB: 2048, Containers: 8, Cores: 4, MemoryMB: 4096},
+	{InputMB: 4096, Containers: 12, Cores: 8, MemoryMB: 8192},
+	{InputMB: 8192, Containers: 16, Cores: 8, MemoryMB: 16384},
+}
+
+// TrainingConfigSets are the carefully tuned configurations used for the
+// model-training runs (§6.1). Detection jobs use DefaultConfigSets, whose
+// larger inputs and allocations produce session lengths the training
+// phase never saw — the paper's source of variable-length sessions.
+var TrainingConfigSets = []ConfigSet{
+	{InputMB: 512, Containers: 6, Cores: 2, MemoryMB: 2048},
+	{InputMB: 1024, Containers: 4, Cores: 2, MemoryMB: 2048},
+	{InputMB: 2048, Containers: 6, Cores: 4, MemoryMB: 4096},
+	{InputMB: 4096, Containers: 8, Cores: 4, MemoryMB: 4096},
+}
+
+// Generator submits randomized jobs to a simulated cluster.
+type Generator struct {
+	Cluster *sim.Cluster
+	rng     *rand.Rand
+}
+
+// NewGenerator wraps a cluster with a deterministic job chooser.
+func NewGenerator(c *sim.Cluster, seed int64) *Generator {
+	return &Generator{Cluster: c, rng: rand.New(rand.NewSource(seed))}
+}
+
+// RandomSpec draws a job spec for the framework: a HiBench job for Spark
+// and MapReduce, a TPC-H query for Tez.
+func (g *Generator) RandomSpec(fw logging.Framework) sim.JobSpec {
+	cfg := DefaultConfigSets[g.rng.Intn(len(DefaultConfigSets))]
+	return g.SpecWithConfig(fw, cfg)
+}
+
+// SpecWithConfig draws a job name for the framework under a fixed config.
+func (g *Generator) SpecWithConfig(fw logging.Framework, cfg ConfigSet) sim.JobSpec {
+	var name string
+	switch fw {
+	case logging.Tez:
+		name = TPCHQueries[g.rng.Intn(len(TPCHQueries))]
+	case logging.TensorFlow:
+		name = MLJobs[g.rng.Intn(len(MLJobs))]
+	default:
+		name = HiBenchJobs[g.rng.Intn(len(HiBenchJobs))]
+	}
+	return sim.JobSpec{
+		Framework: fw, Name: name,
+		InputMB: cfg.InputMB, Containers: cfg.Containers,
+		CoresPerContainer: cfg.Cores, MemoryMB: cfg.MemoryMB,
+	}
+}
+
+// Submit runs one random job with the given fault.
+func (g *Generator) Submit(fw logging.Framework, fault sim.FaultKind) *sim.JobResult {
+	return g.Cluster.RunJob(g.RandomSpec(fw), fault)
+}
+
+// TrainingCorpus submits n clean jobs and returns all their sessions —
+// the model-training phase, where configurations guarantee successful
+// normal execution (§6.1).
+func (g *Generator) TrainingCorpus(fw logging.Framework, n int) []*logging.Session {
+	var sessions []*logging.Session
+	for i := 0; i < n; i++ {
+		cfg := TrainingConfigSets[g.rng.Intn(len(TrainingConfigSets))]
+		res := g.Cluster.RunJob(g.SpecWithConfig(fw, cfg), sim.FaultNone)
+		sessions = append(sessions, res.Sessions...)
+	}
+	return sessions
+}
