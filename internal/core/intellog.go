@@ -5,6 +5,8 @@
 package core
 
 import (
+	"time"
+
 	"intellog/internal/detect"
 	"intellog/internal/extract"
 	"intellog/internal/hwgraph"
@@ -41,16 +43,38 @@ type Model struct {
 	KeyGroups map[int][]string
 
 	cfg Config
+	// lookup memoizes raw message → Spell key across binding and
+	// detection; sound because the parser stops consuming after training.
+	lookup *spell.LookupCache
+	// values interns identifier values; prototypes cached in lookup carry
+	// interned sets from it, shared with the detector.
+	values *hwgraph.ValueInterner
 }
 
 // Train runs the full training pipeline over normal-execution sessions.
 func Train(sessions []*logging.Session, cfg Config) *Model {
 	parser := spell.NewParser(cfg.SpellThreshold)
 
-	// Stage 1: stream every message through Spell.
+	// Stage 1: stream every message through Spell. Renderings repeat
+	// heavily, so the token split is memoized by raw text (Consume copies
+	// what it keeps, making the shared slices safe). The memo keeps the
+	// full token split so stage 3 never tokenizes the same rendering
+	// twice.
+	type memoEntry struct {
+		toks  []nlp.Token
+		texts []string
+	}
+	memo := make(map[string]*memoEntry, 1024)
 	for _, s := range sessions {
 		for i := range s.Records {
-			parser.Consume(nlp.Texts(nlp.Tokenize(s.Records[i].Message)))
+			msg := s.Records[i].Message
+			e, ok := memo[msg]
+			if !ok {
+				toks := nlp.Tokenize(msg)
+				e = &memoEntry{toks: toks, texts: nlp.Texts(toks)}
+				memo[msg] = e
+			}
+			parser.Consume(e.texts)
 		}
 	}
 
@@ -64,8 +88,27 @@ func Train(sessions []*logging.Session, cfg Config) *Model {
 	// Stage 3: HW-graph modeling. Binding each session to Intel Messages
 	// is independent per session (parallel); the graph builder itself
 	// folds sessions sequentially, in input order, for determinism.
+	//
+	// The parser is frozen after stage 1, so the lookup cache can be
+	// warmed from the stage-1 memo up front: every distinct rendering is
+	// tokenized, looked up and bound exactly once, and the parallel
+	// binding workers below run almost entirely on cache hits.
 	builder := hwgraph.NewBuilder(keys)
-	for _, msgs := range bindSessions(parser, keyIndex, sessions) {
+	cache := spell.NewLookupCache(0)
+	for msg, e := range memo {
+		k := parser.Lookup(e.texts)
+		cl := &extract.CachedLookup{Tokens: e.toks}
+		if k != nil {
+			if ik := keyIndex[k.ID]; ik != nil && ik.NaturalLanguage {
+				cl.Proto = extract.Bind(ik, e.toks, time.Time{}, "", msg)
+				cl.Proto.IdentifierSet()
+				cl.Proto.IdentifierTypes() // precompute; shared by every copy
+				builder.Values().InternMessage(cl.Proto)
+			}
+		}
+		cache.AddAux(msg, k, cl)
+	}
+	for _, msgs := range bindSessions(parser, keyIndex, cache, sessions) {
 		builder.AddSession(msgs)
 	}
 
@@ -75,25 +118,56 @@ func Train(sessions []*logging.Session, cfg Config) *Model {
 		Graph:     builder.Graph(),
 		KeyGroups: builder.KeyGroups,
 		cfg:       cfg,
+		lookup:    cache,
+		values:    builder.Values(),
 	}
 }
 
 // BindSession converts a session's records to Intel Messages using the
 // trained keys, skipping unmatched and non-NL messages.
 func BindSession(parser *spell.Parser, keys map[int]*extract.IntelKey, s *logging.Session) []*extract.Message {
+	return BindSessionCached(parser, keys, nil, s)
+}
+
+// BindSessionCached is BindSession with a raw-message lookup cache: the
+// first occurrence of a rendering tokenizes, looks up and binds as usual
+// and caches the result; every repeat either skips the record outright
+// (unmatched or non-NL key) or shallow-copies the cached bound prototype.
+// cache may be nil.
+func BindSessionCached(parser *spell.Parser, keys map[int]*extract.IntelKey, cache *spell.LookupCache, s *logging.Session) []*extract.Message {
 	var msgs []*extract.Message
+	var rb extract.Rebinder
 	for i := range s.Records {
 		rec := &s.Records[i]
+		if cache != nil {
+			if k, aux, hit := cache.GetAux(rec.Message); hit {
+				if k == nil {
+					continue
+				}
+				if cl, ok := aux.(*extract.CachedLookup); ok && cl != nil {
+					if cl.Proto != nil {
+						msgs = append(msgs, rb.Rebind(cl.Proto, rec.Time, s.ID))
+					}
+					continue
+				}
+				// Entry without a memo (added via plain Add): fall through
+				// and rebuild it below.
+			}
+		}
 		tokens := nlp.Tokenize(rec.Message)
 		k := parser.Lookup(nlp.Texts(tokens))
-		if k == nil {
-			continue
+		cl := &extract.CachedLookup{Tokens: tokens}
+		if k != nil {
+			if ik := keys[k.ID]; ik != nil && ik.NaturalLanguage {
+				cl.Proto = extract.Bind(ik, tokens, time.Time{}, "", rec.Message)
+				cl.Proto.IdentifierSet()
+				cl.Proto.IdentifierTypes() // precompute; shared by every copy
+				msgs = append(msgs, rb.Rebind(cl.Proto, rec.Time, s.ID))
+			}
 		}
-		ik := keys[k.ID]
-		if ik == nil || !ik.NaturalLanguage {
-			continue
+		if cache != nil {
+			cache.AddAux(rec.Message, k, cl)
 		}
-		msgs = append(msgs, extract.Bind(ik, tokens, rec.Time, s.ID, rec.Message))
 	}
 	return msgs
 }
@@ -103,7 +177,7 @@ func BindSession(parser *spell.Parser, keys map[int]*extract.IntelKey, s *loggin
 func (m *Model) Messages(sessions []*logging.Session) []*extract.Message {
 	var out []*extract.Message
 	for _, s := range sessions {
-		out = append(out, BindSession(m.Parser, m.Keys, s)...)
+		out = append(out, BindSessionCached(m.Parser, m.Keys, m.lookup, s)...)
 	}
 	return out
 }
@@ -112,6 +186,12 @@ func (m *Model) Messages(sessions []*logging.Session) []*extract.Message {
 // training config.
 func (m *Model) Detector() *detect.Detector {
 	d := detect.NewDetector(m.Parser, m.Keys, m.KeyGroups, m.Graph)
+	// Share the model's lookup cache: training, binding and detection see
+	// the same parser, so memoized lookups are interchangeable.
+	if m.lookup != nil {
+		d.Cache = m.lookup
+	}
+	d.Values = m.values
 	d.CheckHierarchy = !m.cfg.DisableHierarchyCheck
 	d.CheckMissingGroups = !m.cfg.DisableMissingGroupCheck
 	if m.cfg.DisableCriticalKeys {

@@ -1,68 +1,31 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"intellog/internal/extract"
 	"intellog/internal/logging"
+	"intellog/internal/par"
 	"intellog/internal/spell"
 )
-
-// parallelism is the worker count for the embarrassingly parallel stages
-// (Intel Key building, per-session binding, per-session detection).
-func parallelism() int {
-	n := runtime.NumCPU()
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
 
 // buildIntelKeys runs extract.BuildIntelKey over all Spell keys with a
 // worker pool. Results are positional, so the output is deterministic
 // regardless of scheduling.
 func buildIntelKeys(keys []*spell.Key) []*extract.IntelKey {
 	out := make([]*extract.IntelKey, len(keys))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				out[i] = extract.BuildIntelKey(keys[i])
-			}
-		}()
-	}
-	for i := range keys {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	par.ForEachIndex(len(keys), func(i int) {
+		out[i] = extract.BuildIntelKey(keys[i])
+	})
 	return out
 }
 
 // bindSessions converts every session to Intel Messages in parallel,
 // preserving session order. The Spell parser is only read (Lookup), which
-// is safe concurrently once training consumption is done.
-func bindSessions(parser *spell.Parser, keys map[int]*extract.IntelKey, sessions []*logging.Session) [][]*extract.Message {
+// is safe concurrently once training consumption is done; the shared
+// lookup cache is internally synchronized.
+func bindSessions(parser *spell.Parser, keys map[int]*extract.IntelKey, cache *spell.LookupCache, sessions []*logging.Session) [][]*extract.Message {
 	out := make([][]*extract.Message, len(sessions))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				out[i] = BindSession(parser, keys, sessions[i])
-			}
-		}()
-	}
-	for i := range sessions {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	par.ForEachIndex(len(sessions), func(i int) {
+		out[i] = BindSessionCached(parser, keys, cache, sessions[i])
+	})
 	return out
 }

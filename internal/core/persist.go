@@ -60,6 +60,7 @@ func Load(r io.Reader) (*Model, error) {
 		Graph:     in.Graph,
 		KeyGroups: in.KeyGroups,
 		cfg:       in.Config,
+		lookup:    spell.NewLookupCache(0),
 	}
 	for _, ik := range in.IntelKeys {
 		m.Keys[ik.ID] = ik

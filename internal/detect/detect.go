@@ -9,15 +9,16 @@ package detect
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"intellog/internal/extract"
 	"intellog/internal/hwgraph"
 	"intellog/internal/logging"
 	"intellog/internal/nlp"
+	"intellog/internal/par"
 	"intellog/internal/spell"
 )
 
@@ -160,6 +161,16 @@ type Detector struct {
 	CheckHierarchy bool
 	// CheckMissingGroups enables expected-group presence checking.
 	CheckMissingGroups bool
+
+	// Cache memoizes raw message → Spell key. Detection streams repeat
+	// the same renderings (heartbeats, retries), so most records skip the
+	// Tokenize+Lookup work entirely. May be nil; NewDetector installs one.
+	Cache *spell.LookupCache
+
+	// Values is the model's identifier-value interner; prototypes carry
+	// interned identifier sets from it so Algorithm 2 never hashes value
+	// strings. May be nil (the assigners then intern per run).
+	Values *hwgraph.ValueInterner
 }
 
 // NewDetector assembles a Detector with all checks enabled.
@@ -167,29 +178,61 @@ func NewDetector(p *spell.Parser, keys map[int]*extract.IntelKey, keyGroups map[
 	return &Detector{
 		Parser: p, Keys: keys, KeyGroups: keyGroups, Graph: g,
 		CheckHierarchy: true, CheckMissingGroups: true,
+		Cache: spell.NewLookupCache(0),
 	}
+}
+
+// lookupRecord resolves a record's Spell key through the cache, memoizing
+// the token split and bound prototype per raw message: a repeat rendering
+// costs a cache probe, and binding it one shallow copy. The returned memo
+// is shared and read-only.
+func (d *Detector) lookupRecord(rec *logging.Record) (key *spell.Key, cl *extract.CachedLookup) {
+	if d.Cache != nil {
+		if k, aux, hit := d.Cache.GetAux(rec.Message); hit {
+			if cl, ok := aux.(*extract.CachedLookup); ok && cl != nil {
+				return k, cl
+			}
+			// Entry without a memo (added via plain Add): rebuild it.
+		}
+	}
+	tokens := nlp.Tokenize(rec.Message)
+	key = d.Parser.Lookup(nlp.Texts(tokens))
+	cl = &extract.CachedLookup{Tokens: tokens}
+	if key != nil {
+		if ik := d.Keys[key.ID]; ik != nil && ik.NaturalLanguage {
+			cl.Proto = extract.Bind(ik, tokens, time.Time{}, "", rec.Message)
+			cl.Proto.IdentifierSet()
+			cl.Proto.IdentifierTypes() // precompute; shared by every copy
+			if d.Values != nil {
+				d.Values.InternMessage(cl.Proto)
+			}
+		}
+	}
+	if d.Cache != nil {
+		d.Cache.AddAux(rec.Message, key, cl)
+	}
+	return key, cl
 }
 
 // DetectSession checks one session and returns its anomalies.
 func (d *Detector) DetectSession(s *logging.Session) []Anomaly {
 	var anomalies []Anomaly
 	var msgs []*extract.Message
+	var rb extract.Rebinder
 
 	for i := range s.Records {
 		rec := &s.Records[i]
-		tokens := nlp.Tokenize(rec.Message)
-		key := d.Parser.Lookup(nlp.Texts(tokens))
+		key, cl := d.lookupRecord(rec)
 		if key == nil {
-			anomalies = append(anomalies, d.unexpected(s, rec, tokens))
+			anomalies = append(anomalies, d.unexpected(s, rec, cl.Tokens))
 			continue
 		}
-		ik := d.Keys[key.ID]
-		if ik == nil || !ik.NaturalLanguage {
+		if cl.Proto == nil {
 			// §5: matched non-NL keys are on the ignore list — matching one
 			// never triggers an unexpected-message error.
 			continue
 		}
-		msgs = append(msgs, extract.Bind(ik, tokens, rec.Time, s.ID, rec.Message))
+		msgs = append(msgs, rb.Rebind(cl.Proto, rec.Time, s.ID))
 	}
 
 	anomalies = append(anomalies, d.checkInstances(s.ID, msgs)...)
@@ -202,26 +245,9 @@ func (d *Detector) DetectSession(s *logging.Session) []Anomaly {
 func (d *Detector) Detect(sessions []*logging.Session) *Report {
 	r := &Report{Sessions: len(sessions)}
 	perSession := make([][]Anomaly, len(sessions))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	workers := runtime.NumCPU()
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				perSession[i] = d.DetectSession(sessions[i])
-			}
-		}()
-	}
-	for i := range sessions {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	par.ForEachIndex(len(sessions), func(i int) {
+		perSession[i] = d.DetectSession(sessions[i])
+	})
 	for _, anomalies := range perSession {
 		r.Anomalies = append(r.Anomalies, anomalies...)
 	}
@@ -278,6 +304,11 @@ func (d *Detector) findGroupOf(entity string) string {
 // checkInstances verifies the session's HW-graph instance: per-group
 // subroutine instances against trained subroutines, expected-group
 // presence, and lifespan-relation consistency.
+// assigners pools Algorithm 2 scratch state across the parallel
+// per-session detection workers; checkInstances consumes each group's
+// instances before assigning the next group, so reuse is safe.
+var assigners = sync.Pool{New: func() any { return new(hwgraph.Assigner) }}
+
 func (d *Detector) checkInstances(session string, msgs []*extract.Message) []Anomaly {
 	var anomalies []Anomaly
 
@@ -302,12 +333,15 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message) []Ano
 	}
 	sort.Strings(groupNames)
 
+	asn := assigners.Get().(*hwgraph.Assigner)
+	defer assigners.Put(asn)
+	asn.SetValues(d.Values)
 	for _, g := range groupNames {
 		node := d.Graph.Nodes[g]
 		if node == nil {
 			continue
 		}
-		for _, inst := range hwgraph.AssignInstances(byGroup[g]) {
+		for _, inst := range asn.Assign(byGroup[g]) {
 			sig := inst.Signature()
 			sub := node.Subroutines[sig]
 			if sub == nil {

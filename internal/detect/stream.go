@@ -5,7 +5,6 @@ import (
 
 	"intellog/internal/extract"
 	"intellog/internal/logging"
-	"intellog/internal/nlp"
 )
 
 // StreamDetector consumes log records one at a time — the online mode of
@@ -22,6 +21,7 @@ type StreamDetector struct {
 	sessions map[string]*sessionBuf
 	order    []string
 	latest   time.Time
+	rb       extract.Rebinder
 }
 
 // sessionBuf accumulates one in-flight session.
@@ -60,18 +60,17 @@ func (s *StreamDetector) Consume(rec logging.Record) []Anomaly {
 	}
 	buf.last = rec.Time
 
-	tokens := nlp.Tokenize(rec.Message)
-	key := s.d.Parser.Lookup(nlp.Texts(tokens))
+	key, cl := s.d.lookupRecord(&rec)
 	if key == nil {
 		sess := &logging.Session{ID: rec.SessionID}
-		out = append(out, s.d.unexpected(sess, &rec, tokens))
+		out = append(out, s.d.unexpected(sess, &rec, cl.Tokens))
 		return out
 	}
-	ik := s.d.Keys[key.ID]
-	if ik == nil || !ik.NaturalLanguage {
+	if cl.Proto == nil {
+		// Matched non-NL key: ignore-listed, never an anomaly.
 		return out
 	}
-	buf.msgs = append(buf.msgs, extract.Bind(ik, tokens, rec.Time, rec.SessionID, rec.Message))
+	buf.msgs = append(buf.msgs, s.rb.Rebind(cl.Proto, rec.Time, rec.SessionID))
 	return out
 }
 

@@ -31,16 +31,68 @@ type Message struct {
 	Localities map[string][]string `json:"localities,omitempty"`
 	// Operations copies the key's operations.
 	Operations []Operation `json:"operations,omitempty"`
+
+	// idSet and typeSet cache IdentifierSet and IdentifierTypes. Copies
+	// of a bound prototype share them, so the sorts run once per distinct
+	// rendering instead of once per record. Callers must treat the
+	// returned slices as read-only.
+	idSet   []string
+	typeSet []string
+	// interned caches the identifier multiset in interned form (set by
+	// the HW-graph layer's value interner); shared by prototype copies
+	// like idSet.
+	interned *InternedIDs
 }
 
+// InternedIDs is a message's identifier multiset in interned form: the
+// distinct values' dense ids and strings in idSet order, their occurrence
+// counts, and the multiset's total size. Owner identifies the interner
+// that assigned the ids; consumers must ignore a cache whose owner is not
+// theirs. All fields are read-only once set.
+type InternedIDs struct {
+	Owner  any
+	IDs    []int32
+	Vals   []string
+	Counts []int32
+	Total  int
+}
+
+// Interned returns the cached interned identifier set, or nil.
+func (m *Message) Interned() *InternedIDs { return m.interned }
+
+// SetInterned caches the interned identifier set. Call only while the
+// message is still private to one goroutine (i.e. at prototype build
+// time).
+func (m *Message) SetInterned(v *InternedIDs) { m.interned = v }
+
 // IdentifierSet returns the sorted set of all identifier values in the
-// message — the log.Sv of Algorithm 2.
+// message — the log.Sv of Algorithm 2. The result is cached on the
+// message and must not be mutated.
 func (m *Message) IdentifierSet() []string {
-	var out []string
+	if m.idSet != nil {
+		return m.idSet
+	}
+	out := []string{}
 	for _, vals := range m.Identifiers {
 		out = append(out, vals...)
 	}
 	sort.Strings(out)
+	m.idSet = out
+	return out
+}
+
+// IdentifierTypes returns the sorted distinct identifier types of the
+// message. The result is cached on the message and must not be mutated.
+func (m *Message) IdentifierTypes() []string {
+	if m.typeSet != nil {
+		return m.typeSet
+	}
+	out := make([]string, 0, len(m.Identifiers))
+	for t := range m.Identifiers {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	m.typeSet = out
 	return out
 }
 
@@ -49,16 +101,16 @@ func (m *Message) IdentifierSet() []string {
 // (the spell.Parser guarantees this for looked-up keys).
 func Bind(key *IntelKey, tokens []nlp.Token, ts time.Time, session, raw string) *Message {
 	m := &Message{
-		KeyID:       key.ID,
-		Time:        ts,
-		Session:     session,
-		Raw:         raw,
-		Entities:    key.Entities,
-		Operations:  key.Operations,
-		Identifiers: map[string][]string{},
-		Values:      map[string][]string{},
-		Localities:  map[string][]string{},
+		KeyID:      key.ID,
+		Time:       ts,
+		Session:    session,
+		Raw:        raw,
+		Entities:   key.Entities,
+		Operations: key.Operations,
 	}
+	// The field maps allocate lazily: most keys carry slots of one or two
+	// kinds, consumers only read the maps (a nil map reads as empty), and
+	// omitempty keeps the JSON shape identical.
 	for _, slot := range key.Slots {
 		if slot.Pos >= len(tokens) {
 			continue
@@ -70,6 +122,9 @@ func Bind(key *IntelKey, tokens []nlp.Token, ts time.Time, session, raw string) 
 			if typ == "" {
 				typ = "ID"
 			}
+			if m.Identifiers == nil {
+				m.Identifiers = map[string][]string{}
+			}
 			m.Identifiers[typ] = append(m.Identifiers[typ], tok)
 		case SlotValue:
 			num, unit, ok := numericValued(tok)
@@ -79,8 +134,14 @@ func Bind(key *IntelKey, tokens []nlp.Token, ts time.Time, session, raw string) 
 			if unit == "" {
 				unit = slot.Type
 			}
+			if m.Values == nil {
+				m.Values = map[string][]string{}
+			}
 			m.Values[unit] = append(m.Values[unit], num)
 		case SlotLocality:
+			if m.Localities == nil {
+				m.Localities = map[string][]string{}
+			}
 			m.Localities[slot.Type] = append(m.Localities[slot.Type], tok)
 		}
 	}
@@ -90,6 +151,48 @@ func Bind(key *IntelKey, tokens []nlp.Token, ts time.Time, session, raw string) 
 // BindRaw tokenizes raw message text and binds it to the key.
 func BindRaw(key *IntelKey, ts time.Time, session, raw string) *Message {
 	return Bind(key, nlp.Tokenize(raw), ts, session, raw)
+}
+
+// CachedLookup is the per-raw-message memo callers attach to a
+// spell.LookupCache entry: the token split, and — when the message bound
+// to a natural-language key — the bound prototype whose per-record copies
+// Rebind produces. Everything it references is shared and read-only.
+type CachedLookup struct {
+	Tokens []nlp.Token
+	Proto  *Message
+}
+
+// Rebind returns a copy of a bound prototype with the per-record fields
+// filled in. The maps and slices are shared with the prototype (binding
+// output depends only on the raw text, and consumers never mutate them),
+// so a repeat rendering costs one allocation instead of re-binding.
+func Rebind(proto *Message, ts time.Time, session string) *Message {
+	m := *proto
+	m.Time = ts
+	m.Session = session
+	return &m
+}
+
+// Rebinder is Rebind with chunked allocation: rebound copies come out of
+// block-allocated Message arrays instead of one heap object per record.
+// Binding a corpus produces one copy per record, so the allocator call
+// count drops by the chunk size. The zero value is ready to use; a
+// Rebinder must not be shared across goroutines.
+type Rebinder struct {
+	buf []Message
+}
+
+// Rebind is extract.Rebind backed by the chunk buffer.
+func (r *Rebinder) Rebind(proto *Message, ts time.Time, session string) *Message {
+	if len(r.buf) == 0 {
+		r.buf = make([]Message, 256)
+	}
+	m := &r.buf[0]
+	r.buf = r.buf[1:]
+	*m = *proto
+	m.Time = ts
+	m.Session = session
+	return m
 }
 
 // Matches reports whether a tokenized message positionally matches the

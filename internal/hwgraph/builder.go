@@ -21,25 +21,44 @@ type Builder struct {
 	// KeyGroups maps Intel Key ID → the entity groups it belongs to.
 	KeyGroups map[int][]string
 
-	subs          map[string]map[string]*Subroutine // group → signature → subroutine
-	rels          *relTracker
-	groupSessions map[string]int
-	groupKeys     map[string]map[int]bool
-	multiPerSess  map[string]bool // group had a key with >1 message in one session
-	sessions      int
+	rels      *relTracker
+	groupKeys map[string]map[int]bool
+	sessions  int
+	values    *ValueInterner
+
+	// Dense group indexing: allGroups lists every group with at least one
+	// key in lexicographic order, groupIdx inverts it, and keyGroupIdx
+	// maps Intel Key ID → ascending group ids. The per-message training
+	// loop runs entirely on these ids — no string hashing.
+	allGroups   []string
+	groupIdx    map[string]int
+	keyGroupIdx [][]int // indexed by Intel Key ID
+
+	// Per-group aggregates, indexed by group id.
+	subsByGroup   []map[string]*Subroutine // signature → subroutine
+	groupSessions []int
+	multiPerSess  []bool // group had a key with >1 message in one session
+
+	// Per-session scratch, reused across AddSession calls (the builder
+	// folds sessions sequentially): Algorithm 2 state, the group
+	// partition, spans and touched-group marks, the per-key multiplicity
+	// counter, and the instance key-sequence buffer.
+	asn     Assigner
+	byGroup [][]*extract.Message
+	spans   []Span
+	mark    []bool
+	touched []int
+	perKey  map[int]int
+	seq     []int
 }
 
 // NewBuilder indexes the Intel Keys, builds the entity grouping from
 // their entities, and prepares per-group state.
 func NewBuilder(keys []*extract.IntelKey) *Builder {
 	b := &Builder{
-		Keys:          map[int]*extract.IntelKey{},
-		KeyGroups:     map[int][]string{},
-		subs:          map[string]map[string]*Subroutine{},
-		rels:          newRelTracker(),
-		groupSessions: map[string]int{},
-		groupKeys:     map[string]map[int]bool{},
-		multiPerSess:  map[string]bool{},
+		Keys:      map[int]*extract.IntelKey{},
+		KeyGroups: map[int][]string{},
+		groupKeys: map[string]map[int]bool{},
 	}
 	var entities []string
 	for _, k := range keys {
@@ -70,8 +89,46 @@ func NewBuilder(keys []*extract.IntelKey) *Builder {
 			b.groupKeys[g][k.ID] = true
 		}
 	}
+	for g := range b.groupKeys {
+		b.allGroups = append(b.allGroups, g)
+	}
+	sort.Strings(b.allGroups)
+	b.groupIdx = make(map[string]int, len(b.allGroups))
+	for i, g := range b.allGroups {
+		b.groupIdx[g] = i
+	}
+	maxID := -1
+	for id := range b.KeyGroups {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	b.keyGroupIdx = make([][]int, maxID+1)
+	for id, names := range b.KeyGroups {
+		idxs := make([]int, len(names))
+		for i, g := range names {
+			idxs[i] = b.groupIdx[g] // names sorted → idxs ascending
+		}
+		b.keyGroupIdx[id] = idxs
+	}
+	n := len(b.allGroups)
+	b.rels = newRelTracker(b.allGroups)
+	b.subsByGroup = make([]map[string]*Subroutine, n)
+	b.groupSessions = make([]int, n)
+	b.multiPerSess = make([]bool, n)
+	b.byGroup = make([][]*extract.Message, n)
+	b.spans = make([]Span, n)
+	b.mark = make([]bool, n)
+	b.perKey = map[int]int{}
+	b.values = NewValueInterner()
+	b.asn.SetValues(b.values)
 	return b
 }
+
+// Values returns the builder's value interner. Callers that bind message
+// prototypes before AddSession should pass them through
+// ValueInterner.InternMessage so Algorithm 2 skips string interning.
+func (b *Builder) Values() *ValueInterner { return b.values }
 
 // GroupMessages partitions a session's messages by entity group,
 // preserving order and recording each message's session index. A message
@@ -103,33 +160,58 @@ func (b *Builder) AddSession(msgs []*extract.Message) {
 		return
 	}
 	b.sessions++
-	byGroup, spans := b.GroupMessages(msgs)
-	b.rels.observe(spans)
-	for g, gmsgs := range byGroup {
-		b.groupSessions[g]++
+	touched := b.touched[:0]
+	for idx, m := range msgs {
+		if m.KeyID < 0 || m.KeyID >= len(b.keyGroupIdx) {
+			continue
+		}
+		for _, gi := range b.keyGroupIdx[m.KeyID] {
+			if !b.mark[gi] {
+				b.mark[gi] = true
+				touched = append(touched, gi)
+				b.spans[gi] = Span{First: idx, Last: idx}
+				// Keep the group slice's backing array from earlier
+				// sessions.
+				b.byGroup[gi] = b.byGroup[gi][:0]
+			} else {
+				b.spans[gi].Last = idx
+			}
+			b.byGroup[gi] = append(b.byGroup[gi], m)
+		}
+	}
+	sort.Ints(touched)
+	b.touched = touched
+	b.rels.observe(touched, b.spans)
+	for _, gi := range touched {
+		b.mark[gi] = false
+		gmsgs := b.byGroup[gi]
+		b.groupSessions[gi]++
 		// Criterion 2 for critical groups: a key with multiple messages in
 		// a single session.
-		perKey := map[int]int{}
+		clear(b.perKey)
 		for _, m := range gmsgs {
-			perKey[m.KeyID]++
-			if perKey[m.KeyID] > 1 {
-				b.multiPerSess[g] = true
+			b.perKey[m.KeyID]++
+			if b.perKey[m.KeyID] > 1 {
+				b.multiPerSess[gi] = true
 			}
 		}
-		for _, inst := range AssignInstances(gmsgs) {
+		for _, inst := range b.asn.Assign(gmsgs) {
 			sig := inst.Signature()
-			if b.subs[g] == nil {
-				b.subs[g] = map[string]*Subroutine{}
+			subs := b.subsByGroup[gi]
+			if subs == nil {
+				subs = map[string]*Subroutine{}
+				b.subsByGroup[gi] = subs
 			}
-			sub := b.subs[g][sig]
+			sub := subs[sig]
 			if sub == nil {
 				sub = NewSubroutine(sig)
-				b.subs[g][sig] = sub
+				subs[sig] = sub
 			}
-			seq := make([]int, len(inst.Msgs))
-			for i, m := range inst.Msgs {
-				seq[i] = m.KeyID
+			seq := b.seq[:0]
+			for _, m := range inst.Msgs {
+				seq = append(seq, m.KeyID)
 			}
+			b.seq = seq
 			sub.Update(seq)
 		}
 	}
@@ -160,7 +242,14 @@ func (b *Builder) addNode(g *Graph, name string, entities []string) {
 		keyIDs = append(keyIDs, id)
 	}
 	sort.Ints(keyIDs)
-	subs := b.subs[name]
+	var subs map[string]*Subroutine
+	var sessions int
+	var multi bool
+	if gi, ok := b.groupIdx[name]; ok {
+		subs = b.subsByGroup[gi]
+		sessions = b.groupSessions[gi]
+		multi = b.multiPerSess[gi]
+	}
 	if subs == nil {
 		subs = map[string]*Subroutine{}
 	}
@@ -169,7 +258,7 @@ func (b *Builder) addNode(g *Graph, name string, entities []string) {
 		Entities:    entities,
 		Keys:        keyIDs,
 		Subroutines: subs,
-		Critical:    len(keyIDs) > 1 || b.multiPerSess[name],
-		Sessions:    b.groupSessions[name],
+		Critical:    len(keyIDs) > 1 || multi,
+		Sessions:    sessions,
 	}
 }

@@ -54,50 +54,65 @@ type Span struct {
 	First, Last int
 }
 
-// relTracker aggregates pairwise relations across sessions.
+// relTracker aggregates pairwise relations across sessions. The group
+// population is fixed before training starts, so pairs live in flat
+// n×n matrices indexed by dense group ids — the per-session fold never
+// hashes a string.
 type relTracker struct {
-	// state maps canonical pair → current aggregate relation from the
-	// perspective of the lexicographically smaller name. Absent = not yet
-	// co-observed.
-	state map[[2]string]Relation
-	seen  map[[2]string]bool
+	// idx maps group name → dense id. Ids are assigned in lexicographic
+	// name order, so the lower id is also the lexicographically smaller
+	// name; pair p = lo*n + hi stores the aggregate from lo's perspective.
+	idx   map[string]int
+	names []string
+	n     int
+	// state holds the current aggregate relation per canonical pair;
+	// seen marks pairs co-observed at least once.
+	state []Relation
+	seen  []bool
 	// support counts the sessions in which both groups appeared. PARENT and
 	// BEFORE are only trusted with enough support: a relation that held in
 	// a handful of co-occurrences is likely incidental ordering, not
 	// structure.
-	support map[[2]string]int
+	support []int
 	// minSupport is the trust threshold applied by relation().
 	minSupport int
 }
 
-func newRelTracker() *relTracker {
+// newRelTracker prepares the tracker for a fixed set of group names,
+// which must be sorted.
+func newRelTracker(names []string) *relTracker {
+	n := len(names)
+	idx := make(map[string]int, n)
+	for i, name := range names {
+		idx[name] = i
+	}
 	return &relTracker{
-		state:   map[[2]string]Relation{},
-		seen:    map[[2]string]bool{},
-		support: map[[2]string]int{},
+		idx:     idx,
+		names:   names,
+		n:       n,
+		state:   make([]Relation, n*n),
+		seen:    make([]bool, n*n),
+		support: make([]int, n*n),
 	}
 }
 
-// observe folds one session's spans into the aggregate.
-func (t *relTracker) observe(spans map[string]Span) {
-	names := make([]string, 0, len(spans))
-	for n := range spans {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			a, b := names[i], names[j]
+// observe folds one session's lifespans into the aggregate. touched
+// holds the session's group ids in ascending order; spans is indexed by
+// group id.
+func (t *relTracker) observe(touched []int, spans []Span) {
+	for i := 0; i < len(touched); i++ {
+		for j := i + 1; j < len(touched); j++ {
+			a, b := touched[i], touched[j]
 			r := spanRelation(spans[a], spans[b])
-			key := [2]string{a, b}
-			t.support[key]++
-			if !t.seen[key] {
-				t.seen[key] = true
-				t.state[key] = r
+			p := a*t.n + b
+			t.support[p]++
+			if !t.seen[p] {
+				t.seen[p] = true
+				t.state[p] = r
 				continue
 			}
-			if t.state[key] != r {
-				t.state[key] = Parallel
+			if t.state[p] != r {
+				t.state[p] = Parallel
 			}
 		}
 	}
@@ -109,16 +124,21 @@ func (t *relTracker) relation(a, b string) Relation {
 	if a == b {
 		return Parallel
 	}
-	key := [2]string{a, b}
-	inverse := false
-	if a > b {
-		key = [2]string{b, a}
-		inverse = true
-	}
-	if t.support[key] < t.minSupport {
+	ia, oka := t.idx[a]
+	ib, okb := t.idx[b]
+	if !oka || !okb {
 		return Parallel
 	}
-	r := t.state[key]
+	inverse := false
+	if ia > ib {
+		ia, ib = ib, ia
+		inverse = true
+	}
+	p := ia*t.n + ib
+	if t.support[p] < t.minSupport {
+		return Parallel
+	}
+	r := t.state[p]
 	if inverse {
 		return r.Inverse()
 	}
@@ -233,20 +253,19 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 	out := graphJSON{Nodes: g.Nodes, Roots: g.Roots, TotalSessions: g.TotalSessions}
 	if g.rels != nil {
 		out.MinSupport = g.rels.minSupport
-		keys := make([][2]string, 0, len(g.rels.state))
-		for k := range g.rels.state {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i][0] != keys[j][0] {
-				return keys[i][0] < keys[j][0]
+		// Group ids are assigned in lexicographic name order, so the scan
+		// emits records sorted by (A, B).
+		t := g.rels
+		for lo := 0; lo < t.n; lo++ {
+			for hi := lo + 1; hi < t.n; hi++ {
+				p := lo*t.n + hi
+				if !t.seen[p] {
+					continue
+				}
+				out.Relations = append(out.Relations, RelationRecord{
+					A: t.names[lo], B: t.names[hi], Rel: t.state[p], Support: t.support[p],
+				})
 			}
-			return keys[i][1] < keys[j][1]
-		})
-		for _, k := range keys {
-			out.Relations = append(out.Relations, RelationRecord{
-				A: k[0], B: k[1], Rel: g.rels.state[k], Support: g.rels.support[k],
-			})
 		}
 	}
 	return json.Marshal(out)
@@ -261,13 +280,23 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	g.Nodes = in.Nodes
 	g.Roots = in.Roots
 	g.TotalSessions = in.TotalSessions
-	g.rels = newRelTracker()
+	nameSet := map[string]bool{}
+	for _, r := range in.Relations {
+		nameSet[r.A] = true
+		nameSet[r.B] = true
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	g.rels = newRelTracker(names)
 	g.rels.minSupport = in.MinSupport
 	for _, r := range in.Relations {
-		key := [2]string{r.A, r.B}
-		g.rels.state[key] = r.Rel
-		g.rels.seen[key] = true
-		g.rels.support[key] = r.Support
+		p := g.rels.idx[r.A]*g.rels.n + g.rels.idx[r.B]
+		g.rels.state[p] = r.Rel
+		g.rels.seen[p] = true
+		g.rels.support[p] = r.Support
 	}
 	return nil
 }

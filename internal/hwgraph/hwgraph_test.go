@@ -162,8 +162,8 @@ func TestSpanRelation(t *testing.T) {
 }
 
 func TestRelTrackerDowngradesToParallel(t *testing.T) {
-	tr := newRelTracker()
-	tr.observe(map[string]Span{"a": {0, 10}, "b": {2, 5}})
+	tr := newRelTracker([]string{"a", "b"})
+	tr.observe([]int{0, 1}, []Span{{0, 10}, {2, 5}})
 	if got := tr.relation("a", "b"); got != Parent {
 		t.Fatalf("relation = %v, want Parent", got)
 	}
@@ -171,7 +171,7 @@ func TestRelTrackerDowngradesToParallel(t *testing.T) {
 		t.Fatalf("inverse = %v, want Child", got)
 	}
 	// A session where b escapes a's lifespan breaks the PARENT relation.
-	tr.observe(map[string]Span{"a": {0, 10}, "b": {8, 12}})
+	tr.observe([]int{0, 1}, []Span{{0, 10}, {8, 12}})
 	if got := tr.relation("a", "b"); got != Parallel {
 		t.Errorf("relation after conflict = %v, want Parallel", got)
 	}

@@ -13,84 +13,273 @@ import (
 )
 
 // Instance is one subroutine instance inside a session: the log messages
-// sharing (subset-related) identifier values, per Algorithm 2.
+// sharing (subset-related) identifier values, per Algorithm 2. Sessions
+// shatter into tens of thousands of small instances, so the identifier
+// sets live in bitsets over run-scoped dense value IDs and the type set
+// in a small sorted slice — no per-instance maps.
 type Instance struct {
-	// IDs is the union of identifier values observed (the S_v).
-	IDs map[string]bool
-	// Types is the set of identifier types, whose sorted join is the
-	// subroutine signature.
-	Types map[string]bool
 	// Msgs holds the instance's messages in log order.
 	Msgs []*extract.Message
+
+	// ord is the instance's creation rank within one AssignInstances run;
+	// ties between candidate instances resolve to the earliest-created
+	// one, matching the in-order scan of Algorithm 2.
+	ord int
+	// bits is the instance's value set (the S_v) over the run's dense
+	// value IDs, and nIDs its population count.
+	bits []uint64
+	nIDs int
+	// types is the sorted distinct identifier types. When typesShared is
+	// set it aliases a Message's cached IdentifierTypes slice (the common
+	// case: every message of an instance carries the same type set) and
+	// must be copied before mutation.
+	types       []string
+	typesShared bool
+	// vals is the run's dense-ID → value table, shared by every instance
+	// of one AssignInstances call (for IDValues).
+	vals []string
+}
+
+// bit reports whether dense value id is in the instance's set.
+func (in *Instance) bit(id int) bool {
+	w := id >> 6
+	return w < len(in.bits) && in.bits[w]&(1<<(id&63)) != 0
+}
+
+// setBit adds dense value id to the instance's set.
+func (in *Instance) setBit(id int) {
+	w := id >> 6
+	for len(in.bits) <= w {
+		in.bits = append(in.bits, 0)
+	}
+	in.bits[w] |= 1 << (id & 63)
+	in.nIDs++
+}
+
+// IDValues returns the instance's identifier values (the S_v), sorted.
+func (in *Instance) IDValues() []string {
+	out := make([]string, 0, in.nIDs)
+	for id, v := range in.vals {
+		if in.bit(id) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Signature returns the instance's subroutine signature: the sorted
 // identifier types joined with "+", or "" for the NONE instance.
-func (in *Instance) Signature() string { return signatureOf(in.Types) }
-
-func signatureOf(types map[string]bool) string {
-	if len(types) == 0 {
+func (in *Instance) Signature() string {
+	if len(in.types) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(types))
-	for t := range types {
-		keys = append(keys, t)
-	}
-	sort.Strings(keys)
-	return strings.Join(keys, "+")
+	return strings.Join(in.types, "+")
 }
 
 // AssignInstances implements the per-session loop of Algorithm 2: messages
 // with no identifiers accumulate in the NONE instance; a message whose
 // identifier set is a subset or superset of an existing instance's set
 // joins (and widens) that instance; otherwise it founds a new instance.
+// The result stays valid indefinitely; hot paths that consume instances
+// before assigning again should hold an Assigner instead.
 func AssignInstances(msgs []*extract.Message) []*Instance {
-	none := &Instance{IDs: map[string]bool{}, Types: map[string]bool{}}
-	instances := []*Instance{none}
+	return new(Assigner).Assign(msgs)
+}
+
+// Assigner runs AssignInstances with reusable scratch state. Training and
+// detection call Algorithm 2 once per (session, group) pair — tens of
+// thousands of short runs — and the per-run value tables and instance
+// structs dominated the allocation profile, so an Assigner keeps them
+// across runs. Identifier values arrive pre-interned on the messages
+// (ValueInterner ids, cached per distinct rendering); each run remaps
+// them to run-dense ids through an epoch-stamped array, so the hot loop
+// never hashes a string. The returned instances (and their IDValues) are
+// only valid until the next Assign call on the same Assigner; callers
+// that retain instances must use AssignInstances.
+type Assigner struct {
+	vi    *ValueInterner
+	runID int
+	g2r   []int32 // interner id → run-dense id, valid when stamp matches
+	stamp []int   // runID that last assigned g2r's entry
+
+	vals    []string      // run-dense id → value
+	byValue [][]*Instance // run-dense id → instances containing it, creation order
+	setIDs  []int         // per message: deduped run-dense ids of the set
+	setCnt  []int         // occurrence count per entry of setIDs (sets can
+	// repeat a value, and the ids ⊆ set comparison counts occurrences)
+	instances []*Instance
+	arena     []Instance // chunked Instance allocation
+}
+
+// SetValues points the assigner at the model's value interner, so
+// message-cached interned ids (same owner) are used directly. A nil
+// interner is ignored.
+func (a *Assigner) SetValues(vi *ValueInterner) {
+	if vi != nil {
+		a.vi = vi
+	}
+}
+
+// newInstance hands out a zeroed Instance from the arena.
+func (a *Assigner) newInstance(ord int) *Instance {
+	if len(a.arena) == 0 {
+		a.arena = make([]Instance, 256)
+	}
+	in := &a.arena[0]
+	a.arena = a.arena[1:]
+	in.ord = ord
+	return in
+}
+
+// Assign is AssignInstances over the reusable scratch. Instead of
+// scanning every instance per message, byValue indexes instances by the
+// identifier values they contain. Any subset-related instance shares at
+// least one value with the message's (non-empty) set — set ⊆ IDs puts
+// every set value in IDs, and IDs ⊆ set the reverse — so the union of the
+// per-value lists is a complete candidate set, and the earliest-created
+// subset-related candidate is exactly the instance the in-order scan
+// would have picked first.
+func (a *Assigner) Assign(msgs []*extract.Message) []*Instance {
+	if a.vi == nil {
+		a.vi = NewValueInterner()
+	}
+	a.runID++
+	a.vals = a.vals[:0]
+	a.byValue = a.byValue[:0]
+	a.instances = a.instances[:0]
+	none := a.newInstance(0)
+	instances := append(a.instances, none)
 	for _, m := range msgs {
 		set := m.IdentifierSet()
 		if len(set) == 0 {
 			none.Msgs = append(none.Msgs, m)
 			continue
 		}
+		ii := m.Interned()
+		if ii == nil || ii.Owner != a.vi {
+			// Message bound outside the model's prewarm path (e.g. an
+			// uncached BindSession miss): intern now, uncached.
+			ii = a.vi.internSet(set)
+		}
+		setIDs, setCnt := a.setIDs[:0], a.setCnt[:0]
+		for i, gid := range ii.IDs {
+			for int(gid) >= len(a.g2r) {
+				a.g2r = append(a.g2r, 0)
+				a.stamp = append(a.stamp, 0)
+			}
+			var id int32
+			if a.stamp[gid] == a.runID {
+				id = a.g2r[gid]
+			} else {
+				a.stamp[gid] = a.runID
+				id = int32(len(a.vals))
+				a.g2r[gid] = id
+				a.vals = append(a.vals, ii.Vals[i])
+				if len(a.byValue) < cap(a.byValue) {
+					// Reuse the expired run's posting-list backing array.
+					a.byValue = a.byValue[:id+1]
+					a.byValue[id] = a.byValue[id][:0]
+				} else {
+					a.byValue = append(a.byValue, nil)
+				}
+			}
+			setIDs = append(setIDs, int(id))
+			setCnt = append(setCnt, int(ii.Counts[i]))
+		}
+		a.setIDs, a.setCnt = setIDs, setCnt
 		var target *Instance
-		for _, in := range instances[1:] {
-			if subsetRelated(set, in.IDs) {
-				target = in
-				break
+		for _, id := range setIDs {
+			for _, in := range a.byValue[id] {
+				if (target == nil || in.ord < target.ord) && subsetRelated(setIDs, setCnt, ii.Total, in) {
+					target = in
+				}
 			}
 		}
 		if target == nil {
-			target = &Instance{IDs: map[string]bool{}, Types: map[string]bool{}}
+			target = a.newInstance(len(instances))
 			instances = append(instances, target)
 		}
-		for _, v := range set {
-			target.IDs[v] = true
+		for _, id := range setIDs {
+			if !target.bit(id) {
+				target.setBit(id)
+				a.byValue[id] = append(a.byValue[id], target)
+			}
 		}
-		for t := range m.Identifiers {
-			target.Types[t] = true
+		if mts := m.IdentifierTypes(); target.types == nil {
+			target.types = mts
+			target.typesShared = true
+		} else if !sameStrings(target.types, mts) {
+			if target.typesShared {
+				target.types = append([]string(nil), target.types...)
+				target.typesShared = false
+			}
+			for _, t := range mts {
+				target.types = insertSorted(target.types, t)
+			}
 		}
 		target.Msgs = append(target.Msgs, m)
 	}
+	for _, in := range instances {
+		in.vals = a.vals
+	}
+	a.instances = instances
 	if len(none.Msgs) == 0 {
 		instances = instances[1:]
 	}
 	return instances
 }
 
-// subsetRelated reports whether set ⊆ ids or ids ⊆ set (Algorithm 2 line
-// 9–10).
-func subsetRelated(set []string, ids map[string]bool) bool {
-	inIds := 0
-	for _, v := range set {
-		if ids[v] {
-			inIds++
+// sameStrings reports whether a and b hold the same sequence. Instance
+// type sets usually alias the same cached slice, so identical backing
+// arrays short-circuit before any comparison.
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	if inIds == len(set) {
+	return true
+}
+
+// insertSorted inserts v into sorted s if absent. Type sets hold a
+// handful of entries, so a linear scan beats any set structure.
+func insertSorted(s []string, v string) []string {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// subsetRelated reports whether set ⊆ in.IDs or in.IDs ⊆ set (Algorithm 2
+// line 9–10), over the run's dense value IDs. set holds the distinct ids,
+// cnt their occurrence counts, and total the set's length with
+// duplicates; occurrences are counted because the instance-side
+// comparison matches total occurrences against the instance's set size.
+func subsetRelated(set, cnt []int, total int, in *Instance) bool {
+	inIds := 0
+	for i, id := range set {
+		if in.bit(id) {
+			inIds += cnt[i]
+		}
+	}
+	if inIds == total {
 		return true // set ⊆ ids
 	}
-	return inIds == len(ids) && len(ids) > 0 // ids ⊆ set
+	return inIds == in.nIDs && in.nIDs > 0 // ids ⊆ set
 }
 
 // Subroutine is the trained order model for one signature within an
@@ -112,6 +301,10 @@ type Subroutine struct {
 	// broken records key pairs whose order relation was observed in both
 	// directions and therefore removed (parallel keys, Fig. 5).
 	broken map[[2]int]bool
+	// scratch backs Update's first-occurrence buffer across calls. Update
+	// runs only during (sequential) training; concurrent detection paths
+	// like Violations must not touch it.
+	scratch []int
 }
 
 // NewSubroutine returns an empty subroutine for a signature.
@@ -129,18 +322,12 @@ func NewSubroutine(sig string) *Subroutine {
 // from an instance lose critical status; keys first seen after other
 // instances existed are never critical.
 func (s *Subroutine) Update(seq []int) {
-	order := firstOccurrence(seq)
-	present := map[int]bool{}
+	order := firstOccurrenceInto(s.scratch[:0], seq)
+	s.scratch = order
+	// Key membership and criticality. order and s.Keys hold a handful of
+	// distinct keys, so linear scans beat per-call set maps.
 	for _, k := range order {
-		present[k] = true
-	}
-	// Key membership and criticality.
-	known := map[int]bool{}
-	for _, k := range s.Keys {
-		known[k] = true
-	}
-	for _, k := range order {
-		if !known[k] {
+		if !containsInt(s.Keys, k) {
 			s.Keys = append(s.Keys, k)
 			// Critical only if this is the very first instance.
 			s.Critical[k] = s.Instances == 0
@@ -148,7 +335,7 @@ func (s *Subroutine) Update(seq []int) {
 	}
 	if s.Instances > 0 {
 		for k := range s.Critical {
-			if s.Critical[k] && !present[k] {
+			if s.Critical[k] && !containsInt(order, k) {
 				s.Critical[k] = false
 			}
 		}
@@ -179,18 +366,14 @@ func (s *Subroutine) Update(seq []int) {
 // breaks: pairs (a,b) with a trained BEFORE b but b observed first.
 func (s *Subroutine) Violations(seq []int) [][2]int {
 	order := firstOccurrence(seq)
-	pos := map[int]int{}
-	for i, k := range order {
-		pos[k] = i
-	}
 	var out [][2]int
 	for a, succ := range s.Before {
-		pa, oka := pos[a]
-		if !oka {
+		pa := indexOfInt(order, a)
+		if pa < 0 {
 			continue
 		}
 		for b := range succ {
-			if pb, okb := pos[b]; okb && pb < pa {
+			if pb := indexOfInt(order, b); pb >= 0 && pb < pa {
 				out = append(out, [2]int{a, b})
 			}
 		}
@@ -207,13 +390,9 @@ func (s *Subroutine) Violations(seq []int) [][2]int {
 // MissingCritical returns the critical keys absent from an instance's key
 // sequence.
 func (s *Subroutine) MissingCritical(seq []int) []int {
-	present := map[int]bool{}
-	for _, k := range seq {
-		present[k] = true
-	}
 	var out []int
 	for _, k := range s.Keys {
-		if s.Critical[k] && !present[k] {
+		if s.Critical[k] && !containsInt(seq, k) {
 			out = append(out, k)
 		}
 	}
@@ -262,8 +441,27 @@ func pairKey(a, b int) [2]int {
 // firstOccurrence reduces a key sequence to first occurrences, preserving
 // order.
 func firstOccurrence(seq []int) []int {
-	seen := map[int]bool{}
-	var out []int
+	return firstOccurrenceInto(nil, seq)
+}
+
+// firstOccurrenceInto is firstOccurrence appending into out. Typical
+// instance sequences hold a handful of distinct keys, so the output
+// doubles as the membership set; a map takes over only when the
+// quadratic scan could actually bite.
+func firstOccurrenceInto(out, seq []int) []int {
+	if len(seq) <= 64 {
+	next:
+		for _, k := range seq {
+			for _, o := range out {
+				if o == k {
+					continue next
+				}
+			}
+			out = append(out, k)
+		}
+		return out
+	}
+	seen := make(map[int]bool, len(seq))
 	for _, k := range seq {
 		if !seen[k] {
 			seen[k] = true
@@ -271,4 +469,17 @@ func firstOccurrence(seq []int) []int {
 		}
 	}
 	return out
+}
+
+// containsInt reports whether s contains v.
+func containsInt(s []int, v int) bool { return indexOfInt(s, v) >= 0 }
+
+// indexOfInt returns the index of v in s, or -1.
+func indexOfInt(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
 }

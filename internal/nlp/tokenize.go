@@ -14,11 +14,35 @@ import (
 // is stripped and emitted as SYM tokens so token positions still cover the
 // full message.
 func Tokenize(msg string) []Token {
-	var tokens []Token
-	for _, field := range strings.Fields(msg) {
-		tokens = appendFieldTokens(tokens, field)
+	// Fields are scanned in place (no intermediate []string) and the
+	// output gets one up-front allocation sized for the common case of a
+	// field per token plus a little punctuation.
+	n := 1
+	for i := 0; i < len(msg); i++ {
+		if msg[i] == ' ' {
+			n++
+		}
+	}
+	tokens := make([]Token, 0, n+n/4+2)
+	start := -1
+	for i := 0; i <= len(msg); i++ {
+		if i == len(msg) || asciiSpace(msg[i]) {
+			if start >= 0 {
+				tokens = appendFieldTokens(tokens, msg[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
 	}
 	return tokens
+}
+
+// asciiSpace matches the whitespace bytes strings.Fields splits on for
+// ASCII input (log messages are ASCII; multi-byte whitespace does not
+// occur in the corpora).
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
 }
 
 // TokenizeWords is Tokenize with punctuation tokens removed; convenient for
@@ -35,65 +59,66 @@ func TokenizeWords(msg string) []Token {
 }
 
 // appendFieldTokens splits one whitespace-delimited field into tokens.
+// All emitted token texts are substrings of field, so the split never
+// allocates beyond growing the output slice.
 func appendFieldTokens(tokens []Token, field string) []Token {
 	// Strip and emit leading bracket punctuation.
 	for len(field) > 0 {
-		r := rune(field[0])
-		if r == '[' || r == '(' || r == '{' || r == '"' || r == '\'' || r == '<' {
-			tokens = append(tokens, Token{Text: string(r), Tag: TagSYM})
+		switch field[0] {
+		case '[', '(', '{', '"', '\'', '<':
+			tokens = append(tokens, Token{Text: field[:1], Tag: TagSYM})
 			field = field[1:]
 			continue
 		}
 		break
 	}
-	// Strip trailing punctuation into a pending list (emitted after the word).
-	var trailing []string
-	for len(field) > 0 {
-		r := rune(field[len(field)-1])
+	// Strip trailing punctuation; it stays a suffix of field and is
+	// emitted byte-by-byte after the word, in original order.
+	end := len(field)
+	for end > 0 {
 		// '.' and ':' are structural only mid-token (decimals, versions,
 		// host:port); at the end of a field they are sentence punctuation.
-		if r == ']' || r == ')' || r == '}' || r == '"' || r == '\'' || r == '>' ||
-			r == ',' || r == ';' || r == '!' || r == '?' || r == '.' || r == ':' {
-			trailing = append([]string{string(r)}, trailing...)
-			field = field[:len(field)-1]
+		switch field[end-1] {
+		case ']', ')', '}', '"', '\'', '>', ',', ';', '!', '?', '.', ':':
+			end--
 			continue
 		}
 		break
 	}
-	if field != "" {
-		tokens = append(tokens, splitInnerPunct(field)...)
+	trailing := field[end:]
+	if field = field[:end]; field != "" {
+		tokens = appendInnerPunct(tokens, field)
 	}
-	for _, p := range trailing {
-		tokens = append(tokens, Token{Text: p, Tag: TagSYM})
+	for i := 0; i < len(trailing); i++ {
+		tokens = append(tokens, Token{Text: trailing[i : i+1], Tag: TagSYM})
 	}
 	return tokens
 }
 
-// splitInnerPunct handles fields with internal structure. Atomic fields
+// appendInnerPunct handles fields with internal structure. Atomic fields
 // (identifiers, paths, host:port, IPs, numbers, URLs) are kept whole;
 // "word=value" splits on '=' so both sides are classified independently.
-func splitInnerPunct(field string) []Token {
+func appendInnerPunct(tokens []Token, field string) []Token {
 	// "key=value" splits first — identifiers like "records_read=332015"
 	// must expose the constant key and the variable value separately, or
 	// every rendering becomes a distinct token.
 	if i := strings.IndexByte(field, '='); i > 0 && i < len(field)-1 && !strings.Contains(field, "://") {
-		left := splitInnerPunct(field[:i])
-		right := splitInnerPunct(field[i+1:])
-		out := append(left, Token{Text: "=", Tag: TagSYM})
-		return append(out, right...)
+		tokens = appendInnerPunct(tokens, field[:i])
+		tokens = append(tokens, Token{Text: "=", Tag: TagSYM})
+		return appendInnerPunct(tokens, field[i+1:])
 	}
 	// "word#number" splits into word, #, number — the paper's Fig. 1 shows
 	// "fetcher#1" tokenized as "fetcher # 1", which lets the word join
 	// entity phrases while the number remains an identifier field.
 	if i := strings.IndexByte(field, '#'); i > 0 && i < len(field)-1 &&
 		isAlphaOnly(field[:i]) && allDigitsStr(field[i+1:]) {
-		return []Token{
-			{Text: field[:i]},
-			{Text: "#", Tag: TagSYM},
-			{Text: field[i+1:]},
-		}
+		return append(tokens,
+			Token{Text: field[:i]},
+			Token{Text: field[i : i+1], Tag: TagSYM},
+			Token{Text: field[i+1:]},
+		)
 	}
-	return []Token{{Text: field}}
+	return append(tokens, Token{Text: field})
 }
 
 func isAlphaOnly(s string) bool {

@@ -1,0 +1,57 @@
+// Package par provides the tiny worker-pool primitive shared by the
+// embarrassingly parallel pipeline stages (Intel Key building,
+// per-session binding, per-session detection). It replaces three
+// copy-pasted pool loops whose unbuffered work channels made the producer
+// block once per item.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers is the pool size: one worker per CPU.
+func Workers() int {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEachIndex runs fn(i) for every i in [0, n) on a pool of Workers()
+// goroutines. The work channel is fully buffered and filled before the
+// workers start, so neither side ever blocks on hand-off. Callers write
+// results positionally, which keeps output deterministic regardless of
+// scheduling. fn must be safe to call concurrently.
+func ForEachIndex(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

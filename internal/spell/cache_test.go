@@ -1,0 +1,98 @@
+package spell_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"intellog/internal/spell"
+)
+
+func TestLookupCacheHitMissAndNegative(t *testing.T) {
+	c := spell.NewLookupCache(4)
+	if _, hit := c.Get("a"); hit {
+		t.Fatal("empty cache reported a hit")
+	}
+	k := &spell.Key{ID: 3, Tokens: []string{"a"}}
+	c.Add("a", k)
+	if got, hit := c.Get("a"); !hit || got != k {
+		t.Fatalf("Get(a) = %v, %v", got, hit)
+	}
+	// Negative entries are hits carrying a nil key.
+	c.Add("miss", nil)
+	if got, hit := c.Get("miss"); !hit || got != nil {
+		t.Fatalf("negative Get = %v, %v; want nil, true", got, hit)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 2 hits / 1 miss", hits, misses)
+	}
+}
+
+func TestLookupCacheEvictsLRU(t *testing.T) {
+	c := spell.NewLookupCache(3)
+	for i := 0; i < 3; i++ {
+		c.Add(fmt.Sprintf("m%d", i), &spell.Key{ID: i})
+	}
+	c.Get("m0") // m0 becomes most recent; m1 is now LRU
+	c.Add("m3", &spell.Key{ID: 3})
+	if _, hit := c.Get("m1"); hit {
+		t.Fatal("LRU entry m1 survived eviction")
+	}
+	for _, m := range []string{"m0", "m2", "m3"} {
+		if _, hit := c.Get(m); !hit {
+			t.Fatalf("%s evicted unexpectedly", m)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestLookupCacheUpdateExisting(t *testing.T) {
+	c := spell.NewLookupCache(2)
+	c.Add("m", nil)
+	k := &spell.Key{ID: 9}
+	c.Add("m", k)
+	if got, hit := c.Get("m"); !hit || got != k {
+		t.Fatalf("updated entry = %v, %v", got, hit)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after double Add, want 1", c.Len())
+	}
+}
+
+// TestLookupCacheConcurrent exercises the cache and a trained parser from
+// many goroutines; run with -race it proves the concurrent-reader
+// contract of the acceptance criteria.
+func TestLookupCacheConcurrent(t *testing.T) {
+	p := spell.NewParser(0)
+	var msgs [][]string
+	for i := 0; i < 64; i++ {
+		m := []string{"task", fmt.Sprint(i), "finished", "on", fmt.Sprintf("host_%d", i%5)}
+		p.Consume(append([]string(nil), m...))
+		msgs = append(msgs, m)
+	}
+	c := spell.NewLookupCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m := msgs[(i+w)%len(msgs)]
+				raw := fmt.Sprint(m)
+				k, hit := c.Get(raw)
+				if !hit {
+					k = p.Lookup(m)
+					c.Add(raw, k)
+				}
+				if k == nil {
+					t.Errorf("trained message %v failed to match", m)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

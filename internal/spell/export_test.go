@@ -1,0 +1,51 @@
+package spell
+
+// Test-only exports. The naive reference matcher stays unexported in
+// production code; equivalence tests and ablation benchmarks reach it
+// through this shim.
+
+// NewNaiveParser returns a Parser running the seed linear-scan matcher.
+var NewNaiveParser = newNaiveParser
+
+// NewNaiveClassicParser is the naive matcher without the constant-word
+// merge guard.
+func NewNaiveClassicParser(t float64) *Parser {
+	p := newNaiveParser(t)
+	p.classicLCS = true
+	return p
+}
+
+// TryMergeRef exposes the reference LCS merge.
+var TryMergeRef = tryMergeRef
+
+// RestoreNaiveParser is the seed Restore: rebuild byLen buckets around
+// existing keys, on a parser routed through the naive matcher.
+func RestoreNaiveParser(t float64, keys []*Key) *Parser {
+	p := newNaiveParser(t)
+	for _, k := range keys {
+		p.keys = append(p.keys, k)
+		p.byLen[len(k.Tokens)] = append(p.byLen[len(k.Tokens)], k)
+	}
+	return p
+}
+
+// TryMergeIDsForTest runs the interned-ID merge on raw token strings via
+// a throwaway interner and maps the result back to strings.
+func TryMergeIDsForTest(key, msg []string) ([]string, bool) {
+	in := newInterner()
+	kids := make([]int32, len(key))
+	for i, t := range key {
+		kids[i] = in.intern(t)
+	}
+	mids := make([]int32, len(msg))
+	for i, t := range msg {
+		mids[i] = in.intern(t)
+	}
+	var s mergeScratch
+	merged, ok := tryMergeIDs(kids, mids, in, &s)
+	out := make([]string, len(merged))
+	for i, id := range merged {
+		out[i] = in.token(id)
+	}
+	return out, ok
+}

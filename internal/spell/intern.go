@@ -1,0 +1,49 @@
+package spell
+
+// Token interning: every distinct token string is assigned a dense int32
+// ID once, so the hot matching paths (positional match, LCS merge) compare
+// integers instead of strings and the variableLooking classification is
+// computed once per distinct token instead of once per occurrence.
+//
+// The interner is written only while the owning Parser consumes (training
+// is single-threaded per parser). Lookup never touches it — positional
+// matching probes the anchor index by token text — so concurrent readers
+// only ever see the read-only per-key ID slices.
+
+// wildcardID is the interned ID of Wildcard. It is always 0: the
+// interner reserves it at construction.
+const wildcardID int32 = 0
+
+// interner maps token strings to dense int32 IDs and back.
+type interner struct {
+	ids map[string]int32
+	// toks is the inverse table: toks[id] is the token text.
+	toks []string
+	// vari caches variableLooking per distinct token.
+	vari []bool
+}
+
+func newInterner() *interner {
+	in := &interner{ids: make(map[string]int32, 256)}
+	in.intern(Wildcard) // reserve id 0
+	return in
+}
+
+// intern returns the ID for tok, assigning a fresh one on first sight.
+// Write path — only the consuming goroutine may call it.
+func (in *interner) intern(tok string) int32 {
+	if id, ok := in.ids[tok]; ok {
+		return id
+	}
+	id := int32(len(in.toks))
+	in.ids[tok] = id
+	in.toks = append(in.toks, tok)
+	in.vari = append(in.vari, variableLooking(tok))
+	return id
+}
+
+// token returns the text of an interned ID.
+func (in *interner) token(id int32) string { return in.toks[id] }
+
+// variable reports variableLooking for an interned ID.
+func (in *interner) variable(id int32) bool { return in.vari[id] }

@@ -17,9 +17,22 @@
 // The threshold t (IntelLog sets t = 1.7 empirically) controls how much of
 // a message must be covered by the LCS: a key matches when
 // lcs·t ≥ max(len(key), len(msg)).
+//
+// Matching is indexed: tokens are interned to dense int32 IDs (intern.go)
+// and keys are indexed by their constant tokens (index.go), so positional
+// lookups probe a handful of anchor buckets instead of scanning a length
+// bucket, and the LCS path only considers keys sharing at least one
+// constant token with the message. DP scratch comes from sync.Pools, so
+// steady-state matching allocates nothing. The output is byte-identical
+// to the seed linear-scan matcher (reference.go), which is kept for
+// equivalence tests and ablation benchmarks.
 package spell
 
-import "strings"
+import (
+	"sort"
+	"strings"
+	"sync"
+)
 
 // Wildcard is the placeholder for a variable field in a log key.
 const Wildcard = "*"
@@ -35,6 +48,21 @@ type Key struct {
 	Sample []string
 	// Count is the number of messages matched to this key.
 	Count int
+
+	// ids is Tokens interned by the owning parser. Unexported fields are
+	// skipped by encoding/json, so persisted models carry only the string
+	// form; Restore re-interns.
+	ids []int32
+	// seq reproduces the seed matcher's byLen bucket order: assigned on
+	// creation and on every length-changing merge (which re-appended the
+	// key at the end of its new bucket).
+	seq int
+	// stamp/shared are Consume-scoped candidate bookkeeping: stamp dedupes
+	// a key surfacing from several postings lists in one Consume, shared
+	// counts message tokens the key contains (an upper bound on merged
+	// constants, used to prune hopeless LCS candidates).
+	stamp  int
+	shared int
 }
 
 // String renders the key with wildcards, e.g. "fetcher#* about to shuffle
@@ -54,16 +82,41 @@ func (k *Key) NumWildcards() int {
 
 // Parser is a streaming Spell instance. The zero value is not usable; use
 // NewParser.
+//
+// Concurrency: Consume must be called from a single goroutine; once
+// consumption is done, any number of goroutines may call Lookup
+// concurrently (all index structures are then read-only).
 type Parser struct {
 	t    float64
 	keys []*Key
-	// byLen indexes keys by token count for the simple-loop length filter.
+	// byLen indexes keys by token count. The indexed matcher does not scan
+	// it, but it is maintained so the reference matcher, Restore and
+	// equivalence tests see the exact seed layout.
 	byLen map[int][]*Key
 	// classicLCS disables the constant-word merge guard, reverting to the
 	// original Spell rule (merge whenever the LCS clears the threshold,
 	// wildcarding any divergent token). Exposed for the ablation that
 	// motivates the guard.
 	classicLCS bool
+	// naive routes Consume/Lookup through the seed linear-scan matcher
+	// (reference.go); equivalence tests flip it to prove the indexed
+	// matcher produces identical keys.
+	naive bool
+
+	in *interner
+	// lens is the per-length anchor index (see index.go).
+	lens map[int]*lenBuckets
+	// postings maps constant token ID → keys containing it.
+	postings map[int32][]*Key
+	// seq is the bucket-order sequence counter (see Key.seq).
+	seq int
+	// epoch stamps candidate gathering per Consume call.
+	epoch int
+
+	// Consume-only scratch (training is single-threaded per parser).
+	msgIDs  []int32
+	cands   []*Key
+	bestBuf []int32
 }
 
 // NewClassicParser returns a Parser using the original Spell matching
@@ -71,6 +124,14 @@ type Parser struct {
 func NewClassicParser(t float64) *Parser {
 	p := NewParser(t)
 	p.classicLCS = true
+	return p
+}
+
+// newNaiveParser returns a Parser running the seed linear-scan matcher;
+// equivalence tests and ablation benchmarks use it as the reference.
+func newNaiveParser(t float64) *Parser {
+	p := NewParser(t)
+	p.naive = true
 	return p
 }
 
@@ -83,7 +144,13 @@ func NewParser(t float64) *Parser {
 	if t <= 1 {
 		t = DefaultThreshold
 	}
-	return &Parser{t: t, byLen: make(map[int][]*Key)}
+	return &Parser{
+		t:        t,
+		byLen:    make(map[int][]*Key),
+		in:       newInterner(),
+		lens:     make(map[int]*lenBuckets),
+		postings: make(map[int32][]*Key),
+	}
 }
 
 // Keys returns all keys discovered so far, in discovery order.
@@ -91,100 +158,310 @@ func (p *Parser) Keys() []*Key { return p.keys }
 
 // Restore rebuilds a Parser around previously extracted keys (model
 // loading). The threshold governs future Consume calls; Lookup works
-// immediately.
+// immediately. The restored parser takes ownership of the keys — it
+// re-interns their tokens — so the parser they came from must not be used
+// afterwards.
 func Restore(t float64, keys []*Key) *Parser {
 	p := NewParser(t)
 	for _, k := range keys {
 		p.keys = append(p.keys, k)
-		p.byLen[len(k.Tokens)] = append(p.byLen[len(k.Tokens)], k)
+		p.indexKey(k)
 	}
 	return p
+}
+
+// indexKey interns k's tokens, assigns its bucket sequence and registers
+// it in byLen and the inverted index.
+func (p *Parser) indexKey(k *Key) {
+	ids := make([]int32, len(k.Tokens))
+	for i, tok := range k.Tokens {
+		ids[i] = p.in.intern(tok)
+	}
+	k.ids = ids
+	k.seq = p.nextSeq()
+	p.byLen[len(k.Tokens)] = append(p.byLen[len(k.Tokens)], k)
+	p.addToIndex(k)
+}
+
+func (p *Parser) nextSeq() int {
+	p.seq++
+	return p.seq
 }
 
 // Consume processes one tokenized message and returns its key, creating or
 // refining keys as needed.
 func (p *Parser) Consume(tokens []string) *Key {
+	if p.naive {
+		return p.consumeNaive(tokens)
+	}
 	if len(tokens) == 0 {
 		return nil
 	}
-	// Fast path: positional match against same-length keys.
-	for _, k := range p.byLen[len(tokens)] {
-		if positionalMatch(k.Tokens, tokens) {
-			k.Count++
-			return k
-		}
+	// Fast path: positional match against same-length keys, via the anchor
+	// index instead of a byLen scan. Runs on token text, so repeats of an
+	// established template never touch the interner.
+	if k := p.matchPositional(tokens); k != nil {
+		k.Count++
+		return k
 	}
+	ids := p.msgIDs[:0]
+	for _, tok := range tokens {
+		ids = append(ids, p.in.intern(tok))
+	}
+	p.msgIDs = ids
+
 	// LCS path: best mergeable key within the length window. A merge is
 	// admissible when (a) only variable-looking tokens get wildcarded
 	// (constant words in logging statements never vary), (b) the merged
 	// key covers the originals: len(merged)·t ≥ max length, so a gap may
 	// collapse at most (t−1)/t of a message, and (c) at least one constant
 	// token anchors the key. Among admissible keys the one keeping the
-	// most constant tokens wins.
-	var best *Key
-	var bestMerged []string
-	bestConst := 0
-	for l := len(tokens)/2 + len(tokens)%2; l <= len(tokens)*2; l++ {
-		for _, k := range p.byLen[l] {
-			merged, ok := tryMerge(k.Tokens, tokens)
-			if !ok && !p.classicLCS {
-				continue
-			}
-			maxLen := len(tokens)
-			if len(k.Tokens) > maxLen {
-				maxLen = len(k.Tokens)
-			}
-			if float64(len(merged))*p.t < float64(maxLen) {
-				continue
-			}
-			c := len(merged) - countWildcards(merged)
-			if c == 0 {
-				continue
-			}
-			if c > bestConst {
-				best, bestMerged, bestConst = k, merged, c
-			}
-		}
-	}
-	if best != nil {
-		if len(bestMerged) != len(best.Tokens) {
-			p.reindex(best, bestMerged)
-		} else {
-			best.Tokens = bestMerged
-		}
+	// most constant tokens wins; ties keep the key the seed matcher's
+	// (length, bucket-order) scan would have reached first.
+	if best, merged := p.bestMerge(ids); best != nil {
+		p.applyMerge(best, merged)
 		best.Count++
 		return best
 	}
+
 	k := &Key{ID: len(p.keys), Tokens: append([]string(nil), tokens...), Sample: append([]string(nil), tokens...), Count: 1}
 	p.keys = append(p.keys, k)
-	p.byLen[len(tokens)] = append(p.byLen[len(tokens)], k)
+	p.indexKey(k)
 	return k
+}
+
+// bestMerge gathers merge candidates from the postings of the message's
+// tokens and returns the winning key with its merged token IDs (valid
+// until the next Consume), or nil.
+func (p *Parser) bestMerge(ids []int32) (*Key, []int32) {
+	lo := len(ids)/2 + len(ids)%2
+	hi := len(ids) * 2
+	p.epoch++
+	cands := p.cands[:0]
+	for _, id := range ids {
+		if id == wildcardID {
+			continue // a literal "*" can never align as a constant
+		}
+		for _, k := range p.postings[id] {
+			if l := len(k.ids); l < lo || l > hi {
+				continue
+			}
+			if k.stamp != p.epoch {
+				k.stamp = p.epoch
+				k.shared = 0
+				cands = append(cands, k)
+			}
+			k.shared++
+		}
+	}
+	p.cands = cands
+	sort.Sort(byLenSeq(cands))
+
+	scratch := mergeScratchPool.Get().(*mergeScratch)
+	var best *Key
+	bestConst := 0
+	bestMerged := p.bestBuf[:0]
+	for _, k := range cands {
+		// k.shared bounds the constants a merge with k can keep; once it
+		// cannot beat the current best, the O(n·m) DP is pointless.
+		if k.shared <= bestConst {
+			continue
+		}
+		merged, ok := tryMergeIDs(k.ids, ids, p.in, scratch)
+		if !ok && !p.classicLCS {
+			continue
+		}
+		maxLen := len(ids)
+		if len(k.ids) > maxLen {
+			maxLen = len(k.ids)
+		}
+		if float64(len(merged))*p.t < float64(maxLen) {
+			continue
+		}
+		c := 0
+		for _, id := range merged {
+			if id != wildcardID {
+				c++
+			}
+		}
+		if c == 0 || c <= bestConst {
+			continue
+		}
+		best, bestConst = k, c
+		bestMerged = append(bestMerged[:0], merged...)
+	}
+	mergeScratchPool.Put(scratch)
+	p.bestBuf = bestMerged
+	if best == nil {
+		return nil, nil
+	}
+	return best, bestMerged
+}
+
+// applyMerge rewrites key k with the merged token IDs, keeping every
+// index structure consistent and reproducing the seed matcher's bucket
+// mechanics: a same-length merge rewrites tokens in place, a
+// length-changing merge moves the key to the end of its new byLen bucket
+// (fresh seq).
+func (p *Parser) applyMerge(k *Key, merged []int32) {
+	if idsEqual(k.ids, merged) {
+		return // merge kept the key's tokens verbatim; only Count changes
+	}
+	p.removeFromIndex(k)
+	oldLen := len(k.ids)
+	k.ids = append(k.ids[:0], merged...)
+	toks := make([]string, len(merged))
+	for i, id := range merged {
+		toks[i] = p.in.token(id)
+	}
+	k.Tokens = toks
+	if len(merged) != oldLen {
+		old := p.byLen[oldLen]
+		for i, kk := range old {
+			if kk == k {
+				p.byLen[oldLen] = append(old[:i], old[i+1:]...)
+				break
+			}
+		}
+		p.byLen[len(merged)] = append(p.byLen[len(merged)], k)
+		k.seq = p.nextSeq()
+	}
+	p.addToIndex(k)
+}
+
+func idsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// byLenSeq orders candidates exactly as the seed matcher scanned them:
+// ascending length window, then bucket insertion order.
+type byLenSeq []*Key
+
+func (s byLenSeq) Len() int      { return len(s) }
+func (s byLenSeq) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s byLenSeq) Less(i, j int) bool {
+	if len(s[i].ids) != len(s[j].ids) {
+		return len(s[i].ids) < len(s[j].ids)
+	}
+	return s[i].seq < s[j].seq
 }
 
 // Lookup returns the key matching tokens without modifying parser state,
 // or nil. Used in the detection phase where unmatched messages are
-// anomalies rather than new keys.
+// anomalies rather than new keys. Safe for concurrent callers once
+// consumption is done.
 func (p *Parser) Lookup(tokens []string) *Key {
-	for _, k := range p.byLen[len(tokens)] {
-		if positionalMatch(k.Tokens, tokens) {
-			return k
-		}
+	if p.naive {
+		return p.lookupNaive(tokens)
 	}
-	return nil
+	if len(tokens) == 0 {
+		return nil
+	}
+	return p.matchPositional(tokens)
 }
 
-// reindex moves a key between length buckets after a merge changed its
-// token count.
-func (p *Parser) reindex(k *Key, merged []string) {
-	old := p.byLen[len(k.Tokens)]
-	for i, kk := range old {
-		if kk == k {
-			p.byLen[len(k.Tokens)] = append(old[:i], old[i+1:]...)
-			break
+// mergeScratch bundles the DP table and backtrack buffers one Consume's
+// LCS pass needs; pooled so steady-state consumption allocates nothing.
+type mergeScratch struct {
+	dp  []int32
+	rev []int32
+}
+
+var mergeScratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+// tryMergeIDs is tryMerge over interned IDs: it aligns key and msg by LCS
+// and produces the merged key — aligned tokens stay, divergent runs
+// collapse to a single wildcard. ok is false if any divergent token is not
+// variable-looking. The returned slice aliases scratch.
+func tryMergeIDs(key, msg []int32, in *interner, s *mergeScratch) ([]int32, bool) {
+	n, m := len(key), len(msg)
+	w := m + 1
+	need := (n + 1) * w
+	if cap(s.dp) < need {
+		s.dp = make([]int32, need)
+	}
+	dp := s.dp[:need]
+	for j := 0; j <= m; j++ {
+		dp[j] = 0
+	}
+	for i := 1; i <= n; i++ {
+		row := dp[i*w : i*w+w]
+		prev := dp[(i-1)*w : i*w]
+		row[0] = 0
+		ki := key[i-1]
+		for j := 1; j <= m; j++ {
+			if ki == msg[j-1] || ki == wildcardID {
+				row[j] = prev[j-1] + 1
+			} else if prev[j] >= row[j-1] {
+				row[j] = prev[j]
+			} else {
+				row[j] = row[j-1]
+			}
 		}
 	}
-	k.Tokens = merged
-	p.byLen[len(merged)] = append(p.byLen[len(merged)], k)
+	// Backtrack, building the merged sequence in reverse.
+	rev := s.rev[:0]
+	ok := true
+	i, j := n, m
+	pendingGap := false
+	flushGap := func() {
+		if pendingGap {
+			if len(rev) == 0 || rev[len(rev)-1] != wildcardID {
+				rev = append(rev, wildcardID)
+			}
+			pendingGap = false
+		}
+	}
+	for i > 0 && j > 0 {
+		ki := key[i-1]
+		if ki == msg[j-1] || ki == wildcardID {
+			flushGap()
+			rev = append(rev, ki)
+			i--
+			j--
+			continue
+		}
+		if dp[(i-1)*w+j] >= dp[i*w+j-1] {
+			if !in.variable(ki) {
+				ok = false
+			}
+			pendingGap = true
+			i--
+		} else {
+			if !in.variable(msg[j-1]) {
+				ok = false
+			}
+			pendingGap = true
+			j--
+		}
+	}
+	for ; i > 0; i-- {
+		if !in.variable(key[i-1]) {
+			ok = false
+		}
+		pendingGap = true
+	}
+	for ; j > 0; j-- {
+		if !in.variable(msg[j-1]) {
+			ok = false
+		}
+		pendingGap = true
+	}
+	flushGap()
+	// Reverse.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	s.rev = rev
+	return rev, ok
 }
 
 // positionalMatch reports whether tokens aligns with key position by
@@ -201,12 +478,29 @@ func positionalMatch(key, tokens []string) bool {
 	return true
 }
 
+// lcsRowPool recycles the two DP rows lcsLen needs.
+var lcsRowPool = sync.Pool{New: func() any {
+	b := make([]int, 0, 128)
+	return &b
+}}
+
 // lcsLen returns the length of the longest common subsequence of a and b,
 // with Wildcard in a matching any token of b.
 func lcsLen(a, b []string) int {
-	// One-row DP.
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	bufp := lcsRowPool.Get().(*[]int)
+	need := 2 * (len(b) + 1)
+	buf := *bufp
+	if cap(buf) < need {
+		buf = make([]int, need)
+	}
+	buf = buf[:need]
+	for i := range buf {
+		buf[i] = 0
+	}
+	prev, cur := buf[:len(b)+1], buf[len(b)+1:]
 	for i := 1; i <= len(a); i++ {
 		for j := 1; j <= len(b); j++ {
 			if a[i-1] == b[j-1] || a[i-1] == Wildcard {
@@ -219,7 +513,10 @@ func lcsLen(a, b []string) int {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[len(b)]
+	out := prev[len(b)]
+	*bufp = buf
+	lcsRowPool.Put(bufp)
+	return out
 }
 
 // variableLooking reports whether a token may be a variable field: it
@@ -245,87 +542,4 @@ func countWildcards(key []string) int {
 		}
 	}
 	return n
-}
-
-// tryMerge aligns key and tokens by LCS and produces the merged key:
-// aligned tokens stay, divergent runs collapse to a single Wildcard. ok is
-// false if any divergent token is not variable-looking.
-func tryMerge(key, tokens []string) ([]string, bool) {
-	n, m := len(key), len(tokens)
-	dp := make([][]int, n+1)
-	for i := range dp {
-		dp[i] = make([]int, m+1)
-	}
-	for i := 1; i <= n; i++ {
-		for j := 1; j <= m; j++ {
-			if key[i-1] == tokens[j-1] || key[i-1] == Wildcard {
-				dp[i][j] = dp[i-1][j-1] + 1
-			} else if dp[i-1][j] >= dp[i][j-1] {
-				dp[i][j] = dp[i-1][j]
-			} else {
-				dp[i][j] = dp[i][j-1]
-			}
-		}
-	}
-	// Backtrack, building the merged sequence in reverse.
-	var rev []string
-	ok := true
-	i, j := n, m
-	pendingGap := false
-	flushGap := func() {
-		if pendingGap {
-			if len(rev) == 0 || rev[len(rev)-1] != Wildcard {
-				rev = append(rev, Wildcard)
-			}
-			pendingGap = false
-		}
-	}
-	for i > 0 && j > 0 {
-		if key[i-1] == tokens[j-1] || key[i-1] == Wildcard {
-			flushGap()
-			tok := key[i-1]
-			if tok == Wildcard {
-				// keep wildcard
-			} else if len(rev) > 0 && rev[len(rev)-1] == Wildcard && tok == Wildcard {
-				// collapse
-			}
-			rev = append(rev, tok)
-			i--
-			j--
-			continue
-		}
-		if dp[i-1][j] >= dp[i][j-1] {
-			if !variableLooking(key[i-1]) {
-				ok = false
-			}
-			pendingGap = true
-			i--
-		} else {
-			if !variableLooking(tokens[j-1]) {
-				ok = false
-			}
-			pendingGap = true
-			j--
-		}
-	}
-	for i > 0 {
-		if !variableLooking(key[i-1]) {
-			ok = false
-		}
-		pendingGap = true
-		i--
-	}
-	for j > 0 {
-		if !variableLooking(tokens[j-1]) {
-			ok = false
-		}
-		pendingGap = true
-		j--
-	}
-	flushGap()
-	// Reverse.
-	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
-		rev[l], rev[r] = rev[r], rev[l]
-	}
-	return rev, ok
 }

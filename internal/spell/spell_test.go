@@ -105,6 +105,41 @@ func TestMergeCollapsesGapToSingleWildcard(t *testing.T) {
 	}
 }
 
+// TestMergeKeepsAlignedWildcards pins the merge semantics around the
+// seed's unreachable wildcard-collapse arm (removed in tryMergeRef):
+// wildcards already in the key stay where they are — even adjacent ones —
+// and only divergent runs collapse to a single wildcard. Both the
+// reference and the interned-ID merge must agree.
+func TestMergeKeepsAlignedWildcards(t *testing.T) {
+	key := toks("a * * b")
+	msg := toks("a x_1 y_2 b")
+	want := "a * * b"
+	for _, impl := range []struct {
+		name  string
+		merge func(key, msg []string) ([]string, bool)
+	}{
+		{"reference", tryMergeRef},
+		{"indexed", TryMergeIDsForTest},
+	} {
+		merged, ok := impl.merge(key, msg)
+		if !ok {
+			t.Errorf("%s: merge rejected", impl.name)
+		}
+		if got := strings.Join(merged, " "); got != want {
+			t.Errorf("%s: merged = %q, want %q", impl.name, got, want)
+		}
+		// A divergent run next to an aligned wildcard must not add a
+		// second wildcard.
+		merged, ok = impl.merge(toks("read * bytes"), toks("read 10 20 bytes"))
+		if !ok {
+			t.Errorf("%s: gap merge rejected", impl.name)
+		}
+		if got := strings.Join(merged, " "); got != "read * bytes" {
+			t.Errorf("%s: gap merged = %q, want 'read * bytes'", impl.name, got)
+		}
+	}
+}
+
 func TestPositionalMatch(t *testing.T) {
 	if !positionalMatch(toks("a * c"), toks("a b c")) {
 		t.Error("wildcard should match")

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# check.sh — the repo's one-command gate: format, vet, build, race-clean
+# tests, and a short pass over the throughput benchmarks so performance
+# regressions surface before review.
+#
+#   scripts/check.sh            # full gate
+#   BENCH=0 scripts/check.sh    # skip the benchmark pass
+#
+# Setting INTELLOG_BENCH_JSON=BENCH_spell.json before the bench pass
+# archives each benchmark's headline numbers (see bench_throughput_test.go).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+if [ "${BENCH:-1}" = "1" ]; then
+	echo "==> throughput benchmarks (short)"
+	go test -run '^$' -bench 'Throughput|^BenchmarkTraining$' -benchmem -benchtime 2x .
+	go test -run '^$' -bench 'ConsumeColdStart|LookupSteadyState|LookupCache' -benchmem -benchtime 100x ./internal/spell/
+fi
+
+echo "==> OK"
