@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"intellog/internal/detect"
 	"intellog/internal/extract"
 	"intellog/internal/hwgraph"
 	"intellog/internal/spell"
@@ -25,8 +26,8 @@ type modelJSON struct {
 // modelVersion guards format compatibility.
 const modelVersion = 1
 
-// Save writes the trained model as JSON.
-func (m *Model) Save(w io.Writer) error {
+// toJSON converts a model to its on-disk form.
+func (m *Model) toJSON() modelJSON {
 	out := modelJSON{
 		Version:   modelVersion,
 		Config:    m.cfg,
@@ -37,17 +38,11 @@ func (m *Model) Save(w io.Writer) error {
 	for _, ik := range m.Keys {
 		out.IntelKeys = append(out.IntelKeys, ik)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return out
 }
 
-// Load restores a model written by Save.
-func Load(r io.Reader) (*Model, error) {
-	var in modelJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("decode model: %w", err)
-	}
+// fromJSON rebuilds a model from its on-disk form.
+func fromJSON(in *modelJSON) (*Model, error) {
 	if in.Version != modelVersion {
 		return nil, fmt.Errorf("model version %d, want %d", in.Version, modelVersion)
 	}
@@ -66,4 +61,91 @@ func Load(r io.Reader) (*Model, error) {
 		m.Keys[ik.ID] = ik
 	}
 	return m, nil
+}
+
+// Save writes the trained model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m.toJSON())
+}
+
+// Load restores a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode model: %w", err)
+	}
+	return fromJSON(&in)
+}
+
+// checkpointJSON is the on-disk form of a streaming checkpoint: the
+// trained model plus the online detector's in-flight session state, so a
+// restarted process resumes mid-stream from one file.
+type checkpointJSON struct {
+	Version int                 `json:"version"`
+	Model   modelJSON           `json:"model"`
+	Stream  *detect.StreamState `json:"stream"`
+	// Cursor is an opaque position in the input stream — the CLI stores
+	// the count of raw input lines already consumed, so rerunning the
+	// same command after a crash fast-forwards past them instead of
+	// double-consuming.
+	Cursor int64 `json:"cursor,omitempty"`
+}
+
+// checkpointVersion guards checkpoint format compatibility.
+const checkpointVersion = 1
+
+// SaveCheckpoint writes a streaming checkpoint: the model and the
+// in-flight state of its stream detector (from StreamDetector.State).
+func SaveCheckpoint(w io.Writer, m *Model, st *detect.StreamState) error {
+	return SaveCheckpointAt(w, m, st, 0)
+}
+
+// SaveCheckpointAt is SaveCheckpoint with an input-stream cursor (see
+// checkpointJSON.Cursor); zero means "resume from wherever the caller's
+// input begins".
+func SaveCheckpointAt(w io.Writer, m *Model, st *detect.StreamState, cursor int64) error {
+	out := checkpointJSON{
+		Version: checkpointVersion,
+		Model:   m.toJSON(),
+		Stream:  st,
+		Cursor:  cursor,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint. The
+// returned stream state is handed to RestoreStream (or directly to
+// detect.RestoreStreamDetector) to resume consumption.
+func LoadCheckpoint(r io.Reader) (*Model, *detect.StreamState, error) {
+	m, st, _, err := LoadCheckpointAt(r)
+	return m, st, err
+}
+
+// LoadCheckpointAt is LoadCheckpoint plus the stored input cursor.
+func LoadCheckpointAt(r io.Reader) (*Model, *detect.StreamState, int64, error) {
+	var in checkpointJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, nil, 0, fmt.Errorf("decode checkpoint: %w", err)
+	}
+	if in.Version != checkpointVersion {
+		return nil, nil, 0, fmt.Errorf("checkpoint version %d, want %d", in.Version, checkpointVersion)
+	}
+	if in.Stream == nil {
+		return nil, nil, 0, fmt.Errorf("checkpoint has no stream state")
+	}
+	m, err := fromJSON(&in.Model)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return m, in.Stream, in.Cursor, nil
+}
+
+// RestoreStream rebuilds the model's streaming detector from checkpoint
+// state, replaying buffered records through the model.
+func (m *Model) RestoreStream(cfg detect.StreamConfig, st *detect.StreamState) (*detect.StreamDetector, error) {
+	return detect.RestoreStreamDetector(m.Detector(), cfg, st)
 }

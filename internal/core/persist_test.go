@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"intellog/internal/detect"
 	"intellog/internal/logging"
@@ -46,6 +48,125 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	rep := loaded.Detect([]*logging.Session{s})
 	if len(rep.ByKind(detect.UnexpectedMessage)) == 0 {
 		t.Error("loaded model misses unexpected messages")
+	}
+}
+
+// checkpointCorpus interleaves a clean, a truncated, and an anomalous
+// session into one record stream, round-robin (the aggregated-log shape
+// the online mode consumes).
+func checkpointCorpus() []logging.Record {
+	clean := miniSession("container_a", 30)
+	truncated := miniSession("container_b", 40)
+	truncated.Records = truncated.Records[:4]
+	odd := miniSession("container_c", 50)
+	odd.Records[3].Message = "Failed to connect to host9:13562 for block fetch"
+	var recs []logging.Record
+	for i := 0; ; i++ {
+		emitted := false
+		for _, s := range []*logging.Session{clean, truncated, odd} {
+			if i < len(s.Records) {
+				recs = append(recs, s.Records[i])
+				emitted = true
+			}
+		}
+		if !emitted {
+			return recs
+		}
+	}
+}
+
+// TestCheckpointRestoreByteIdenticalReport kills a streaming detector
+// mid-corpus, persists model + in-flight state through SaveCheckpoint,
+// restores both in a "new process" via LoadCheckpoint, and finishes the
+// corpus: every finding and the final summary must be byte-identical to
+// an uninterrupted run.
+func TestCheckpointRestoreByteIdenticalReport(t *testing.T) {
+	m := trainMini(t)
+	cfg := detect.StreamConfig{IdleTimeout: time.Minute, MaxSessionMsgs: 32}
+	recs := checkpointCorpus()
+
+	run := func(consume func(sd *detect.StreamDetector, emit func([]detect.Anomaly)) *detect.Report) (string, string) {
+		t.Helper()
+		var all []detect.Anomaly
+		emit := func(a []detect.Anomaly) { all = append(all, a...) }
+		sd := detect.NewStream(m.Detector(), cfg)
+		rep := consume(sd, emit)
+		emit(rep.Anomalies)
+		raw, err := json.Marshal(all)
+		if err != nil {
+			t.Fatalf("marshal findings: %v", err)
+		}
+		return string(raw), rep.Summary()
+	}
+
+	wantFindings, wantSummary := run(func(sd *detect.StreamDetector, emit func([]detect.Anomaly)) *detect.Report {
+		for _, r := range recs {
+			emit(sd.Consume(r))
+		}
+		return sd.Flush()
+	})
+
+	// Interrupted run: consume half, checkpoint, "restart", finish.
+	cut := len(recs) / 2
+	var all []detect.Anomaly
+	sd := detect.NewStream(m.Detector(), cfg)
+	for _, r := range recs[:cut] {
+		all = append(all, sd.Consume(r)...)
+	}
+	var ckpt bytes.Buffer
+	if err := SaveCheckpoint(&ckpt, m, sd.State()); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	m2, st, err := LoadCheckpoint(&ckpt)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	sd2, err := m2.RestoreStream(cfg, st)
+	if err != nil {
+		t.Fatalf("RestoreStream: %v", err)
+	}
+	if sd2.Pending() != sd.Pending() {
+		t.Fatalf("restored Pending = %d, want %d", sd2.Pending(), sd.Pending())
+	}
+	for _, r := range recs[cut:] {
+		all = append(all, sd2.Consume(r)...)
+	}
+	rep := sd2.Flush()
+	all = append(all, rep.Anomalies...)
+	raw, err := json.Marshal(all)
+	if err != nil {
+		t.Fatalf("marshal findings: %v", err)
+	}
+
+	if string(raw) != wantFindings {
+		t.Errorf("findings diverge after checkpoint/restore:\ngot:  %s\nwant: %s", raw, wantFindings)
+	}
+	if got := rep.Summary(); got != wantSummary {
+		t.Errorf("summary diverges after checkpoint/restore:\ngot:  %q\nwant: %q", got, wantSummary)
+	}
+}
+
+func TestCheckpointCursorRoundTrip(t *testing.T) {
+	m := trainMini(t)
+	sd := detect.NewStream(m.Detector(), detect.StreamConfig{})
+	var buf bytes.Buffer
+	if err := SaveCheckpointAt(&buf, m, sd.State(), 4242); err != nil {
+		t.Fatalf("SaveCheckpointAt: %v", err)
+	}
+	if _, _, cur, err := LoadCheckpointAt(&buf); err != nil || cur != 4242 {
+		t.Fatalf("LoadCheckpointAt = cursor %d, err %v; want 4242, nil", cur, err)
+	}
+}
+
+func TestCheckpointRejectsBadInput(t *testing.T) {
+	if _, _, err := LoadCheckpoint(strings.NewReader("{")); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	if _, _, err := LoadCheckpoint(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, _, err := LoadCheckpoint(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Error("checkpoint without stream state accepted")
 	}
 }
 

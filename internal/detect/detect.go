@@ -34,16 +34,23 @@ const (
 	UnknownSignature
 	MissingGroup
 	HierarchyViolation
+	// Overflow is a streaming-only finding: a session hit a configured
+	// resource cap (max buffered messages, or max in-flight sessions) and
+	// was degraded — further messages dropped, or the session force-closed
+	// early. It marks results that may be partial rather than a fault in
+	// the monitored system itself.
+	Overflow
 )
 
 var kindNames = [...]string{
 	"unexpected-message", "missing-critical-keys", "order-violation",
 	"unknown-signature", "missing-group", "hierarchy-violation",
+	"overflow",
 }
 
 // String returns the kebab-case kind name.
 func (k Kind) String() string {
-	if k < UnexpectedMessage || k > HierarchyViolation {
+	if k < UnexpectedMessage || int(k) >= len(kindNames) {
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 	return kindNames[k]
@@ -117,7 +124,7 @@ func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d sessions checked, %d problematic, %d findings\n",
 		r.Sessions, len(r.ProblematicSessions()), len(r.Anomalies))
-	for k := UnexpectedMessage; k <= HierarchyViolation; k++ {
+	for k := UnexpectedMessage; int(k) < len(kindNames); k++ {
 		if n := kinds[k]; n > 0 {
 			fmt.Fprintf(&b, "  %-22s %d\n", k.String()+":", n)
 		}

@@ -1,116 +1,454 @@
 package detect
 
 import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"intellog/internal/extract"
 	"intellog/internal/logging"
+	"intellog/internal/par"
 )
+
+// StreamConfig tunes the online detector.
+type StreamConfig struct {
+	// IdleTimeout closes a session when its log time falls this far behind
+	// the newest record seen on any session. Zero disables idle
+	// finalization. Idleness is judged by log timestamps (event time), not
+	// wall-clock, so replayed corpora behave identically to live streams.
+	IdleTimeout time.Duration
+	// MaxSessions bounds the number of in-flight sessions; when a new
+	// session would exceed it, the longest-idle session is force-closed
+	// with an Overflow anomaly. Zero means unbounded.
+	MaxSessions int
+	// MaxSessionMsgs bounds the Intel Messages buffered per session; once
+	// reached, further matched messages are dropped and a single Overflow
+	// anomaly is emitted for the session. Zero means unbounded.
+	MaxSessionMsgs int
+	// Shards sets the number of session shards (rounded down to a power of
+	// two). Zero picks a default sized for moderate concurrency. When
+	// MaxSessions is set, the shard count never exceeds it, so the global
+	// in-flight bound holds exactly.
+	Shards int
+}
+
+// defaultStreamShards balances lock contention against per-Consume sweep
+// cost; sixteen shards keep eight concurrent producers essentially
+// uncontended.
+const defaultStreamShards = 16
 
 // StreamDetector consumes log records one at a time — the online mode of
 // Fig. 2, where IntelLog "consumes newly incoming logs and automatically
 // reports anomalies". Unexpected messages are reported immediately;
-// HW-graph instance checks run when a session ends (explicitly, or after
-// IdleTimeout with no records, judged by log timestamps).
+// HW-graph instance checks run when a session ends (explicitly, after
+// IdleTimeout with no records, or when a resource cap forces it closed).
+//
+// Sessions are sharded by ID: Consume, CloseSession, Pending and State
+// are safe for concurrent use, and records of different sessions proceed
+// in parallel. Idle expiry is driven by a per-shard min-heap keyed by
+// last-record time, so consuming a record costs O(log sessions) in the
+// worst case and O(1) when nothing is idle — there is no per-record scan
+// of the session table.
 type StreamDetector struct {
-	// IdleTimeout closes a session when its log time falls this far behind
-	// the newest record seen. Zero disables idle finalization.
-	IdleTimeout time.Duration
+	cfg StreamConfig
+	d   *Detector
 
-	d        *Detector
+	shards []*streamShard
+	mask   uint64
+	seed   maphash.Seed
+
+	latest   atomic.Int64  // newest record time seen (UnixNano)
+	inFlight atomic.Int64  // sessions currently buffered
+	seen     atomic.Uint64 // sessions ever opened (Report.Sessions)
+	startSeq atomic.Uint64 // session arrival order, survives checkpoints
+}
+
+// streamShard owns one slice of the session space. All fields are guarded
+// by mu except earliest, which mirrors the heap top for lock-free staleness
+// checks by other shards' consumers.
+type streamShard struct {
+	mu       sync.Mutex
 	sessions map[string]*sessionBuf
-	order    []string
-	latest   time.Time
+	heap     expiryHeap
 	rb       extract.Rebinder
+	earliest atomic.Int64 // heap-top time, or math.MaxInt64 when empty
 }
 
 // sessionBuf accumulates one in-flight session.
 type sessionBuf struct {
-	id   string
-	msgs []*extract.Message
-	last time.Time
+	id          string
+	fw          logging.Framework
+	msgs        []*extract.Message
+	first, last time.Time
+	startSeq    uint64
+	overflowed  bool // MaxSessionMsgs hit; further messages dropped
+	dropped     int  // messages dropped after overflow
 }
 
-// NewStreamDetector wraps a trained Detector for streaming consumption.
+// expiryEntry schedules one session's idle check. Entries are lazily
+// invalidated: a session touched after its entry was pushed simply gets a
+// fresh entry when the stale one surfaces, so no per-record heap fix-up is
+// needed.
+type expiryEntry struct {
+	at int64 // session's last-record time when pushed (UnixNano)
+	id string
+}
+
+// expiryHeap is a binary min-heap of expiryEntry by time.
+type expiryHeap []expiryEntry
+
+func (h *expiryHeap) push(e expiryEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].at <= (*h)[i].at {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *expiryHeap) pop() expiryEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = expiryEntry{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && old[l].at < old[m].at {
+			m = l
+		}
+		if r < n && old[r].at < old[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}
+
+// NewStreamDetector wraps a trained Detector for streaming consumption
+// with only an idle timeout configured (the pre-existing constructor).
 func NewStreamDetector(d *Detector, idle time.Duration) *StreamDetector {
-	return &StreamDetector{IdleTimeout: idle, d: d, sessions: map[string]*sessionBuf{}}
+	return NewStream(d, StreamConfig{IdleTimeout: idle})
+}
+
+// NewStream wraps a trained Detector for streaming consumption.
+func NewStream(d *Detector, cfg StreamConfig) *StreamDetector {
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultStreamShards
+	}
+	if cfg.MaxSessions > 0 && n > cfg.MaxSessions {
+		// More shards than the session budget would make the per-shard cap
+		// zero; shrink so every shard can hold at least one session and the
+		// sum of per-shard caps stays within MaxSessions.
+		n = cfg.MaxSessions
+	}
+	// Round down to a power of two for mask addressing.
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	s := &StreamDetector{
+		cfg:    cfg,
+		d:      d,
+		shards: make([]*streamShard, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range s.shards {
+		sh := &streamShard{sessions: make(map[string]*sessionBuf)}
+		sh.earliest.Store(math.MaxInt64)
+		s.shards[i] = sh
+	}
+	s.latest.Store(math.MinInt64)
+	return s
+}
+
+// shard maps a session ID to its shard.
+func (s *StreamDetector) shard(id string) *streamShard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[maphash.String(s.seed, id)&s.mask]
+}
+
+// maxPerShard is the in-flight cap of one shard (0 = unbounded). Shard
+// count never exceeds MaxSessions, so the per-shard quotient is ≥ 1 and
+// the sum over shards never exceeds the global cap.
+func (s *StreamDetector) maxPerShard() int {
+	if s.cfg.MaxSessions <= 0 {
+		return 0
+	}
+	return s.cfg.MaxSessions / len(s.shards)
+}
+
+// trackExpiry reports whether the heaps are maintained at all; with no
+// idle timeout and no session cap they are skipped entirely, so the
+// hot path carries no scheduling overhead.
+func (s *StreamDetector) trackExpiry() bool {
+	return s.cfg.IdleTimeout > 0 || s.cfg.MaxSessions > 0
 }
 
 // Pending returns the number of in-flight sessions.
-func (s *StreamDetector) Pending() int { return len(s.sessions) }
+func (s *StreamDetector) Pending() int { return int(s.inFlight.Load()) }
+
+// SessionsSeen returns the number of sessions opened since construction
+// (or since the checkpoint the detector was restored from).
+func (s *StreamDetector) SessionsSeen() int { return int(s.seen.Load()) }
 
 // Consume processes one record. The returned anomalies are the immediate
-// findings: an unexpected-message report for this record, plus the
-// end-of-session findings of any session the record's timestamp idles
-// out.
+// findings: an unexpected-message report for this record, an overflow
+// report if a resource cap was hit, plus the end-of-session findings of
+// any session the record's timestamp idles out. The record's own session
+// is exempt from idle expiry — its arrival proves the session alive, so
+// it can never idle itself out (even with an out-of-order timestamp).
 func (s *StreamDetector) Consume(rec logging.Record) []Anomaly {
-	var out []Anomaly
-	if rec.Time.After(s.latest) {
-		s.latest = rec.Time
+	// Advance the stream clock (monotone max of record times).
+	now := rec.Time.UnixNano()
+	latest := s.latest.Load()
+	for now > latest && !s.latest.CompareAndSwap(latest, now) {
+		latest = s.latest.Load()
 	}
-	if s.IdleTimeout > 0 {
-		out = append(out, s.expireIdle()...)
+	if now > latest {
+		latest = now
+	}
+	cutoff := int64(math.MinInt64)
+	if s.cfg.IdleTimeout > 0 {
+		cutoff = latest - int64(s.cfg.IdleTimeout)
 	}
 
-	buf, ok := s.sessions[rec.SessionID]
-	if !ok {
-		buf = &sessionBuf{id: rec.SessionID}
-		s.sessions[rec.SessionID] = buf
-		s.order = append(s.order, rec.SessionID)
-	}
-	buf.last = rec.Time
-
+	// Resolve the record before taking any lock; the lookup cache is
+	// concurrency-safe and this is the expensive part of the hot path.
 	key, cl := s.d.lookupRecord(&rec)
-	if key == nil {
-		sess := &logging.Session{ID: rec.SessionID}
+
+	sh := s.shard(rec.SessionID)
+	sh.mu.Lock()
+
+	// Expire idle sessions in this shard first: freed capacity may spare
+	// an eviction below. The current session is exempt.
+	var expired, evicted []*sessionBuf
+	if s.cfg.IdleTimeout > 0 {
+		expired = sh.expireLocked(cutoff, rec.SessionID)
+		s.inFlight.Add(int64(-len(expired)))
+	}
+
+	buf, ok := sh.sessions[rec.SessionID]
+	if !ok {
+		if cap := s.maxPerShard(); cap > 0 && len(sh.sessions) >= cap {
+			if b := sh.evictOldestLocked(); b != nil {
+				evicted = append(evicted, b)
+				s.inFlight.Add(-1)
+			}
+		}
+		buf = &sessionBuf{
+			id: rec.SessionID, fw: rec.Framework,
+			first: rec.Time, last: rec.Time,
+			startSeq: s.startSeq.Add(1),
+		}
+		sh.sessions[rec.SessionID] = buf
+		s.inFlight.Add(1)
+		s.seen.Add(1)
+		if s.trackExpiry() {
+			sh.heap.push(expiryEntry{at: now, id: rec.SessionID})
+		}
+	} else if rec.Time.After(buf.last) {
+		// The heap entry goes stale here; expireLocked refreshes it lazily
+		// when it surfaces, so no O(log n) fix-up per record.
+		buf.last = rec.Time
+	}
+
+	var out []Anomaly
+	switch {
+	case key == nil:
+		sess := &logging.Session{ID: rec.SessionID, Framework: rec.Framework}
 		out = append(out, s.d.unexpected(sess, &rec, cl.Tokens))
-		return out
-	}
-	if cl.Proto == nil {
+	case cl.Proto == nil:
 		// Matched non-NL key: ignore-listed, never an anomaly.
-		return out
+	default:
+		if max := s.cfg.MaxSessionMsgs; max > 0 && len(buf.msgs) >= max {
+			if !buf.overflowed {
+				buf.overflowed = true
+				out = append(out, Anomaly{
+					Session: buf.id, Kind: Overflow,
+					Detail: fmt.Sprintf("session %q reached the %d buffered-message cap; further messages dropped", buf.id, max),
+				})
+			}
+			buf.dropped++
+		} else {
+			buf.msgs = append(buf.msgs, sh.rb.Rebind(cl.Proto, rec.Time, rec.SessionID))
+		}
 	}
-	buf.msgs = append(buf.msgs, s.rb.Rebind(cl.Proto, rec.Time, rec.SessionID))
+
+	sh.syncEarliestLocked()
+	sh.mu.Unlock()
+
+	// Finalize outside the lock: the bufs are out of the maps, so they are
+	// exclusively owned here.
+	var findings []Anomaly
+	for _, b := range evicted {
+		findings = append(findings, Anomaly{
+			Session: b.id, Kind: Overflow,
+			Detail: fmt.Sprintf("session %q force-closed: %d in-flight sessions reached the cap", b.id, s.cfg.MaxSessions),
+		})
+		findings = append(findings, s.finalize(b)...)
+	}
+	for _, b := range expired {
+		findings = append(findings, s.finalize(b)...)
+	}
+	out = append(findings, out...)
+
+	// Sweep the other shards for idle sessions. The per-shard earliest
+	// mirror makes the common case a lock-free load per shard; a shard is
+	// only locked when its oldest entry is actually past the cutoff.
+	if s.cfg.IdleTimeout > 0 {
+		for _, o := range s.shards {
+			if o == sh || o.earliest.Load() >= cutoff {
+				continue
+			}
+			o.mu.Lock()
+			stale := o.expireLocked(cutoff, "")
+			s.inFlight.Add(int64(-len(stale)))
+			o.syncEarliestLocked()
+			o.mu.Unlock()
+			for _, b := range stale {
+				out = append(out, s.finalize(b)...)
+			}
+		}
+	}
 	return out
+}
+
+// expireLocked removes and returns every session whose last record is
+// older than cutoff, skipping exempt. Stale heap entries (their session
+// was touched or closed since the push) are dropped or refreshed as they
+// surface. Caller holds sh.mu.
+func (sh *streamShard) expireLocked(cutoff int64, exempt string) []*sessionBuf {
+	var out []*sessionBuf
+	var deferred *expiryEntry
+	for len(sh.heap) > 0 {
+		if sh.heap[0].at >= cutoff {
+			break
+		}
+		e := sh.heap.pop()
+		buf := sh.sessions[e.id]
+		if buf == nil {
+			continue // session closed since the entry was pushed
+		}
+		if last := buf.last.UnixNano(); last > e.at {
+			sh.heap.push(expiryEntry{at: last, id: e.id}) // refresh stale entry
+			continue
+		}
+		if e.id == exempt {
+			// Keep the exempt session scheduled, but re-push only after the
+			// loop — re-pushing an entry already past the cutoff now would
+			// surface it again immediately.
+			deferred = &e
+			continue
+		}
+		delete(sh.sessions, e.id)
+		out = append(out, buf)
+	}
+	if deferred != nil {
+		sh.heap.push(*deferred)
+	}
+	return out
+}
+
+// evictOldestLocked removes and returns the longest-idle session, or nil
+// if the shard is empty. Caller holds sh.mu.
+func (sh *streamShard) evictOldestLocked() *sessionBuf {
+	for len(sh.heap) > 0 {
+		e := sh.heap.pop()
+		buf := sh.sessions[e.id]
+		if buf == nil {
+			continue
+		}
+		if last := buf.last.UnixNano(); last > e.at {
+			sh.heap.push(expiryEntry{at: last, id: e.id})
+			continue
+		}
+		delete(sh.sessions, e.id)
+		return buf
+	}
+	return nil
+}
+
+// syncEarliestLocked publishes the heap top for lock-free staleness
+// checks. Caller holds sh.mu.
+func (sh *streamShard) syncEarliestLocked() {
+	if len(sh.heap) == 0 {
+		sh.earliest.Store(math.MaxInt64)
+		return
+	}
+	sh.earliest.Store(sh.heap[0].at)
+}
+
+// finalize runs the end-of-session structural checks on an owned buffer.
+func (s *StreamDetector) finalize(buf *sessionBuf) []Anomaly {
+	return s.d.checkInstances(buf.id, buf.msgs)
 }
 
 // CloseSession finalizes one session and returns its structural findings.
 func (s *StreamDetector) CloseSession(id string) []Anomaly {
-	buf, ok := s.sessions[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	buf, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+		s.inFlight.Add(-1)
+	}
+	sh.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	delete(s.sessions, id)
-	for i, o := range s.order {
-		if o == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
-	return s.d.checkInstances(buf.id, buf.msgs)
+	return s.finalize(buf)
 }
 
 // Flush finalizes every in-flight session (end of stream) and returns the
-// combined report.
+// combined report. Sessions finalize in first-record-time order (ties by
+// arrival), matching the batch detector's session ordering; the checks
+// themselves run on a worker pool. Report.Sessions counts every session
+// the stream opened, not just those still in flight.
 func (s *StreamDetector) Flush() *Report {
-	r := &Report{Sessions: len(s.order)}
-	ids := append([]string(nil), s.order...)
-	for _, id := range ids {
-		r.Anomalies = append(r.Anomalies, s.CloseSession(id)...)
+	var bufs []*sessionBuf
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, b := range sh.sessions {
+			bufs = append(bufs, b)
+		}
+		sh.sessions = make(map[string]*sessionBuf)
+		sh.heap = sh.heap[:0]
+		sh.earliest.Store(math.MaxInt64)
+		sh.mu.Unlock()
+	}
+	s.inFlight.Add(int64(-len(bufs)))
+	sort.Slice(bufs, func(i, j int) bool {
+		if !bufs[i].first.Equal(bufs[j].first) {
+			return bufs[i].first.Before(bufs[j].first)
+		}
+		return bufs[i].startSeq < bufs[j].startSeq
+	})
+	perSession := make([][]Anomaly, len(bufs))
+	par.ForEachIndex(len(bufs), func(i int) {
+		perSession[i] = s.finalize(bufs[i])
+	})
+	r := &Report{Sessions: int(s.seen.Load())}
+	for _, anomalies := range perSession {
+		r.Anomalies = append(r.Anomalies, anomalies...)
 	}
 	return r
-}
-
-// expireIdle finalizes sessions whose last record is older than
-// IdleTimeout relative to the newest record seen.
-func (s *StreamDetector) expireIdle() []Anomaly {
-	var out []Anomaly
-	cutoff := s.latest.Add(-s.IdleTimeout)
-	ids := append([]string(nil), s.order...)
-	for _, id := range ids {
-		if buf := s.sessions[id]; buf != nil && buf.last.Before(cutoff) {
-			out = append(out, s.CloseSession(id)...)
-		}
-	}
-	return out
 }

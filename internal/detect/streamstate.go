@@ -1,0 +1,129 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// StreamState is a serializable snapshot of a StreamDetector's in-flight
+// state. Together with the trained model (see core.SaveCheckpoint) it is
+// everything a restarted process needs to resume mid-stream and produce
+// the same final report as an uninterrupted run.
+//
+// Buffered Intel Messages are not serialized directly: they are a pure
+// function of (raw text, time, session) under a fixed model, so the
+// snapshot stores the raw text and timestamp of each buffered record and
+// RestoreStreamDetector re-binds them through the model. That keeps the
+// checkpoint format independent of the extraction internals.
+type StreamState struct {
+	// Latest is the newest record time the stream had seen.
+	Latest time.Time `json:"latest"`
+	// Seen is the number of sessions opened so far (Report.Sessions).
+	Seen uint64 `json:"sessionsSeen"`
+	// NextSeq continues the session arrival order across restarts.
+	NextSeq uint64 `json:"nextSeq"`
+	// Sessions are the in-flight sessions, in arrival order.
+	Sessions []SessionState `json:"sessions,omitempty"`
+}
+
+// SessionState is one in-flight session inside a StreamState.
+type SessionState struct {
+	ID        string            `json:"id"`
+	Framework logging.Framework `json:"framework,omitempty"`
+	First     time.Time         `json:"first"`
+	Last      time.Time         `json:"last"`
+	StartSeq  uint64            `json:"startSeq"`
+	// Overflowed and Dropped carry the MaxSessionMsgs degradation state so
+	// a restored session keeps dropping instead of re-announcing overflow.
+	Overflowed bool `json:"overflowed,omitempty"`
+	Dropped    int  `json:"dropped,omitempty"`
+	// Records are the session's buffered (matched, natural-language)
+	// records: exactly what re-binding needs, nothing more.
+	Records []StampedMessage `json:"records,omitempty"`
+}
+
+// StampedMessage is one buffered record in a checkpoint.
+type StampedMessage struct {
+	Time    time.Time `json:"t"`
+	Message string    `json:"m"`
+}
+
+// State snapshots the in-flight sessions. Producers should be quiesced
+// first (no concurrent Consume) if the snapshot must pair exactly with a
+// position in the input stream — shards are locked one at a time, so a
+// record consumed mid-snapshot lands on one side or the other per shard.
+func (s *StreamDetector) State() *StreamState {
+	st := &StreamState{
+		Seen:    s.seen.Load(),
+		NextSeq: s.startSeq.Load(),
+	}
+	if at := s.latest.Load(); at != math.MinInt64 {
+		st.Latest = time.Unix(0, at).UTC()
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, b := range sh.sessions {
+			ss := SessionState{
+				ID: b.id, Framework: b.fw,
+				First: b.first, Last: b.last, StartSeq: b.startSeq,
+				Overflowed: b.overflowed, Dropped: b.dropped,
+			}
+			for _, m := range b.msgs {
+				ss.Records = append(ss.Records, StampedMessage{Time: m.Time, Message: m.Raw})
+			}
+			st.Sessions = append(st.Sessions, ss)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool {
+		return st.Sessions[i].StartSeq < st.Sessions[j].StartSeq
+	})
+	return st
+}
+
+// RestoreStreamDetector rebuilds a streaming detector from a snapshot
+// taken by State, replaying each buffered record through the (identically
+// trained) model. It fails if a buffered record no longer binds to an
+// Intel Key — the sign of a model/checkpoint mismatch.
+func RestoreStreamDetector(d *Detector, cfg StreamConfig, st *StreamState) (*StreamDetector, error) {
+	s := NewStream(d, cfg)
+	if !st.Latest.IsZero() {
+		s.latest.Store(st.Latest.UnixNano())
+	}
+	s.seen.Store(st.Seen)
+	s.startSeq.Store(st.NextSeq)
+	for i := range st.Sessions {
+		ss := &st.Sessions[i]
+		sh := s.shard(ss.ID)
+		if _, dup := sh.sessions[ss.ID]; dup {
+			return nil, fmt.Errorf("checkpoint lists session %q twice", ss.ID)
+		}
+		buf := &sessionBuf{
+			id: ss.ID, fw: ss.Framework,
+			first: ss.First, last: ss.Last, startSeq: ss.StartSeq,
+			overflowed: ss.Overflowed, dropped: ss.Dropped,
+		}
+		for _, rm := range ss.Records {
+			rec := logging.Record{
+				Time: rm.Time, Message: rm.Message,
+				SessionID: ss.ID, Framework: ss.Framework,
+			}
+			key, cl := d.lookupRecord(&rec)
+			if key == nil || cl.Proto == nil {
+				return nil, fmt.Errorf("checkpoint session %q: record %q does not bind under this model (checkpoint/model mismatch)", ss.ID, rm.Message)
+			}
+			buf.msgs = append(buf.msgs, sh.rb.Rebind(cl.Proto, rm.Time, ss.ID))
+		}
+		sh.sessions[ss.ID] = buf
+		s.inFlight.Add(1)
+		if s.trackExpiry() {
+			sh.heap.push(expiryEntry{at: buf.last.UnixNano(), id: buf.id})
+			sh.syncEarliestLocked()
+		}
+	}
+	return s, nil
+}

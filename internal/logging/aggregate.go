@@ -18,35 +18,68 @@ func ContainerIDExtractor(rec *Record) string {
 	return containerIDPattern.FindString(rec.Message)
 }
 
+// SessionAssigner is the streaming form of SplitBySession: it stamps
+// records with a session ID one at a time, carrying the stickiness state
+// (records without an extractable ID belong to the most recent session
+// seen) across calls. It is the sessionizer of the online pipeline — the
+// `intellog stream` subcommand feeds each parsed line through one before
+// handing it to the stream detector.
+type SessionAssigner struct {
+	// Extract derives the session ID; nil uses ContainerIDExtractor.
+	Extract SessionIDExtractor
+
+	current string
+}
+
+// Resume restores the stickiness state, so a sessionizer rebuilt after a
+// checkpoint restore keeps attributing ID-less records to the session
+// that was active at the cut instead of dropping them.
+func (a *SessionAssigner) Resume(id string) { a.current = id }
+
+// Current returns the session ID that ID-less records currently stick to
+// ("" before any session has been seen).
+func (a *SessionAssigner) Current() string { return a.current }
+
+// Assign sets rec.SessionID and reports whether the record belongs to any
+// session. A false return means no session has been seen yet (leading
+// daemon chatter), and the record should be dropped.
+func (a *SessionAssigner) Assign(rec *Record) bool {
+	extract := a.Extract
+	if extract == nil {
+		extract = ContainerIDExtractor
+	}
+	id := extract(rec)
+	if id == "" {
+		id = a.current
+	}
+	if id == "" {
+		return false
+	}
+	a.current = id
+	rec.SessionID = id
+	return true
+}
+
 // SplitBySession partitions an aggregated record stream into sessions
 // using the extractor. Records without a session ID stick to the session
 // of the most recent extractable record (log aggregation interleaves a
 // container's block of lines contiguously), or are dropped if none has
 // been seen yet. Sessions are ordered by first appearance.
 func SplitBySession(records []Record, extract SessionIDExtractor) []*Session {
-	if extract == nil {
-		extract = ContainerIDExtractor
-	}
+	assigner := SessionAssigner{Extract: extract}
 	index := map[string]*Session{}
 	var order []*Session
-	current := ""
 	for i := range records {
-		id := extract(&records[i])
-		if id == "" {
-			id = current
-		}
-		if id == "" {
+		rec := records[i]
+		if !assigner.Assign(&rec) {
 			continue
 		}
-		current = id
-		s, ok := index[id]
+		s, ok := index[rec.SessionID]
 		if !ok {
-			s = &Session{ID: id, Framework: records[i].Framework}
-			index[id] = s
+			s = &Session{ID: rec.SessionID, Framework: rec.Framework}
+			index[rec.SessionID] = s
 			order = append(order, s)
 		}
-		rec := records[i]
-		rec.SessionID = id
 		s.Records = append(s.Records, rec)
 	}
 	return order

@@ -174,6 +174,38 @@ func TestGroupSessions(t *testing.T) {
 	}
 }
 
+// TestGroupSessionsOrdersByFirstRecordTime covers the documented ordering
+// contract under out-of-order interleaving: session "late" appears FIRST
+// in the record stream but its first record is timestamped after both of
+// "early"'s, so it must sort after "early" — first-appearance order is
+// only the tie-break.
+func TestGroupSessionsOrdersByFirstRecordTime(t *testing.T) {
+	t0 := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	recs := []Record{
+		{SessionID: "late", Message: "x", Time: t0.Add(10 * time.Second)},
+		{SessionID: "early", Message: "a", Time: t0},
+		{SessionID: "late", Message: "y", Time: t0.Add(11 * time.Second)},
+		{SessionID: "early", Message: "b", Time: t0.Add(12 * time.Second)},
+		{SessionID: "tie", Message: "t", Time: t0.Add(10 * time.Second)},
+	}
+	sessions := GroupSessions(recs)
+	if len(sessions) != 3 {
+		t.Fatalf("got %d sessions, want 3", len(sessions))
+	}
+	if sessions[0].ID != "early" {
+		t.Errorf("first session = %q, want early (earliest first record)", sessions[0].ID)
+	}
+	// "late" and "tie" share a first-record time; stability keeps stream
+	// appearance order ("late" first).
+	if sessions[1].ID != "late" || sessions[2].ID != "tie" {
+		t.Errorf("tie broken unstably: %q, %q", sessions[1].ID, sessions[2].ID)
+	}
+	// Record order within a session is still emission order.
+	if got := sessions[0].Messages(); got[0] != "a" || got[1] != "b" {
+		t.Errorf("early session records reordered: %v", got)
+	}
+}
+
 func TestSessionSpan(t *testing.T) {
 	var s Session
 	first, last := s.Span()

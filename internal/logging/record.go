@@ -5,6 +5,7 @@ package logging
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -125,7 +126,8 @@ func (s *Session) Span() (first, last time.Time) {
 
 // GroupSessions partitions records by SessionID, preserving record order
 // within each session and ordering sessions by the time of their first
-// record. Records with an empty SessionID are grouped under "".
+// record (ties keep first-appearance order, so the sort is stable under
+// interleaving). Records with an empty SessionID are grouped under "".
 func GroupSessions(records []Record) []*Session {
 	index := make(map[string]*Session)
 	var order []*Session
@@ -138,5 +140,8 @@ func GroupSessions(records []Record) []*Session {
 		}
 		s.Records = append(s.Records, r)
 	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Records[0].Time.Before(order[j].Records[0].Time)
+	})
 	return order
 }

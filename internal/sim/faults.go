@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"intellog/internal/logging"
+)
+
+// FaultInjector perturbs a log stream the way real collection pipelines
+// do: lines arrive truncated or corrupted (agent restarts, disk-full
+// writes), records are duplicated (at-least-once shipping), timestamps
+// interleave slightly out of order (multi-threaded appenders, clock
+// skew), and sessions cut off mid-stream (container kills, rotated-away
+// files). The online detector must survive all of it without panicking
+// and with bounded memory; tests and the `intellog stream -fault-*` flags
+// drive corpora through an injector to prove that end to end.
+//
+// All perturbation is driven by the seeded RNG, so a given configuration
+// replays identically.
+type FaultInjector struct {
+	// TruncateProb chops a line/message at a random byte (possibly
+	// mid-rune — truncation does not respect UTF-8 boundaries).
+	TruncateProb float64
+	// CorruptProb overwrites a few random bytes with garbage.
+	CorruptProb float64
+	// DuplicateProb emits an item twice (at-least-once delivery).
+	DuplicateProb float64
+	// ReorderWindow bounds timestamp reordering: each item may be displaced
+	// by at most this many positions from its original slot. Zero disables
+	// reordering.
+	ReorderWindow int
+	// CutProb is the per-session probability of a mid-session stream cut:
+	// the session's records after a random fraction of its span are
+	// dropped. Applies to record streams only (lines carry no session).
+	CutProb float64
+
+	rng *rand.Rand
+}
+
+// NewFaultInjector returns an injector with a deterministic RNG. Fault
+// probabilities start at zero; set the ones the scenario needs.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// mangle applies truncation/corruption to one text item.
+func (f *FaultInjector) mangle(text string) string {
+	if f.TruncateProb > 0 && f.rng.Float64() < f.TruncateProb && len(text) > 1 {
+		text = text[:1+f.rng.Intn(len(text)-1)]
+	}
+	if f.CorruptProb > 0 && f.rng.Float64() < f.CorruptProb && len(text) > 0 {
+		b := []byte(text)
+		for n := 1 + f.rng.Intn(3); n > 0 && len(b) > 0; n-- {
+			b[f.rng.Intn(len(b))] = byte(f.rng.Intn(256))
+		}
+		text = string(b)
+	}
+	return text
+}
+
+// reorder displaces items by at most ReorderWindow positions: each item's
+// index is jittered forward by up to the window and the stream stably
+// re-sorted by jittered index. Any item j ≥ i+window+1 keeps a strictly
+// larger key than item i, and any j ≤ i-window-1 a strictly smaller one,
+// so the displacement bound |new-old| ≤ window is hard, not probabilistic.
+func reorder[T any](f *FaultInjector, items []T) {
+	w := f.ReorderWindow
+	if w <= 0 {
+		return
+	}
+	keys := make([]int, len(items))
+	for i := range keys {
+		keys[i] = i + f.rng.Intn(w+1)
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]T, len(items))
+	for p, i := range idx {
+		out[p] = items[i]
+	}
+	copy(items, out)
+}
+
+// PerturbLines fault-injects a raw line stream (the CLI path): cuts do
+// not apply, truncation can destroy a line's header so it no longer
+// parses — which is exactly the robustness the parser front-end must
+// have.
+func (f *FaultInjector) PerturbLines(lines []string) []string {
+	out := make([]string, 0, len(lines))
+	for _, l := range lines {
+		l = f.mangle(l)
+		out = append(out, l)
+		if f.DuplicateProb > 0 && f.rng.Float64() < f.DuplicateProb {
+			out = append(out, l)
+		}
+	}
+	reorder(f, out)
+	return out
+}
+
+// Perturb fault-injects a parsed record stream: session cuts first (whole
+// tails vanish), then per-record duplication and message mangling, then
+// bounded reordering of the merged stream.
+func (f *FaultInjector) Perturb(recs []logging.Record) []logging.Record {
+	recs = f.cutSessions(recs)
+	out := make([]logging.Record, 0, len(recs))
+	for _, r := range recs {
+		r.Message = f.mangle(r.Message)
+		out = append(out, r)
+		if f.DuplicateProb > 0 && f.rng.Float64() < f.DuplicateProb {
+			out = append(out, r)
+		}
+	}
+	reorder(f, out)
+	return out
+}
+
+// cutSessions drops the tail of randomly chosen sessions after a random
+// fraction of their record count — the stream analogue of truncateAt's
+// SIGKILL model.
+func (f *FaultInjector) cutSessions(recs []logging.Record) []logging.Record {
+	if f.CutProb <= 0 {
+		return recs
+	}
+	counts := map[string]int{}
+	order := []string{}
+	for _, r := range recs {
+		if _, ok := counts[r.SessionID]; !ok {
+			order = append(order, r.SessionID)
+		}
+		counts[r.SessionID]++
+	}
+	sort.Strings(order) // RNG draws must not depend on map iteration
+	keep := map[string]int{}
+	for _, id := range order {
+		n := counts[id]
+		keep[id] = n
+		if f.rng.Float64() < f.CutProb && n > 1 {
+			keep[id] = 1 + f.rng.Intn(n-1)
+		}
+	}
+	out := recs[:0:0]
+	seen := map[string]int{}
+	for _, r := range recs {
+		if seen[r.SessionID] < keep[r.SessionID] {
+			out = append(out, r)
+		}
+		seen[r.SessionID]++
+	}
+	return out
+}
+
+// FaultFlagsDoc is the one-line help text shared by CLI fault flags.
+const FaultFlagsDoc = "probabilities in [0,1]; 0 disables"
+
+// DescribeFaults summarizes the active perturbations (for CLI banners).
+func (f *FaultInjector) DescribeFaults() string {
+	var parts []string
+	add := func(cond bool, s string) {
+		if cond {
+			parts = append(parts, s)
+		}
+	}
+	add(f.TruncateProb > 0, "truncate")
+	add(f.CorruptProb > 0, "corrupt")
+	add(f.DuplicateProb > 0, "duplicate")
+	add(f.ReorderWindow > 0, "reorder")
+	add(f.CutProb > 0, "cut")
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+func faultCorpus(sessions, perSession int) []logging.Record {
+	t0 := time.Date(2019, 3, 1, 8, 0, 0, 0, time.UTC)
+	var recs []logging.Record
+	for s := 0; s < sessions; s++ {
+		for i := 0; i < perSession; i++ {
+			recs = append(recs, logging.Record{
+				Time:      t0.Add(time.Duration(s*perSession+i) * time.Second),
+				Message:   fmt.Sprintf("task %d finished on host%d", i, s),
+				SessionID: fmt.Sprintf("container_%02d", s),
+			})
+		}
+	}
+	return recs
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	recs := faultCorpus(4, 10)
+	mk := func() *FaultInjector {
+		f := NewFaultInjector(42)
+		f.TruncateProb = 0.3
+		f.CorruptProb = 0.3
+		f.DuplicateProb = 0.3
+		f.ReorderWindow = 3
+		f.CutProb = 0.5
+		return f
+	}
+	a := mk().Perturb(append([]logging.Record(nil), recs...))
+	b := mk().Perturb(append([]logging.Record(nil), recs...))
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Message != b[i].Message || !a[i].Time.Equal(b[i].Time) {
+			t.Fatalf("same seed diverged at record %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultInjectorReorderBounded(t *testing.T) {
+	recs := faultCorpus(1, 200)
+	f := NewFaultInjector(7)
+	f.ReorderWindow = 4
+	out := f.Perturb(recs)
+	if len(out) != 200 {
+		t.Fatalf("reorder changed record count: %d", len(out))
+	}
+	// A record never moves more than the window from its original slot.
+	orig := map[string]int{}
+	for i, r := range recs {
+		orig[r.Message] = i
+	}
+	moved := false
+	for i, r := range out {
+		d := i - orig[r.Message]
+		if d < 0 {
+			d = -d
+		}
+		if d > f.ReorderWindow {
+			t.Errorf("record %q displaced %d slots, window %d", r.Message, d, f.ReorderWindow)
+		}
+		if d > 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("reordering moved nothing")
+	}
+}
+
+func TestFaultInjectorCutsSessionTails(t *testing.T) {
+	recs := faultCorpus(10, 20)
+	f := NewFaultInjector(3)
+	f.CutProb = 1 // cut every session
+	out := f.Perturb(recs)
+	if len(out) >= len(recs) {
+		t.Fatalf("cutting every session kept %d of %d records", len(out), len(recs))
+	}
+	// Cuts drop tails: the records kept per session must be a prefix.
+	next := map[string]int{}
+	for _, r := range out {
+		want := fmt.Sprintf("task %d finished", next[r.SessionID])
+		if len(r.Message) < len(want) || r.Message[:len(want)] != want {
+			t.Fatalf("session %s kept non-prefix record %q", r.SessionID, r.Message)
+		}
+		next[r.SessionID]++
+	}
+	for id, n := range next {
+		if n == 0 || n > 20 {
+			t.Errorf("session %s kept %d records", id, n)
+		}
+	}
+}
+
+func TestFaultInjectorDuplicatesAndMangles(t *testing.T) {
+	recs := faultCorpus(2, 50)
+	f := NewFaultInjector(11)
+	f.DuplicateProb = 0.5
+	out := f.Perturb(recs)
+	if len(out) <= len(recs) {
+		t.Errorf("duplication did not grow the stream: %d -> %d", len(recs), len(out))
+	}
+
+	g := NewFaultInjector(12)
+	g.TruncateProb = 0.8
+	g.CorruptProb = 0.8
+	mangled := 0
+	lines := make([]string, 0, len(recs))
+	for _, r := range recs {
+		lines = append(lines, r.Message)
+	}
+	for i, l := range g.PerturbLines(lines) {
+		if l != recs[i].Message {
+			mangled++
+		}
+	}
+	if mangled == 0 {
+		t.Error("high-probability mangling changed nothing")
+	}
+}
+
+func TestFaultInjectorDescribe(t *testing.T) {
+	f := NewFaultInjector(1)
+	if got := f.DescribeFaults(); got != "none" {
+		t.Errorf("idle injector describes as %q", got)
+	}
+	f.CorruptProb = 0.1
+	f.CutProb = 0.1
+	if got := f.DescribeFaults(); got != "corrupt,cut" {
+		t.Errorf("DescribeFaults = %q", got)
+	}
+}
