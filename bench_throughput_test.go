@@ -12,37 +12,23 @@ package intellog
 // which scripts/check.sh uses to archive before/after evidence.
 
 import (
-	"encoding/json"
 	"os"
 	"testing"
 
+	"intellog/internal/benchjson"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
 	"intellog/internal/nlp"
 	"intellog/internal/spell"
 )
 
-// writeBenchJSON merges one benchmark's metrics into the JSON file named
-// by INTELLOG_BENCH_JSON (no-op when unset).
+// writeBenchJSON merges one benchmark's metrics into the JSON archive
+// named by INTELLOG_BENCH_JSON (no-op when unset). The conformance
+// detection benchmarks archive to INTELLOG_BENCH_DETECT_JSON with the
+// same schema (see internal/conformance).
 func writeBenchJSON(b *testing.B, name string, metrics map[string]float64) {
-	path := os.Getenv("INTELLOG_BENCH_JSON")
-	if path == "" {
-		return
-	}
-	all := map[string]map[string]float64{}
-	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &all); err != nil {
-			b.Logf("ignoring malformed %s: %v", path, err)
-			all = map[string]map[string]float64{}
-		}
-	}
-	all[name] = metrics
-	raw, err := json.MarshalIndent(all, "", "  ")
-	if err != nil {
-		b.Fatalf("marshal bench json: %v", err)
-	}
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
-		b.Fatalf("write %s: %v", path, err)
+	if err := benchjson.Merge(os.Getenv("INTELLOG_BENCH_JSON"), name, metrics); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -14,122 +14,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"intellog/internal/experiments"
-	"intellog/internal/logging"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "all | table1 | figure1 | figure3 | figure4 | table4 | table5 | figure8 | figure9 | table6 | table7 | table8 | ablations | cloudseer | tensorflow")
+		run   = flag.String("run", "all", "all | "+strings.Join(experiments.RunNames, " | "))
 		train = flag.Int("train", 20, "training jobs per system")
 		seed  = flag.Int64("seed", 7, "random seed")
 	)
 	flag.Parse()
 
-	env := experiments.NewEnv(*seed, *train)
-	want := func(name string) bool { return *run == "all" || *run == name }
-	ran := false
-
-	if want("table1") {
-		ran = true
-		section("Table 1: natural-language log fractions")
-		fmt.Print(experiments.FormatTable1(env.Table1(3)))
-	}
-	if want("figure1") {
-		ran = true
-		section("Figure 1: fetcher subroutine log keys")
-		fmt.Print(experiments.Figure1())
-	}
-	if want("figure3") {
-		ran = true
-		section("Figure 3: POS tagging via sample message")
-		fmt.Print(experiments.Figure3())
-	}
-	if want("figure4") {
-		ran = true
-		section("Figure 4: log key -> Intel Key")
-		fmt.Print(experiments.FormatFigure4(experiments.Figure4()))
-	}
-	if want("table4") {
-		ran = true
-		section("Table 4: information-extraction accuracy (vs simulator ground truth)")
-		var rows []experiments.ExtractionRow
-		for _, fw := range experiments.Systems {
-			rows = append(rows, env.Table4(fw))
-		}
-		fmt.Print(experiments.FormatTable4(rows))
-	}
-	if want("table5") {
-		ran = true
-		section("Table 5: log and HW-graph statistics")
-		var rows []experiments.GraphStatsRow
-		for _, fw := range experiments.Systems {
-			rows = append(rows, env.Table5(fw))
-		}
-		fmt.Print(experiments.FormatTable5(rows))
-	}
-	if want("figure8") {
-		ran = true
-		section("Figure 8(a): Spark HW-graph (critical groups starred)")
-		fmt.Print(env.Figure8())
-		section("Figure 8(b): subroutines of the critical groups (operations; * = critical key)")
-		fmt.Print(env.Figure8b())
-	}
-	if want("figure9") {
-		ran = true
-		section("Figure 9: Stitch S3 graph of Spark")
-		fmt.Print(env.Figure9())
-	}
-	if want("table6") {
-		ran = true
-		section("Table 6: anomaly detection (30 jobs per system, 15 injected)")
-		var rows []experiments.DetectionRow
-		for _, fw := range experiments.Systems {
-			row, _ := env.Table6(fw)
-			rows = append(rows, row)
-		}
-		fmt.Print(experiments.FormatTable6(rows))
-	}
-	if want("table7") {
-		ran = true
-		section("Table 7: case studies")
-		fmt.Print(env.CaseStudy1().Format())
-		s, z := env.CaseStudy2()
-		fmt.Print(s.Format())
-		fmt.Print(z.Format())
-		fmt.Print(env.CaseStudy3().Format())
-	}
-	if want("table8") {
-		ran = true
-		section("Table 8: anomaly-detection comparison")
-		fmt.Print(experiments.FormatTable8(env.Table8()))
-	}
-	if want("ablations") {
-		ran = true
-		section("Ablations")
-		pts := env.AblationSpellThreshold(logging.MapReduce, nil)
-		lw := env.AblationLastWords(logging.Spark)
-		ck := env.AblationCriticalKeys(logging.Spark, 6)
-		dl := env.AblationDeepLogTopG(logging.Spark, nil)
-		fmt.Print(experiments.FormatAblations(pts, lw, ck, dl))
-	}
-	if want("cloudseer") {
-		ran = true
-		section("CloudSeer automaton claim (§8 related work)")
-		fmt.Print(env.CloudSeerExperiment().Format())
-	}
-	if want("tensorflow") {
-		ran = true
-		section("TensorFlow extension (§9 future work)")
-		fmt.Print(env.TensorFlowExtension(*train / 2).Format())
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: unknown -run %q\n", *run)
+	opts := experiments.RunOptions{Run: *run, TrainJobs: *train, Seed: *seed}
+	if err := experiments.Run(os.Stdout, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
-}
-
-func section(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
 }

@@ -20,6 +20,42 @@ import (
 // flags bound memory (idle timeout, session/message caps), checkpoint the
 // detector so a restart resumes mid-stream, and fault-inject the input to
 // exercise robustness end to end.
+// validateStreamFlags rejects flag combinations the rest of cmdStream
+// would otherwise misread silently: out-of-range fault probabilities, a
+// fault seed with no fault enabled, or a checkpoint cadence with nowhere
+// to write checkpoints.
+func validateStreamFlags(fs *flag.FlagSet, truncate, corrupt, dup float64, reorder int, checkpoint string, every int) error {
+	probs := []struct {
+		name string
+		val  float64
+	}{
+		{"-fault-truncate", truncate},
+		{"-fault-corrupt", corrupt},
+		{"-fault-dup", dup},
+	}
+	for _, p := range probs {
+		if p.val < 0 || p.val > 1 {
+			return fmt.Errorf("%s = %v: probability must be in [0, 1]", p.name, p.val)
+		}
+	}
+	if reorder < 0 {
+		return fmt.Errorf("-fault-reorder = %d: window must be >= 0", reorder)
+	}
+	if every < 0 {
+		return fmt.Errorf("-checkpoint-every = %d: must be >= 0 (0 disables periodic writes)", every)
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	anyFault := truncate > 0 || corrupt > 0 || dup > 0 || reorder > 0
+	if set["fault-seed"] && !anyFault {
+		return fmt.Errorf("-fault-seed set but no fault enabled; set at least one of -fault-truncate, -fault-corrupt, -fault-dup, -fault-reorder")
+	}
+	if set["checkpoint-every"] && checkpoint == "" {
+		return fmt.Errorf("-checkpoint-every set without -checkpoint")
+	}
+	return nil
+}
+
 func cmdStream(args []string) error {
 	fs := flag.NewFlagSet("stream", flag.ExitOnError)
 	framework := fs.String("framework", "spark", "spark | mapreduce | tez")
@@ -40,6 +76,10 @@ func cmdStream(args []string) error {
 
 	fw, err := parseFramework(*framework)
 	if err != nil {
+		return err
+	}
+	if err := validateStreamFlags(fs, *faultTruncate, *faultCorrupt, *faultDup,
+		*faultReorder, *checkpoint, *checkpointEvery); err != nil {
 		return err
 	}
 	cfg := detect.StreamConfig{

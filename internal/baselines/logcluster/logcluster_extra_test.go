@@ -1,0 +1,102 @@
+package logcluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSizesAccountForAllSessions(t *testing.T) {
+	seqs := corpus(20)
+	m := Train(seqs, 0.85)
+	if len(m.Sizes) != m.Clusters() {
+		t.Fatalf("len(Sizes) = %d, Clusters = %d", len(m.Sizes), m.Clusters())
+	}
+	total := 0
+	for _, n := range m.Sizes {
+		total += n
+	}
+	if total != len(seqs) {
+		t.Errorf("cluster sizes sum to %d, trained on %d sessions", total, len(seqs))
+	}
+}
+
+func TestMergePassFoldsCentroids(t *testing.T) {
+	// {1,2} and {3,4} are orthogonal, so the greedy pass founds two
+	// centroids; the bridging sequence {1,2,3,4} then drags its centroid
+	// toward the other until the second-pass re-merge folds them. The two
+	// fully disjoint corpus shapes, by contrast, can never merge — cosine 0
+	// clears no positive threshold.
+	seqs := [][]int{{1, 2}, {3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}}
+	m := Train(seqs, 0.3)
+	if m.Clusters() != 1 {
+		t.Fatalf("bridged corpus left %d clusters, want 1", m.Clusters())
+	}
+	if m.Sizes[0] != len(seqs) {
+		t.Errorf("merged cluster size = %d, want %d", m.Sizes[0], len(seqs))
+	}
+	if m2 := Train(corpus(8), 0.3); m2.Clusters() != 2 {
+		t.Errorf("disjoint shapes collapsed to %d clusters, want 2", m2.Clusters())
+	}
+}
+
+func TestUnseenKeyWeight(t *testing.T) {
+	// Keys unseen at training carry the fixed weight 3.0, which exceeds
+	// every trained IDF here and pushes novel sequences out of all
+	// clusters.
+	m := Train(corpus(10), 0.85)
+	v := m.vectorize([]int{999})
+	if w := v[999]; math.Abs(w-3.0) > 1e-9 {
+		t.Errorf("unseen key weight = %f, want 3.0 (tf=1 → 1+log(1)=1)", w)
+	}
+	// A trained key appearing once weighs exactly its IDF.
+	v2 := m.vectorize([]int{1})
+	if w, want := v2[1], m.idf[1]; math.Abs(w-want) > 1e-9 {
+		t.Errorf("trained key weight = %f, want idf %f", w, want)
+	}
+}
+
+func TestSimilarityEdges(t *testing.T) {
+	m := Train(corpus(10), 0.85)
+	// The empty sequence vectorises to the zero vector; cosine guards the
+	// zero norm and Similarity stays 0, so it is anomalous by definition.
+	if s := m.Similarity(nil); s != 0 {
+		t.Errorf("Similarity(nil) = %f, want 0", s)
+	}
+	if !m.Anomalous(nil) {
+		t.Error("empty sequence should be anomalous")
+	}
+	// An exact replay of a pure training shape scores essentially 1.
+	if s := m.Similarity([]int{10, 11, 12, 13, 10, 11}); s < 0.999 {
+		t.Errorf("replay similarity = %f, want ~1", s)
+	}
+}
+
+func TestCosineZeroVectors(t *testing.T) {
+	if c := cosine(map[int]float64{}, map[int]float64{1: 1}); c != 0 {
+		t.Errorf("cosine(zero, v) = %f", c)
+	}
+	if c := cosine(map[int]float64{1: 1}, map[int]float64{}); c != 0 {
+		t.Errorf("cosine(v, zero) = %f", c)
+	}
+	if c := cosine(map[int]float64{1: 2}, map[int]float64{1: 3}); math.Abs(c-1) > 1e-9 {
+		t.Errorf("cosine of parallel vectors = %f, want 1", c)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	// Clustering iterates slices only, never maps, so two trainings on the
+	// same corpus must agree exactly.
+	a, b := Train(corpus(20), 0.85), Train(corpus(20), 0.85)
+	if a.Clusters() != b.Clusters() {
+		t.Fatalf("cluster counts differ: %d vs %d", a.Clusters(), b.Clusters())
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Errorf("cluster %d size %d vs %d", i, a.Sizes[i], b.Sizes[i])
+		}
+	}
+	probe := []int{1, 2, 3, 4, 5, 77}
+	if sa, sb := a.Similarity(probe), b.Similarity(probe); math.Abs(sa-sb) > 1e-12 {
+		t.Errorf("similarity differs across identical trainings: %f vs %f", sa, sb)
+	}
+}

@@ -1,0 +1,119 @@
+package stitch
+
+import (
+	"strings"
+	"testing"
+
+	"intellog/internal/extract"
+)
+
+func TestOneToOneRelation(t *testing.T) {
+	// Application and attempt IDs pair bijectively: 1:1.
+	var msgs []*extract.Message
+	for i := 0; i < 3; i++ {
+		msgs = append(msgs, msg(map[string][]string{
+			"APP":     {"app" + itoa(i)},
+			"ATTEMPT": {"att" + itoa(i)},
+		}))
+	}
+	g := Build(msgs)
+	if r := g.Relation("APP", "ATTEMPT"); r != Rel1to1 {
+		t.Errorf("APP->ATTEMPT = %s, want 1:1", r)
+	}
+	if r := g.Relation("ATTEMPT", "APP"); r != Rel1to1 {
+		t.Errorf("ATTEMPT->APP = %s, want 1:1 (symmetric)", r)
+	}
+}
+
+func TestLocalitiesJoinTypeUniverse(t *testing.T) {
+	// Stitch's Fig. 9 graph roots at locality classes; Build must fold
+	// Localities in alongside Identifiers.
+	msgs := []*extract.Message{
+		{
+			Identifiers: map[string][]string{"EXECUTOR": {"exec1"}},
+			Localities:  map[string][]string{"ADDR": {"host1:3801", "host1:3802"}},
+		},
+		{
+			Identifiers: map[string][]string{"EXECUTOR": {"exec2"}},
+			Localities:  map[string][]string{"ADDR": {"host2:3801"}},
+		},
+	}
+	g := Build(msgs)
+	found := false
+	for _, ty := range g.Types {
+		if ty == "ADDR" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("locality class ADDR missing from type universe: %v", g.Types)
+	}
+	// exec1 maps to two addresses, each address to one executor: 1:n.
+	if r := g.Relation("EXECUTOR", "ADDR"); r != Rel1toN {
+		t.Errorf("EXECUTOR->ADDR = %s, want 1:n", r)
+	}
+}
+
+func TestRelationUnknownTypes(t *testing.T) {
+	g := Build(sparkCorpus())
+	if r := g.Relation("NOPE", "HOST"); r != RelEmpty {
+		t.Errorf("unknown type relation = %s, want empty", r)
+	}
+	if r := g.Relation("NOPE", "ALSO_NOPE"); r != RelEmpty {
+		t.Errorf("two unknown types = %s, want empty", r)
+	}
+}
+
+func TestChildrenMultipleAndSorted(t *testing.T) {
+	// One job fans out to both mappers and reducers: JOB has two child
+	// types, returned sorted.
+	var msgs []*extract.Message
+	for i := 0; i < 2; i++ {
+		msgs = append(msgs, msg(map[string][]string{
+			"JOB": {"job1"}, "MAP": {"m" + itoa(i)},
+		}))
+		msgs = append(msgs, msg(map[string][]string{
+			"JOB": {"job1"}, "REDUCE": {"r" + itoa(i)},
+		}))
+	}
+	// A second job keeps the reverse fanout at 1.
+	msgs = append(msgs, msg(map[string][]string{"JOB": {"job2"}, "MAP": {"m9"}}))
+	msgs = append(msgs, msg(map[string][]string{"JOB": {"job2"}, "REDUCE": {"r9"}}))
+	g := Build(msgs)
+	kids := g.Children("JOB")
+	if len(kids) != 2 || kids[0] != "MAP" || kids[1] != "REDUCE" {
+		t.Errorf("Children(JOB) = %v, want [MAP REDUCE]", kids)
+	}
+	if kids := g.Children("MAP"); len(kids) != 0 {
+		t.Errorf("Children(MAP) = %v, want none", kids)
+	}
+}
+
+func TestRenderIsolatedTypes(t *testing.T) {
+	// A type that never co-occurs with any other (Fig. 9's standalone
+	// {BROADCAST}) lands on the isolated line.
+	msgs := append(sparkCorpus(), msg(map[string][]string{"BROADCAST": {"b1"}}))
+	g := Build(msgs)
+	out := g.Render()
+	if !strings.Contains(out, "isolated: {BROADCAST}") {
+		t.Errorf("Render missing isolated line:\n%s", out)
+	}
+	// Hierarchical pairs print parent-first even when the stored order is
+	// the n:1 direction.
+	if strings.Contains(out, "n:1") {
+		t.Errorf("Render printed an n:1 pair instead of flipping it:\n%s", out)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	// Render walks sorted copies of map-backed state; two calls (and two
+	// independent builds) must agree byte-for-byte.
+	a := Build(sparkCorpus())
+	b := Build(sparkCorpus())
+	if a.Render() != a.Render() {
+		t.Error("Render not stable across calls on one graph")
+	}
+	if a.Render() != b.Render() {
+		t.Error("Render differs across identical builds")
+	}
+}

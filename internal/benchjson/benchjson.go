@@ -1,0 +1,39 @@
+// Package benchjson archives benchmark headline numbers as JSON so the
+// perf trajectory stays machine-readable across commits. Each archive
+// file holds one object per benchmark name; Merge rewrites the file with
+// one benchmark's metrics replaced, preserving the others, so repeated
+// bench runs accumulate into a single snapshot (BENCH_spell.json for the
+// spell/throughput suite, BENCH_detect.json for the conformance
+// detection suite — same schema).
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Merge folds one benchmark's metrics into the archive at path. A
+// malformed existing archive is replaced rather than failing the bench.
+// An empty path is a no-op, so callers can pass an unset env var
+// directly.
+func Merge(path, name string, metrics map[string]float64) error {
+	if path == "" {
+		return nil
+	}
+	all := map[string]map[string]float64{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &all); err != nil {
+			all = map[string]map[string]float64{}
+		}
+	}
+	all[name] = metrics
+	raw, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal bench json: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMergeAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Merge(path, "BenchmarkA", map[string]float64{"logs_per_sec": 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(path, "BenchmarkB", map[string]float64{"logs_per_sec": 200}); err != nil {
+		t.Fatal(err)
+	}
+	// A re-run replaces its own entry, keeps the other.
+	if err := Merge(path, "BenchmarkA", map[string]float64{"logs_per_sec": 150}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all map[string]map[string]float64
+	if err := json.Unmarshal(raw, &all); err != nil {
+		t.Fatalf("archive not valid JSON: %v", err)
+	}
+	if all["BenchmarkA"]["logs_per_sec"] != 150 || all["BenchmarkB"]["logs_per_sec"] != 200 {
+		t.Fatalf("archive = %v", all)
+	}
+}
+
+func TestMergeEmptyPathNoop(t *testing.T) {
+	if err := Merge("", "BenchmarkA", map[string]float64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeReplacesMalformedArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(path, "BenchmarkA", map[string]float64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	var all map[string]map[string]float64
+	if err := json.Unmarshal(raw, &all); err != nil {
+		t.Fatalf("archive not repaired: %v", err)
+	}
+	if all["BenchmarkA"]["x"] != 1 {
+		t.Fatalf("archive = %v", all)
+	}
+}

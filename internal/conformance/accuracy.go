@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"fmt"
+
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+)
+
+// Accuracy gates: detection scored at session granularity against the
+// simulator's fault annotations (Table 4/8 shape), with per-framework
+// floors enforced as test failures instead of printed tables. The floors
+// are set well below the currently measured scores (see
+// conformance_test.go for the measured values) so simulator noise across
+// seeds passes, but a real detection regression — a lost check, a parser
+// change that stops keys matching, a broken session ordering — lands far
+// below them.
+
+// Score is a session-granularity detection score. A session counts as a
+// true positive when the detector flags it and the simulator marked it
+// fault-affected.
+type Score struct {
+	Sessions  int
+	TP        int
+	FP        int
+	FN        int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// String renders the score compactly for test output.
+func (s Score) String() string {
+	return fmt.Sprintf("sessions=%d tp=%d fp=%d fn=%d P=%.3f R=%.3f F1=%.3f",
+		s.Sessions, s.TP, s.FP, s.FN, s.Precision, s.Recall, s.F1)
+}
+
+// ScoreReport scores one detection report against ground truth over the
+// given sessions.
+func ScoreReport(rep *detect.Report, sessions []*logging.Session, truth map[string]bool) Score {
+	flagged := map[string]bool{}
+	for _, id := range rep.ProblematicSessions() {
+		flagged[id] = true
+	}
+	s := Score{Sessions: len(sessions)}
+	for _, sess := range sessions {
+		problem := truth[sess.ID]
+		switch {
+		case flagged[sess.ID] && problem:
+			s.TP++
+		case flagged[sess.ID] && !problem:
+			s.FP++
+		case !flagged[sess.ID] && problem:
+			s.FN++
+		}
+	}
+	if s.TP+s.FP > 0 {
+		s.Precision = float64(s.TP) / float64(s.TP+s.FP)
+	}
+	if s.TP+s.FN > 0 {
+		s.Recall = float64(s.TP) / float64(s.TP+s.FN)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// Gate is one framework's accuracy floor.
+type Gate struct {
+	Framework    logging.Framework
+	MinPrecision float64
+	MinRecall    float64
+	MinF1        float64
+}
+
+// Check returns a loud error when the score is below any floor.
+func (g Gate) Check(s Score) error {
+	if s.TP+s.FN == 0 {
+		return fmt.Errorf("%s: no fault-affected sessions in corpus — gate cannot score", g.Framework)
+	}
+	var fails []string
+	if s.Precision < g.MinPrecision {
+		fails = append(fails, fmt.Sprintf("precision %.3f < floor %.3f", s.Precision, g.MinPrecision))
+	}
+	if s.Recall < g.MinRecall {
+		fails = append(fails, fmt.Sprintf("recall %.3f < floor %.3f", s.Recall, g.MinRecall))
+	}
+	if s.F1 < g.MinF1 {
+		fails = append(fails, fmt.Sprintf("F1 %.3f < floor %.3f", s.F1, g.MinF1))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("accuracy gate FAILED for %s (%s): %v — detection regressed vs the simulator ground truth",
+			g.Framework, s, fails)
+	}
+	return nil
+}
+
+// DefaultGates are the per-framework floors over the GatedSpecs corpora.
+// Measured scores at the pinned seeds (documented so floor updates stay
+// honest):
+//
+//	spark      P=1.000 R=1.000 F1=1.000
+//	mapreduce  P=1.000 R=1.000 F1=1.000
+//	tez        P=0.960 R=1.000 F1=0.980
+//
+// Floors sit ≥ 10 points under the measured precision and exactly tight
+// enough on recall that disabling the structural checks (critical keys,
+// hierarchy, missing groups) lands below them — see
+// TestGatesCatchCrippledDetector, which measured R=0.857 for that
+// mutation.
+var DefaultGates = map[logging.Framework]Gate{
+	logging.Spark:     {Framework: logging.Spark, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.MapReduce: {Framework: logging.MapReduce, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.Tez:       {Framework: logging.Tez, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+}

@@ -1,0 +1,74 @@
+package conformance
+
+import (
+	"os"
+	"testing"
+
+	"intellog/internal/benchjson"
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+)
+
+// Detection throughput over a real conformance corpus, archived with the
+// same schema as the spell/throughput suite: setting
+// INTELLOG_BENCH_DETECT_JSON=BENCH_detect.json merges each bench's
+// headline numbers into that file, keeping the detection perf trajectory
+// machine-readable alongside BENCH_spell.json.
+
+func writeDetectBenchJSON(b *testing.B, name string, metrics map[string]float64) {
+	if err := benchjson.Merge(os.Getenv("INTELLOG_BENCH_DETECT_JSON"), name, metrics); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchCorpus is the largest clean-ish corpus of the matrix, generated
+// once per bench process.
+var benchCorpus *Corpus
+
+func benchSetup(b *testing.B) (*Corpus, *detect.Detector) {
+	if benchCorpus == nil {
+		benchCorpus = DefaultMatrix()[4].Generate() // spark-large-mixed
+	}
+	return benchCorpus, ModelFor(logging.Spark).Detector()
+}
+
+// BenchmarkConformanceBatchDetect measures batch detection throughput
+// over the corpus's session view.
+func BenchmarkConformanceBatchDetect(b *testing.B) {
+	c, d := benchSetup(b)
+	sessions := c.Sessions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := d.Detect(sessions); rep.Sessions != len(sessions) {
+			b.Fatalf("report covers %d sessions, want %d", rep.Sessions, len(sessions))
+		}
+	}
+	logsPerSec := float64(len(c.Records)*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(logsPerSec, "logs/sec")
+	writeDetectBenchJSON(b, "BenchmarkConformanceBatchDetect", map[string]float64{
+		"logs_per_sec": logsPerSec,
+		"logs_per_op":  float64(len(c.Records)),
+	})
+}
+
+// BenchmarkConformanceStreamDetect measures the sharded streaming path
+// over the same record stream, consumed one record at a time.
+func BenchmarkConformanceStreamDetect(b *testing.B) {
+	c, d := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd := detect.NewStream(d, detect.StreamConfig{Shards: 16})
+		for _, r := range c.Records {
+			sd.Consume(r)
+		}
+		sd.Flush()
+	}
+	logsPerSec := float64(len(c.Records)*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(logsPerSec, "logs/sec")
+	writeDetectBenchJSON(b, "BenchmarkConformanceStreamDetect", map[string]float64{
+		"logs_per_sec": logsPerSec,
+		"logs_per_op":  float64(len(c.Records)),
+	})
+}

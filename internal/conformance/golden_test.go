@@ -1,0 +1,84 @@
+package conformance
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intellog/internal/experiments"
+)
+
+// update rewrites the golden files instead of diffing against them:
+//
+//	go test ./internal/conformance -run TestExperimentsGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenOpts pins the evaluation the golden file captures: small enough
+// to regenerate in a few seconds, large enough that every table and
+// figure renders real content. Changing these invalidates the golden —
+// regenerate with -update and review the diff.
+var goldenOpts = experiments.RunOptions{Run: "all", TrainJobs: 6, Seed: 7}
+
+// TestExperimentsGolden regenerates the full cmd/experiments output
+// (every table and figure of §6) and diffs it byte-for-byte against the
+// checked-in golden. Any change to parsing, extraction, graph modeling,
+// detection or table formatting shows up here as a reviewable diff
+// instead of silent drift.
+func TestExperimentsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerating the evaluation takes a few seconds; skipped with -short")
+	}
+	var buf bytes.Buffer
+	if err := experiments.Run(&buf, goldenOpts); err != nil {
+		t.Fatalf("experiments.Run: %v", err)
+	}
+	golden := filepath.Join("testdata", "experiments_train6_seed7.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	// Show the first divergent line with context; the full regenerated
+	// output is written next to the golden for offline diffing.
+	got := buf.Bytes()
+	rej := golden + ".rej"
+	if err := os.WriteFile(rej, got, 0o644); err != nil {
+		t.Logf("could not write %s: %v", rej, err)
+	}
+	gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			t.Fatalf("experiments output diverged from golden at line %d:\n  golden: %s\n  got:    %s\n(full output in %s; refresh with -update if intended)",
+				i+1, wl[i], gl[i], rej)
+		}
+	}
+	t.Fatalf("experiments output diverged from golden: %d lines vs %d (full output in %s; refresh with -update if intended)",
+		len(gl), len(wl), rej)
+}
+
+// TestExperimentsRunUnknownName covers Run's error path (the CLI exits 2
+// on it).
+func TestExperimentsRunUnknownName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.Run(&buf, experiments.RunOptions{Run: "nope"}); err == nil {
+		t.Fatal("unknown run name accepted")
+	}
+}

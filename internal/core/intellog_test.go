@@ -34,7 +34,9 @@ func miniSession(id string, firstTask int) *logging.Session {
 	return s
 }
 
-func trainMini(t *testing.T) *Model {
+// trainMini trains a tiny model. testing.TB so the fuzz targets can call
+// it once per process from a *testing.F.
+func trainMini(t testing.TB) *Model {
 	t.Helper()
 	var sessions []*logging.Session
 	for i := 0; i < 4; i++ {

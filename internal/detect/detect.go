@@ -297,9 +297,18 @@ func (d *Detector) unexpected(s *logging.Session, rec *logging.Record, tokens []
 }
 
 // findGroupOf returns the trained group containing an entity phrase.
+// Groups are probed in sorted name order: an entity listed under several
+// groups must resolve to the same one on every run — iterating the node
+// map directly made the attribution (and therefore the detection report)
+// nondeterministic, which the conformance oracle flags.
 func (d *Detector) findGroupOf(entity string) string {
-	for name, node := range d.Graph.Nodes {
-		for _, e := range node.Entities {
+	names := make([]string, 0, len(d.Graph.Nodes))
+	for name := range d.Graph.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, e := range d.Graph.Nodes[name].Entities {
 			if e == entity {
 				return name
 			}

@@ -13,8 +13,9 @@ import (
 )
 
 // fixture builds a tiny trained world by hand: two keys in one group with
-// a strict order, plus an ignored non-NL key.
-func fixture(t *testing.T) *Detector {
+// a strict order, plus an ignored non-NL key. testing.TB so the fuzz
+// targets can build it once per process from a *testing.F.
+func fixture(t testing.TB) *Detector {
 	t.Helper()
 	parser := spell.NewParser(0)
 	sessions := [][]string{

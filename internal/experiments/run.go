@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"intellog/internal/logging"
+)
+
+// RunOptions selects what Run regenerates.
+type RunOptions struct {
+	// Run selects one experiment by name, or "all" (and "") for the full
+	// evaluation.
+	Run string
+	// TrainJobs is the number of training jobs per system (≤ 0 defaults to
+	// 10, see NewEnv).
+	TrainJobs int
+	// Seed is the simulation seed.
+	Seed int64
+}
+
+// RunNames lists the accepted RunOptions.Run values (minus "all").
+var RunNames = []string{
+	"table1", "figure1", "figure3", "figure4", "table4", "table5",
+	"figure8", "figure9", "table6", "table7", "table8", "ablations",
+	"cloudseer", "tensorflow",
+}
+
+// Run regenerates the selected tables and figures of the paper's
+// evaluation (§6) and writes them in the paper's layout. It is the body
+// of cmd/experiments, exported so the conformance golden test regenerates
+// the exact bytes the CLI prints. The output is deterministic for a fixed
+// RunOptions: the simulation, workload draws and model training are all
+// seeded, and every printed table renders from sorted state.
+func Run(w io.Writer, opts RunOptions) error {
+	if opts.Run == "" {
+		opts.Run = "all"
+	}
+
+	env := NewEnv(opts.Seed, opts.TrainJobs)
+	want := func(name string) bool { return opts.Run == "all" || opts.Run == name }
+	section := func(title string) { fmt.Fprintf(w, "\n=== %s ===\n", title) }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		section("Table 1: natural-language log fractions")
+		fmt.Fprint(w, FormatTable1(env.Table1(3)))
+	}
+	if want("figure1") {
+		ran = true
+		section("Figure 1: fetcher subroutine log keys")
+		fmt.Fprint(w, Figure1())
+	}
+	if want("figure3") {
+		ran = true
+		section("Figure 3: POS tagging via sample message")
+		fmt.Fprint(w, Figure3())
+	}
+	if want("figure4") {
+		ran = true
+		section("Figure 4: log key -> Intel Key")
+		fmt.Fprint(w, FormatFigure4(Figure4()))
+	}
+	if want("table4") {
+		ran = true
+		section("Table 4: information-extraction accuracy (vs simulator ground truth)")
+		var rows []ExtractionRow
+		for _, fw := range Systems {
+			rows = append(rows, env.Table4(fw))
+		}
+		fmt.Fprint(w, FormatTable4(rows))
+	}
+	if want("table5") {
+		ran = true
+		section("Table 5: log and HW-graph statistics")
+		var rows []GraphStatsRow
+		for _, fw := range Systems {
+			rows = append(rows, env.Table5(fw))
+		}
+		fmt.Fprint(w, FormatTable5(rows))
+	}
+	if want("figure8") {
+		ran = true
+		section("Figure 8(a): Spark HW-graph (critical groups starred)")
+		fmt.Fprint(w, env.Figure8())
+		section("Figure 8(b): subroutines of the critical groups (operations; * = critical key)")
+		fmt.Fprint(w, env.Figure8b())
+	}
+	if want("figure9") {
+		ran = true
+		section("Figure 9: Stitch S3 graph of Spark")
+		fmt.Fprint(w, env.Figure9())
+	}
+	if want("table6") {
+		ran = true
+		section("Table 6: anomaly detection (30 jobs per system, 15 injected)")
+		var rows []DetectionRow
+		for _, fw := range Systems {
+			row, _ := env.Table6(fw)
+			rows = append(rows, row)
+		}
+		fmt.Fprint(w, FormatTable6(rows))
+	}
+	if want("table7") {
+		ran = true
+		section("Table 7: case studies")
+		fmt.Fprint(w, env.CaseStudy1().Format())
+		s, z := env.CaseStudy2()
+		fmt.Fprint(w, s.Format())
+		fmt.Fprint(w, z.Format())
+		fmt.Fprint(w, env.CaseStudy3().Format())
+	}
+	if want("table8") {
+		ran = true
+		section("Table 8: anomaly-detection comparison")
+		fmt.Fprint(w, FormatTable8(env.Table8()))
+	}
+	if want("ablations") {
+		ran = true
+		section("Ablations")
+		pts := env.AblationSpellThreshold(logging.MapReduce, nil)
+		lw := env.AblationLastWords(logging.Spark)
+		ck := env.AblationCriticalKeys(logging.Spark, 6)
+		dl := env.AblationDeepLogTopG(logging.Spark, nil)
+		fmt.Fprint(w, FormatAblations(pts, lw, ck, dl))
+	}
+	if want("cloudseer") {
+		ran = true
+		section("CloudSeer automaton claim (§8 related work)")
+		fmt.Fprint(w, env.CloudSeerExperiment().Format())
+	}
+	if want("tensorflow") {
+		ran = true
+		section("TensorFlow extension (§9 future work)")
+		fmt.Fprint(w, env.TensorFlowExtension(opts.TrainJobs/2).Format())
+	}
+	if !ran {
+		return fmt.Errorf("unknown -run %q", opts.Run)
+	}
+	return nil
+}

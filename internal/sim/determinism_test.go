@@ -1,0 +1,149 @@
+package sim
+
+// Determinism is a contract of the simulator, not an accident: the
+// conformance harness (internal/conformance) and the experiments golden
+// test regenerate corpora from (seed, config) and compare byte-for-byte,
+// so any hidden source of nondeterminism — map iteration, wall-clock
+// reads, unseeded RNGs — breaks them. These tests pin the contract at
+// the sim layer directly: same seed + same submission sequence must
+// yield a byte-identical rendered log stream, identical daemon-side YARN
+// records, and an identical ground-truth Affected set, for every
+// framework × fault combination.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"intellog/internal/logging"
+)
+
+// renderResult flattens a job result into one canonical string: every
+// session's records rendered through the framework formatter, the YARN
+// daemon records, and the sorted ground-truth set.
+func renderResult(res *JobResult) string {
+	var b strings.Builder
+	for _, s := range res.Sessions {
+		fmt.Fprintf(&b, "== session %s (%s, %d records)\n", s.ID, s.Framework, s.Len())
+		f := logging.FormatterFor(s.Framework)
+		for _, r := range s.Records {
+			b.WriteString(f.Render(r))
+			b.WriteByte('\n')
+		}
+	}
+	yf := logging.FormatterFor(logging.Yarn)
+	fmt.Fprintf(&b, "== yarn (%d records)\n", len(res.YarnRecords))
+	for _, r := range res.YarnRecords {
+		b.WriteString(yf.Render(r))
+		b.WriteByte('\n')
+	}
+	affected := make([]string, 0, len(res.Affected))
+	for id := range res.Affected {
+		affected = append(affected, id)
+	}
+	sort.Strings(affected)
+	fmt.Fprintf(&b, "== affected %v\n", affected)
+	return b.String()
+}
+
+// runOnce builds a fresh cluster from the seed and submits one job, so
+// two calls share no state at all.
+func runOnce(seed int64, spec JobSpec, fault FaultKind) *JobResult {
+	return NewCluster(8, seed).RunJob(spec, fault)
+}
+
+func TestJobStreamDeterminism(t *testing.T) {
+	frameworks := []logging.Framework{logging.Spark, logging.MapReduce, logging.Tez, logging.TensorFlow}
+	faults := []FaultKind{FaultNone, FaultKill, FaultNetwork, FaultNode, FaultSpill, FaultIdleContainers, FaultSlowShutdown}
+	for _, fw := range frameworks {
+		for _, fault := range faults {
+			fw, fault := fw, fault
+			t.Run(fmt.Sprintf("%s/%s", fw, fault), func(t *testing.T) {
+				t.Parallel()
+				spec := JobSpec{
+					Framework: fw, Name: "determinism-probe",
+					InputMB: 1024, Containers: 4, CoresPerContainer: 2, MemoryMB: 2048,
+				}
+				const seed = 424242
+				a := renderResult(runOnce(seed, spec, fault))
+				b := renderResult(runOnce(seed, spec, fault))
+				if a != b {
+					t.Fatalf("same seed produced different streams; first divergence:\n%s", firstLineDiff(a, b))
+				}
+				if a == "" {
+					t.Fatal("rendered stream is empty")
+				}
+			})
+		}
+	}
+}
+
+// TestJobStreamSeedSensitivity guards against the opposite failure: a
+// simulator that ignores its seed would pass the determinism test
+// trivially.
+func TestJobStreamSeedSensitivity(t *testing.T) {
+	spec := JobSpec{
+		Framework: logging.Spark, Name: "determinism-probe",
+		InputMB: 1024, Containers: 4, CoresPerContainer: 2, MemoryMB: 2048,
+	}
+	a := renderResult(runOnce(1, spec, FaultKill))
+	b := renderResult(runOnce(2, spec, FaultKill))
+	if a == b {
+		t.Fatal("different seeds produced byte-identical streams; simulator is ignoring its seed")
+	}
+}
+
+func TestFaultInjectorDeterminism(t *testing.T) {
+	mk := func() *FaultInjector {
+		f := NewFaultInjector(777)
+		f.TruncateProb, f.CorruptProb, f.DuplicateProb = 0.2, 0.2, 0.2
+		f.ReorderWindow, f.CutProb = 5, 0.5
+		return f
+	}
+	res := NewCluster(6, 31).RunJob(JobSpec{
+		Framework: logging.MapReduce, Name: "inj-probe",
+		InputMB: 512, Containers: 4, CoresPerContainer: 2, MemoryMB: 2048,
+	}, FaultNone)
+	var recs []logging.Record
+	for _, s := range res.Sessions {
+		recs = append(recs, s.Records...)
+	}
+	var lines []string
+	f := logging.FormatterFor(logging.MapReduce)
+	for _, r := range recs {
+		lines = append(lines, f.Render(r))
+	}
+
+	p1 := mk().Perturb(append([]logging.Record(nil), recs...))
+	p2 := mk().Perturb(append([]logging.Record(nil), recs...))
+	if len(p1) != len(p2) {
+		t.Fatalf("Perturb lengths diverge: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].Message != p2[i].Message || !p1[i].Time.Equal(p2[i].Time) || p1[i].SessionID != p2[i].SessionID {
+			t.Fatalf("Perturb record %d diverged:\n%+v\n%+v", i, p1[i], p2[i])
+		}
+	}
+
+	l1 := mk().PerturbLines(append([]string(nil), lines...))
+	l2 := mk().PerturbLines(append([]string(nil), lines...))
+	if strings.Join(l1, "\n") != strings.Join(l2, "\n") {
+		t.Fatalf("PerturbLines diverged; first divergence:\n%s",
+			firstLineDiff(strings.Join(l1, "\n"), strings.Join(l2, "\n")))
+	}
+}
+
+func firstLineDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

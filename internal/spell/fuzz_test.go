@@ -1,0 +1,71 @@
+package spell_test
+
+// Native fuzz target for the Spell matcher: whatever line stream the
+// fuzzer invents, the indexed matcher must stay byte-equivalent to the
+// seed linear-scan reference — same per-message key assignment, same key
+// set, and agreeing lookups afterwards. This is the equivalence suite's
+// contract (equivalence_test.go) driven by generated input instead of
+// curated corpora. Run continuously with:
+//
+//	go test -run '^$' -fuzz FuzzSpellConsume ./internal/spell/
+
+import (
+	"strings"
+	"testing"
+
+	"intellog/internal/nlp"
+	"intellog/internal/spell"
+)
+
+func FuzzSpellConsume(f *testing.F) {
+	f.Add([]byte("Registering worker node_01\nRegistered worker node_01\nbufstart=11 bufend=22"))
+	f.Add([]byte("Starting task 1 in stage 4\nStarting task 2 in stage 4\nFinished task 1 in stage 4"))
+	f.Add([]byte("lost block mgr_1\nlost block mgr_2\nlost worker mgr_2\n* * *\nlost"))
+	f.Add([]byte("a\nab\nabc d\nabc e f\nabc e g"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lines := strings.Split(string(data), "\n")
+		if len(lines) > 200 {
+			lines = lines[:200]
+		}
+		indexed := spell.NewParser(0)
+		naive := spell.NewNaiveParser(0)
+		var trained [][]string
+		for _, line := range lines {
+			tokens := nlp.Texts(nlp.Tokenize(line))
+			if len(tokens) == 0 {
+				continue
+			}
+			if len(tokens) > 48 {
+				tokens = tokens[:48]
+			}
+			ki := indexed.Consume(append([]string(nil), tokens...))
+			kn := naive.Consume(append([]string(nil), tokens...))
+			switch {
+			case ki == nil && kn == nil:
+			case ki == nil || kn == nil:
+				t.Fatalf("consume %q: indexed=%v naive=%v", tokens, ki, kn)
+			case ki.ID != kn.ID:
+				t.Fatalf("consume %q: key ID %d (%q) vs %d (%q)", tokens, ki.ID, ki, kn.ID, kn)
+			}
+			trained = append(trained, tokens)
+		}
+
+		ik, nk := indexed.Keys(), naive.Keys()
+		if len(ik) != len(nk) {
+			t.Fatalf("key counts diverge: indexed=%d naive=%d", len(ik), len(nk))
+		}
+		for i := range ik {
+			if ik[i].ID != nk[i].ID || ik[i].String() != nk[i].String() || ik[i].Count != nk[i].Count {
+				t.Fatalf("key %d diverged: indexed %d %q (count %d) vs naive %d %q (count %d)",
+					i, ik[i].ID, ik[i], ik[i].Count, nk[i].ID, nk[i], nk[i].Count)
+			}
+		}
+
+		for _, tokens := range trained {
+			li, ln := indexed.Lookup(tokens), naive.Lookup(tokens)
+			if (li == nil) != (ln == nil) || (li != nil && li.ID != ln.ID) {
+				t.Fatalf("lookup %q: indexed=%v naive=%v", tokens, li, ln)
+			}
+		}
+	})
+}

@@ -5,9 +5,14 @@
 #
 #   scripts/check.sh            # full gate
 #   BENCH=0 scripts/check.sh    # skip the benchmark pass
+#   FUZZ=1 scripts/check.sh     # also run the native fuzz targets
+#   FUZZTIME=60s FUZZ=1 ...     # with a larger per-target budget
 #
 # Setting INTELLOG_BENCH_JSON=BENCH_spell.json before the bench pass
-# archives each benchmark's headline numbers (see bench_throughput_test.go).
+# archives the Spell benchmarks' headline numbers, and
+# INTELLOG_BENCH_DETECT_JSON=BENCH_detect.json the conformance detection
+# benchmarks' (see bench_throughput_test.go and
+# internal/conformance/bench_test.go).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +38,16 @@ if [ "${BENCH:-1}" = "1" ]; then
 	echo "==> throughput benchmarks (short)"
 	go test -run '^$' -bench 'Throughput|^BenchmarkTraining$' -benchmem -benchtime 2x .
 	go test -run '^$' -bench 'ConsumeColdStart|LookupSteadyState|LookupCache' -benchmem -benchtime 100x ./internal/spell/
+	go test -run '^$' -bench 'ConformanceBatchDetect|ConformanceStreamDetect' -benchmem -benchtime 1x ./internal/conformance/
+fi
+
+if [ "${FUZZ:-0}" = "1" ]; then
+	ft="${FUZZTIME:-20s}"
+	echo "==> native fuzz targets (${ft} each)"
+	go test -run '^$' -fuzz '^FuzzSpellConsume$' -fuzztime "$ft" ./internal/spell/
+	go test -run '^$' -fuzz '^FuzzExtract$' -fuzztime "$ft" ./internal/extract/
+	go test -run '^$' -fuzz '^FuzzStreamConsume$' -fuzztime "$ft" ./internal/detect/
+	go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime "$ft" ./internal/core/
 fi
 
 echo "==> OK"
