@@ -41,6 +41,8 @@ func main() {
 		err = cmdDetect(args)
 	case "stream":
 		err = cmdStream(args)
+	case "bench-serve":
+		err = cmdBenchServe(args)
 	case "graph":
 		err = cmdGraph(args)
 	case "keys":
@@ -57,12 +59,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: intellog <train|detect|stream|graph|query> [flags]
+	fmt.Fprintln(os.Stderr, `usage: intellog <train|detect|stream|bench-serve|graph|query> [flags]
   train  -framework F -logs DIR -model FILE [-threshold 1.7]
   detect -framework F -logs DIR -model FILE
   stream -framework F -model FILE [-input FILE] [-idle D] [-max-sessions N] [-max-msgs N]
          [-checkpoint FILE [-checkpoint-every N]] [-fault-seed S -fault-truncate P
           -fault-corrupt P -fault-dup P -fault-reorder K] [-summary-only]
+  bench-serve -server URL -tenant T -framework F (-logs DIR | -aggregated FILE)
+         [-batch N] [-concurrency N] [-wait D] [-no-flush] [-bench-json FILE] [-check-metrics]
   graph  -model FILE
   keys   -model FILE [-entity E]
   query  -framework F -logs DIR -model FILE [-entity E] [-groupby TYPE] [-locality CLASS] [-json]`)

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"intellog/internal/benchjson"
+	"intellog/internal/logging"
+	"intellog/internal/server"
+)
+
+// cmdBenchServe replays a log corpus against a running intellogd over
+// HTTP and reports throughput and latency percentiles — the serving
+// analogue of the offline bench harness, and the load generator of the
+// CI serve-smoke job.
+func cmdBenchServe(args []string) error {
+	fs := flag.NewFlagSet("bench-serve", flag.ExitOnError)
+	var (
+		serverURL   = fs.String("server", "http://127.0.0.1:7171", "intellogd base URL")
+		tenant      = fs.String("tenant", "default", "tenant to ingest as")
+		framework   = fs.String("framework", "spark", "spark | mapreduce | tez")
+		logs        = fs.String("logs", "", "directory of per-session .log files to replay")
+		aggregated  = fs.String("aggregated", "", "single aggregated log file to replay (alternative to -logs)")
+		batch       = fs.Int("batch", 256, "records per ingest request")
+		concurrency = fs.Int("concurrency", 4, "parallel sender workers (sessions sharded across them)")
+		wait        = fs.Duration("wait", 0, "wait up to this long for the server to become ready")
+		noFlush     = fs.Bool("no-flush", false, "skip the final flush (leave sessions in flight)")
+		benchJSON   = fs.String("bench-json", "", "merge results into this benchjson archive")
+		checkMetric = fs.Bool("check-metrics", false, "scrape /metrics afterwards and fail if serving series are missing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*logs == "") == (*aggregated == "") {
+		return fmt.Errorf("bench-serve: exactly one of -logs or -aggregated is required")
+	}
+
+	fw := logging.Framework(*framework)
+	sessions, err := loadInput(fw, *logs, *aggregated)
+	if err != nil {
+		return err
+	}
+	// Interleave sessions by timestamp — the shape of a live aggregated
+	// stream, and what the ingest path is built for.
+	var recs []logging.Record
+	for _, s := range sessions {
+		recs = append(recs, s.Records...)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+
+	c := &server.Client{Base: strings.TrimRight(*serverURL, "/"), Tenant: *tenant}
+	if *wait > 0 {
+		if err := c.WaitReady(*wait); err != nil {
+			return err
+		}
+	}
+
+	res, err := c.Replay(recs, server.ReplayOptions{Batch: *batch, Concurrency: *concurrency})
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	fmt.Printf("bench-serve: tenant=%s records=%d batches=%d rejected=%d\n",
+		*tenant, res.Records, res.Batches, res.Rejected)
+	fmt.Printf("bench-serve: wall=%s throughput=%.0f rec/s p50=%s p99=%s\n",
+		res.Duration.Round(time.Millisecond), res.RecPerSec, res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+
+	if !*noFlush {
+		fl, err := c.Flush()
+		if err != nil {
+			return fmt.Errorf("flush: %w", err)
+		}
+		rep, err := c.Report()
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		fmt.Printf("bench-serve: sessions=%d anomalies=%d (flush emitted %d)\n",
+			rep.Sessions, len(rep.Anomalies), fl.Findings)
+	}
+
+	if *checkMetric {
+		text, err := c.Metrics()
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		for _, series := range []string{
+			"intellogd_ingest_records_total",
+			"intellogd_pending_sessions",
+			"intellogd_anomaly_log_size",
+			"intellogd_resident_tenants",
+		} {
+			if !strings.Contains(text, series) {
+				return fmt.Errorf("metrics: scrape is missing series %s", series)
+			}
+		}
+		fmt.Println("bench-serve: metrics scrape ok")
+	}
+
+	if *benchJSON != "" {
+		if err := benchjson.Merge(*benchJSON, "serve_replay_"+*framework, map[string]float64{
+			"records":       float64(res.Records),
+			"batches":       float64(res.Batches),
+			"rejected":      float64(res.Rejected),
+			"wall_seconds":  res.Duration.Seconds(),
+			"records_per_s": res.RecPerSec,
+			"p50_ms":        float64(res.P50) / float64(time.Millisecond),
+			"p99_ms":        float64(res.P99) / float64(time.Millisecond),
+			"concurrency":   float64(*concurrency),
+			"batch_records": float64(*batch),
+		}); err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		fmt.Printf("bench-serve: archived to %s\n", *benchJSON)
+	}
+	return nil
+}

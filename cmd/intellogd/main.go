@@ -1,0 +1,103 @@
+// Command intellogd is the IntelLog serving daemon: a multi-tenant HTTP
+// service that ingests NDJSON log-record batches into per-tenant
+// streaming detectors and serves anomaly, report and HW-graph queries.
+//
+// Usage:
+//
+//	intellogd -addr :7171 -models ./models -state ./state
+//
+// Each tenant is a trained model file <models>/<tenant>.json (as written
+// by `intellog train`). Checkpoints land in <state>/<tenant>.ckpt; on
+// restart the daemon resumes every checkpointed tenant mid-stream.
+// SIGTERM/SIGINT triggers a graceful drain: the listener stops, queued
+// ingest is consumed, final checkpoints are written, and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+	"intellog/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7171", "listen address")
+		models     = flag.String("models", "models", "directory of trained models (<tenant>.json)")
+		state      = flag.String("state", "", "checkpoint directory (<tenant>.ckpt); empty disables checkpointing")
+		maxTenants = flag.Int("max-tenants", 32, "resident tenant cap (LRU eviction past it; <0 unbounded)")
+		queue      = flag.Int("queue", 8192, "per-tenant ingest queue budget in records (429 past it)")
+		anomalyLog = flag.Int("anomaly-log", 65536, "per-tenant retained anomaly window (<0 unbounded)")
+		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint cadence (0 disables)")
+		idle       = flag.Duration("idle", 5*time.Minute, "session idle timeout before auto-close (0 disables)")
+		maxSess    = flag.Int("max-sessions", 0, "in-flight session cap per tenant (0 unbounded)")
+		maxMsgs    = flag.Int("max-msgs", 0, "per-session buffered message cap (0 unbounded)")
+		shards     = flag.Int("shards", 0, "stream detector shards per tenant (0 = default)")
+		framework  = flag.String("framework", "spark", "default framework for records that carry none: spark | mapreduce | tez")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "in-flight HTTP request drain budget on shutdown")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		ModelDir:        *models,
+		StateDir:        *state,
+		MaxTenants:      *maxTenants,
+		QueueRecords:    *queue,
+		AnomalyLog:      *anomalyLog,
+		CheckpointEvery: *ckptEvery,
+		Stream: detect.StreamConfig{
+			IdleTimeout:    *idle,
+			MaxSessions:    *maxSess,
+			MaxSessionMsgs: *maxMsgs,
+			Shards:         *shards,
+		},
+		DefaultFramework: logging.Framework(*framework),
+	})
+	if err != nil {
+		log.Fatalf("intellogd: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("intellogd: serving on %s (models=%s state=%s)", *addr, *models, orNone(*state))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("intellogd: %v, draining", s)
+	case err := <-errCh:
+		log.Fatalf("intellogd: listener: %v", err)
+	}
+
+	// Stop the listener first so no new ingest races the drain, then let
+	// the serving layer consume what it already accepted and write final
+	// checkpoints.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("intellogd: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("intellogd: drain: %v", err)
+	}
+	log.Printf("intellogd: drained, exiting")
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -58,6 +58,15 @@ func (k Kind) String() string {
 
 // Anomaly is one finding in one session.
 type Anomaly struct {
+	// Seq is a monotonically increasing sequence number stamped by the
+	// streaming detector on every anomaly it emits (Consume, CloseSession
+	// and Flush alike); batch detection leaves it zero. It gives callers a
+	// stable ordering handle across calls — the cursor of the serving
+	// layer's /v1/anomalies endpoint — and survives checkpoint/restore
+	// (see StreamState.NextAnomalySeq). Excluded from JSON so the
+	// conformance oracle's canonical report form stays byte-identical
+	// across execution paths.
+	Seq       uint64 `json:"-"`
 	Session   string
 	Kind      Kind
 	Group     string

@@ -65,6 +65,7 @@ type StreamDetector struct {
 	inFlight atomic.Int64  // sessions currently buffered
 	seen     atomic.Uint64 // sessions ever opened (Report.Sessions)
 	startSeq atomic.Uint64 // session arrival order, survives checkpoints
+	anomSeq  atomic.Uint64 // anomaly emission order (Anomaly.Seq), survives checkpoints
 }
 
 // streamShard owns one slice of the session space. All fields are guarded
@@ -206,6 +207,41 @@ func (s *StreamDetector) trackExpiry() bool {
 // Pending returns the number of in-flight sessions.
 func (s *StreamDetector) Pending() int { return int(s.inFlight.Load()) }
 
+// ExpiryDepth returns the total number of scheduled expiry-heap entries
+// across shards — an observability hook (the serving layer exports it as
+// a gauge). Lazily invalidated entries are counted until they surface, so
+// the depth can exceed Pending; a steadily growing gap signals a stream
+// whose sessions are touched far more often than they expire.
+func (s *StreamDetector) ExpiryDepth() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.heap)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// AnomalySeq returns the sequence number of the last anomaly stamped
+// (zero before any finding). The next emitted anomaly gets AnomalySeq+1.
+func (s *StreamDetector) AnomalySeq() uint64 { return s.anomSeq.Load() }
+
+// stamp assigns each anomaly the next emission sequence number. Slices
+// from one call are stamped contiguously; concurrent Consume calls
+// interleave their ranges but every anomaly still gets a unique,
+// strictly increasing number.
+func (s *StreamDetector) stamp(as []Anomaly) []Anomaly {
+	if len(as) == 0 {
+		return as
+	}
+	last := s.anomSeq.Add(uint64(len(as)))
+	first := last - uint64(len(as)) + 1
+	for i := range as {
+		as[i].Seq = first + uint64(i)
+	}
+	return as
+}
+
 // SessionsSeen returns the number of sessions opened since construction
 // (or since the checkpoint the detector was restored from).
 func (s *StreamDetector) SessionsSeen() int { return int(s.seen.Load()) }
@@ -329,7 +365,7 @@ func (s *StreamDetector) Consume(rec logging.Record) []Anomaly {
 			}
 		}
 	}
-	return out
+	return s.stamp(out)
 }
 
 // expireLocked removes and returns every session whose last record is
@@ -415,7 +451,7 @@ func (s *StreamDetector) CloseSession(id string) []Anomaly {
 	if !ok {
 		return nil
 	}
-	return s.finalize(buf)
+	return s.stamp(s.finalize(buf))
 }
 
 // Flush finalizes every in-flight session (end of stream) and returns the
@@ -450,5 +486,8 @@ func (s *StreamDetector) Flush() *Report {
 	for _, anomalies := range perSession {
 		r.Anomalies = append(r.Anomalies, anomalies...)
 	}
+	// Stamp after the parallel finalize, in report order, so Flush
+	// findings extend the stream's emission sequence monotonically.
+	s.stamp(r.Anomalies)
 	return r
 }

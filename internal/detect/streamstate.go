@@ -26,6 +26,11 @@ type StreamState struct {
 	Seen uint64 `json:"sessionsSeen"`
 	// NextSeq continues the session arrival order across restarts.
 	NextSeq uint64 `json:"nextSeq"`
+	// AnomalySeq continues the anomaly emission order (Anomaly.Seq)
+	// across restarts, so /v1/anomalies cursors held by clients stay
+	// valid over a checkpoint/restore cycle. Absent in pre-existing
+	// checkpoints, which restore with the sequence reset to zero.
+	AnomalySeq uint64 `json:"anomalySeq,omitempty"`
 	// Sessions are the in-flight sessions, in arrival order.
 	Sessions []SessionState `json:"sessions,omitempty"`
 }
@@ -58,8 +63,9 @@ type StampedMessage struct {
 // record consumed mid-snapshot lands on one side or the other per shard.
 func (s *StreamDetector) State() *StreamState {
 	st := &StreamState{
-		Seen:    s.seen.Load(),
-		NextSeq: s.startSeq.Load(),
+		Seen:       s.seen.Load(),
+		NextSeq:    s.startSeq.Load(),
+		AnomalySeq: s.anomSeq.Load(),
 	}
 	if at := s.latest.Load(); at != math.MinInt64 {
 		st.Latest = time.Unix(0, at).UTC()
@@ -96,6 +102,7 @@ func RestoreStreamDetector(d *Detector, cfg StreamConfig, st *StreamState) (*Str
 	}
 	s.seen.Store(st.Seen)
 	s.startSeq.Store(st.NextSeq)
+	s.anomSeq.Store(st.AnomalySeq)
 	for i := range st.Sessions {
 		ss := &st.Sessions[i]
 		sh := s.shard(ss.ID)

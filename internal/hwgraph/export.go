@@ -1,0 +1,62 @@
+package hwgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the HW-graph in Graphviz dot form — the operator-facing
+// export of the Fig. 8 workflow view, served by the daemon's
+// /v1/hwgraph?format=dot endpoint. Hierarchy (PARENT) edges are solid,
+// sibling BEFORE edges dashed; critical groups get a double border. The
+// output is deterministic: nodes and edges are emitted in sorted order.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph hwgraph {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+
+	names := make([]string, 0, len(g.Nodes))
+	for name := range g.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		n := g.Nodes[name]
+		attrs := []string{fmt.Sprintf("label=%s", dotQuote(dotLabel(n)))}
+		if n.Critical {
+			attrs = append(attrs, "peripheries=2")
+		}
+		fmt.Fprintf(&b, "  %s [%s];\n", dotQuote(name), strings.Join(attrs, ", "))
+	}
+	for _, name := range names {
+		n := g.Nodes[name]
+		children := append([]string(nil), n.Children...)
+		sort.Strings(children)
+		for _, c := range children {
+			fmt.Fprintf(&b, "  %s -> %s;\n", dotQuote(name), dotQuote(c))
+		}
+		for _, next := range n.Next {
+			fmt.Fprintf(&b, "  %s -> %s [style=dashed, label=\"before\"];\n", dotQuote(name), dotQuote(next))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotLabel summarizes a node for display: name, subroutine count and
+// training-session support.
+func dotLabel(n *Node) string {
+	return fmt.Sprintf("%s\n%d keys · %d subroutines · %d sessions",
+		n.Name, len(n.Keys), len(n.Subroutines), n.Sessions)
+}
+
+// dotQuote escapes a string as a dot double-quoted ID.
+func dotQuote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return `"` + s + `"`
+}

@@ -1,0 +1,216 @@
+// Package metrics is a dependency-free Prometheus-text-format metrics
+// registry for the serving layer. It implements the slice of the
+// exposition format the daemon needs — counters and gauges, with labels,
+// rendered deterministically — rather than pulling the full client
+// library into a repo whose other code paths never touch it.
+//
+// Counters are registered once and updated with atomic adds on the hot
+// path. Gauges are collected at scrape time through callbacks, which
+// suits the serving layer's sources (queue depths, in-flight sessions,
+// cache hit rates) that are cheap to read but wasteful to mirror on
+// every update.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one monotonically increasing series. Safe for concurrent
+// use; Add/Inc are lock-free.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (which must be ≥ 0 to keep the series monotone; the
+// registry does not enforce it).
+func (c *Counter) Add(delta float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Label is one name="value" pair on a series.
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one gauge observation produced by a collector callback.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// family is one metric name: its metadata and series.
+type family struct {
+	name, help, typ string
+
+	mu     sync.Mutex
+	series map[string]*Counter // rendered label string → counter
+	order  []string            // registration order of label strings
+	// collect, when set, produces the family's samples at scrape time
+	// (gauge families). Counter families leave it nil.
+	collect func() []Sample
+}
+
+// Registry holds the daemon's metric families and renders them in the
+// Prometheus text exposition format.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family returns (or creates) the named family, checking metadata
+// consistency. Registering the same name with a different type or a
+// collector over a counter family panics — both are programming errors.
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*Counter{}}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter returns the counter series for name with the given labels,
+// creating family and series on first use. Calling it per-update is
+// fine (a map probe), but hot paths should hold on to the returned
+// *Counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, "counter")
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.series[key]
+	if !ok {
+		c = &Counter{}
+		f.series[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// GaugeFunc registers a gauge family whose samples are produced by fn at
+// every scrape. Re-registering the same name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() []Sample) {
+	f := r.family(name, help, "gauge")
+	f.mu.Lock()
+	f.collect = fn
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a counter family collected at scrape time, for
+// monotone counts that already live elsewhere (e.g. atomics on a hot
+// struct) and would be wasteful to mirror per update.
+func (r *Registry) CounterFunc(name, help string, fn func() []Sample) {
+	f := r.family(name, help, "counter")
+	f.mu.Lock()
+	f.collect = fn
+	f.mu.Unlock()
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format, families sorted by name and series by label string, so scrapes
+// are deterministic and diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		type line struct {
+			labels string
+			value  float64
+		}
+		var lines []line
+		if f.collect != nil {
+			for _, s := range f.collect() {
+				lines = append(lines, line{renderLabels(s.Labels), s.Value})
+			}
+		} else {
+			for key, c := range f.series {
+				lines = append(lines, line{key, c.Value()})
+			}
+		}
+		f.mu.Unlock()
+		sort.Slice(lines, func(i, j int) bool { return lines[i].labels < lines[j].labels })
+		for _, l := range lines {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, l.labels,
+				strconv.FormatFloat(l.value, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels renders a label set as {k="v",...} with keys sorted, or ""
+// for an unlabeled series. Values are escaped per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote and newline, per the
+// Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("intellogd_ingest_records_total", "records accepted", Label{"tenant", "a"}).Add(3)
+	r.Counter("intellogd_ingest_records_total", "records accepted", Label{"tenant", "b"}).Inc()
+	r.Counter("intellogd_up", "always one").Inc()
+
+	got := render(t, r)
+	for _, want := range []string{
+		"# HELP intellogd_ingest_records_total records accepted",
+		"# TYPE intellogd_ingest_records_total counter",
+		`intellogd_ingest_records_total{tenant="a"} 3`,
+		`intellogd_ingest_records_total{tenant="b"} 1`,
+		"# TYPE intellogd_up counter",
+		"intellogd_up 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Families sorted by name → deterministic scrapes.
+	if again := render(t, r); again != got {
+		t.Error("render differs across scrapes with unchanged state")
+	}
+}
+
+func TestCounterSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", Label{"k", "v"})
+	b := r.Counter("x_total", "h", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatalf("counter identity broken: %v", b.Value())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 7.0
+	r.GaugeFunc("intellogd_queue_records", "queued records", func() []Sample {
+		return []Sample{
+			{Labels: []Label{{"tenant", "b"}}, Value: depth},
+			{Labels: []Label{{"tenant", "a"}}, Value: 1},
+		}
+	})
+	got := render(t, r)
+	ai := strings.Index(got, `intellogd_queue_records{tenant="a"} 1`)
+	bi := strings.Index(got, `intellogd_queue_records{tenant="b"} 7`)
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("gauge samples missing or unsorted:\n%s", got)
+	}
+	depth = 9
+	if !strings.Contains(render(t, r), `{tenant="b"} 9`) {
+		t.Error("gauge not collected fresh at scrape time")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", Label{"k", "a\"b\\c\nd"}).Inc()
+	got := render(t, r)
+	if !strings.Contains(got, `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", got)
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "h")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("lost updates: %v", c.Value())
+	}
+}

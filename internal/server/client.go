@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+)
+
+// Client talks to an intellogd server for one tenant. It is the
+// programmatic face of the wire protocol, shared by the replay/bench
+// subcommand and the e2e conformance tests.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7171".
+	Base string
+	// Tenant names the model on the server.
+	Tenant string
+	// HTTP is the underlying client; defaults to a 30s-timeout client.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) url(path string, q url.Values) string {
+	if q == nil {
+		q = url.Values{}
+	}
+	q.Set("tenant", c.Tenant)
+	return c.Base + path + "?" + q.Encode()
+}
+
+// apiError decodes an error response body.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// ErrQueueFull reports a 429 from /v1/ingest together with the server's
+// requested backoff.
+type ErrQueueFull struct {
+	RetryAfter time.Duration
+}
+
+func (e ErrQueueFull) Error() string {
+	return fmt.Sprintf("server queue full (retry after %s)", e.RetryAfter)
+}
+
+// IngestRecords posts one NDJSON batch of structured records. A full
+// queue returns ErrQueueFull carrying the server's Retry-After.
+func (c *Client) IngestRecords(recs []logging.Record) (IngestResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return IngestResponse{}, err
+		}
+	}
+	resp, err := c.http().Post(c.url("/v1/ingest", nil), "application/x-ndjson", &buf)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				retry = time.Duration(n) * time.Second
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		return IngestResponse{}, ErrQueueFull{RetryAfter: retry}
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return IngestResponse{}, apiError(resp)
+	}
+	var out IngestResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Flush finalizes every in-flight session on the server.
+func (c *Client) Flush() (FlushResponse, error) {
+	resp, err := c.http().Post(c.url("/v1/flush", nil), "application/json", nil)
+	if err != nil {
+		return FlushResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return FlushResponse{}, apiError(resp)
+	}
+	var out FlushResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Checkpoint forces a checkpoint at the current ingest cut.
+func (c *Client) Checkpoint() error {
+	resp, err := c.http().Post(c.url("/v1/checkpoint", nil), "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Report fetches the tenant's cumulative detection report.
+func (c *Client) Report() (detect.Report, error) {
+	resp, err := c.http().Get(c.url("/v1/report", nil))
+	if err != nil {
+		return detect.Report{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return detect.Report{}, apiError(resp)
+	}
+	var out detect.Report
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Anomalies fetches one page of anomalies after the given cursor.
+func (c *Client) Anomalies(since uint64, limit int) (AnomaliesResponse, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	resp, err := c.http().Get(c.url("/v1/anomalies", q))
+	if err != nil {
+		return AnomaliesResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return AnomaliesResponse{}, apiError(resp)
+	}
+	var out AnomaliesResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// AllAnomalies pages through the anomaly log from cursor 0.
+func (c *Client) AllAnomalies() ([]SeqAnomaly, error) {
+	var all []SeqAnomaly
+	var since uint64
+	for {
+		page, err := c.Anomalies(since, 1000)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Anomalies...)
+		if len(page.Anomalies) == 0 || page.Next == since {
+			return all, nil
+		}
+		since = page.Next
+	}
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http().Get(c.Base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz() error {
+	resp, err := c.http().Get(c.Base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// WaitReady polls /healthz until the server answers or the deadline
+// passes — for scripts that boot the daemon and immediately drive it.
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if lastErr = c.Healthz(); lastErr == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready after %s: %w", timeout, lastErr)
+}

@@ -1,0 +1,220 @@
+package server_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intellog/internal/conformance"
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+	"intellog/internal/server"
+)
+
+// writeModel trains (via the shared conformance cache) and saves the
+// framework's reference model under dir as tenant `name`.
+func writeModel(t *testing.T, dir, name string, fw logging.Framework) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conformance.ModelFor(fw).Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bootServer builds a Server over the dirs and exposes it via httptest.
+func bootServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// TestServeConformance is the end-to-end differential check: a corpus
+// ingested through the full HTTP path (NDJSON encode → wire → decode →
+// queue → worker → streaming detector) must canonicalize byte-identical
+// to plain batch detection over the same records. Runs a clean and a
+// faulted corpus.
+func TestServeConformance(t *testing.T) {
+	matrix := conformance.DefaultMatrix()
+	for _, spec := range []conformance.Spec{matrix[0], matrix[1]} {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			corpus := spec.Generate()
+			m := conformance.ModelFor(spec.Framework)
+
+			wantRep := conformance.BatchPath(m.Detector(), corpus.Records)
+			want, err := conformance.Canonicalize(wantRep)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			modelDir := t.TempDir()
+			writeModel(t, modelDir, "acme", spec.Framework)
+			srv, hs := bootServer(t, server.Config{
+				ModelDir:         modelDir,
+				DefaultFramework: spec.Framework,
+			})
+			defer srv.Close()
+
+			c := &server.Client{Base: hs.URL, Tenant: "acme"}
+			res, err := c.Replay(corpus.Records, server.ReplayOptions{Batch: 64, Concurrency: 1})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if res.Records != len(corpus.Records) {
+				t.Fatalf("replay accepted %d records, corpus has %d", res.Records, len(corpus.Records))
+			}
+			if _, err := c.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+			rep, err := c.Report()
+			if err != nil {
+				t.Fatalf("report: %v", err)
+			}
+			got, err := conformance.Canonicalize(&rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("served report diverges from batch detection\nbatch:\n%s\nserved:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestServeConcurrentIngestConformance proves per-session ordering (and
+// therefore the conformance guarantee) survives concurrent senders: the
+// replay client shards by session, so C=4 must still match batch.
+func TestServeConcurrentIngestConformance(t *testing.T) {
+	spec := conformance.DefaultMatrix()[1] // spark-faulted
+	corpus := spec.Generate()
+	m := conformance.ModelFor(spec.Framework)
+	want, err := conformance.Canonicalize(conformance.BatchPath(m.Detector(), corpus.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelDir := t.TempDir()
+	writeModel(t, modelDir, "acme", spec.Framework)
+	srv, hs := bootServer(t, server.Config{ModelDir: modelDir, DefaultFramework: spec.Framework})
+	defer srv.Close()
+
+	c := &server.Client{Base: hs.URL, Tenant: "acme"}
+	if _, err := c.Replay(corpus.Records, server.ReplayOptions{Batch: 32, Concurrency: 4}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := conformance.Canonicalize(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("concurrent-ingest report diverges from batch detection\nbatch:\n%s\nserved:\n%s", want, got)
+	}
+}
+
+// TestServeKillRestartConformance is the crash drill over HTTP: ingest
+// half the corpus, checkpoint, kill the server without a graceful drain,
+// boot a successor over the same state dir, ingest the rest, and require
+// the combined pre-kill + post-restart findings to canonicalize
+// byte-identical to batch detection. The anomaly cursor must also carry
+// across the restart (persisted AnomalySeq), so pre- and post-kill pages
+// never overlap.
+func TestServeKillRestartConformance(t *testing.T) {
+	spec := conformance.DefaultMatrix()[1] // spark-faulted
+	corpus := spec.Generate()
+	m := conformance.ModelFor(spec.Framework)
+	want, err := conformance.Canonicalize(conformance.BatchPath(m.Detector(), corpus.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelDir, stateDir := t.TempDir(), t.TempDir()
+	writeModel(t, modelDir, "acme", spec.Framework)
+	cfg := server.Config{ModelDir: modelDir, StateDir: stateDir, DefaultFramework: spec.Framework}
+
+	cut := len(corpus.Records) / 2
+
+	// First life: half the stream, explicit checkpoint, then a crash.
+	srv1, hs1 := bootServer(t, cfg)
+	c1 := &server.Client{Base: hs1.URL, Tenant: "acme"}
+	if _, err := c1.Replay(corpus.Records[:cut], server.ReplayOptions{Batch: 64, Concurrency: 1}); err != nil {
+		t.Fatalf("first-life replay: %v", err)
+	}
+	if err := c1.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	preKill, err := c1.AllAnomalies()
+	if err != nil {
+		t.Fatalf("pre-kill anomalies: %v", err)
+	}
+	var maxSeq uint64
+	for _, a := range preKill {
+		if a.Seq <= maxSeq && maxSeq != 0 {
+			t.Fatalf("pre-kill anomaly seqs not increasing: %d after %d", a.Seq, maxSeq)
+		}
+		maxSeq = a.Seq
+	}
+	hs1.Close()
+	srv1.Kill() // no final checkpoint: the explicit one is all that survives
+
+	// Second life: restore from the checkpoint, finish the stream.
+	srv2, hs2 := bootServer(t, cfg)
+	defer srv2.Close()
+	c2 := &server.Client{Base: hs2.URL, Tenant: "acme"}
+	if _, err := c2.Replay(corpus.Records[cut:], server.ReplayOptions{Batch: 64, Concurrency: 1}); err != nil {
+		t.Fatalf("second-life replay: %v", err)
+	}
+	if _, err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored detector must stamp past the persisted cursor.
+	page, err := c2.Anomalies(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range page.Anomalies {
+		if a.Seq <= maxSeq && maxSeq > 0 {
+			t.Fatalf("post-restart seq %d does not advance past pre-kill max %d", a.Seq, maxSeq)
+		}
+	}
+
+	rep, err := c2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The successor's report covers post-restart emissions plus restored
+	// in-flight sessions; pre-kill findings were already served from the
+	// first life. Combine the two lives, as an operator's client would.
+	combined := detect.Report{Sessions: rep.Sessions}
+	for _, a := range preKill {
+		combined.Anomalies = append(combined.Anomalies, a.Anomaly)
+	}
+	combined.Anomalies = append(combined.Anomalies, rep.Anomalies...)
+	got, err := conformance.Canonicalize(&combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("kill/restart report diverges from batch detection\nbatch:\n%s\nserved:\n%s", want, got)
+	}
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+)
+
+// WireRecord is one NDJSON ingest line. Structured records embed the
+// logging.Record fields directly (lossless, what the replay client
+// sends); alternatively a raw "line" is parsed through the tenant's
+// framework formatter and sessionizer, mirroring `intellog stream`.
+type WireRecord struct {
+	// Line, when non-empty, is a raw log line in the framework's on-disk
+	// format; all other fields are ignored.
+	Line string `json:"line,omitempty"`
+	logging.Record
+}
+
+// IngestResponse reports what one /v1/ingest call did.
+type IngestResponse struct {
+	Accepted int `json:"accepted"`
+	Skipped  int `json:"skipped,omitempty"`
+}
+
+// AnomaliesResponse is one /v1/anomalies page.
+type AnomaliesResponse struct {
+	Anomalies []SeqAnomaly `json:"anomalies"`
+	// Next is the cursor to pass as since on the following call.
+	Next uint64 `json:"next"`
+	// Dropped counts findings the bounded retention window has discarded
+	// since startup; a cursor older than the window resumes at its start.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// FlushResponse reports an explicit end-of-stream flush.
+type FlushResponse struct {
+	Sessions int `json:"sessions"`
+	Findings int `json:"findings"`
+}
+
+// TenantInfo is one row of /v1/tenants.
+type TenantInfo struct {
+	Name            string `json:"name"`
+	PendingSessions int    `json:"pendingSessions"`
+	SessionsSeen    int    `json:"sessionsSeen"`
+	QueuedRecords   int64  `json:"queuedRecords"`
+	IngestedRecords uint64 `json:"ingestedRecords"`
+	RejectedBatches uint64 `json:"rejectedBatches"`
+	Anomalies       int    `json:"anomalies"`
+	Restored        bool   `json:"restored,omitempty"`
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/anomalies", s.handleAnomalies)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/flush", s.handleFlush)
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/v1/hwgraph", s.handleHWGraph)
+	mux.HandleFunc("/v1/tenants", s.handleTenants)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// tenantOf resolves the request's tenant, mapping load failures to HTTP
+// codes. Returns nil after writing the error response.
+func (s *Server) tenantOf(w http.ResponseWriter, r *http.Request) *tenant {
+	name := r.URL.Query().Get("tenant")
+	t, err := s.Tenant(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, errBadTenant):
+			httpError(w, http.StatusBadRequest, "missing or invalid tenant parameter")
+		case errors.As(err, &errUnknownTenant{}):
+			httpError(w, http.StatusNotFound, "%v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, "load tenant: %v", err)
+		}
+		return nil
+	}
+	return t
+}
+
+// handleIngest accepts an NDJSON batch of records and queues it for the
+// tenant's worker. A full queue answers 429 with Retry-After — the
+// bounded-buffering contract: the server never absorbs more than the
+// configured budget per tenant.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	fw := s.cfg.DefaultFramework
+	if q := r.URL.Query().Get("framework"); q != "" {
+		fw = logging.Framework(q)
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	scanner := bufio.NewScanner(body)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var recs []logging.Record
+	skipped := 0
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var wr WireRecord
+		if err := json.Unmarshal(raw, &wr); err != nil {
+			httpError(w, http.StatusBadRequest, "line %d: %v", line, err)
+			return
+		}
+		if wr.Line != "" {
+			rec, ok := t.parseLine(wr.Line)
+			if !ok {
+				skipped++
+				continue
+			}
+			recs = append(recs, rec)
+			continue
+		}
+		rec := wr.Record
+		if rec.Message == "" {
+			httpError(w, http.StatusBadRequest, "line %d: record has no message (and no raw line)", line)
+			return
+		}
+		if rec.SessionID == "" {
+			skipped++
+			continue
+		}
+		if rec.Framework == "" {
+			rec.Framework = fw
+		}
+		recs = append(recs, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	t.skipped.Add(uint64(skipped))
+
+	if !t.enqueueBatch(recs) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"tenant %s ingest queue full (%d records budget); retry later", t.name, s.cfg.QueueRecords)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(recs), Skipped: skipped})
+}
+
+// parseLine parses one raw log line through the tenant's formatter and
+// sticky sessionizer.
+func (t *tenant) parseLine(line string) (logging.Record, bool) {
+	rec, ok := t.formatter.Parse(line)
+	if !ok {
+		return logging.Record{}, false
+	}
+	t.assignMu.Lock()
+	ok = t.assigner.Assign(&rec)
+	t.assignMu.Unlock()
+	return rec, ok
+}
+
+// handleAnomalies serves the cursor-paginated anomaly log.
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "since: %v", err)
+			return
+		}
+		since = n
+	}
+	limit := 1000
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	anomalies, next, dropped := t.sink.after(since, limit)
+	if anomalies == nil {
+		anomalies = []SeqAnomaly{}
+	}
+	writeJSON(w, http.StatusOK, AnomaliesResponse{Anomalies: anomalies, Next: next, Dropped: dropped})
+}
+
+// handleReport serves the cumulative detection report: every retained
+// finding plus the sessions-seen count, in detect.Report shape — after a
+// flush it is exactly what a batch run over the same stream reports
+// (proven byte-identical by the conformance e2e once canonicalized).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	rep := detect.Report{
+		Sessions:  t.sd.SessionsSeen(),
+		Anomalies: t.sink.all(),
+	}
+	if rep.Anomalies == nil {
+		rep.Anomalies = []detect.Anomaly{}
+	}
+	writeJSON(w, http.StatusOK, &rep)
+}
+
+// handleFlush finalizes every in-flight session (explicit end of
+// stream). The op rides the tenant queue, so it serializes behind all
+// accepted ingest.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	var resp FlushResponse
+	ok := t.control(func() {
+		rep := t.sd.Flush()
+		t.sink.append(rep.Anomalies)
+		s.countAnomalies(t.name, rep.Anomalies)
+		resp = FlushResponse{Sessions: rep.Sessions, Findings: len(rep.Anomalies)}
+	})
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "tenant %s is shutting down", t.name)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint forces a checkpoint at the current exact ingest cut.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	if s.cfg.StateDir == "" {
+		httpError(w, http.StatusConflict, "no state directory configured")
+		return
+	}
+	var saveErr error
+	ok := t.control(func() { saveErr = t.saveCheckpoint() })
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "tenant %s is shutting down", t.name)
+		return
+	}
+	if saveErr != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", saveErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"checkpoint": t.checkpointPath()})
+}
+
+// handleHWGraph exports the tenant's trained HW-graph.
+func (s *Server) handleHWGraph(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, t.model.Graph)
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		fmt.Fprint(w, t.model.Graph.DOT())
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, t.model.Graph.Render())
+	default:
+		httpError(w, http.StatusBadRequest, "format %q (want json, dot or text)", format)
+	}
+}
+
+// handleTenants lists resident tenants, most recently used first.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	var out []TenantInfo
+	for _, t := range s.resident() {
+		out = append(out, TenantInfo{
+			Name:            t.name,
+			PendingSessions: t.sd.Pending(),
+			SessionsSeen:    t.sd.SessionsSeen(),
+			QueuedRecords:   t.pending.Load(),
+			IngestedRecords: t.records.Load(),
+			RejectedBatches: t.rejected.Load(),
+			Anomalies:       t.sink.len(),
+			Restored:        t.restored,
+		})
+	}
+	if out == nil {
+		out = []TenantInfo{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tenants": len(s.resident())})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}

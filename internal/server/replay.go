@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// ReplayOptions tunes a load replay against a running server.
+type ReplayOptions struct {
+	// Batch is the records-per-request batch size (default 256).
+	Batch int
+	// Concurrency is the number of parallel sender workers (default 1).
+	// Records are sharded across workers by session hash, so each
+	// session's records still arrive in order — the invariant the
+	// streaming detector's conformance guarantee rests on.
+	Concurrency int
+	// MaxRetries bounds retries per batch on 429 (default 50).
+	MaxRetries int
+}
+
+// ReplayResult summarizes one replay run.
+type ReplayResult struct {
+	Records   int           // records sent (accepted)
+	Batches   int           // batches posted successfully
+	Rejected  int           // 429 responses absorbed (each retried)
+	Duration  time.Duration // wall time of the send phase
+	P50       time.Duration // median per-batch POST latency
+	P99       time.Duration // 99th percentile per-batch POST latency
+	RecPerSec float64       // accepted records / wall seconds
+}
+
+// Replay streams the records to the server in batches, honoring 429
+// backpressure (sleep Retry-After, retry the same batch). Records are
+// partitioned across workers by session so per-session order is
+// preserved at any concurrency.
+func (c *Client) Replay(recs []logging.Record, opts ReplayOptions) (ReplayResult, error) {
+	if opts.Batch <= 0 {
+		opts.Batch = 256
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 50
+	}
+
+	shards := make([][]logging.Record, opts.Concurrency)
+	for _, r := range recs {
+		h := fnv.New32a()
+		h.Write([]byte(r.SessionID))
+		i := int(h.Sum32()) % opts.Concurrency
+		if i < 0 {
+			i += opts.Concurrency
+		}
+		shards[i] = append(shards[i], r)
+	}
+
+	type workerStat struct {
+		records, batches, rejected int
+		latencies                  []time.Duration
+		err                        error
+	}
+	stats := make([]workerStat, opts.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		if len(shards[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, recs []logging.Record) {
+			defer wg.Done()
+			st := &stats[w]
+			for off := 0; off < len(recs); off += opts.Batch {
+				end := off + opts.Batch
+				if end > len(recs) {
+					end = len(recs)
+				}
+				batch := recs[off:end]
+				retries := 0
+				for {
+					t0 := time.Now()
+					resp, err := c.IngestRecords(batch)
+					st.latencies = append(st.latencies, time.Since(t0))
+					if qf, ok := err.(ErrQueueFull); ok {
+						st.rejected++
+						retries++
+						if retries > opts.MaxRetries {
+							st.err = fmt.Errorf("batch still refused after %d retries: %w", opts.MaxRetries, err)
+							return
+						}
+						time.Sleep(qf.RetryAfter)
+						continue
+					}
+					if err != nil {
+						st.err = err
+						return
+					}
+					st.records += resp.Accepted
+					st.batches++
+					break
+				}
+			}
+		}(w, shards[w])
+	}
+	wg.Wait()
+
+	res := ReplayResult{Duration: time.Since(start)}
+	var lat []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return res, stats[i].err
+		}
+		res.Records += stats[i].records
+		res.Batches += stats[i].batches
+		res.Rejected += stats[i].rejected
+		lat = append(lat, stats[i].latencies...)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		res.P50 = lat[len(lat)/2]
+		res.P99 = lat[(len(lat)*99)/100]
+	}
+	if secs := res.Duration.Seconds(); secs > 0 {
+		res.RecPerSec = float64(res.Records) / secs
+	}
+	return res, nil
+}

@@ -1,0 +1,456 @@
+// Package server is intellogd's serving layer: a multi-tenant HTTP
+// front-end over the streaming detector. Each tenant is a trained core
+// model whose log stream is ingested as NDJSON batches on /v1/ingest,
+// consumed by a dedicated worker through a detect.StreamDetector, and
+// queried back through cursor-paginated anomaly, report and HW-graph
+// endpoints. Production concerns are first-class: per-tenant bounded
+// ingest queues with 429 admission control, a background checkpointer
+// built on core.SaveCheckpoint so a restart resumes mid-stream, an LRU
+// cap on resident tenants, Prometheus metrics and pprof.
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"intellog/internal/core"
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+	"intellog/internal/metrics"
+)
+
+// checkpointExt is the suffix of per-tenant checkpoint files under
+// Config.StateDir.
+const checkpointExt = ".ckpt"
+
+// modelExt is the suffix of per-tenant model files under Config.ModelDir.
+const modelExt = ".json"
+
+// Config tunes the serving layer.
+type Config struct {
+	// ModelDir holds one trained model per tenant: <dir>/<tenant>.json,
+	// as written by `intellog train`. A tenant with no model file is
+	// unknown (404).
+	ModelDir string
+	// StateDir holds per-tenant checkpoints: <dir>/<tenant>.ckpt. Empty
+	// disables checkpointing (and restart recovery).
+	StateDir string
+	// MaxTenants caps resident tenants; past it the least-recently-used
+	// tenant is drained, checkpointed and evicted. 0 means a default of
+	// 32; negative means unbounded.
+	MaxTenants int
+	// QueueRecords bounds each tenant's ingest queue in records; a batch
+	// that would exceed it is refused with 429. 0 means a default of
+	// 8192.
+	QueueRecords int
+	// AnomalyLog bounds each tenant's retained anomaly history (the
+	// /v1/anomalies window). 0 means a default of 65536; negative means
+	// unbounded.
+	AnomalyLog int
+	// CheckpointEvery is the background checkpoint cadence; 0 disables
+	// periodic checkpoints (final checkpoints on shutdown still happen).
+	CheckpointEvery time.Duration
+	// Stream configures each tenant's streaming detector (idle timeout,
+	// session/message caps, shards).
+	Stream detect.StreamConfig
+	// DefaultFramework is assumed for ingested records that carry no
+	// framework and for raw-line parsing; empty means spark.
+	DefaultFramework logging.Framework
+	// MaxBodyBytes bounds one ingest request body. 0 means 8 MiB.
+	MaxBodyBytes int64
+}
+
+// defaults fills zero values.
+func (c *Config) defaults() {
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 32
+	}
+	if c.QueueRecords == 0 {
+		c.QueueRecords = 8192
+	}
+	if c.AnomalyLog == 0 {
+		c.AnomalyLog = 65536
+	}
+	if c.DefaultFramework == "" {
+		c.DefaultFramework = logging.Spark
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// queueBatches sizes a tenant's task channel. The record budget is the
+// real bound; the channel just needs enough slots that batch count never
+// binds before it under reasonable batch sizes, without costing memory
+// per idle tenant.
+func (c *Config) queueBatches() int {
+	n := c.QueueRecords / 8
+	if n < 16 {
+		n = 16
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// Server is the serving layer. Create with New, expose via Handler, and
+// stop with Close (graceful) or Kill (abandon, for crash testing).
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	tenants  map[string]*list.Element // name → element holding *tenant
+	lru      *list.List               // front = most recently used
+	evicting map[string]chan struct{} // names mid-eviction
+
+	reg    *metrics.Registry
+	closed chan struct{}
+	stopWG sync.WaitGroup // background checkpointer
+
+	started time.Time
+}
+
+// New builds a Server and restores every tenant that left a checkpoint
+// in StateDir (bounded by MaxTenants; beyond that the rest stay on disk
+// until first use).
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	s := &Server{
+		cfg:      cfg,
+		tenants:  map[string]*list.Element{},
+		lru:      list.New(),
+		evicting: map[string]chan struct{}{},
+		reg:      metrics.NewRegistry(),
+		closed:   make(chan struct{}),
+		started:  time.Now(),
+	}
+	s.registerGauges()
+	if err := s.restoreCheckpointed(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointEvery > 0 {
+		s.stopWG.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// restoreCheckpointed pre-warms tenants whose checkpoints survived the
+// previous process, so sessions that were in flight at shutdown resume
+// before any new traffic arrives.
+func (s *Server) restoreCheckpointed() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointExt) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), checkpointExt)
+		if s.cfg.MaxTenants > 0 && s.lru.Len() >= s.cfg.MaxTenants {
+			break
+		}
+		if _, err := s.Tenant(name); err != nil {
+			return fmt.Errorf("restore tenant %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Tenant returns the named tenant, loading it on first use: from its
+// checkpoint when one exists (restart recovery), otherwise from its
+// trained model file. Loading past MaxTenants evicts the
+// least-recently-used tenant (drained and checkpointed first).
+func (s *Server) Tenant(name string) (*tenant, error) {
+	if !validTenantName(name) {
+		return nil, errBadTenant
+	}
+	for {
+		s.mu.Lock()
+		if e, ok := s.tenants[name]; ok {
+			s.lru.MoveToFront(e)
+			s.mu.Unlock()
+			return e.Value.(*tenant), nil
+		}
+		// A tenant mid-eviction still owns its checkpoint file; wait for
+		// the eviction to finish before reloading, or the fresh instance
+		// would restore pre-eviction state.
+		if ch, ok := s.evicting[name]; ok {
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		s.mu.Unlock()
+
+		t, err := s.loadTenant(name)
+		if err != nil {
+			return nil, err
+		}
+
+		s.mu.Lock()
+		if e, ok := s.tenants[name]; ok {
+			// Lost a load race; keep the resident instance.
+			s.lru.MoveToFront(e)
+			s.mu.Unlock()
+			t.close(false)
+			return e.Value.(*tenant), nil
+		}
+		e := s.lru.PushFront(t)
+		s.tenants[name] = e
+		var evictees []*tenant
+		for s.cfg.MaxTenants > 0 && s.lru.Len() > s.cfg.MaxTenants {
+			back := s.lru.Back()
+			ev := back.Value.(*tenant)
+			s.lru.Remove(back)
+			delete(s.tenants, ev.name)
+			s.evicting[ev.name] = make(chan struct{})
+			evictees = append(evictees, ev)
+		}
+		s.mu.Unlock()
+
+		for _, ev := range evictees {
+			ev.close(true)
+			s.mu.Lock()
+			close(s.evicting[ev.name])
+			delete(s.evicting, ev.name)
+			s.mu.Unlock()
+		}
+		return t, nil
+	}
+}
+
+// errBadTenant rejects tenant names that could escape the model/state
+// directories or collide with file suffixes.
+var errBadTenant = fmt.Errorf("invalid tenant name")
+
+// errUnknownTenant marks a tenant with no trained model on disk.
+type errUnknownTenant struct{ name string }
+
+func (e errUnknownTenant) Error() string {
+	return fmt.Sprintf("unknown tenant %q: no model or checkpoint on disk", e.name)
+}
+
+// validTenantName permits [a-zA-Z0-9._-], no leading dot, length 1..128.
+func validTenantName(name string) bool {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return !strings.Contains(name, "..")
+}
+
+// loadTenant reads a tenant's state from disk: checkpoint first (it
+// embeds the model), then the trained model file.
+func (s *Server) loadTenant(name string) (*tenant, error) {
+	if s.cfg.StateDir != "" {
+		path := filepath.Join(s.cfg.StateDir, name+checkpointExt)
+		if f, err := os.Open(path); err == nil {
+			m, st, err := core.LoadCheckpoint(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+			}
+			return newTenant(s, name, m, st)
+		}
+	}
+	if s.cfg.ModelDir == "" {
+		return nil, errUnknownTenant{name}
+	}
+	path := filepath.Join(s.cfg.ModelDir, name+modelExt)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, errUnknownTenant{name}
+		}
+		return nil, err
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: %w", path, err)
+	}
+	return newTenant(s, name, m, nil)
+}
+
+// resident snapshots the resident tenants (most recently used first).
+func (s *Server) resident() []*tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*tenant, 0, s.lru.Len())
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*tenant))
+	}
+	return out
+}
+
+// checkpointLoop periodically checkpoints every resident tenant. The
+// checkpoint op rides the tenant queue (exact cut semantics); a tenant
+// whose queue is saturated skips the cycle rather than stalling ingest.
+func (s *Server) checkpointLoop() {
+	defer s.stopWG.Done()
+	ticker := time.NewTicker(s.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+			for _, t := range s.resident() {
+				t := t
+				ok := t.submit(task{ctl: func() {
+					if err := t.saveCheckpoint(); err == nil {
+						s.reg.Counter("intellogd_checkpoints_total",
+							"checkpoints written per tenant",
+							metrics.Label{Key: "tenant", Value: t.name}).Inc()
+					} else {
+						s.reg.Counter("intellogd_checkpoint_errors_total",
+							"failed checkpoint writes per tenant",
+							metrics.Label{Key: "tenant", Value: t.name}).Inc()
+					}
+				}}, false)
+				if !ok {
+					s.reg.Counter("intellogd_checkpoint_skips_total",
+						"checkpoint cycles skipped because the tenant queue was saturated",
+						metrics.Label{Key: "tenant", Value: t.name}).Inc()
+				}
+			}
+		}
+	}
+}
+
+// Close is the graceful shutdown: the background checkpointer stops,
+// every tenant queue is closed and drained, and final checkpoints are
+// written. The HTTP listener should be shut down first so no new ingest
+// races the drain.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.stopWG.Wait()
+	var firstErr error
+	for _, t := range s.resident() {
+		if err := t.close(true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Kill is the crash-shaped stop used by tests and kill/resume drills: it
+// stops background work and abandons tenant state without writing final
+// checkpoints — whatever the last checkpoint captured is what a
+// successor process will see.
+func (s *Server) Kill() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.stopWG.Wait()
+	for _, t := range s.resident() {
+		t.close(false)
+	}
+}
+
+// countAnomalies mirrors emitted findings into the per-kind counters.
+func (s *Server) countAnomalies(tenantName string, as []detect.Anomaly) {
+	for i := range as {
+		s.reg.Counter("intellogd_anomalies_total",
+			"anomalies emitted, by tenant and kind",
+			metrics.Label{Key: "tenant", Value: tenantName},
+			metrics.Label{Key: "kind", Value: as[i].Kind.String()}).Inc()
+	}
+}
+
+// registerGauges wires the scrape-time gauge collectors: queue and
+// session state read straight off the detectors, plus the model lookup
+// cache hit rate.
+func (s *Server) registerGauges() {
+	perTenant := func(value func(*tenant) float64) func() []metrics.Sample {
+		return func() []metrics.Sample {
+			var out []metrics.Sample
+			for _, t := range s.resident() {
+				out = append(out, metrics.Sample{
+					Labels: []metrics.Label{{Key: "tenant", Value: t.name}},
+					Value:  value(t),
+				})
+			}
+			return out
+		}
+	}
+	s.reg.CounterFunc("intellogd_ingest_records_total",
+		"records accepted onto ingest queues per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.records.Load()) }))
+	s.reg.CounterFunc("intellogd_ingest_batches_total",
+		"ingest batches accepted per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.batches.Load()) }))
+	s.reg.CounterFunc("intellogd_ingest_rejected_total",
+		"ingest batches refused with 429 (backpressure) per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.rejected.Load()) }))
+	s.reg.CounterFunc("intellogd_ingest_skipped_total",
+		"ingested lines dropped (unparsable or no session) per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.skipped.Load()) }))
+	s.reg.GaugeFunc("intellogd_pending_sessions",
+		"in-flight sessions per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.sd.Pending()) }))
+	s.reg.GaugeFunc("intellogd_sessions_seen",
+		"sessions ever opened per tenant (survives checkpoints)",
+		perTenant(func(t *tenant) float64 { return float64(t.sd.SessionsSeen()) }))
+	s.reg.GaugeFunc("intellogd_queue_records",
+		"ingested records queued but not yet consumed, per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.pending.Load()) }))
+	s.reg.GaugeFunc("intellogd_expiry_heap_depth",
+		"scheduled idle-expiry heap entries per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.sd.ExpiryDepth()) }))
+	s.reg.GaugeFunc("intellogd_anomaly_log_size",
+		"anomalies retained in the query window per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.sink.len()) }))
+	s.reg.GaugeFunc("intellogd_lookup_cache_hits",
+		"model lookup-cache hits per tenant",
+		perTenant(func(t *tenant) float64 {
+			h, _ := t.det.Cache.Stats()
+			return float64(h)
+		}))
+	s.reg.GaugeFunc("intellogd_lookup_cache_misses",
+		"model lookup-cache misses per tenant",
+		perTenant(func(t *tenant) float64 {
+			_, m := t.det.Cache.Stats()
+			return float64(m)
+		}))
+	s.reg.GaugeFunc("intellogd_resident_tenants",
+		"tenants currently resident",
+		func() []metrics.Sample {
+			s.mu.Lock()
+			n := s.lru.Len()
+			s.mu.Unlock()
+			return []metrics.Sample{{Value: float64(n)}}
+		})
+	s.reg.GaugeFunc("intellogd_uptime_seconds",
+		"seconds since the server started",
+		func() []metrics.Sample {
+			return []metrics.Sample{{Value: time.Since(s.started).Seconds()}}
+		})
+}

@@ -1,0 +1,330 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"intellog/internal/conformance"
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+)
+
+// saveSparkModel writes the cached spark reference model as tenant name.
+func saveSparkModel(t *testing.T, dir, name string) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, name+modelExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conformance.ModelFor(logging.Spark).Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testRecords(session string, n int) []logging.Record {
+	recs := make([]logging.Record, n)
+	base := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	for i := range recs {
+		recs[i] = logging.Record{
+			Time:      base.Add(time.Duration(i) * time.Second),
+			Level:     logging.Info,
+			Source:    "Test",
+			Message:   fmt.Sprintf("test message %d", i),
+			SessionID: session,
+			Framework: logging.Spark,
+		}
+	}
+	return recs
+}
+
+// TestBackpressure429 fills a tiny ingest queue behind a gated worker and
+// proves admission control: the overflowing batch gets a typed 429 with
+// Retry-After, queued records never exceed the budget (no unbounded
+// buffering), and ingest recovers once the worker drains.
+func TestBackpressure429(t *testing.T) {
+	modelDir := t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	s, err := New(Config{ModelDir: modelDir, QueueRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	tn, err := s.Tenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate the worker so queued records stay queued deterministically.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	if !tn.submit(task{ctl: func() { close(entered); <-release }}, true) {
+		t.Fatal("gate submit refused")
+	}
+	<-entered
+
+	c := &Client{Base: hs.URL, Tenant: "acme"}
+	if _, err := c.IngestRecords(testRecords("sess-a", 3)); err != nil {
+		t.Fatalf("first batch within budget refused: %v", err)
+	}
+	_, err = c.IngestRecords(testRecords("sess-b", 3))
+	qf, ok := err.(ErrQueueFull)
+	if !ok {
+		t.Fatalf("overflow batch: got err %v, want ErrQueueFull", err)
+	}
+	if qf.RetryAfter <= 0 {
+		t.Fatalf("429 carried no usable Retry-After: %v", qf.RetryAfter)
+	}
+	if got := tn.pending.Load(); got != 3 {
+		t.Fatalf("pending records = %d after refusal, want 3 (refused batch must not buffer)", got)
+	}
+	if got := tn.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	// Recovery: release the worker, wait for the drain, ingest again.
+	close(release)
+	if !tn.control(func() {}) {
+		t.Fatal("control barrier refused")
+	}
+	if got := tn.pending.Load(); got != 0 {
+		t.Fatalf("pending records = %d after drain, want 0", got)
+	}
+	if _, err := c.IngestRecords(testRecords("sess-b", 3)); err != nil {
+		t.Fatalf("post-drain batch refused: %v", err)
+	}
+}
+
+// TestLRUEviction proves the resident-tenant cap: loading past
+// MaxTenants drains and checkpoints the least-recently-used tenant, and
+// touching it again restores from that checkpoint (stream state intact).
+func TestLRUEviction(t *testing.T) {
+	modelDir, stateDir := t.TempDir(), t.TempDir()
+	for _, name := range []string{"a", "b", "c"} {
+		saveSparkModel(t, modelDir, name)
+	}
+	s, err := New(Config{ModelDir: modelDir, StateDir: stateDir, MaxTenants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ta, err := s.Tenant("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ta.enqueueBatch(testRecords("sess-1", 2)) {
+		t.Fatal("enqueue refused")
+	}
+	if !ta.control(func() {}) {
+		t.Fatal("drain barrier refused")
+	}
+	if _, err := s.Tenant("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tenant("c"); err != nil { // evicts a
+		t.Fatal(err)
+	}
+	if n := len(s.resident()); n != 2 {
+		t.Fatalf("resident tenants = %d, want 2", n)
+	}
+	ckpt := filepath.Join(stateDir, "a"+checkpointExt)
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("eviction left no checkpoint for a: %v", err)
+	}
+
+	ta2, err := s.Tenant("a") // reload; evicts b
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta2 == ta {
+		t.Fatal("reload returned the evicted instance")
+	}
+	if !ta2.restored {
+		t.Fatal("reloaded tenant did not restore from its checkpoint")
+	}
+	if got := ta2.sd.SessionsSeen(); got != 1 {
+		t.Fatalf("restored SessionsSeen = %d, want 1", got)
+	}
+	if n := len(s.resident()); n != 2 {
+		t.Fatalf("resident tenants = %d after reload, want 2", n)
+	}
+}
+
+// TestAnomalyLogPaging exercises the sink: dense cursor paging, the
+// retention trim, and the dropped count that distinguishes a trimmed gap
+// from a quiet stream.
+func TestAnomalyLogPaging(t *testing.T) {
+	l := newAnomalyLog(0)
+	var batch []detect.Anomaly
+	for seq := uint64(1); seq <= 10; seq++ {
+		batch = append(batch, detect.Anomaly{Seq: seq, Session: fmt.Sprintf("s%d", seq)})
+	}
+	l.append(batch)
+
+	page, next, dropped := l.after(0, 3)
+	if len(page) != 3 || next != 3 || dropped != 0 {
+		t.Fatalf("after(0,3) = %d entries, next %d, dropped %d; want 3, 3, 0", len(page), next, dropped)
+	}
+	if page[0].Seq != 1 || page[2].Seq != 3 {
+		t.Fatalf("page seqs = %d..%d, want 1..3", page[0].Seq, page[2].Seq)
+	}
+	page, next, _ = l.after(next, 0)
+	if len(page) != 7 || next != 10 {
+		t.Fatalf("after(3,∞) = %d entries, next %d; want 7, 10", len(page), next)
+	}
+	page, next, _ = l.after(10, 0)
+	if len(page) != 0 || next != 10 {
+		t.Fatalf("after(10,∞) = %d entries, next %d; want 0, 10", len(page), next)
+	}
+
+	// Retention: cap at 4 → seqs 1..6 trimmed; a stale cursor resumes at
+	// the window start and the response says how much is gone.
+	trimmed := newAnomalyLog(4)
+	trimmed.append(batch)
+	page, next, dropped = trimmed.after(2, 0)
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if len(page) != 4 || page[0].Seq != 7 || next != 10 {
+		t.Fatalf("stale cursor page = %d entries from seq %d, next %d; want 4 from 7, next 10",
+			len(page), page[0].Seq, next)
+	}
+}
+
+// TestMetricsEndpoint ingests through HTTP and checks the scrape carries
+// the serving-layer series with believable values.
+func TestMetricsEndpoint(t *testing.T) {
+	modelDir := t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	s, err := New(Config{ModelDir: modelDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	c := &Client{Base: hs.URL, Tenant: "acme"}
+	if _, err := c.IngestRecords(testRecords("sess-1", 5)); err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := s.Tenant("acme")
+	tn.control(func() {}) // drain so gauges are settled
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`intellogd_ingest_records_total{tenant="acme"} 5`,
+		`intellogd_ingest_batches_total{tenant="acme"} 1`,
+		`intellogd_pending_sessions{tenant="acme"} 1`,
+		`intellogd_queue_records{tenant="acme"} 0`,
+		`intellogd_resident_tenants 1`,
+		"# TYPE intellogd_ingest_records_total counter",
+		"# TYPE intellogd_pending_sessions gauge",
+		"intellogd_lookup_cache_hits",
+		"intellogd_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+}
+
+// TestTenantErrors maps bad and unknown tenants to 400 and 404.
+func TestTenantErrors(t *testing.T) {
+	s, err := New(Config{ModelDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	for _, tc := range []struct {
+		tenant string
+		want   string
+	}{
+		{"", "400"},
+		{"../../etc/passwd", "400"},
+		{"no-such-tenant", "404"},
+	} {
+		c := &Client{Base: hs.URL, Tenant: tc.tenant}
+		_, err := c.Report()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("tenant %q: err %v, want HTTP %s", tc.tenant, err, tc.want)
+		}
+	}
+}
+
+// TestValidTenantName pins the name filter.
+func TestValidTenantName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"acme":                   true,
+		"team-1.prod":            true,
+		"A_b-3":                  true,
+		"":                       false,
+		".hidden":                false,
+		"a/../b":                 false,
+		"a..b":                   false,
+		"with space":             false,
+		"slash/inside":           false,
+		strings.Repeat("x", 129): false,
+	} {
+		if got := validTenantName(name); got != want {
+			t.Errorf("validTenantName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestRawLineIngest drives the `{"line": ...}` wire mode: raw framework
+// lines are parsed and sessionized server-side; unparsable or
+// pre-session chatter is skipped and counted, not fatal.
+func TestRawLineIngest(t *testing.T) {
+	modelDir := t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	s, err := New(Config{ModelDir: modelDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	body := strings.Join([]string{
+		`{"line": "19/03/01 12:00:00 INFO Daemon: warming up"}`, // no session yet → skip
+		`{"line": "19/03/01 12:00:01 INFO Executor: starting container_1234567890_0001_01_000001"}`,
+		`{"line": "19/03/01 12:00:02 INFO Executor: heartbeat"}`, // sticks to current session
+		`{"line": "definitely not a spark line"}`,                // parse failure → skip
+	}, "\n")
+	resp, err := hs.Client().Post(hs.URL+"/v1/ingest?tenant=acme", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	tn, _ := s.Tenant("acme")
+	tn.control(func() {})
+	if got := tn.records.Load(); got != 2 {
+		t.Fatalf("accepted records = %d, want 2", got)
+	}
+	if got := tn.skipped.Load(); got != 2 {
+		t.Fatalf("skipped lines = %d, want 2", got)
+	}
+	if got := tn.sd.Pending(); got != 1 {
+		t.Fatalf("pending sessions = %d, want 1", got)
+	}
+}

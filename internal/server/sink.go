@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+
+	"intellog/internal/detect"
+)
+
+// anomalyLog is one tenant's append-only anomaly history, addressed by
+// the streaming detector's emission sequence numbers (Anomaly.Seq). It
+// backs the cursor-paginated /v1/anomalies endpoint and the cumulative
+// /v1/report view. Retention is bounded: past maxRetain entries the
+// oldest are trimmed, and a cursor pointing before the retained window
+// simply resumes at its start (the response reports how many findings
+// the window has dropped, so clients can tell a gap from a quiet
+// stream).
+type anomalyLog struct {
+	mu sync.Mutex
+	// entries[i] holds the anomaly with Seq == first + i: the detector
+	// stamps gaplessly and the tenant worker appends in emission order,
+	// so the log is dense and seq→index is O(1) arithmetic.
+	entries []detect.Anomaly
+	// first is the Seq of entries[0]; zero while the log is empty.
+	first uint64
+	// trimmed counts entries dropped by retention since startup.
+	trimmed uint64
+	// maxRetain bounds len(entries); ≤ 0 means unbounded.
+	maxRetain int
+}
+
+func newAnomalyLog(maxRetain int) *anomalyLog {
+	return &anomalyLog{maxRetain: maxRetain}
+}
+
+// append records stamped anomalies in emission order.
+func (l *anomalyLog) append(as []detect.Anomaly) {
+	if len(as) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		l.first = as[0].Seq
+	}
+	l.entries = append(l.entries, as...)
+	if l.maxRetain > 0 && len(l.entries) > l.maxRetain {
+		drop := len(l.entries) - l.maxRetain
+		l.entries = append(l.entries[:0], l.entries[drop:]...)
+		l.first += uint64(drop)
+		l.trimmed += uint64(drop)
+	}
+}
+
+// SeqAnomaly is one anomaly with its cursor, as served to clients.
+type SeqAnomaly struct {
+	Seq     uint64         `json:"seq"`
+	Anomaly detect.Anomaly `json:"anomaly"`
+}
+
+// after returns up to limit anomalies with Seq > since, the cursor to
+// pass next (the max Seq returned, or since when nothing matched), and
+// the total count retention has dropped. limit ≤ 0 means no page bound.
+func (l *anomalyLog) after(since uint64, limit int) (out []SeqAnomaly, next uint64, dropped uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next = since
+	dropped = l.trimmed
+	if len(l.entries) == 0 {
+		return nil, next, dropped
+	}
+	start := 0
+	if since >= l.first {
+		start = int(since - l.first + 1)
+	}
+	for i := start; i < len(l.entries); i++ {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		a := l.entries[i]
+		out = append(out, SeqAnomaly{Seq: a.Seq, Anomaly: a})
+		next = a.Seq
+	}
+	return out, next, dropped
+}
+
+// all copies the retained anomalies in emission order.
+func (l *anomalyLog) all() []detect.Anomaly {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]detect.Anomaly(nil), l.entries...)
+}
+
+// len returns the retained count.
+func (l *anomalyLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"intellog/internal/core"
+	"intellog/internal/detect"
+	"intellog/internal/logging"
+)
+
+// task is one unit of work on a tenant's queue: either an ingest batch
+// or a control operation (checkpoint, flush, test gates). Control ops
+// ride the same queue as batches, so they serialize behind every record
+// accepted before them — a checkpoint therefore captures an exact cut of
+// the ingest stream without pausing the HTTP layer.
+type task struct {
+	recs []logging.Record
+	ctl  func()
+	done chan struct{} // closed once processed; nil for fire-and-forget
+}
+
+// tenant is one resident tenant: a trained model, its streaming
+// detector, a bounded ingest queue drained by a single worker goroutine,
+// and the anomaly log that backs the query endpoints.
+type tenant struct {
+	name string
+	srv  *Server
+
+	model *core.Model
+	det   *detect.Detector
+	sd    *detect.StreamDetector
+	sink  *anomalyLog
+
+	// queue is drained by run(). sendMu guards the close handshake:
+	// senders hold it shared and check closed before sending; close
+	// takes it exclusively, so no send can race the close.
+	queue   chan task
+	sendMu  sync.RWMutex
+	closed  bool
+	pending atomic.Int64 // records queued but not yet consumed
+	worker  sync.WaitGroup
+
+	// assignMu guards the raw-line sessionizer (handlers run
+	// concurrently; stickiness state is shared).
+	assignMu  sync.Mutex
+	assigner  logging.SessionAssigner
+	formatter logging.Formatter
+
+	// ingest counters (mirrored into /metrics).
+	records  atomic.Uint64 // accepted records
+	batches  atomic.Uint64 // accepted batches
+	rejected atomic.Uint64 // batches refused with 429
+	skipped  atomic.Uint64 // lines dropped (unparsable / no session)
+
+	restored bool // loaded from a checkpoint at startup
+}
+
+// newTenant assembles a tenant around a loaded model and optional
+// checkpointed stream state.
+func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState) (*tenant, error) {
+	t := &tenant{
+		name:      name,
+		srv:       srv,
+		model:     m,
+		sink:      newAnomalyLog(srv.cfg.AnomalyLog),
+		queue:     make(chan task, srv.cfg.queueBatches()),
+		formatter: logging.FormatterFor(srv.cfg.DefaultFramework),
+	}
+	t.det = m.Detector()
+	if st != nil {
+		sd, err := detect.RestoreStreamDetector(t.det, srv.cfg.Stream, st)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: restore stream: %w", name, err)
+		}
+		t.sd = sd
+		t.restored = true
+	} else {
+		t.sd = detect.NewStream(t.det, srv.cfg.Stream)
+	}
+	t.worker.Add(1)
+	go t.run()
+	return t, nil
+}
+
+// run is the tenant worker: the single goroutine that feeds the
+// streaming detector, so records of one tenant are consumed in ingest
+// order and control ops see a quiesced detector.
+func (t *tenant) run() {
+	defer t.worker.Done()
+	for tk := range t.queue {
+		if tk.ctl != nil {
+			tk.ctl()
+		} else {
+			for i := range tk.recs {
+				anoms := t.sd.Consume(tk.recs[i])
+				if len(anoms) > 0 {
+					t.sink.append(anoms)
+					t.srv.countAnomalies(t.name, anoms)
+				}
+			}
+			t.pending.Add(int64(-len(tk.recs)))
+		}
+		if tk.done != nil {
+			close(tk.done)
+		}
+	}
+}
+
+// enqueueBatch admits a record batch under the per-tenant budget.
+// Admission is two-staged: reserve record budget, then a non-blocking
+// channel send — if either fails the batch is refused (the caller
+// answers 429) and nothing is buffered, so a saturated tenant holds at
+// most QueueRecords records plus one in-flight batch, never an unbounded
+// backlog.
+func (t *tenant) enqueueBatch(recs []logging.Record) bool {
+	if len(recs) == 0 {
+		return true
+	}
+	n := int64(len(recs))
+	max := int64(t.srv.cfg.QueueRecords)
+	for {
+		cur := t.pending.Load()
+		if cur+n > max {
+			t.rejected.Add(1)
+			return false
+		}
+		if t.pending.CompareAndSwap(cur, cur+n) {
+			break
+		}
+	}
+	if !t.submit(task{recs: recs}, false) {
+		t.pending.Add(-n)
+		t.rejected.Add(1)
+		return false
+	}
+	t.records.Add(uint64(len(recs)))
+	t.batches.Add(1)
+	return true
+}
+
+// submit places a task on the queue. block selects between a blocking
+// send (control ops that must land) and try-send (ingest admission and
+// the periodic checkpointer, which both prefer refusal over waiting).
+// Returns false if the tenant is closed or the try-send found no room.
+func (t *tenant) submit(tk task, block bool) bool {
+	t.sendMu.RLock()
+	defer t.sendMu.RUnlock()
+	if t.closed {
+		return false
+	}
+	if block {
+		t.queue <- tk
+		return true
+	}
+	select {
+	case t.queue <- tk:
+		return true
+	default:
+		return false
+	}
+}
+
+// control runs fn on the worker goroutine, after everything already
+// queued, and waits for it to finish. Returns false if the tenant is
+// closed.
+func (t *tenant) control(fn func()) bool {
+	done := make(chan struct{})
+	if !t.submit(task{ctl: fn, done: done}, true) {
+		return false
+	}
+	<-done
+	return true
+}
+
+// checkpointPath is the tenant's checkpoint file.
+func (t *tenant) checkpointPath() string {
+	return filepath.Join(t.srv.cfg.StateDir, t.name+checkpointExt)
+}
+
+// saveCheckpoint persists the model plus current stream state
+// atomically (write + rename). It must only run from the worker
+// goroutine or after the worker has exited, so the snapshot pairs with
+// an exact position in the accepted ingest stream.
+func (t *tenant) saveCheckpoint() error {
+	if t.srv.cfg.StateDir == "" {
+		return nil
+	}
+	path := t.checkpointPath()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveCheckpoint(f, t.model, t.sd.State()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// close stops the tenant: no further sends are admitted, the queue is
+// closed, and once the worker has drained everything already accepted,
+// a final checkpoint is written (when checkpoint is true and a state
+// dir is configured). Safe to call more than once.
+func (t *tenant) close(checkpoint bool) error {
+	t.sendMu.Lock()
+	already := t.closed
+	if !already {
+		t.closed = true
+		close(t.queue)
+	}
+	t.sendMu.Unlock()
+	t.worker.Wait()
+	if already || !checkpoint {
+		return nil
+	}
+	return t.saveCheckpoint()
+}

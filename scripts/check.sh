@@ -7,6 +7,7 @@
 #   BENCH=0 scripts/check.sh    # skip the benchmark pass
 #   FUZZ=1 scripts/check.sh     # also run the native fuzz targets
 #   FUZZTIME=60s FUZZ=1 ...     # with a larger per-target budget
+#   SERVE=1 scripts/check.sh    # also run the serving-mode smoke test
 #
 # Setting INTELLOG_BENCH_JSON=BENCH_spell.json before the bench pass
 # archives the Spell benchmarks' headline numbers, and
@@ -48,6 +49,11 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	go test -run '^$' -fuzz '^FuzzExtract$' -fuzztime "$ft" ./internal/extract/
 	go test -run '^$' -fuzz '^FuzzStreamConsume$' -fuzztime "$ft" ./internal/detect/
 	go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime "$ft" ./internal/core/
+fi
+
+if [ "${SERVE:-0}" = "1" ]; then
+	echo "==> serving-mode smoke (boot intellogd, HTTP replay, metrics, SIGTERM drain)"
+	scripts/serve_smoke.sh
 fi
 
 echo "==> OK"

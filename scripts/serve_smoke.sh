@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — end-to-end smoke test of the serving mode, as run by
+# the CI serve-smoke job:
+#
+#   1. build intellogd, intellog and loggen
+#   2. generate a training corpus and train a tenant model
+#   3. generate a faulted replay corpus
+#   4. boot intellogd against the model dir
+#   5. replay the corpus over HTTP with bench-serve (which also asserts
+#      the /metrics scrape carries the serving series)
+#   6. SIGTERM the daemon and require a clean drain (exit 0)
+#
+# Everything lands in a scratch dir and is cleaned up on exit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -KILL "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> build"
+go build -o "$work/intellogd" ./cmd/intellogd
+go build -o "$work/intellog" ./cmd/intellog
+go build -o "$work/loggen" ./cmd/loggen
+
+echo "==> train tenant model"
+"$work/loggen" -framework spark -jobs 6 -fault none -seed 11 -out "$work/train-logs"
+mkdir -p "$work/models" "$work/state"
+"$work/intellog" train -framework spark -logs "$work/train-logs" -model "$work/models/smoke.json"
+
+echo "==> generate replay corpus"
+"$work/loggen" -framework spark -jobs 4 -fault kill -seed 12 -out "$work/replay-logs"
+
+echo "==> boot intellogd"
+addr="127.0.0.1:7871"
+"$work/intellogd" -addr "$addr" -models "$work/models" -state "$work/state" \
+	-checkpoint-every 2s -idle 0 >"$work/intellogd.log" 2>&1 &
+daemon_pid=$!
+
+echo "==> replay over HTTP"
+"$work/intellog" bench-serve -server "http://$addr" -tenant smoke -framework spark \
+	-logs "$work/replay-logs" -batch 128 -concurrency 4 -wait 10s \
+	-bench-json "$work/BENCH_server.json" -check-metrics
+
+echo "==> graceful drain (SIGTERM)"
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [ "$status" -ne 0 ]; then
+	echo "intellogd did not drain cleanly (exit $status); log follows:" >&2
+	cat "$work/intellogd.log" >&2
+	exit 1
+fi
+
+# The drain must have left a final checkpoint behind.
+if [ ! -f "$work/state/smoke.ckpt" ]; then
+	echo "drain left no checkpoint in $work/state" >&2
+	exit 1
+fi
+
+echo "==> serve smoke OK"
