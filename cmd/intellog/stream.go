@@ -109,11 +109,15 @@ func cmdStream(args []string) error {
 			if err != nil {
 				return fmt.Errorf("resume %s: %w", *checkpoint, err)
 			}
-			// The session touched last before the cut is where ID-less
-			// records were sticking; resume the sessionizer there.
-			for _, sess := range st.Sessions {
-				if sticky == "" || sess.Last.After(lastTouched) {
-					sticky, lastTouched = sess.ID, sess.Last
+			// Resume the sessionizer where ID-less records were sticking
+			// at the cut. Newer checkpoints record it exactly; for older
+			// ones fall back to the session touched last before the cut.
+			sticky = st.Sticky
+			if sticky == "" {
+				for _, sess := range st.Sessions {
+					if sticky == "" || sess.Last.After(lastTouched) {
+						sticky, lastTouched = sess.ID, sess.Last
+					}
 				}
 			}
 			fmt.Printf("resumed from %s: %d in-flight sessions, %d seen, fast-forwarding %d lines\n",
@@ -171,7 +175,9 @@ func cmdStream(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := core.SaveCheckpointAt(f, m, sd.State(), at); err != nil {
+		st := sd.State()
+		st.Sticky = assigner.Current()
+		if err := core.SaveCheckpointAt(f, m, st, at); err != nil {
 			f.Close()
 			return err
 		}

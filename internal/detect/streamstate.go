@@ -33,6 +33,15 @@ type StreamState struct {
 	AnomalySeq uint64 `json:"anomalySeq,omitempty"`
 	// Sessions are the in-flight sessions, in arrival order.
 	Sessions []SessionState `json:"sessions,omitempty"`
+	// Sticky is the raw-line sessionizer's stickiness state at the cut:
+	// the session ID that lines without an extractable ID were being
+	// attributed to (logging.SessionAssigner.Current). The detector
+	// itself neither produces nor consumes it — callers that sessionize
+	// raw lines stash it here before saving and SessionAssigner.Resume
+	// it after restoring, so ID-less lines keep their attribution across
+	// a restart. Empty in older checkpoints and for streams whose
+	// records arrive already carrying session IDs.
+	Sticky string `json:"sticky,omitempty"`
 }
 
 // SessionState is one in-flight session inside a StreamState.

@@ -69,6 +69,18 @@ const (
 	TensorFlow Framework = "tensorflow"
 )
 
+// Known reports whether fw is one of the frameworks above. Callers that
+// accept framework names from the outside (e.g. the ingest API) must
+// check it before FormatterFor, whose default case would otherwise
+// silently parse an unknown name with the Hadoop layout.
+func (fw Framework) Known() bool {
+	switch fw {
+	case Spark, MapReduce, Tez, Yarn, NovaCompute, TensorFlow:
+		return true
+	}
+	return false
+}
+
 // Record is one parsed log message.
 type Record struct {
 	// Time is the log timestamp.

@@ -124,8 +124,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fw := s.cfg.DefaultFramework
+	formatter := t.formatter
 	if q := r.URL.Query().Get("framework"); q != "" {
 		fw = logging.Framework(q)
+		if !fw.Known() {
+			httpError(w, http.StatusBadRequest, "unknown framework %q", q)
+			return
+		}
+		// Raw lines parse through the requested framework's formatter,
+		// not the tenant default — the parameter applies to both wire
+		// forms or not at all.
+		formatter = logging.FormatterFor(fw)
 	}
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -146,7 +155,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if wr.Line != "" {
-			rec, ok := t.parseLine(wr.Line)
+			rec, ok := t.parseLine(formatter, wr.Line)
 			if !ok {
 				skipped++
 				continue
@@ -174,6 +183,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	t.skipped.Add(uint64(skipped))
 
+	// A batch larger than the whole queue budget can never be admitted;
+	// a retryable 429 would send well-behaved clients (the replay client
+	// included) into a futile retry loop, so refuse it outright.
+	if len(recs) > s.cfg.QueueRecords {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d records exceeds tenant %s's whole queue budget (%d) and can never be admitted; split the batch",
+			len(recs), t.name, s.cfg.QueueRecords)
+		return
+	}
 	if !t.enqueueBatch(recs) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
@@ -183,10 +201,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(recs), Skipped: skipped})
 }
 
-// parseLine parses one raw log line through the tenant's formatter and
-// sticky sessionizer.
-func (t *tenant) parseLine(line string) (logging.Record, bool) {
-	rec, ok := t.formatter.Parse(line)
+// parseLine parses one raw log line through the given formatter and the
+// tenant's sticky sessionizer.
+func (t *tenant) parseLine(f logging.Formatter, line string) (logging.Record, bool) {
+	rec, ok := f.Parse(line)
 	if !ok {
 		return logging.Record{}, false
 	}

@@ -12,6 +12,7 @@ package server
 import (
 	"container/list"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -160,6 +161,14 @@ func (s *Server) restoreCheckpointed() error {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), checkpointExt)
+		// A stray file with an invalid tenant basename is junk, not a
+		// reason to refuse to boot: skip it (loadTenant would never have
+		// written it, so no real state is being ignored).
+		if !validTenantName(name) {
+			log.Printf("intellogd: ignoring checkpoint %s: invalid tenant name",
+				filepath.Join(s.cfg.StateDir, e.Name()))
+			continue
+		}
 		if s.cfg.MaxTenants > 0 && s.lru.Len() >= s.cfg.MaxTenants {
 			break
 		}

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -198,6 +200,177 @@ func TestAnomalyLogPaging(t *testing.T) {
 	if len(page) != 4 || page[0].Seq != 7 || next != 10 {
 		t.Fatalf("stale cursor page = %d entries from seq %d, next %d; want 4 from 7, next 10",
 			len(page), page[0].Seq, next)
+	}
+}
+
+// TestAnomalyLogCursorOverflow pins the cursor clamp: a client-supplied
+// since near MaxUint64 must land past the retained window (empty page,
+// cursor echoed back), not overflow int and panic indexing.
+func TestAnomalyLogCursorOverflow(t *testing.T) {
+	l := newAnomalyLog(0)
+	l.append([]detect.Anomaly{{Seq: 1}, {Seq: 2}, {Seq: 3}})
+	for _, since := range []uint64{3, 4, 1 << 40, math.MaxUint64 - 1, math.MaxUint64} {
+		page, next, _ := l.after(since, 0)
+		if len(page) != 0 || next != since {
+			t.Fatalf("after(%d) = %d entries, next %d; want 0 entries, next %d",
+				since, len(page), next, since)
+		}
+	}
+}
+
+// TestOversizedBatch413 proves a batch larger than the entire queue
+// budget is refused with a non-retryable 413, not the retryable 429 that
+// would loop clients forever on a permanently unacceptable request.
+func TestOversizedBatch413(t *testing.T) {
+	modelDir := t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	s, err := New(Config{ModelDir: modelDir, QueueRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	c := &Client{Base: hs.URL, Tenant: "acme"}
+	_, err = c.IngestRecords(testRecords("sess-a", 5))
+	if err == nil || !strings.Contains(err.Error(), "413") {
+		t.Fatalf("oversized batch: err %v, want HTTP 413", err)
+	}
+	if _, ok := err.(ErrQueueFull); ok {
+		t.Fatal("oversized batch surfaced as retryable ErrQueueFull")
+	}
+	if _, err := c.IngestRecords(testRecords("sess-a", 4)); err != nil {
+		t.Fatalf("exactly-budget batch refused: %v", err)
+	}
+}
+
+// TestJunkCheckpointIgnored boots a server over a state dir holding
+// checkpoint files with invalid tenant basenames: they are skipped, not
+// turned into a startup failure.
+func TestJunkCheckpointIgnored(t *testing.T) {
+	modelDir, stateDir := t.TempDir(), t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	for _, junk := range []string{".hidden" + checkpointExt, "bad name" + checkpointExt} {
+		if err := os.WriteFile(filepath.Join(stateDir, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{ModelDir: modelDir, StateDir: stateDir})
+	if err != nil {
+		t.Fatalf("junk checkpoint files failed boot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStickyRestoredAcrossCheckpoint proves the raw-line sessionizer's
+// stickiness survives a checkpoint + kill + restart: an ID-less line
+// ingested by the successor process still attributes to the session that
+// was active at the cut instead of being dropped.
+func TestStickyRestoredAcrossCheckpoint(t *testing.T) {
+	modelDir, stateDir := t.TempDir(), t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	cfg := Config{ModelDir: modelDir, StateDir: stateDir}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	c := &Client{Base: hs.URL, Tenant: "acme"}
+
+	body := `{"line": "19/03/01 12:00:01 INFO Executor: starting container_1234567890_0001_01_000001"}`
+	resp, err := hs.Client().Post(hs.URL+"/v1/ingest?tenant=acme", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("ingest status %d, want 202", resp.StatusCode)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	s.Kill()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	tn, err := s2.Tenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tn.restored {
+		t.Fatal("tenant did not restore from checkpoint")
+	}
+	idless := `{"line": "19/03/01 12:00:02 INFO Executor: heartbeat"}`
+	resp, err = hs2.Client().Post(hs2.URL+"/v1/ingest?tenant=acme", "application/x-ndjson", strings.NewReader(idless))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tn.control(func() {})
+	if got := tn.skipped.Load(); got != 0 {
+		t.Fatalf("restored tenant dropped %d ID-less lines; sticky state lost", got)
+	}
+	if got := tn.records.Load(); got != 1 {
+		t.Fatalf("accepted records = %d, want 1", got)
+	}
+	if got := tn.sd.Pending(); got != 1 {
+		t.Fatalf("pending sessions = %d, want 1 (ID-less line must join the restored session)", got)
+	}
+}
+
+// TestIngestFrameworkParam pins the ?framework= contract on the raw-line
+// path: unknown names are rejected up front, and a known name selects
+// the parser for raw lines instead of being silently ignored in favor of
+// the tenant default.
+func TestIngestFrameworkParam(t *testing.T) {
+	modelDir := t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	s, err := New(Config{ModelDir: modelDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Post(hs.URL+"/v1/ingest?tenant=acme&framework=nope",
+		"application/x-ndjson", strings.NewReader(`{"line": "x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown framework: status %d, want 400", resp.StatusCode)
+	}
+
+	// A log4j-format line is unparsable under the spark default but must
+	// parse when the request says framework=yarn.
+	body := `{"line": "2019-03-01 12:00:00,123 INFO [main] org.apache.hadoop.yarn.NodeManager: starting container_1234567890_0001_01_000001"}`
+	resp, err = hs.Client().Post(hs.URL+"/v1/ingest?tenant=acme&framework=yarn",
+		"application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("yarn raw line: status %d, want 202", resp.StatusCode)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 1 || ir.Skipped != 0 {
+		t.Fatalf("yarn raw line: accepted %d, skipped %d; want 1 accepted (formatter must follow the framework parameter)",
+			ir.Accepted, ir.Skipped)
 	}
 }
 

@@ -70,7 +70,15 @@ func (l *anomalyLog) after(since uint64, limit int) (out []SeqAnomaly, next uint
 	}
 	start := 0
 	if since >= l.first {
-		start = int(since - l.first + 1)
+		// Keep the offset in uint64 and clamp before converting: a
+		// client-supplied cursor near MaxUint64 must land past the end,
+		// not overflow int and panic indexing.
+		d := since - l.first
+		if d >= uint64(len(l.entries)) {
+			start = len(l.entries)
+		} else {
+			start = int(d) + 1
+		}
 	}
 	for i := start; i < len(l.entries); i++ {
 		if limit > 0 && len(out) >= limit {

@@ -77,6 +77,7 @@ func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState) 
 			return nil, fmt.Errorf("tenant %s: restore stream: %w", name, err)
 		}
 		t.sd = sd
+		t.assigner.Resume(st.Sticky)
 		t.restored = true
 	} else {
 		t.sd = detect.NewStream(t.det, srv.cfg.Stream)
@@ -195,7 +196,16 @@ func (t *tenant) saveCheckpoint() error {
 	if err != nil {
 		return err
 	}
-	if err := core.SaveCheckpoint(f, t.model, t.sd.State()); err != nil {
+	st := t.sd.State()
+	// Carry the raw-line sessionizer's stickiness so a restored tenant
+	// keeps attributing ID-less lines instead of dropping them. The
+	// assigner tracks the latest *accepted* line, which may run slightly
+	// ahead of the worker's consumed cut — the right side to err on,
+	// since queued-but-unconsumed records are lost on a crash anyway.
+	t.assignMu.Lock()
+	st.Sticky = t.assigner.Current()
+	t.assignMu.Unlock()
+	if err := core.SaveCheckpoint(f, t.model, st); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
