@@ -1,0 +1,68 @@
+// Command benchdiff compares two benchjson archives (see
+// internal/benchjson) on one higher-is-better metric and exits nonzero
+// when the current numbers regress past the tolerance band. It is the
+// comparison half of scripts/bench_compare.sh:
+//
+//	benchdiff -baseline BENCH_detect.json -current /tmp/detect.json \
+//	    -metric logs_per_sec -tolerance 0.35
+//
+// Every benchmark in the baseline that carries the metric must be
+// present in the current archive and within tolerance of its baseline
+// value; extra benchmarks in the current archive are ignored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intellog/internal/benchjson"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed benchjson archive (the reference)")
+		current   = flag.String("current", "", "freshly generated benchjson archive")
+		metric    = flag.String("metric", "logs_per_sec", "higher-is-better metric to compare")
+		tolerance = flag.Float64("tolerance", 0.35, "allowed fractional slowdown before failing (0.35 = -35%)")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := benchjson.Load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := benchjson.Load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	deltas := benchjson.Compare(base, cur, *metric, *tolerance)
+	if len(deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline %s has no benchmarks with metric %q\n", *baseline, *metric)
+		os.Exit(2)
+	}
+	failed := false
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			failed = true
+			fmt.Printf("FAIL %-36s missing from current archive (baseline %.0f)\n", d.Name, d.Baseline)
+		case d.Regressed:
+			failed = true
+			fmt.Printf("FAIL %-36s %s %.0f -> %.0f (%.2fx, tolerance %.0f%%)\n",
+				d.Name, *metric, d.Baseline, d.Current, d.Ratio, *tolerance*100)
+		default:
+			fmt.Printf("ok   %-36s %s %.0f -> %.0f (%.2fx)\n",
+				d.Name, *metric, d.Baseline, d.Current, d.Ratio)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		state      = flag.String("state", "", "checkpoint directory (<tenant>.ckpt); empty disables checkpointing")
 		maxTenants = flag.Int("max-tenants", 32, "resident tenant cap (LRU eviction past it; <0 unbounded)")
 		queue      = flag.Int("queue", 8192, "per-tenant ingest queue budget in records (429 past it)")
+		workers    = flag.Int("ingest-workers", 1, "per-tenant ingest workers (session-sharded; 1 = serial pipeline)")
 		anomalyLog = flag.Int("anomaly-log", 65536, "per-tenant retained anomaly window (<0 unbounded)")
 		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint cadence (0 disables)")
 		idle       = flag.Duration("idle", 5*time.Minute, "session idle timeout before auto-close (0 disables)")
@@ -53,6 +54,7 @@ func main() {
 		StateDir:        *state,
 		MaxTenants:      *maxTenants,
 		QueueRecords:    *queue,
+		IngestWorkers:   *workers,
 		AnomalyLog:      *anomalyLog,
 		CheckpointEvery: *ckptEvery,
 		Stream: detect.StreamConfig{

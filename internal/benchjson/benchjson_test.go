@@ -55,3 +55,50 @@ func TestMergeReplacesMalformedArchive(t *testing.T) {
 		t.Fatalf("archive = %v", all)
 	}
 }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]map[string]float64{
+		"Fast":  {"logs_per_sec": 1000},
+		"Slow":  {"logs_per_sec": 1000},
+		"Gone":  {"logs_per_sec": 500},
+		"NoMet": {"other": 3},
+	}
+	cur := map[string]map[string]float64{
+		"Fast": {"logs_per_sec": 900}, // -10%: inside band
+		"Slow": {"logs_per_sec": 600}, // -40%: regression
+	}
+	ds := Compare(base, cur, "logs_per_sec", 0.25)
+	if len(ds) != 3 {
+		t.Fatalf("got %d deltas, want 3 (NoMet skipped): %+v", len(ds), ds)
+	}
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["Fast"]; d.Regressed || d.Ratio != 0.9 {
+		t.Errorf("Fast = %+v, want ok at 0.9x", d)
+	}
+	if d := byName["Slow"]; !d.Regressed || d.Missing {
+		t.Errorf("Slow = %+v, want regressed", d)
+	}
+	if d := byName["Gone"]; !d.Regressed || !d.Missing {
+		t.Errorf("Gone = %+v, want missing+regressed", d)
+	}
+}
+
+func TestLoadRoundTripsMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Merge(path, "B", map[string]float64{"logs_per_sec": 42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["B"]["logs_per_sec"] != 42 {
+		t.Errorf("Load = %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+}

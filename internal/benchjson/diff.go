@@ -1,0 +1,62 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Load reads an archive written by Merge: benchmark name → metric →
+// value.
+func Load(path string) (map[string]map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	all := map[string]map[string]float64{}
+	if err := json.Unmarshal(raw, &all); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return all, nil
+}
+
+// Delta is one benchmark's baseline-vs-current comparison on a single
+// metric (higher is better).
+type Delta struct {
+	Name      string
+	Baseline  float64
+	Current   float64
+	Ratio     float64 // Current / Baseline
+	Missing   bool    // benchmark absent from the current archive
+	Regressed bool    // Ratio < 1 - tolerance (or Missing)
+}
+
+// Compare checks every baseline benchmark that carries metric against
+// the current archive. tolerance is the allowed fractional slowdown
+// (0.25 = current may be up to 25% below baseline before it counts as a
+// regression); higher-is-better semantics. Baseline entries without the
+// metric are skipped; results come back sorted by name.
+func Compare(baseline, current map[string]map[string]float64, metric string, tolerance float64) []Delta {
+	var out []Delta
+	for name, metrics := range baseline {
+		base, ok := metrics[metric]
+		if !ok {
+			continue
+		}
+		d := Delta{Name: name, Baseline: base}
+		cur, ok := current[name]
+		if !ok {
+			d.Missing, d.Regressed = true, true
+		} else {
+			d.Current = cur[metric]
+			if base > 0 {
+				d.Ratio = d.Current / base
+			}
+			d.Regressed = d.Ratio < 1-tolerance
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

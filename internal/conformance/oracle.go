@@ -10,6 +10,7 @@ import (
 	"intellog/internal/core"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
+	"intellog/internal/par"
 )
 
 // The differential oracle: one record stream, several execution paths,
@@ -52,6 +53,31 @@ type PathReport struct {
 // BatchPath runs plain batch detection over the stream's session view.
 func BatchPath(d *detect.Detector, recs []logging.Record) *detect.Report {
 	return d.Detect(logging.GroupSessions(recs))
+}
+
+// BatchParallelPath runs sharded batch detection at an explicit shard
+// count. The ordered merge must make it byte-identical to BatchPath.
+func BatchParallelPath(d *detect.Detector, recs []logging.Record, shards int) *detect.Report {
+	return d.DetectParallel(logging.GroupSessions(recs), shards)
+}
+
+// StreamBatchPath consumes the stream through the two-stage ConsumeBatch
+// pipeline (parallel resolve, ordered apply) in chunks, which must be
+// indistinguishable from record-at-a-time Consume.
+func StreamBatchPath(d *detect.Detector, recs []logging.Record, chunk, workers int) *detect.Report {
+	sd := detect.NewStream(d, detect.StreamConfig{})
+	var all []detect.Anomaly
+	for len(recs) > 0 {
+		n := chunk
+		if n > len(recs) {
+			n = len(recs)
+		}
+		all = append(all, sd.ConsumeBatch(recs[:n], workers)...)
+		recs = recs[n:]
+	}
+	rep := sd.Flush()
+	all = append(all, rep.Anomalies...)
+	return &detect.Report{Sessions: rep.Sessions, Anomalies: all}
 }
 
 // StreamPath consumes the stream record by record at the given shard
@@ -106,13 +132,27 @@ func ResumePath(m *core.Model, recs []logging.Record, cut int) (*detect.Report, 
 	return &detect.Report{Sessions: rep.Sessions, Anomalies: all}, nil
 }
 
-// OracleShards are the shard counts the oracle exercises.
+// OracleShards are the session-shard counts the streaming oracle
+// exercises.
 var OracleShards = []int{1, 4, 16}
 
+// OracleBatchShards are the worker-shard counts the parallel batch
+// oracle exercises: fixed small counts plus the machine's CPU width.
+// Every count spawns real goroutines (see par.ForEach), so the ordered
+// merge is exercised under genuine concurrency even on small machines.
+func OracleBatchShards() []int {
+	shards := []int{2, 8}
+	if n := par.Workers(); n != 2 && n != 8 {
+		shards = append(shards, n)
+	}
+	return shards
+}
+
 // RunOracle runs every execution path over one record stream — batch,
-// streaming at OracleShards, and kill/resume at a seeded random cut — and
-// returns the per-path canonical reports. Callers assert every
-// PathReport.Canon equals the first (the batch reference).
+// sharded-parallel batch at OracleBatchShards, streaming at
+// OracleShards, chunked two-stage streaming, and kill/resume at a seeded
+// random cut — and returns the per-path canonical reports. Callers
+// assert every PathReport.Canon equals the first (the batch reference).
 func RunOracle(m *core.Model, recs []logging.Record, seed int64) ([]PathReport, error) {
 	d := m.Detector()
 	var out []PathReport
@@ -128,10 +168,18 @@ func RunOracle(m *core.Model, recs []logging.Record, seed int64) ([]PathReport, 
 	if err := add("batch", BatchPath(d, recs)); err != nil {
 		return nil, err
 	}
+	for _, shards := range OracleBatchShards() {
+		if err := add(fmt.Sprintf("batch-par-%d", shards), BatchParallelPath(d, recs, shards)); err != nil {
+			return nil, err
+		}
+	}
 	for _, shards := range OracleShards {
 		if err := add(fmt.Sprintf("stream-%d", shards), StreamPath(d, recs, shards)); err != nil {
 			return nil, err
 		}
+	}
+	if err := add("stream-batched", StreamBatchPath(d, recs, 64, 4)); err != nil {
+		return nil, err
 	}
 	// Randomized (but seeded) cut point: somewhere strictly inside the
 	// stream, so both halves do real work.

@@ -102,7 +102,8 @@ func Train(sessions []*logging.Session, cfg Config) *Model {
 			if ik := keyIndex[k.ID]; ik != nil && ik.NaturalLanguage {
 				cl.Proto = extract.Bind(ik, e.toks, time.Time{}, "", msg)
 				cl.Proto.IdentifierSet()
-				cl.Proto.IdentifierTypes() // precompute; shared by every copy
+				cl.Proto.IdentifierTypes()
+				cl.Proto.TypeSignature() // precompute; shared by every copy
 				builder.Values().InternMessage(cl.Proto)
 			}
 		}
@@ -161,7 +162,8 @@ func BindSessionCached(parser *spell.Parser, keys map[int]*extract.IntelKey, cac
 			if ik := keys[k.ID]; ik != nil && ik.NaturalLanguage {
 				cl.Proto = extract.Bind(ik, tokens, time.Time{}, "", rec.Message)
 				cl.Proto.IdentifierSet()
-				cl.Proto.IdentifierTypes() // precompute; shared by every copy
+				cl.Proto.IdentifierTypes()
+				cl.Proto.TypeSignature() // precompute; shared by every copy
 				msgs = append(msgs, rb.Rebind(cl.Proto, rec.Time, s.ID))
 			}
 		}

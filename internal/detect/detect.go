@@ -187,6 +187,89 @@ type Detector struct {
 	// interned identifier sets from it so Algorithm 2 never hashes value
 	// strings. May be nil (the assigners then intern per run).
 	Values *hwgraph.ValueInterner
+
+	// scratch pools per-worker detection state (Algorithm 2 assigner,
+	// group buckets, key-sequence buffers) across sessions; see
+	// sessionScratch. Detectors must not be copied once detection starts.
+	scratch sync.Pool
+
+	// groupOnce lazily builds the entity→group attribution table and the
+	// expected-group list from the (frozen) trained graph, replacing the
+	// per-call sorted scans that dominated unexpected-message handling.
+	groupOnce   sync.Once
+	entityGroup map[string]string
+	expected    []string
+}
+
+// sessionScratch is one detection worker's reusable state. Batch shards
+// and stream finalizers check one session at a time, so everything here
+// is sized by the widest session seen and reused for the rest of the
+// worker's lifetime — the per-session map/slice churn that used to
+// dominate the allocation profile is gone.
+type sessionScratch struct {
+	asn  hwgraph.Assigner
+	msgs []*extract.Message
+
+	// Group buckets replace the per-session byGroup/spans maps. Buckets
+	// are created once per distinct group name and invalidated by epoch
+	// stamping, so a new session touches no map at all on the hot path:
+	// keyBuckets resolves an Intel Key ID straight to its buckets.
+	epoch      uint64
+	buckets    map[string]*groupBucket
+	keyBuckets [][]*groupBucket
+	keyBuilt   []bool
+	touched    []*groupBucket
+
+	// seq and order back the per-instance key sequence and its
+	// first-occurrence reduction.
+	seq   []int
+	order []int
+}
+
+// groupBucket collects one entity group's messages within one session.
+type groupBucket struct {
+	name  string
+	epoch uint64
+	msgs  []*extract.Message
+	span  hwgraph.Span
+}
+
+// getScratch hands out a pooled worker scratch.
+func (d *Detector) getScratch() *sessionScratch {
+	if v := d.scratch.Get(); v != nil {
+		return v.(*sessionScratch)
+	}
+	scr := &sessionScratch{buckets: map[string]*groupBucket{}}
+	scr.asn.SetValues(d.Values)
+	return scr
+}
+
+func (d *Detector) putScratch(scr *sessionScratch) { d.scratch.Put(scr) }
+
+// bucketsFor resolves an Intel Key ID to the group buckets it feeds,
+// building the per-key bucket list on first sight.
+func (scr *sessionScratch) bucketsFor(d *Detector, keyID int) []*groupBucket {
+	if keyID < 0 {
+		return nil
+	}
+	for keyID >= len(scr.keyBuckets) {
+		scr.keyBuckets = append(scr.keyBuckets, nil)
+		scr.keyBuilt = append(scr.keyBuilt, false)
+	}
+	if !scr.keyBuilt[keyID] {
+		var bs []*groupBucket
+		for _, g := range d.KeyGroups[keyID] {
+			b := scr.buckets[g]
+			if b == nil {
+				b = &groupBucket{name: g}
+				scr.buckets[g] = b
+			}
+			bs = append(bs, b)
+		}
+		scr.keyBuckets[keyID] = bs
+		scr.keyBuilt[keyID] = true
+	}
+	return scr.keyBuckets[keyID]
 }
 
 // NewDetector assembles a Detector with all checks enabled.
@@ -218,7 +301,8 @@ func (d *Detector) lookupRecord(rec *logging.Record) (key *spell.Key, cl *extrac
 		if ik := d.Keys[key.ID]; ik != nil && ik.NaturalLanguage {
 			cl.Proto = extract.Bind(ik, tokens, time.Time{}, "", rec.Message)
 			cl.Proto.IdentifierSet()
-			cl.Proto.IdentifierTypes() // precompute; shared by every copy
+			cl.Proto.IdentifierTypes()
+			cl.Proto.TypeSignature() // precompute; shared by every copy
 			if d.Values != nil {
 				d.Values.InternMessage(cl.Proto)
 			}
@@ -232,9 +316,18 @@ func (d *Detector) lookupRecord(rec *logging.Record) (key *spell.Key, cl *extrac
 
 // DetectSession checks one session and returns its anomalies.
 func (d *Detector) DetectSession(s *logging.Session) []Anomaly {
+	scr := d.getScratch()
+	defer d.putScratch(scr)
+	return d.detectSession(s, scr)
+}
+
+// detectSession is DetectSession over caller-owned worker scratch.
+// Structural checks consume the shared bound prototypes directly — the
+// instance checks read only rendering-derived fields (key ID, identifier
+// sets/types), so no per-record message copy is made.
+func (d *Detector) detectSession(s *logging.Session, scr *sessionScratch) []Anomaly {
 	var anomalies []Anomaly
-	var msgs []*extract.Message
-	var rb extract.Rebinder
+	msgs := scr.msgs[:0]
 
 	for i := range s.Records {
 		rec := &s.Records[i]
@@ -248,21 +341,43 @@ func (d *Detector) DetectSession(s *logging.Session) []Anomaly {
 			// never triggers an unexpected-message error.
 			continue
 		}
-		msgs = append(msgs, rb.Rebind(cl.Proto, rec.Time, s.ID))
+		msgs = append(msgs, cl.Proto)
 	}
+	scr.msgs = msgs
 
-	anomalies = append(anomalies, d.checkInstances(s.ID, msgs)...)
+	anomalies = append(anomalies, d.checkInstances(s.ID, msgs, scr)...)
 	return anomalies
 }
 
-// Detect runs DetectSession over a batch. Sessions are independent, so
-// they are checked by a worker pool; the report lists anomalies in
-// session input order regardless of scheduling.
+// Detect runs DetectSession over a batch on a worker pool sized to the
+// machine; the report lists anomalies in session input order regardless
+// of scheduling. Equivalent to DetectParallel(sessions, 0).
 func (d *Detector) Detect(sessions []*logging.Session) *Report {
+	return d.DetectParallel(sessions, 0)
+}
+
+// DetectParallel shards batch detection across sessions: shard w checks
+// sessions w, w+shards, w+2·shards, … with worker-local scratch, and the
+// merge appends per-session findings in input order — so the report is
+// byte-identical at every shard count (the conformance oracle proves
+// serial == parallel(2, 8, NumCPU) on every corpus). shards ≤ 0 uses one
+// shard per CPU. Each shard is a real goroutine even beyond the CPU
+// count, so oversubscribed counts still exercise the concurrent paths.
+func (d *Detector) DetectParallel(sessions []*logging.Session, shards int) *Report {
+	if shards <= 0 {
+		shards = par.Workers()
+	}
+	if shards > len(sessions) {
+		shards = len(sessions)
+	}
 	r := &Report{Sessions: len(sessions)}
 	perSession := make([][]Anomaly, len(sessions))
-	par.ForEachIndex(len(sessions), func(i int) {
-		perSession[i] = d.DetectSession(sessions[i])
+	par.ForEach(shards, shards, func(w int) {
+		scr := d.getScratch()
+		defer d.putScratch(scr)
+		for i := w; i < len(sessions); i += shards {
+			perSession[i] = d.detectSession(sessions[i], scr)
+		}
 	})
 	for _, anomalies := range perSession {
 		r.Anomalies = append(r.Anomalies, anomalies...)
@@ -305,68 +420,80 @@ func (d *Detector) unexpected(s *logging.Session, rec *logging.Record, tokens []
 	}
 }
 
-// findGroupOf returns the trained group containing an entity phrase.
-// Groups are probed in sorted name order: an entity listed under several
-// groups must resolve to the same one on every run — iterating the node
-// map directly made the attribution (and therefore the detection report)
-// nondeterministic, which the conformance oracle flags.
+// findGroupOf returns the trained group containing an entity phrase,
+// via a table precomputed from the frozen graph. An entity listed under
+// several groups resolves to the lexically smallest group name — the
+// same answer the original sorted per-call scan produced, which the
+// conformance oracle pins (iterating the node map directly once made
+// the attribution nondeterministic).
 func (d *Detector) findGroupOf(entity string) string {
+	d.groupOnce.Do(d.buildGroupIndex)
+	return d.entityGroup[entity]
+}
+
+// expectedGroups caches Graph.ExpectedGroups (sorted, frozen with the
+// graph) so the per-session presence check allocates nothing.
+func (d *Detector) expectedGroups() []string {
+	d.groupOnce.Do(d.buildGroupIndex)
+	return d.expected
+}
+
+// buildGroupIndex precomputes entity→group attribution and the
+// expected-group list. Runs once; the graph is frozen during detection.
+func (d *Detector) buildGroupIndex() {
 	names := make([]string, 0, len(d.Graph.Nodes))
 	for name := range d.Graph.Nodes {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	idx := make(map[string]string)
 	for _, name := range names {
 		for _, e := range d.Graph.Nodes[name].Entities {
-			if e == entity {
-				return name
+			if _, ok := idx[e]; !ok {
+				idx[e] = name
 			}
 		}
 	}
-	return ""
+	d.entityGroup = idx
+	d.expected = d.Graph.ExpectedGroups()
 }
 
 // checkInstances verifies the session's HW-graph instance: per-group
 // subroutine instances against trained subroutines, expected-group
-// presence, and lifespan-relation consistency.
-// assigners pools Algorithm 2 scratch state across the parallel
-// per-session detection workers; checkInstances consumes each group's
-// instances before assigning the next group, so reuse is safe.
-var assigners = sync.Pool{New: func() any { return new(hwgraph.Assigner) }}
-
-func (d *Detector) checkInstances(session string, msgs []*extract.Message) []Anomaly {
+// presence, and lifespan-relation consistency. scr is the calling
+// worker's scratch; checkInstances consumes each group's instances
+// before assigning the next group, so assigner reuse is safe.
+func (d *Detector) checkInstances(session string, msgs []*extract.Message, scr *sessionScratch) []Anomaly {
 	var anomalies []Anomaly
 
-	byGroup := map[string][]*extract.Message{}
-	spans := map[string]hwgraph.Span{}
+	// Bucket messages by entity group. Epoch stamping invalidates the
+	// previous session's buckets without clearing (or allocating) any map:
+	// a key ID resolves straight to its buckets through keyBuckets.
+	scr.epoch++
+	touched := scr.touched[:0]
 	for idx, m := range msgs {
-		for _, g := range d.KeyGroups[m.KeyID] {
-			byGroup[g] = append(byGroup[g], m)
-			sp, ok := spans[g]
-			if !ok {
-				spans[g] = hwgraph.Span{First: idx, Last: idx}
+		for _, b := range scr.bucketsFor(d, m.KeyID) {
+			if b.epoch != scr.epoch {
+				b.epoch = scr.epoch
+				b.msgs = b.msgs[:0]
+				b.span = hwgraph.Span{First: idx, Last: idx}
+				touched = append(touched, b)
 			} else {
-				sp.Last = idx
-				spans[g] = sp
+				b.span.Last = idx
 			}
+			b.msgs = append(b.msgs, m)
 		}
 	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i].name < touched[j].name })
+	scr.touched = touched
 
-	groupNames := make([]string, 0, len(byGroup))
-	for g := range byGroup {
-		groupNames = append(groupNames, g)
-	}
-	sort.Strings(groupNames)
-
-	asn := assigners.Get().(*hwgraph.Assigner)
-	defer assigners.Put(asn)
-	asn.SetValues(d.Values)
-	for _, g := range groupNames {
+	for _, gb := range touched {
+		g := gb.name
 		node := d.Graph.Nodes[g]
 		if node == nil {
 			continue
 		}
-		for _, inst := range asn.Assign(byGroup[g]) {
+		for _, inst := range scr.asn.Assign(gb.msgs) {
 			sig := inst.Signature()
 			sub := node.Subroutines[sig]
 			if sub == nil {
@@ -378,18 +505,23 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message) []Ano
 				}
 				continue
 			}
-			seq := make([]int, len(inst.Msgs))
-			for i, m := range inst.Msgs {
-				seq[i] = m.KeyID
+			seq := scr.seq[:0]
+			for _, m := range inst.Msgs {
+				seq = append(seq, m.KeyID)
 			}
-			if missing := sub.MissingCritical(seq); len(missing) > 0 {
+			scr.seq = seq
+			// Reduce once; both checks consume the reduction (duplicates
+			// carry no signal for either).
+			order := hwgraph.FirstOccurrenceInto(scr.order[:0], seq)
+			scr.order = order
+			if missing := sub.MissingCritical(order); len(missing) > 0 {
 				anomalies = append(anomalies, Anomaly{
 					Session: session, Kind: MissingCriticalKeys, Group: g, Signature: sig,
 					MissingKeys: missing,
 					Detail:      fmt.Sprintf("subroutine %q in group %q missed %d critical Intel Keys", sig, g, len(missing)),
 				})
 			}
-			if pairs := sub.Violations(seq); len(pairs) > 0 {
+			if pairs := sub.ViolationsOrder(order); len(pairs) > 0 {
 				anomalies = append(anomalies, Anomaly{
 					Session: session, Kind: OrderViolation, Group: g, Signature: sig,
 					Pairs:  pairs,
@@ -400,11 +532,11 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message) []Ano
 	}
 
 	if d.CheckMissingGroups {
-		for _, g := range d.Graph.ExpectedGroups() {
+		for _, g := range d.expectedGroups() {
 			if g == hwgraph.MiscGroup {
 				continue
 			}
-			if _, ok := byGroup[g]; !ok {
+			if b, ok := scr.buckets[g]; !ok || b.epoch != scr.epoch {
 				anomalies = append(anomalies, Anomaly{
 					Session: session, Kind: MissingGroup, Group: g,
 					Detail: fmt.Sprintf("group %q appeared in every training session but is absent", g),
@@ -414,24 +546,24 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message) []Ano
 	}
 
 	if d.CheckHierarchy {
-		for i := 0; i < len(groupNames); i++ {
-			for j := i + 1; j < len(groupNames); j++ {
-				a, b := groupNames[i], groupNames[j]
+		for i := 0; i < len(touched); i++ {
+			for j := i + 1; j < len(touched); j++ {
+				ga, gb := touched[i], touched[j]
 				// Single-message groups have point lifespans whose position
 				// jitters with scheduling; only wide spans carry structure.
-				if len(byGroup[a]) < 2 || len(byGroup[b]) < 2 ||
-					spans[a].First == spans[a].Last || spans[b].First == spans[b].Last {
+				if len(ga.msgs) < 2 || len(gb.msgs) < 2 ||
+					ga.span.First == ga.span.Last || gb.span.First == gb.span.Last {
 					continue
 				}
-				trained := d.Graph.Relation(a, b)
+				trained := d.Graph.Relation(ga.name, gb.name)
 				if trained != hwgraph.Parent && trained != hwgraph.Before {
 					continue
 				}
-				observed := hwgraph.SessionRelation(spans[a], spans[b])
+				observed := hwgraph.SessionRelation(ga.span, gb.span)
 				if observed != trained {
 					anomalies = append(anomalies, Anomaly{
-						Session: session, Kind: HierarchyViolation, Group: a,
-						Detail: fmt.Sprintf("groups %q and %q trained %v but observed %v", a, b, trained, observed),
+						Session: session, Kind: HierarchyViolation, Group: ga.name,
+						Detail: fmt.Sprintf("groups %q and %q trained %v but observed %v", ga.name, gb.name, trained, observed),
 					})
 				}
 			}

@@ -1,6 +1,8 @@
 package detect
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -184,5 +186,51 @@ func TestReportSummary(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("Summary missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestDetectParallelDeterministic pins the ordered merge: at every shard
+// count — serial, small, and oversubscribed (more shards than sessions
+// or CPUs) — DetectParallel must reproduce the exact serial report,
+// anomaly order included, not merely the same multiset of findings.
+func TestDetectParallelDeterministic(t *testing.T) {
+	d := fixture(t)
+	// A mixed batch: clean sessions, truncated subroutines, inversions and
+	// unexpected messages, so the merge has real per-session findings to
+	// keep in input order.
+	var sessions []*logging.Session
+	for i := 0; i < 23; i++ {
+		var s *logging.Session
+		switch i % 4 {
+		case 0:
+			s = session("Registering worker node_07", "Registered worker node_07")
+		case 1:
+			s = session("Registering worker node_08")
+		case 2:
+			s = session("Registered worker node_09", "Registering worker node_09")
+		default:
+			s = session("Lost connection to worker node_10 on host1:8020")
+		}
+		s.ID = fmt.Sprintf("s%02d", i)
+		for r := range s.Records {
+			s.Records[r].SessionID = s.ID
+		}
+		sessions = append(sessions, s)
+	}
+
+	want := d.DetectParallel(sessions, 1)
+	if len(want.Anomalies) == 0 {
+		t.Fatal("fixture batch produced no anomalies; test is vacuous")
+	}
+	for _, shards := range []int{2, 3, 7, 16, 64} {
+		got := d.DetectParallel(sessions, shards)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: report diverges from serial\n got: %+v\nwant: %+v",
+				shards, got, want)
+		}
+	}
+	// Detect is the shards-per-CPU spelling of the same merge.
+	if got := d.Detect(sessions); !reflect.DeepEqual(got, want) {
+		t.Errorf("Detect diverges from serial DetectParallel")
 	}
 }

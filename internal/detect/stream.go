@@ -12,6 +12,7 @@ import (
 	"intellog/internal/extract"
 	"intellog/internal/logging"
 	"intellog/internal/par"
+	"intellog/internal/spell"
 )
 
 // StreamConfig tunes the online detector.
@@ -75,15 +76,18 @@ type streamShard struct {
 	mu       sync.Mutex
 	sessions map[string]*sessionBuf
 	heap     expiryHeap
-	rb       extract.Rebinder
 	earliest atomic.Int64 // heap-top time, or math.MaxInt64 when empty
 }
 
-// sessionBuf accumulates one in-flight session.
+// sessionBuf accumulates one in-flight session. msgs holds the shared
+// bound prototypes (the structural checks read only rendering-derived
+// fields, so no per-record copy is made); times carries each record's
+// timestamp positionally, which is all the checkpoint snapshot needs.
 type sessionBuf struct {
 	id          string
 	fw          logging.Framework
 	msgs        []*extract.Message
+	times       []time.Time
 	first, last time.Time
 	startSeq    uint64
 	overflowed  bool // MaxSessionMsgs hit; further messages dropped
@@ -253,6 +257,46 @@ func (s *StreamDetector) SessionsSeen() int { return int(s.seen.Load()) }
 // is exempt from idle expiry — its arrival proves the session alive, so
 // it can never idle itself out (even with an out-of-order timestamp).
 func (s *StreamDetector) Consume(rec logging.Record) []Anomaly {
+	// Resolve the record before taking any lock; the lookup cache is
+	// concurrency-safe and this is the expensive part of the hot path.
+	key, cl := s.d.lookupRecord(&rec)
+	return s.consumeResolved(rec, key, cl)
+}
+
+// ConsumeBatch processes a slice of records with the pipeline split into
+// two stages: the resolution stage (tokenize, Spell lookup, prototype
+// bind — the CPU-heavy part) fans out across a worker pool, and the apply
+// stage runs strictly in input order on the calling goroutine. Because
+// resolution is a pure function of the raw text under a fixed model, the
+// returned anomalies are identical to calling Consume once per record in
+// order — only the wall-clock changes. workers ≤ 0 sizes the pool to the
+// machine.
+func (s *StreamDetector) ConsumeBatch(recs []logging.Record, workers int) []Anomaly {
+	if len(recs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	type resolvedRec struct {
+		key *spell.Key
+		cl  *extract.CachedLookup
+	}
+	resolved := make([]resolvedRec, len(recs))
+	par.ForEach(len(recs), workers, func(i int) {
+		resolved[i].key, resolved[i].cl = s.d.lookupRecord(&recs[i])
+	})
+	var out []Anomaly
+	for i := range recs {
+		out = append(out, s.consumeResolved(recs[i], resolved[i].key, resolved[i].cl)...)
+	}
+	return out
+}
+
+// consumeResolved is the ordered apply stage: it advances the stream
+// clock, buffers (or rejects) the already-resolved record, and collects
+// any sessions the record's timestamp idles out.
+func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl *extract.CachedLookup) []Anomaly {
 	// Advance the stream clock (monotone max of record times).
 	now := rec.Time.UnixNano()
 	latest := s.latest.Load()
@@ -266,10 +310,6 @@ func (s *StreamDetector) Consume(rec logging.Record) []Anomaly {
 	if s.cfg.IdleTimeout > 0 {
 		cutoff = latest - int64(s.cfg.IdleTimeout)
 	}
-
-	// Resolve the record before taking any lock; the lookup cache is
-	// concurrency-safe and this is the expensive part of the hot path.
-	key, cl := s.d.lookupRecord(&rec)
 
 	sh := s.shard(rec.SessionID)
 	sh.mu.Lock()
@@ -325,7 +365,8 @@ func (s *StreamDetector) Consume(rec logging.Record) []Anomaly {
 			}
 			buf.dropped++
 		} else {
-			buf.msgs = append(buf.msgs, sh.rb.Rebind(cl.Proto, rec.Time, rec.SessionID))
+			buf.msgs = append(buf.msgs, cl.Proto)
+			buf.times = append(buf.times, rec.Time)
 		}
 	}
 
@@ -435,7 +476,9 @@ func (sh *streamShard) syncEarliestLocked() {
 
 // finalize runs the end-of-session structural checks on an owned buffer.
 func (s *StreamDetector) finalize(buf *sessionBuf) []Anomaly {
-	return s.d.checkInstances(buf.id, buf.msgs)
+	scr := s.d.getScratch()
+	defer s.d.putScratch(scr)
+	return s.d.checkInstances(buf.id, buf.msgs, scr)
 }
 
 // CloseSession finalizes one session and returns its structural findings.

@@ -87,8 +87,8 @@ func (s *StreamDetector) State() *StreamState {
 				First: b.first, Last: b.last, StartSeq: b.startSeq,
 				Overflowed: b.overflowed, Dropped: b.dropped,
 			}
-			for _, m := range b.msgs {
-				ss.Records = append(ss.Records, StampedMessage{Time: m.Time, Message: m.Raw})
+			for i, m := range b.msgs {
+				ss.Records = append(ss.Records, StampedMessage{Time: b.times[i], Message: m.Raw})
 			}
 			st.Sessions = append(st.Sessions, ss)
 		}
@@ -132,7 +132,8 @@ func RestoreStreamDetector(d *Detector, cfg StreamConfig, st *StreamState) (*Str
 			if key == nil || cl.Proto == nil {
 				return nil, fmt.Errorf("checkpoint session %q: record %q does not bind under this model (checkpoint/model mismatch)", ss.ID, rm.Message)
 			}
-			buf.msgs = append(buf.msgs, sh.rb.Rebind(cl.Proto, rm.Time, ss.ID))
+			buf.msgs = append(buf.msgs, cl.Proto)
+			buf.times = append(buf.times, rm.Time)
 		}
 		sh.sessions[ss.ID] = buf
 		s.inFlight.Add(1)

@@ -2,6 +2,7 @@ package extract
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"intellog/internal/nlp"
@@ -38,6 +39,10 @@ type Message struct {
 	// returned slices as read-only.
 	idSet   []string
 	typeSet []string
+	// typeSig caches TypeSignature (and typeSigOK distinguishes a cached
+	// "" from an uncomputed one). Shared by prototype copies like typeSet.
+	typeSig   string
+	typeSigOK bool
 	// interned caches the identifier multiset in interned form (set by
 	// the HW-graph layer's value interner); shared by prototype copies
 	// like idSet.
@@ -94,6 +99,19 @@ func (m *Message) IdentifierTypes() []string {
 	sort.Strings(out)
 	m.typeSet = out
 	return out
+}
+
+// TypeSignature returns the message's identifier types joined with "+"
+// in sorted order — the subroutine-signature string of Algorithm 2. The
+// result is cached on the message (prototype copies share it), so the
+// join runs once per distinct rendering instead of once per instance.
+func (m *Message) TypeSignature() string {
+	if m.typeSigOK {
+		return m.typeSig
+	}
+	m.typeSig = strings.Join(m.IdentifierTypes(), "+")
+	m.typeSigOK = true
+	return m.typeSig
 }
 
 // Bind matches a tokenized log message against an Intel Key and produces

@@ -35,6 +35,12 @@ type Instance struct {
 	// must be copied before mutation.
 	types       []string
 	typesShared bool
+	// sig caches Signature once computed (sigOK distinguishes a cached ""
+	// from an uncomputed one). Instances whose types come whole from one
+	// message inherit the message's cached join, so the common case never
+	// builds the string at all.
+	sig   string
+	sigOK bool
 	// vals is the run's dense-ID → value table, shared by every instance
 	// of one AssignInstances call (for IDValues).
 	vals []string
@@ -71,10 +77,14 @@ func (in *Instance) IDValues() []string {
 // Signature returns the instance's subroutine signature: the sorted
 // identifier types joined with "+", or "" for the NONE instance.
 func (in *Instance) Signature() string {
-	if len(in.types) == 0 {
-		return ""
+	if in.sigOK {
+		return in.sig
 	}
-	return strings.Join(in.types, "+")
+	if len(in.types) > 0 {
+		in.sig = strings.Join(in.types, "+")
+	}
+	in.sigOK = true
+	return in.sig
 }
 
 // AssignInstances implements the per-session loop of Algorithm 2: messages
@@ -109,7 +119,8 @@ type Assigner struct {
 	setCnt  []int         // occurrence count per entry of setIDs (sets can
 	// repeat a value, and the ids ⊆ set comparison counts occurrences)
 	instances []*Instance
-	arena     []Instance // chunked Instance allocation
+	free      []*Instance // expired runs' instances, recycled with their capacity
+	arena     []Instance  // chunked Instance allocation
 }
 
 // SetValues points the assigner at the model's value interner, so
@@ -121,8 +132,16 @@ func (a *Assigner) SetValues(vi *ValueInterner) {
 	}
 }
 
-// newInstance hands out a zeroed Instance from the arena.
+// newInstance hands out a reset Instance: recycled from an expired run
+// when possible (keeping the grown Msgs/bits backing arrays), from the
+// chunked arena otherwise.
 func (a *Assigner) newInstance(ord int) *Instance {
+	if n := len(a.free); n > 0 {
+		in := a.free[n-1]
+		a.free = a.free[:n-1]
+		*in = Instance{Msgs: in.Msgs[:0], bits: in.bits[:0], ord: ord}
+		return in
+	}
 	if len(a.arena) == 0 {
 		a.arena = make([]Instance, 256)
 	}
@@ -147,6 +166,10 @@ func (a *Assigner) Assign(msgs []*extract.Message) []*Instance {
 	a.runID++
 	a.vals = a.vals[:0]
 	a.byValue = a.byValue[:0]
+	// The previous run's instances are contractually dead once Assign is
+	// called again; recycle them (with their backing arrays) instead of
+	// leaving them to the collector.
+	a.free = append(a.free, a.instances...)
 	a.instances = a.instances[:0]
 	none := a.newInstance(0)
 	instances := append(a.instances, none)
@@ -209,6 +232,10 @@ func (a *Assigner) Assign(msgs []*extract.Message) []*Instance {
 		if mts := m.IdentifierTypes(); target.types == nil {
 			target.types = mts
 			target.typesShared = true
+			// Inherit the message's cached signature join — built once per
+			// distinct rendering instead of once per instance.
+			target.sig = m.TypeSignature()
+			target.sigOK = true
 		} else if !sameStrings(target.types, mts) {
 			if target.typesShared {
 				target.types = append([]string(nil), target.types...)
@@ -217,6 +244,7 @@ func (a *Assigner) Assign(msgs []*extract.Message) []*Instance {
 			for _, t := range mts {
 				target.types = insertSorted(target.types, t)
 			}
+			target.sig, target.sigOK = "", false
 		}
 		target.Msgs = append(target.Msgs, m)
 	}
@@ -365,7 +393,13 @@ func (s *Subroutine) Update(seq []int) {
 // Violations returns the order relations an instance's key sequence
 // breaks: pairs (a,b) with a trained BEFORE b but b observed first.
 func (s *Subroutine) Violations(seq []int) [][2]int {
-	order := firstOccurrence(seq)
+	return s.ViolationsOrder(firstOccurrence(seq))
+}
+
+// ViolationsOrder is Violations over a sequence already reduced to first
+// occurrences (see FirstOccurrenceInto) — the detection hot path reduces
+// once per instance into caller scratch and feeds every check from it.
+func (s *Subroutine) ViolationsOrder(order []int) [][2]int {
 	var out [][2]int
 	for a, succ := range s.Before {
 		pa := indexOfInt(order, a)
@@ -388,7 +422,8 @@ func (s *Subroutine) Violations(seq []int) [][2]int {
 }
 
 // MissingCritical returns the critical keys absent from an instance's key
-// sequence.
+// sequence. Duplicates in seq are irrelevant, so a first-occurrence-
+// reduced sequence (FirstOccurrenceInto) gives the same answer cheaper.
 func (s *Subroutine) MissingCritical(seq []int) []int {
 	var out []int
 	for _, k := range s.Keys {
@@ -442,6 +477,14 @@ func pairKey(a, b int) [2]int {
 // order.
 func firstOccurrence(seq []int) []int {
 	return firstOccurrenceInto(nil, seq)
+}
+
+// FirstOccurrenceInto reduces a key sequence to first occurrences,
+// preserving order, appending into out (pass scratch[:0] to reuse a
+// buffer). The result feeds ViolationsOrder and MissingCritical without
+// a per-instance allocation.
+func FirstOccurrenceInto(out, seq []int) []int {
+	return firstOccurrenceInto(out, seq)
 }
 
 // firstOccurrenceInto is firstOccurrence appending into out. Typical

@@ -1,8 +1,8 @@
 // Package par provides the tiny worker-pool primitive shared by the
 // embarrassingly parallel pipeline stages (Intel Key building,
-// per-session binding, per-session detection). It replaces three
-// copy-pasted pool loops whose unbuffered work channels made the producer
-// block once per item.
+// per-session binding, per-session detection, batch-detect sharding).
+// It replaces three copy-pasted pool loops whose unbuffered work
+// channels made the producer block once per item.
 package par
 
 import (
@@ -10,7 +10,7 @@ import (
 	"sync"
 )
 
-// Workers is the pool size: one worker per CPU.
+// Workers is the default pool size: one worker per CPU.
 func Workers() int {
 	n := runtime.NumCPU()
 	if n < 1 {
@@ -20,19 +20,34 @@ func Workers() int {
 }
 
 // ForEachIndex runs fn(i) for every i in [0, n) on a pool of Workers()
-// goroutines. The work channel is fully buffered and filled before the
-// workers start, so neither side ever blocks on hand-off. Callers write
-// results positionally, which keeps output deterministic regardless of
-// scheduling. fn must be safe to call concurrently.
+// goroutines. See ForEach for the contract.
 func ForEachIndex(n int, fn func(i int)) {
+	ForEach(n, Workers(), fn)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of exactly
+// min(workers, n) goroutines — callers that want genuine concurrency
+// beyond the CPU count (e.g. shard-count conformance runs under -race on
+// small machines) pass workers explicitly. The work channel is fully
+// buffered and filled before the workers start, so neither side ever
+// blocks on hand-off. Callers write results positionally, which keeps
+// output deterministic regardless of scheduling. fn must be safe to call
+// concurrently.
+//
+// A panic inside fn does not crash the process from a worker goroutine:
+// the first panic value is captured, the remaining items drain through
+// the surviving workers, and the panic is re-raised on the caller's
+// goroutine once the pool has quiesced — the same observable behavior as
+// the serial path, so callers can rely on recover working at the call
+// site at any worker count.
+func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := Workers()
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
+	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -43,15 +58,27 @@ func ForEachIndex(n int, fn func(i int)) {
 		work <- i
 	}
 	close(work)
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
 			for i := range work {
 				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

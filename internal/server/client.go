@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"intellog/internal/detect"
@@ -53,6 +54,12 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
 }
 
+// batchBufs recycles NDJSON batch buffers across IngestRecords calls —
+// the replay path posts thousands of ~100KB batches, and re-growing a
+// fresh buffer for each is pure GC load. A buffer goes back to the pool
+// only after the POST has fully consumed it.
+var batchBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // ErrQueueFull reports a 429 from /v1/ingest together with the server's
 // requested backoff.
 type ErrQueueFull struct {
@@ -66,14 +73,25 @@ func (e ErrQueueFull) Error() string {
 // IngestRecords posts one NDJSON batch of structured records. A full
 // queue returns ErrQueueFull carrying the server's Retry-After.
 func (c *Client) IngestRecords(recs []logging.Record) (IngestResponse, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	buf := batchBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer batchBufs.Put(buf)
+	var enc *json.Encoder
 	for i := range recs {
+		// Build lines through the shared fast appender; encoding/json
+		// handles the rare record it declines (escapes, non-ASCII).
+		if out, ok := appendWireRecord(buf.AvailableBuffer(), &recs[i]); ok {
+			buf.Write(out)
+			continue
+		}
+		if enc == nil {
+			enc = json.NewEncoder(buf)
+		}
 		if err := enc.Encode(&recs[i]); err != nil {
 			return IngestResponse{}, err
 		}
 	}
-	resp, err := c.http().Post(c.url("/v1/ingest", nil), "application/x-ndjson", &buf)
+	resp, err := c.http().Post(c.url("/v1/ingest", nil), "application/x-ndjson", buf)
 	if err != nil {
 		return IngestResponse{}, err
 	}

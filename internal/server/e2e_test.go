@@ -131,6 +131,136 @@ func TestServeConcurrentIngestConformance(t *testing.T) {
 	}
 }
 
+// serveCorpus replays a corpus through a fresh server at the given
+// worker-pool size, flushes, and returns the canonicalized report.
+func serveCorpus(t *testing.T, spec conformance.Spec, corpus *conformance.Corpus, workers int) []byte {
+	t.Helper()
+	modelDir := t.TempDir()
+	writeModel(t, modelDir, "acme", spec.Framework)
+	srv, hs := bootServer(t, server.Config{
+		ModelDir:         modelDir,
+		DefaultFramework: spec.Framework,
+		IngestWorkers:    workers,
+	})
+	defer srv.Close()
+
+	c := &server.Client{Base: hs.URL, Tenant: "acme"}
+	res, err := c.Replay(corpus.Records, server.ReplayOptions{Batch: 48, Concurrency: 3})
+	if err != nil {
+		t.Fatalf("replay (workers=%d): %v", workers, err)
+	}
+	if res.Records != len(corpus.Records) {
+		t.Fatalf("replay accepted %d records, corpus has %d", res.Records, len(corpus.Records))
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatalf("flush (workers=%d): %v", workers, err)
+	}
+	rep, err := c.Report()
+	if err != nil {
+		t.Fatalf("report (workers=%d): %v", workers, err)
+	}
+	canon, err := conformance.Canonicalize(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon
+}
+
+// TestServeShardedIngestConformance proves the session-sharded worker
+// pool preserves detection semantics end to end: every corpus of the
+// matrix, ingested with IngestWorkers=4 and concurrent senders, must
+// canonicalize byte-identical to the serial single-worker server over
+// the same wire path. (The reference is the serial *server*, not local
+// batch detection: the line-fault corpora carry invalid UTF-8 that JSON
+// transport legitimately rewrites on both sides alike.) Per-session
+// ordering holds because a session always routes to the same worker;
+// cross-session interleaving is erased by canonicalization.
+func TestServeShardedIngestConformance(t *testing.T) {
+	for _, spec := range conformance.DefaultMatrix() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			corpus := spec.Generate()
+			want := serveCorpus(t, spec, corpus, 1)
+			got := serveCorpus(t, spec, corpus, 4)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("sharded-ingest report diverges from serial server\nserial:\n%s\nsharded:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestServeShardedKillRestartConformance reruns the crash drill with the
+// worker pool engaged on both lives: the checkpoint barrier must cut the
+// accepted stream exactly even with four workers in flight, and the
+// combined two-life findings must still match batch detection.
+func TestServeShardedKillRestartConformance(t *testing.T) {
+	spec := conformance.DefaultMatrix()[1] // spark-faulted
+	corpus := spec.Generate()
+	m := conformance.ModelFor(spec.Framework)
+	want, err := conformance.Canonicalize(conformance.BatchPath(m.Detector(), corpus.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelDir, stateDir := t.TempDir(), t.TempDir()
+	writeModel(t, modelDir, "acme", spec.Framework)
+	cfg := server.Config{
+		ModelDir: modelDir, StateDir: stateDir,
+		DefaultFramework: spec.Framework,
+		IngestWorkers:    4,
+	}
+	cut := len(corpus.Records) / 2
+
+	srv1, hs1 := bootServer(t, cfg)
+	c1 := &server.Client{Base: hs1.URL, Tenant: "acme"}
+	if _, err := c1.Replay(corpus.Records[:cut], server.ReplayOptions{Batch: 48, Concurrency: 3}); err != nil {
+		t.Fatalf("first-life replay: %v", err)
+	}
+	if err := c1.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	preKill, err := c1.AllAnomalies()
+	if err != nil {
+		t.Fatalf("pre-kill anomalies: %v", err)
+	}
+	var maxSeq uint64
+	for _, a := range preKill {
+		if a.Seq <= maxSeq && maxSeq != 0 {
+			t.Fatalf("pre-kill anomaly seqs not increasing: %d after %d", a.Seq, maxSeq)
+		}
+		maxSeq = a.Seq
+	}
+	hs1.Close()
+	srv1.Kill()
+
+	srv2, hs2 := bootServer(t, cfg)
+	defer srv2.Close()
+	c2 := &server.Client{Base: hs2.URL, Tenant: "acme"}
+	if _, err := c2.Replay(corpus.Records[cut:], server.ReplayOptions{Batch: 48, Concurrency: 3}); err != nil {
+		t.Fatalf("second-life replay: %v", err)
+	}
+	if _, err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := detect.Report{Sessions: rep.Sessions}
+	for _, a := range preKill {
+		combined.Anomalies = append(combined.Anomalies, a.Anomaly)
+	}
+	combined.Anomalies = append(combined.Anomalies, rep.Anomalies...)
+	got, err := conformance.Canonicalize(&combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded kill/restart report diverges from batch detection\nbatch:\n%s\nserved:\n%s", want, got)
+	}
+}
+
 // TestServeKillRestartConformance is the crash drill over HTTP: ingest
 // half the corpus, checkpoint, kill the server without a graceful drain,
 // boot a successor over the same state dir, ingest the rest, and require

@@ -3,12 +3,28 @@ package server
 import (
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"intellog/internal/logging"
 )
+
+// retrySleep pauses a replay worker before it retries a 429'd batch.
+// Swappable so tests can observe backoff decisions without real sleeps.
+var retrySleep = time.Sleep
+
+// retryDelay jitters the server's Retry-After hint by ±20%: when many
+// replay workers are refused in the same admission window, a bare hint
+// would wake them in lockstep and they'd collide at the queue again;
+// spreading the wakeups lets the pool drain between waves.
+func retryDelay(hint time.Duration, rng *rand.Rand) time.Duration {
+	if hint <= 0 {
+		return hint
+	}
+	return time.Duration(float64(hint) * (0.8 + 0.4*rng.Float64()))
+}
 
 // ReplayOptions tunes a load replay against a running server.
 type ReplayOptions struct {
@@ -76,6 +92,7 @@ func (c *Client) Replay(recs []logging.Record, opts ReplayOptions) (ReplayResult
 		go func(w int, recs []logging.Record) {
 			defer wg.Done()
 			st := &stats[w]
+			rng := rand.New(rand.NewSource(int64(w) + 1))
 			for off := 0; off < len(recs); off += opts.Batch {
 				end := off + opts.Batch
 				if end > len(recs) {
@@ -94,7 +111,7 @@ func (c *Client) Replay(recs []logging.Record, opts ReplayOptions) (ReplayResult
 							st.err = fmt.Errorf("batch still refused after %d retries: %w", opts.MaxRetries, err)
 							return
 						}
-						time.Sleep(qf.RetryAfter)
+						retrySleep(retryDelay(qf.RetryAfter, rng))
 						continue
 					}
 					if err != nil {

@@ -49,6 +49,13 @@ type Config struct {
 	// that would exceed it is refused with 429. 0 means a default of
 	// 8192.
 	QueueRecords int
+	// IngestWorkers sets each tenant's ingest worker-pool size. Records
+	// route to workers by session hash, so per-session ingest order is
+	// preserved at any size while sessions proceed in parallel; control
+	// ops (checkpoint, flush, drain) barrier the whole pool, so their
+	// exact-cut semantics are unchanged. 0 or 1 means a single worker
+	// (the serial pipeline).
+	IngestWorkers int
 	// AnomalyLog bounds each tenant's retained anomaly history (the
 	// /v1/anomalies window). 0 means a default of 65536; negative means
 	// unbounded.
@@ -98,6 +105,14 @@ func (c *Config) queueBatches() int {
 		n = 1024
 	}
 	return n
+}
+
+// ingestWorkers is the per-tenant worker-pool size (≥ 1).
+func (c *Config) ingestWorkers() int {
+	if c.IngestWorkers <= 1 {
+		return 1
+	}
+	return c.IngestWorkers
 }
 
 // Server is the serving layer. Create with New, expose via Handler, and
@@ -327,7 +342,7 @@ func (s *Server) checkpointLoop() {
 		case <-ticker.C:
 			for _, t := range s.resident() {
 				t := t
-				ok := t.submit(task{ctl: func() {
+				ok := t.control(func() {
 					if err := t.saveCheckpoint(); err == nil {
 						s.reg.Counter("intellogd_checkpoints_total",
 							"checkpoints written per tenant",
@@ -337,7 +352,7 @@ func (s *Server) checkpointLoop() {
 							"failed checkpoint writes per tenant",
 							metrics.Label{Key: "tenant", Value: t.name}).Inc()
 					}
-				}}, false)
+				}, false)
 				if !ok {
 					s.reg.Counter("intellogd_checkpoint_skips_total",
 						"checkpoint cycles skipped because the tenant queue was saturated",
@@ -384,13 +399,24 @@ func (s *Server) Kill() {
 	}
 }
 
-// countAnomalies mirrors emitted findings into the per-kind counters.
+// countAnomalies mirrors emitted findings into the per-kind counters,
+// batched per kind so a burst of findings costs one registry probe and
+// one atomic add per kind instead of one of each per anomaly.
 func (s *Server) countAnomalies(tenantName string, as []detect.Anomaly) {
+	var counts [int(detect.Overflow) + 1]int
 	for i := range as {
+		if k := as[i].Kind; k >= 0 && int(k) < len(counts) {
+			counts[k]++
+		}
+	}
+	for k, n := range counts {
+		if n == 0 {
+			continue
+		}
 		s.reg.Counter("intellogd_anomalies_total",
 			"anomalies emitted, by tenant and kind",
 			metrics.Label{Key: "tenant", Value: tenantName},
-			metrics.Label{Key: "kind", Value: as[i].Kind.String()}).Inc()
+			metrics.Label{Key: "kind", Value: detect.Kind(k).String()}).Add(float64(n))
 	}
 }
 

@@ -69,9 +69,11 @@ func TestBackpressure429(t *testing.T) {
 	// Gate the worker so queued records stay queued deterministically.
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	if !tn.submit(task{ctl: func() { close(entered); <-release }}, true) {
-		t.Fatal("gate submit refused")
-	}
+	go func() {
+		if !tn.control(func() { close(entered); <-release }, true) {
+			t.Error("gate control refused")
+		}
+	}()
 	<-entered
 
 	c := &Client{Base: hs.URL, Tenant: "acme"}
@@ -95,7 +97,7 @@ func TestBackpressure429(t *testing.T) {
 
 	// Recovery: release the worker, wait for the drain, ingest again.
 	close(release)
-	if !tn.control(func() {}) {
+	if !tn.control(func() {}, true) {
 		t.Fatal("control barrier refused")
 	}
 	if got := tn.pending.Load(); got != 0 {
@@ -127,7 +129,7 @@ func TestLRUEviction(t *testing.T) {
 	if !ta.enqueueBatch(testRecords("sess-1", 2)) {
 		t.Fatal("enqueue refused")
 	}
-	if !ta.control(func() {}) {
+	if !ta.control(func() {}, true) {
 		t.Fatal("drain barrier refused")
 	}
 	if _, err := s.Tenant("b"); err != nil {
@@ -315,7 +317,7 @@ func TestStickyRestoredAcrossCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	tn.control(func() {})
+	tn.control(func() {}, true)
 	if got := tn.skipped.Load(); got != 0 {
 		t.Fatalf("restored tenant dropped %d ID-less lines; sticky state lost", got)
 	}
@@ -392,7 +394,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	tn, _ := s.Tenant("acme")
-	tn.control(func() {}) // drain so gauges are settled
+	tn.control(func() {}, true) // drain so gauges are settled
 
 	text, err := c.Metrics()
 	if err != nil {
@@ -490,7 +492,7 @@ func TestRawLineIngest(t *testing.T) {
 		t.Fatalf("status %d, want 202", resp.StatusCode)
 	}
 	tn, _ := s.Tenant("acme")
-	tn.control(func() {})
+	tn.control(func() {}, true)
 	if got := tn.records.Load(); got != 2 {
 		t.Fatalf("accepted records = %d, want 2", got)
 	}

@@ -17,11 +17,20 @@ import (
 type anomalyLog struct {
 	mu sync.Mutex
 	// entries[i] holds the anomaly with Seq == first + i: the detector
-	// stamps gaplessly and the tenant worker appends in emission order,
-	// so the log is dense and seq→index is O(1) arithmetic.
+	// stamps gaplessly and entries only leave pending in seq order, so
+	// the log is dense and seq→index is O(1) arithmetic.
 	entries []detect.Anomaly
 	// first is the Seq of entries[0]; zero while the log is empty.
 	first uint64
+	// nextSeq is the seq the dense log admits next. Primed by the tenant
+	// from its detector's cursor (prime), so restored tenants continue
+	// where the checkpoint left off.
+	nextSeq uint64
+	// pending parks findings a fast worker appended ahead of a slower
+	// worker's lower-seq findings (possible with IngestWorkers > 1); they
+	// move to the dense log the moment the gap fills, so readers never
+	// see seq go backwards. Nil until first needed.
+	pending map[uint64]detect.Anomaly
 	// trimmed counts entries dropped by retention since startup.
 	trimmed uint64
 	// maxRetain bounds len(entries); ≤ 0 means unbounded.
@@ -32,17 +41,63 @@ func newAnomalyLog(maxRetain int) *anomalyLog {
 	return &anomalyLog{maxRetain: maxRetain}
 }
 
-// append records stamped anomalies in emission order.
+// prime sets the next seq the log admits (the detector's cursor + 1).
+func (l *anomalyLog) prime(next uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextSeq = next
+}
+
+// append records stamped anomalies. Appends may arrive out of emission
+// order across the ingest worker pool; in-order findings land in the
+// dense log immediately, ahead-of-order ones park in pending until the
+// missing seqs arrive (they always do: every stamped anomaly is appended
+// by the worker that consumed its record before that worker takes more
+// work, and control barriers quiesce the pool).
 func (l *anomalyLog) append(as []detect.Anomaly) {
 	if len(as) == 0 {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.entries) == 0 {
-		l.first = as[0].Seq
+	for i := range as {
+		a := as[i]
+		if l.nextSeq == 0 {
+			// Unprimed (zero-value log in tests): admit from the first
+			// append's leading seq.
+			l.nextSeq = a.Seq
+		}
+		switch {
+		case a.Seq == l.nextSeq:
+			l.push(a)
+			l.nextSeq++
+			for {
+				p, ok := l.pending[l.nextSeq]
+				if !ok {
+					break
+				}
+				delete(l.pending, l.nextSeq)
+				l.push(p)
+				l.nextSeq++
+			}
+		case a.Seq > l.nextSeq:
+			if l.pending == nil {
+				l.pending = map[uint64]detect.Anomaly{}
+			}
+			l.pending[a.Seq] = a
+		default:
+			// Below the admitted cursor: a duplicate; drop it.
+		}
 	}
-	l.entries = append(l.entries, as...)
+}
+
+// push appends one in-order anomaly to the dense log and applies
+// retention. Caller holds mu.
+func (l *anomalyLog) push(a detect.Anomaly) {
+	if len(l.entries) == 0 {
+		l.first = a.Seq
+	}
+	l.entries = append(l.entries, a)
 	if l.maxRetain > 0 && len(l.entries) > l.maxRetain {
 		drop := len(l.entries) - l.maxRetain
 		l.entries = append(l.entries[:0], l.entries[drop:]...)

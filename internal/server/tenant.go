@@ -12,20 +12,19 @@ import (
 	"intellog/internal/logging"
 )
 
-// task is one unit of work on a tenant's queue: either an ingest batch
-// or a control operation (checkpoint, flush, test gates). Control ops
-// ride the same queue as batches, so they serialize behind every record
-// accepted before them — a checkpoint therefore captures an exact cut of
-// the ingest stream without pausing the HTTP layer.
+// task is one unit of work on a tenant worker's queue: either an ingest
+// sub-batch or a control step (one leg of a pool-wide barrier). Control
+// steps ride the same queues as batches, so they serialize behind every
+// record accepted before them — a checkpoint therefore captures an exact
+// cut of the ingest stream without pausing the HTTP layer.
 type task struct {
 	recs []logging.Record
 	ctl  func()
-	done chan struct{} // closed once processed; nil for fire-and-forget
 }
 
 // tenant is one resident tenant: a trained model, its streaming
-// detector, a bounded ingest queue drained by a single worker goroutine,
-// and the anomaly log that backs the query endpoints.
+// detector, a bounded session-sharded ingest queue pool, and the anomaly
+// log that backs the query endpoints.
 type tenant struct {
 	name string
 	srv  *Server
@@ -35,11 +34,22 @@ type tenant struct {
 	sd    *detect.StreamDetector
 	sink  *anomalyLog
 
-	// queue is drained by run(). sendMu guards the close handshake:
-	// senders hold it shared and check closed before sending; close
-	// takes it exclusively, so no send can race the close.
-	queue   chan task
+	// queues are drained by one worker goroutine each; a record routes to
+	// queues[hash(sessionID) % len(queues)], so records of one session are
+	// always consumed in ingest order by the same worker while sessions
+	// spread across the pool. sendMu guards the close handshake: senders
+	// hold it shared and check closed before sending; close takes it
+	// exclusively, so no send can race the close. routeMu serializes the
+	// enqueue side across queues: every multi-queue placement (a split
+	// batch, a control barrier) happens atomically with respect to every
+	// other, which keeps batch admission all-or-nothing and makes a
+	// barrier a true cut — no batch lands partly before it on one queue
+	// and partly after it on another. Workers only ever drain, so a
+	// len < cap check under routeMu guarantees the following send cannot
+	// block.
+	queues  []chan task
 	sendMu  sync.RWMutex
+	routeMu sync.Mutex
 	closed  bool
 	pending atomic.Int64 // records queued but not yet consumed
 	worker  sync.WaitGroup
@@ -67,8 +77,11 @@ func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState) 
 		srv:       srv,
 		model:     m,
 		sink:      newAnomalyLog(srv.cfg.AnomalyLog),
-		queue:     make(chan task, srv.cfg.queueBatches()),
+		queues:    make([]chan task, srv.cfg.ingestWorkers()),
 		formatter: logging.FormatterFor(srv.cfg.DefaultFramework),
+	}
+	for i := range t.queues {
+		t.queues[i] = make(chan task, srv.cfg.queueBatches())
 	}
 	t.det = m.Detector()
 	if st != nil {
@@ -82,41 +95,60 @@ func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState) 
 	} else {
 		t.sd = detect.NewStream(t.det, srv.cfg.Stream)
 	}
-	t.worker.Add(1)
-	go t.run()
+	// Prime the anomaly log with the detector's emission cursor so the
+	// dense log admits findings in stamp order even when pool workers
+	// append out of order (and restored tenants continue past their
+	// checkpointed cursor).
+	t.sink.prime(t.sd.AnomalySeq() + 1)
+	t.worker.Add(len(t.queues))
+	for _, q := range t.queues {
+		go t.run(q)
+	}
 	return t, nil
 }
 
-// run is the tenant worker: the single goroutine that feeds the
-// streaming detector, so records of one tenant are consumed in ingest
-// order and control ops see a quiesced detector.
-func (t *tenant) run() {
+// run is one tenant worker: it feeds the streaming detector with its
+// queue's records (every session routes to exactly one queue, so records
+// of one session are consumed in ingest order) and flushes each task's
+// findings to the anomaly sink in one batched append. Each task goes
+// through the detector's two-stage ConsumeBatch, so the tokenize/lookup/
+// bind stage of even a single-worker tenant fans out across the CPUs
+// while the stateful apply stays ordered.
+func (t *tenant) run(q chan task) {
 	defer t.worker.Done()
-	for tk := range t.queue {
+	for tk := range q {
 		if tk.ctl != nil {
 			tk.ctl()
-		} else {
-			for i := range tk.recs {
-				anoms := t.sd.Consume(tk.recs[i])
-				if len(anoms) > 0 {
-					t.sink.append(anoms)
-					t.srv.countAnomalies(t.name, anoms)
-				}
-			}
-			t.pending.Add(int64(-len(tk.recs)))
+			continue
 		}
-		if tk.done != nil {
-			close(tk.done)
+		if anoms := t.sd.ConsumeBatch(tk.recs, 0); len(anoms) > 0 {
+			t.sink.append(anoms)
+			t.srv.countAnomalies(t.name, anoms)
 		}
+		t.pending.Add(int64(-len(tk.recs)))
 	}
 }
 
+// route maps a session ID to its worker queue (FNV-1a, like the client's
+// replay sharding — any stable hash works; nothing persists it).
+func (t *tenant) route(session string) int {
+	if len(t.queues) == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(session); i++ {
+		h ^= uint32(session[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(t.queues)))
+}
+
 // enqueueBatch admits a record batch under the per-tenant budget.
-// Admission is two-staged: reserve record budget, then a non-blocking
-// channel send — if either fails the batch is refused (the caller
-// answers 429) and nothing is buffered, so a saturated tenant holds at
-// most QueueRecords records plus one in-flight batch, never an unbounded
-// backlog.
+// Admission is two-staged: reserve record budget, then an all-or-nothing
+// placement of the batch's per-worker splits — if either stage fails the
+// batch is refused (the caller answers 429) and nothing is buffered, so
+// a saturated tenant holds at most QueueRecords records plus the
+// in-flight tasks, never an unbounded backlog.
 func (t *tenant) enqueueBatch(recs []logging.Record) bool {
 	if len(recs) == 0 {
 		return true
@@ -133,7 +165,7 @@ func (t *tenant) enqueueBatch(recs []logging.Record) bool {
 			break
 		}
 	}
-	if !t.submit(task{recs: recs}, false) {
+	if !t.sendBatch(recs) {
 		t.pending.Add(-n)
 		t.rejected.Add(1)
 		return false
@@ -143,37 +175,87 @@ func (t *tenant) enqueueBatch(recs []logging.Record) bool {
 	return true
 }
 
-// submit places a task on the queue. block selects between a blocking
-// send (control ops that must land) and try-send (ingest admission and
-// the periodic checkpointer, which both prefer refusal over waiting).
-// Returns false if the tenant is closed or the try-send found no room.
-func (t *tenant) submit(tk task, block bool) bool {
+// sendBatch splits a batch by session route (preserving input order
+// within each split) and places the splits atomically: under routeMu
+// every target queue is checked for room before anything is sent, so
+// admission is all-or-nothing and the sends never block.
+func (t *tenant) sendBatch(recs []logging.Record) bool {
 	t.sendMu.RLock()
 	defer t.sendMu.RUnlock()
 	if t.closed {
 		return false
 	}
-	if block {
-		t.queue <- tk
-		return true
+	if len(t.queues) == 1 {
+		select {
+		case t.queues[0] <- task{recs: recs}:
+			return true
+		default:
+			return false
+		}
 	}
-	select {
-	case t.queue <- tk:
-		return true
-	default:
-		return false
+	split := make([][]logging.Record, len(t.queues))
+	for i := range recs {
+		w := t.route(recs[i].SessionID)
+		split[w] = append(split[w], recs[i])
 	}
+	t.routeMu.Lock()
+	defer t.routeMu.Unlock()
+	for w, rs := range split {
+		if len(rs) > 0 && len(t.queues[w]) >= cap(t.queues[w]) {
+			return false
+		}
+	}
+	for w, rs := range split {
+		if len(rs) > 0 {
+			t.queues[w] <- task{recs: rs}
+		}
+	}
+	return true
 }
 
-// control runs fn on the worker goroutine, after everything already
-// queued, and waits for it to finish. Returns false if the tenant is
-// closed.
-func (t *tenant) control(fn func()) bool {
-	done := make(chan struct{})
-	if !t.submit(task{ctl: fn, done: done}, true) {
+// control runs fn with the whole worker pool quiesced, after everything
+// already queued, and waits for it to finish: a barrier task fans out to
+// every queue under routeMu (so it cuts the accepted stream at one exact
+// point), each worker parks once it reaches its leg, fn runs on the
+// calling goroutine, and closing the release resumes the pool. Returns
+// false if the tenant is closed. block=false refuses instead of waiting
+// when any queue is full (the periodic checkpointer prefers skipping a
+// cycle over stalling ingest).
+func (t *tenant) control(fn func(), block bool) bool {
+	t.sendMu.RLock()
+	if t.closed {
+		t.sendMu.RUnlock()
 		return false
 	}
-	<-done
+	release := make(chan struct{})
+	var ready sync.WaitGroup
+	ready.Add(len(t.queues))
+	leg := task{ctl: func() {
+		ready.Done()
+		<-release
+	}}
+	t.routeMu.Lock()
+	if !block {
+		for _, q := range t.queues {
+			if len(q) >= cap(q) {
+				t.routeMu.Unlock()
+				t.sendMu.RUnlock()
+				return false
+			}
+		}
+	}
+	// With block=true a send may wait on a full queue; its worker is still
+	// draining (it cannot have parked: its leg is enqueued exactly once,
+	// by us, later), so the send always progresses and no ingest sneaks
+	// in between legs — routeMu is held across the whole fan-out.
+	for _, q := range t.queues {
+		q <- leg
+	}
+	t.routeMu.Unlock()
+	t.sendMu.RUnlock()
+	ready.Wait()
+	fn()
+	close(release)
 	return true
 }
 
@@ -183,9 +265,10 @@ func (t *tenant) checkpointPath() string {
 }
 
 // saveCheckpoint persists the model plus current stream state
-// atomically (write + rename). It must only run from the worker
-// goroutine or after the worker has exited, so the snapshot pairs with
-// an exact position in the accepted ingest stream.
+// atomically (write + rename). It must only run with the worker pool
+// quiesced (inside a control barrier, or after the workers have exited),
+// so the snapshot pairs with an exact position in the accepted ingest
+// stream.
 func (t *tenant) saveCheckpoint() error {
 	if t.srv.cfg.StateDir == "" {
 		return nil
@@ -217,8 +300,8 @@ func (t *tenant) saveCheckpoint() error {
 	return os.Rename(tmp, path)
 }
 
-// close stops the tenant: no further sends are admitted, the queue is
-// closed, and once the worker has drained everything already accepted,
+// close stops the tenant: no further sends are admitted, the queues are
+// closed, and once the workers have drained everything already accepted,
 // a final checkpoint is written (when checkpoint is true and a state
 // dir is configured). Safe to call more than once.
 func (t *tenant) close(checkpoint bool) error {
@@ -226,7 +309,9 @@ func (t *tenant) close(checkpoint bool) error {
 	already := t.closed
 	if !already {
 		t.closed = true
-		close(t.queue)
+		for _, q := range t.queues {
+			close(q)
+		}
 	}
 	t.sendMu.Unlock()
 	t.worker.Wait()

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"strconv"
+	"time"
+	"unicode/utf8"
+
+	"intellog/internal/logging"
+)
+
+// The NDJSON wire format is plain encoding/json over WireRecord, but
+// the reflective codec dominates the serving CPU profile (checkValid +
+// decodeState eat ~half the intellogd samples under replay, detection
+// under a tenth). This file is the fast path both ends share: a
+// hand-rolled decoder for the structured record shape the replay client
+// emits, and a matching appender the client uses to build batches.
+// Either side falls back to encoding/json the moment a line strays from
+// the simple shape — an escape sequence, non-ASCII text, an unknown
+// key — so wire semantics stay exactly encoding/json's; the fast path
+// only ever accepts inputs on which the two agree.
+
+// wireIntern dedups the small wire strings that repeat across the
+// records of one ingest request — session IDs, sources, template IDs,
+// framework names. One batch carries each session ID and source dozens
+// of times; interning turns those into one allocation each, which
+// matters because GC work is the second-largest band in the serving
+// profile after the codec itself. Scoped to a single request (one
+// goroutine), so it needs no locking and its strings die with the
+// batch's records.
+type wireIntern struct {
+	m map[string]string
+}
+
+func (in *wireIntern) get(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // no-alloc lookup
+		return s
+	}
+	s := string(b)
+	if in.m == nil {
+		in.m = make(map[string]string, 64)
+	}
+	in.m[s] = s
+	return s
+}
+
+// fastWireRecord decodes one structured NDJSON line into wr. It handles
+// a single flat object whose keys are exactly Record's fields (any
+// order, any subset, plus "line"), with plain printable-ASCII string
+// values and a bare-integer Level. in may be nil. Returns false — with
+// wr possibly half-filled, the caller must re-decode from scratch — on
+// anything else: escapes, non-ASCII, unknown keys, unexpected value
+// shapes, malformed JSON.
+func fastWireRecord(raw []byte, wr *WireRecord, in *wireIntern) bool {
+	i := 0
+	ws := func() {
+		for i < len(raw) {
+			switch raw[i] {
+			case ' ', '\t', '\r', '\n':
+				i++
+			default:
+				return
+			}
+		}
+	}
+	// str scans a string literal and returns its body: printable ASCII
+	// with no escapes, so the bytes are the value.
+	str := func() ([]byte, bool) {
+		if i >= len(raw) || raw[i] != '"' {
+			return nil, false
+		}
+		i++
+		start := i
+		for i < len(raw) {
+			c := raw[i]
+			if c == '"' {
+				body := raw[start:i]
+				i++
+				return body, true
+			}
+			if c < 0x20 || c == '\\' || c >= utf8.RuneSelf {
+				return nil, false
+			}
+			i++
+		}
+		return nil, false
+	}
+
+	ws()
+	if i >= len(raw) || raw[i] != '{' {
+		return false
+	}
+	i++
+	ws()
+	if i < len(raw) && raw[i] == '}' {
+		i++
+		ws()
+		return i == len(raw)
+	}
+	for {
+		ws()
+		key, ok := str()
+		if !ok {
+			return false
+		}
+		ws()
+		if i >= len(raw) || raw[i] != ':' {
+			return false
+		}
+		i++
+		ws()
+		if string(key) == "Level" {
+			// Level rides the wire as a bare integer (logging.Level has no
+			// custom marshaler). Anything else — fractions, exponents,
+			// strings — falls back to encoding/json.
+			neg := false
+			if i < len(raw) && raw[i] == '-' {
+				neg = true
+				i++
+			}
+			start := i
+			n := 0
+			for i < len(raw) && raw[i] >= '0' && raw[i] <= '9' {
+				n = n*10 + int(raw[i]-'0')
+				i++
+			}
+			if i == start || i-start > 9 {
+				return false
+			}
+			if neg {
+				n = -n
+			}
+			wr.Level = logging.Level(n)
+		} else {
+			quote := i
+			val, ok := str()
+			if !ok {
+				return false
+			}
+			switch string(key) { // the conversion is elided in a switch
+			case "Time":
+				// Hand the still-quoted literal to time.Time's own parser,
+				// so accepted formats match encoding/json exactly.
+				if err := wr.Time.UnmarshalJSON(raw[quote:i]); err != nil {
+					return false
+				}
+			case "Source":
+				wr.Source = in.get(val)
+			case "Message":
+				wr.Message = string(val)
+			case "Framework":
+				wr.Framework = logging.Framework(in.get(val))
+			case "SessionID":
+				wr.SessionID = in.get(val)
+			case "TemplateID":
+				wr.TemplateID = in.get(val)
+			case "line":
+				wr.Line = string(val)
+			default:
+				return false
+			}
+		}
+		ws()
+		if i >= len(raw) {
+			return false
+		}
+		switch raw[i] {
+		case ',':
+			i++
+		case '}':
+			i++
+			ws()
+			return i == len(raw)
+		default:
+			return false
+		}
+	}
+}
+
+// appendWireRecord appends rec's NDJSON line (newline included) when
+// every field fits the fast shape; returns ok=false with buf untouched
+// when the caller must fall back to encoding/json for this record.
+func appendWireRecord(buf []byte, rec *logging.Record) ([]byte, bool) {
+	if y := rec.Time.Year(); y < 0 || y > 9999 {
+		// time.Time.MarshalJSON rejects these; AppendFormat would not.
+		return buf, false
+	}
+	n := len(buf)
+	buf = append(buf, `{"Time":"`...)
+	buf = rec.Time.AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","Level":`...)
+	buf = strconv.AppendInt(buf, int64(rec.Level), 10)
+	var ok bool
+	if buf, ok = appendField(buf, `,"Source":"`, rec.Source); !ok {
+		return buf[:n], false
+	}
+	if buf, ok = appendField(buf, `","Message":"`, rec.Message); !ok {
+		return buf[:n], false
+	}
+	if buf, ok = appendField(buf, `","Framework":"`, string(rec.Framework)); !ok {
+		return buf[:n], false
+	}
+	if buf, ok = appendField(buf, `","SessionID":"`, rec.SessionID); !ok {
+		return buf[:n], false
+	}
+	if buf, ok = appendField(buf, `","TemplateID":"`, rec.TemplateID); !ok {
+		return buf[:n], false
+	}
+	return append(buf, `"}`+"\n"...), true
+}
+
+// appendField appends the field separator (closing the previous value
+// and opening this string) plus val, when val needs no escaping.
+func appendField(buf []byte, sep, val string) ([]byte, bool) {
+	for i := 0; i < len(val); i++ {
+		c := val[i]
+		if c < 0x20 || c == '"' || c == '\\' || c >= utf8.RuneSelf {
+			return buf, false
+		}
+	}
+	buf = append(buf, sep...)
+	return append(buf, val...), true
+}

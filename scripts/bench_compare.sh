@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# bench_compare.sh — the bench regression guard: re-run the archived
+# throughput benchmarks, then compare their logs/sec against the
+# committed baselines (BENCH_spell.json, BENCH_detect.json) with a
+# tolerance band. Exits nonzero when any benchmark falls more than
+# TOLERANCE below its baseline — or, with REFRESH=1, rewrites the
+# committed baselines in place instead of comparing (run that on the
+# machine that produced them; the archives are per-machine numbers).
+#
+#   scripts/bench_compare.sh                 # guard at the default band
+#   TOLERANCE=0.20 scripts/bench_compare.sh  # tighter band
+#   REFRESH=1 scripts/bench_compare.sh       # refresh the baselines
+#
+# BENCHTIME tunes the per-benchmark iteration count (default 2x — quick
+# and noisy; raise it when chasing a marginal failure). Wall-clock
+# numbers on shared CI runners swing well past what a local box shows,
+# hence the wide default band and the report-only CI job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tol="${TOLERANCE:-0.35}"
+bt="${BENCHTIME:-2x}"
+
+# The bench processes run in their package directories, so archive
+# paths must be absolute.
+root=$(pwd)
+
+if [ "${REFRESH:-0}" = "1" ]; then
+	spell_out="$root/BENCH_spell.json"
+	detect_out="$root/BENCH_detect.json"
+	echo "==> refreshing committed baselines (benchtime $bt)"
+else
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT INT TERM
+	spell_out="$tmp/spell.json"
+	detect_out="$tmp/detect.json"
+	echo "==> bench regression guard (benchtime $bt, tolerance $tol)"
+fi
+
+INTELLOG_BENCH_JSON="$spell_out" \
+	go test -run '^$' -bench 'SpellThroughput|StreamDetectThroughput' \
+	-benchmem -benchtime "$bt" .
+INTELLOG_BENCH_DETECT_JSON="$detect_out" \
+	go test -run '^$' -bench 'ConformanceBatchDetect|ConformanceStreamDetect' \
+	-benchmem -benchtime "$bt" ./internal/conformance/
+
+if [ "${REFRESH:-0}" = "1" ]; then
+	echo "==> baselines refreshed: BENCH_spell.json BENCH_detect.json"
+	exit 0
+fi
+
+echo "==> compare vs committed baselines"
+go run ./cmd/benchdiff -baseline BENCH_spell.json -current "$spell_out" \
+	-metric logs_per_sec -tolerance "$tol"
+go run ./cmd/benchdiff -baseline BENCH_detect.json -current "$detect_out" \
+	-metric logs_per_sec -tolerance "$tol"
+echo "==> bench guard OK"

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# bench_serve.sh — measure HTTP serving throughput and archive it in
+# BENCH_serve.json (the serving analogue of BENCH_spell.json /
+# BENCH_detect.json): build the binaries, train a tenant, boot intellogd
+# with a session-sharded ingest pool, replay a generated faulted corpus
+# over HTTP via `intellog bench-serve`, and merge the headline numbers
+# into the archive at the repo root.
+#
+#   scripts/bench_serve.sh                    # archive to BENCH_serve.json
+#   OUT=/tmp/serve.json scripts/bench_serve.sh
+#   JOBS=32 WORKERS=8 scripts/bench_serve.sh  # bigger corpus / wider pool
+#
+# Like the other BENCH_*.json archives the numbers are per-machine;
+# refresh them on the machine whose history you are tracking.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${OUT:-BENCH_serve.json}"
+jobs="${JOBS:-16}"
+ingest_workers="${WORKERS:-4}"
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -KILL "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> build"
+go build -o "$work/intellogd" ./cmd/intellogd
+go build -o "$work/intellog" ./cmd/intellog
+go build -o "$work/loggen" ./cmd/loggen
+
+echo "==> train tenant model"
+"$work/loggen" -framework spark -jobs 6 -fault none -seed 11 -out "$work/train-logs"
+mkdir -p "$work/models"
+"$work/intellog" train -framework spark -logs "$work/train-logs" -model "$work/models/bench.json"
+
+echo "==> generate replay corpus ($jobs jobs)"
+"$work/loggen" -framework spark -jobs "$jobs" -fault kill -seed 12 -out "$work/replay-logs"
+
+echo "==> boot intellogd (ingest-workers=$ingest_workers)"
+addr="127.0.0.1:7872"
+"$work/intellogd" -addr "$addr" -models "$work/models" \
+	-ingest-workers "$ingest_workers" -checkpoint-every 0 -idle 0 \
+	>"$work/intellogd.log" 2>&1 &
+daemon_pid=$!
+
+echo "==> replay over HTTP"
+"$work/intellog" bench-serve -server "http://$addr" -tenant bench -framework spark \
+	-logs "$work/replay-logs" -batch 512 -concurrency 4 -wait 10s \
+	-bench-json "$out"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+echo "==> archived to $out"

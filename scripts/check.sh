@@ -4,7 +4,7 @@
 # regressions surface before review.
 #
 #   scripts/check.sh            # full gate
-#   BENCH=0 scripts/check.sh    # skip the benchmark pass
+#   BENCH=0 scripts/check.sh    # skip the benchmark pass + regression guard
 #   FUZZ=1 scripts/check.sh     # also run the native fuzz targets
 #   FUZZTIME=60s FUZZ=1 ...     # with a larger per-target budget
 #   SERVE=1 scripts/check.sh    # also run the serving-mode smoke test
@@ -36,10 +36,13 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 if [ "${BENCH:-1}" = "1" ]; then
-	echo "==> throughput benchmarks (short)"
-	go test -run '^$' -bench 'Throughput|^BenchmarkTraining$' -benchmem -benchtime 2x .
+	# The archived throughput benchmarks run inside the regression guard,
+	# which compares their logs/sec against the committed BENCH_*.json
+	# baselines (tolerance band; see bench_compare.sh for knobs).
+	scripts/bench_compare.sh
+	echo "==> microbenchmarks (short)"
+	go test -run '^$' -bench '^BenchmarkTraining$' -benchmem -benchtime 2x .
 	go test -run '^$' -bench 'ConsumeColdStart|LookupSteadyState|LookupCache' -benchmem -benchtime 100x ./internal/spell/
-	go test -run '^$' -bench 'ConformanceBatchDetect|ConformanceStreamDetect' -benchmem -benchtime 1x ./internal/conformance/
 fi
 
 if [ "${FUZZ:-0}" = "1" ]; then
