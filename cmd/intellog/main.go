@@ -77,11 +77,14 @@ func usage() {
 // single aggregated log file (sessionized by container ID).
 func loadInput(fw logging.Framework, dir, aggregated string) ([]*logging.Session, error) {
 	if aggregated != "" {
-		data, err := os.ReadFile(aggregated)
+		// Map rather than read: batch inputs parse straight out of the
+		// page cache, and the records' message strings are views into
+		// the (process-lifetime) mapping.
+		data, err := logging.MapFile(aggregated)
 		if err != nil {
 			return nil, err
 		}
-		recs := logging.ParseLines(logging.FormatterFor(fw), strings.Split(string(data), "\n"))
+		recs := logging.ParseLinesBytes(logging.FormatterFor(fw), data)
 		sessions := logging.SplitBySession(recs, nil)
 		if len(sessions) == 0 {
 			return nil, fmt.Errorf("no sessions found in aggregated log %s", aggregated)
@@ -103,12 +106,12 @@ func loadSessions(fw logging.Framework, dir string) ([]*logging.Session, error) 
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".log") || e.Name() == "yarn-daemon.log" {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		data, err := logging.MapFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, err
 		}
 		id := strings.TrimSuffix(e.Name(), ".log")
-		recs := logging.ParseLines(formatter, strings.Split(string(data), "\n"))
+		recs := logging.ParseLinesBytes(formatter, data)
 		s := &logging.Session{ID: id, Framework: fw}
 		for i := range recs {
 			recs[i].SessionID = id

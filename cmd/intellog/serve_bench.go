@@ -20,6 +20,9 @@ func cmdBenchServe(args []string) error {
 	fs := flag.NewFlagSet("bench-serve", flag.ExitOnError)
 	var (
 		serverURL   = fs.String("server", "http://127.0.0.1:7171", "intellogd base URL")
+		proto       = fs.String("proto", "ndjson", "ingest protocol: ndjson (HTTP) | stream (binary)")
+		streamAddr  = fs.String("stream-addr", "127.0.0.1:7172", "binary protocol address (with -proto=stream)")
+		window      = fs.Int("window", 4, "pipelined frames per connection (with -proto=stream)")
 		tenant      = fs.String("tenant", "default", "tenant to ingest as")
 		framework   = fs.String("framework", "spark", "spark | mapreduce | tez")
 		logs        = fs.String("logs", "", "directory of per-session .log files to replay")
@@ -58,12 +61,21 @@ func cmdBenchServe(args []string) error {
 		}
 	}
 
-	res, err := c.Replay(recs, server.ReplayOptions{Batch: *batch, Concurrency: *concurrency})
+	var res server.ReplayResult
+	switch *proto {
+	case "ndjson":
+		res, err = c.Replay(recs, server.ReplayOptions{Batch: *batch, Concurrency: *concurrency})
+	case "stream":
+		res, err = c.ReplayStream(*streamAddr, recs, server.StreamReplayOptions{
+			Batch: *batch, Concurrency: *concurrency, Window: *window})
+	default:
+		return fmt.Errorf("bench-serve: unknown -proto %q (want ndjson or stream)", *proto)
+	}
 	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
-	fmt.Printf("bench-serve: tenant=%s records=%d batches=%d rejected=%d\n",
-		*tenant, res.Records, res.Batches, res.Rejected)
+	fmt.Printf("bench-serve: tenant=%s proto=%s records=%d batches=%d rejected=%d\n",
+		*tenant, *proto, res.Records, res.Batches, res.Rejected)
 	fmt.Printf("bench-serve: wall=%s throughput=%.0f rec/s p50=%s p99=%s\n",
 		res.Duration.Round(time.Millisecond), res.RecPerSec, res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
 
@@ -99,7 +111,11 @@ func cmdBenchServe(args []string) error {
 	}
 
 	if *benchJSON != "" {
-		if err := benchjson.Merge(*benchJSON, "serve_replay_"+*framework, map[string]float64{
+		key := "serve_replay_" + *framework
+		if *proto == "stream" {
+			key = "serve_replay_stream_" + *framework
+		}
+		if err := benchjson.Merge(*benchJSON, key, map[string]float64{
 			"records":       float64(res.Records),
 			"batches":       float64(res.Batches),
 			"rejected":      float64(res.Rejected),

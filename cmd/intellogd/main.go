@@ -19,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +34,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":7171", "listen address")
+		streamAddr = flag.String("stream-addr", "", "binary ingest protocol listen address (empty disables)")
 		models     = flag.String("models", "models", "directory of trained models (<tenant>.json)")
 		state      = flag.String("state", "", "checkpoint directory (<tenant>.ckpt); empty disables checkpointing")
 		maxTenants = flag.Int("max-tenants", 32, "resident tenant cap (LRU eviction past it; <0 unbounded)")
@@ -72,7 +74,20 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("intellogd: serving on %s (models=%s state=%s)", *addr, *models, orNone(*state))
+	var streamLn net.Listener
+	if *streamAddr != "" {
+		streamLn, err = net.Listen("tcp", *streamAddr)
+		if err != nil {
+			log.Fatalf("intellogd: stream listener: %v", err)
+		}
+		go func() {
+			if err := srv.ServeStream(streamLn); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	log.Printf("intellogd: serving on %s (stream=%s models=%s state=%s)",
+		*addr, orNone(*streamAddr), *models, orNone(*state))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -83,9 +98,12 @@ func main() {
 		log.Fatalf("intellogd: listener: %v", err)
 	}
 
-	// Stop the listener first so no new ingest races the drain, then let
+	// Stop the listeners first so no new ingest races the drain, then let
 	// the serving layer consume what it already accepted and write final
-	// checkpoints.
+	// checkpoints (Close also severs live stream connections).
+	if streamLn != nil {
+		streamLn.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

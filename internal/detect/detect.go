@@ -224,7 +224,32 @@ type sessionScratch struct {
 	// first-occurrence reduction.
 	seq   []int
 	order []int
+
+	// l1 is the worker's private resolve memo over the shared lookup
+	// cache: message → (key, memo) with no lock, no atomics and no LRU
+	// bookkeeping on a hit. Detection streams repeat a few thousand
+	// distinct renderings, so nearly every record resolves here; the
+	// shared cache only sees each rendering once per scratch epoch.
+	// Bounded by l1ResolveCap with wholesale reset (the map is cheap to
+	// refill from the shared cache). l1Hits accumulates the hits counted
+	// locally; putScratch flushes them to the shared cache's counter.
+	l1     map[string]resolveMemo
+	l1Hits uint64
 }
+
+// resolveMemo is one L1 entry: the resolution lookupRecord produced for a
+// raw message under the frozen model (a pure function of the text, so a
+// worker-local copy can never go stale during detection).
+type resolveMemo struct {
+	key *spell.Key
+	cl  *extract.CachedLookup
+}
+
+// l1ResolveCap bounds a worker's private resolve memo; at a few hundred
+// bytes per entry the worst case stays a few MB per worker. It must
+// comfortably exceed a stream's distinct-rendering working set (the
+// evaluation corpora run ~10k) or the wholesale reset thrashes.
+const l1ResolveCap = 1 << 15
 
 // groupBucket collects one entity group's messages within one session.
 type groupBucket struct {
@@ -244,7 +269,15 @@ func (d *Detector) getScratch() *sessionScratch {
 	return scr
 }
 
-func (d *Detector) putScratch(scr *sessionScratch) { d.scratch.Put(scr) }
+func (d *Detector) putScratch(scr *sessionScratch) {
+	if scr.l1Hits > 0 {
+		if d.Cache != nil {
+			d.Cache.AddHits(scr.l1Hits)
+		}
+		scr.l1Hits = 0
+	}
+	d.scratch.Put(scr)
+}
 
 // bucketsFor resolves an Intel Key ID to the group buckets it feeds,
 // building the per-key bucket list on first sight.
@@ -307,11 +340,74 @@ func (d *Detector) lookupRecord(rec *logging.Record) (key *spell.Key, cl *extrac
 				d.Values.InternMessage(cl.Proto)
 			}
 		}
+	} else {
+		// Unmatched rendering: every repeat becomes an unexpected-message
+		// anomaly, so precompute the ad-hoc extraction once here instead of
+		// once per record in unexpected (which used to dominate the
+		// allocation profile on anomaly-heavy streams).
+		d.buildAdhoc(rec.Message, cl)
 	}
 	if d.Cache != nil {
 		d.Cache.AddAux(rec.Message, key, cl)
 	}
 	return key, cl
+}
+
+// lookupRecordScr is lookupRecord through the worker's private L1 memo:
+// a hit costs one unsynchronized map probe. Resolution is a pure
+// function of the raw text under the frozen model, so the memo never
+// goes stale; it is reset wholesale at l1ResolveCap.
+func (d *Detector) lookupRecordScr(rec *logging.Record, scr *sessionScratch) (*spell.Key, *extract.CachedLookup) {
+	if m, ok := scr.l1[rec.Message]; ok {
+		scr.l1Hits++
+		return m.key, m.cl
+	}
+	key, cl := d.lookupRecord(rec)
+	if scr.l1 == nil {
+		scr.l1 = make(map[string]resolveMemo, 1024)
+	} else if len(scr.l1) >= l1ResolveCap {
+		clear(scr.l1)
+	}
+	scr.l1[rec.Message] = resolveMemo{key: key, cl: cl}
+	return key, cl
+}
+
+// buildAdhoc fills cl's unexpected-message memo for an unmatched raw
+// message: the ad-hoc Intel Key, its entity-group attribution, and the
+// summary line. Everything here depends only on the text (the group
+// table is frozen with the graph), so it runs once per distinct
+// rendering and unexpected binds per record from the memo.
+func (d *Detector) buildAdhoc(msg string, cl *extract.CachedLookup) {
+	texts := nlp.Texts(cl.Tokens)
+	adhoc := &spell.Key{ID: -1, Tokens: texts, Sample: texts}
+	ik := extract.BuildIntelKey(adhoc)
+	// Attribute the message to a trained entity group — the paper's
+	// diagnosis flow groups unexpected messages by entity ("all of the
+	// unexpected messages belong to the 'fetcher' entity group"). The
+	// operation's subject is the acting component, so it wins over other
+	// extracted entities.
+	grp := ""
+	for _, op := range ik.Operations {
+		if op.Subject != "" {
+			if n := d.findGroupOf(op.Subject); n != "" {
+				grp = n
+				break
+			}
+		}
+	}
+	if grp == "" {
+		for _, e := range ik.Entities {
+			if n := d.findGroupOf(e); n != "" {
+				grp = n
+				break
+			}
+		}
+	}
+	if grp == "" && len(ik.Entities) > 0 {
+		grp = ik.Entities[0]
+	}
+	cl.Adhoc, cl.AdhocGroup = ik, grp
+	cl.AdhocDetail = fmt.Sprintf("no Intel Key matches %q", msg)
 }
 
 // DetectSession checks one session and returns its anomalies.
@@ -331,9 +427,9 @@ func (d *Detector) detectSession(s *logging.Session, scr *sessionScratch) []Anom
 
 	for i := range s.Records {
 		rec := &s.Records[i]
-		key, cl := d.lookupRecord(rec)
+		key, cl := d.lookupRecordScr(rec, scr)
 		if key == nil {
-			anomalies = append(anomalies, d.unexpected(s, rec, cl.Tokens))
+			anomalies = append(anomalies, d.unexpected(s, rec, cl))
 			continue
 		}
 		if cl.Proto == nil {
@@ -385,38 +481,23 @@ func (d *Detector) DetectParallel(sessions []*logging.Session, shards int) *Repo
 	return r
 }
 
-// unexpected builds the UnexpectedMessage anomaly, running ad-hoc
-// extraction on the message so its fields are queryable.
-func (d *Detector) unexpected(s *logging.Session, rec *logging.Record, tokens []nlp.Token) Anomaly {
-	adhoc := &spell.Key{ID: -1, Tokens: nlp.Texts(tokens), Sample: nlp.Texts(tokens)}
-	ik := extract.BuildIntelKey(adhoc)
-	m := extract.Bind(ik, tokens, rec.Time, s.ID, rec.Message)
-	grp := ""
-	// Attribute the message to a trained entity group — the paper's
-	// diagnosis flow groups unexpected messages by entity ("all of the
-	// unexpected messages belong to the 'fetcher' entity group"). The
-	// operation's subject is the acting component, so it wins over other
-	// extracted entities.
-	var candidates []string
-	for _, op := range ik.Operations {
-		if op.Subject != "" {
-			candidates = append(candidates, op.Subject)
-		}
+// unexpected builds the UnexpectedMessage anomaly from the rendering's
+// cached ad-hoc extraction; only the per-record Bind (time and session
+// vary) runs per repeat.
+func (d *Detector) unexpected(s *logging.Session, rec *logging.Record, cl *extract.CachedLookup) Anomaly {
+	if cl.Adhoc == nil {
+		// Memo published without the adhoc extraction (a bare cache Add
+		// from outside lookupRecord): fill a private copy, leaving the
+		// shared memo untouched.
+		tmp := &extract.CachedLookup{Tokens: cl.Tokens}
+		d.buildAdhoc(rec.Message, tmp)
+		cl = tmp
 	}
-	candidates = append(candidates, ik.Entities...)
-	for _, e := range candidates {
-		if n := d.findGroupOf(e); n != "" {
-			grp = n
-			break
-		}
-	}
-	if grp == "" && len(ik.Entities) > 0 {
-		grp = ik.Entities[0]
-	}
+	m := extract.Bind(cl.Adhoc, cl.Tokens, rec.Time, s.ID, rec.Message)
 	return Anomaly{
-		Session: s.ID, Kind: UnexpectedMessage, Group: grp,
+		Session: s.ID, Kind: UnexpectedMessage, Group: cl.AdhocGroup,
 		Record: rec, Extracted: m,
-		Detail: fmt.Sprintf("no Intel Key matches %q", rec.Message),
+		Detail: cl.AdhocDetail,
 	}
 }
 

@@ -278,13 +278,24 @@ func (s *StreamDetector) ConsumeBatch(recs []logging.Record, workers int) []Anom
 	if workers <= 0 {
 		workers = par.Workers()
 	}
+	if workers > len(recs) {
+		workers = len(recs)
+	}
 	type resolvedRec struct {
 		key *spell.Key
 		cl  *extract.CachedLookup
 	}
 	resolved := make([]resolvedRec, len(recs))
-	par.ForEach(len(recs), workers, func(i int) {
-		resolved[i].key, resolved[i].cl = s.d.lookupRecord(&recs[i])
+	// Stride the batch across workers (not one task per record) so each
+	// worker resolves through a pooled scratch's private L1 memo — the
+	// common repeat rendering costs one unsynchronized map probe instead
+	// of a shared-cache round trip per record.
+	par.ForEach(workers, workers, func(w int) {
+		scr := s.d.getScratch()
+		defer s.d.putScratch(scr)
+		for i := w; i < len(recs); i += workers {
+			resolved[i].key, resolved[i].cl = s.d.lookupRecordScr(&recs[i], scr)
+		}
 	})
 	var out []Anomaly
 	for i := range recs {
@@ -351,7 +362,7 @@ func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl 
 	switch {
 	case key == nil:
 		sess := &logging.Session{ID: rec.SessionID, Framework: rec.Framework}
-		out = append(out, s.d.unexpected(sess, &rec, cl.Tokens))
+		out = append(out, s.d.unexpected(sess, &rec, cl))
 	case cl.Proto == nil:
 		// Matched non-NL key: ignore-listed, never an anomaly.
 	default:

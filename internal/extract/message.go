@@ -178,6 +178,19 @@ func BindRaw(key *IntelKey, ts time.Time, session, raw string) *Message {
 type CachedLookup struct {
 	Tokens []nlp.Token
 	Proto  *Message
+
+	// Adhoc is the §3 extraction of an unmatched rendering (key == nil):
+	// the ad-hoc Intel Key the detector's unexpected-message handler binds
+	// per record. Anomaly streams repeat the same unexpected message, and
+	// re-running entity/operation extraction per repeat dominated the
+	// detection allocation profile — the extraction depends only on the
+	// raw text, so it is built once per distinct rendering. AdhocGroup and
+	// AdhocDetail carry the (equally text-determined) entity-group
+	// attribution and summary line. All three are set before the memo is
+	// published to the cache and read-only after.
+	Adhoc       *IntelKey
+	AdhocGroup  string
+	AdhocDetail string
 }
 
 // Rebind returns a copy of a bound prototype with the per-record fields

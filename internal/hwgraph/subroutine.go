@@ -8,6 +8,7 @@ package hwgraph
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"intellog/internal/extract"
 )
@@ -32,8 +33,11 @@ type Instance struct {
 	// types is the sorted distinct identifier types. When typesShared is
 	// set it aliases a Message's cached IdentifierTypes slice (the common
 	// case: every message of an instance carries the same type set) and
-	// must be copied before mutation.
+	// must be copied before mutation. typesBuf is the instance's private
+	// merge buffer for that copy, retained across Assigner recycling so
+	// mixed-type instances stop allocating once the pool is warm.
 	types       []string
+	typesBuf    []string
 	typesShared bool
 	// sig caches Signature once computed (sigOK distinguishes a cached ""
 	// from an uncomputed one). Instances whose types come whole from one
@@ -139,7 +143,7 @@ func (a *Assigner) newInstance(ord int) *Instance {
 	if n := len(a.free); n > 0 {
 		in := a.free[n-1]
 		a.free = a.free[:n-1]
-		*in = Instance{Msgs: in.Msgs[:0], bits: in.bits[:0], ord: ord}
+		*in = Instance{Msgs: in.Msgs[:0], bits: in.bits[:0], typesBuf: in.typesBuf, ord: ord}
 		return in
 	}
 	if len(a.arena) == 0 {
@@ -173,10 +177,23 @@ func (a *Assigner) Assign(msgs []*extract.Message) []*Instance {
 	a.instances = a.instances[:0]
 	none := a.newInstance(0)
 	instances := append(a.instances, none)
+	// Consecutive-duplicate fast path: session streams repeat the same
+	// rendering back-to-back (heartbeats, retry storms), and repeats share
+	// one prototype Message pointer. Immediately after m was assigned to
+	// lastTarget, every one of m's values is in lastTarget and no other
+	// instance has changed, so the scan would pick lastTarget again; the
+	// repeat reduces to one append.
+	var lastMsg *extract.Message
+	var lastTarget *Instance
 	for _, m := range msgs {
+		if m == lastMsg {
+			lastTarget.Msgs = append(lastTarget.Msgs, m)
+			continue
+		}
 		set := m.IdentifierSet()
 		if len(set) == 0 {
 			none.Msgs = append(none.Msgs, m)
+			lastMsg, lastTarget = m, none
 			continue
 		}
 		ii := m.Interned()
@@ -229,24 +246,9 @@ func (a *Assigner) Assign(msgs []*extract.Message) []*Instance {
 				a.byValue[id] = append(a.byValue[id], target)
 			}
 		}
-		if mts := m.IdentifierTypes(); target.types == nil {
-			target.types = mts
-			target.typesShared = true
-			// Inherit the message's cached signature join — built once per
-			// distinct rendering instead of once per instance.
-			target.sig = m.TypeSignature()
-			target.sigOK = true
-		} else if !sameStrings(target.types, mts) {
-			if target.typesShared {
-				target.types = append([]string(nil), target.types...)
-				target.typesShared = false
-			}
-			for _, t := range mts {
-				target.types = insertSorted(target.types, t)
-			}
-			target.sig, target.sigOK = "", false
-		}
+		a.mergeTypes(target, m)
 		target.Msgs = append(target.Msgs, m)
+		lastMsg, lastTarget = m, target
 	}
 	for _, in := range instances {
 		in.vals = a.vals
@@ -256,6 +258,34 @@ func (a *Assigner) Assign(msgs []*extract.Message) []*Instance {
 		instances = instances[1:]
 	}
 	return instances
+}
+
+// mergeTypes folds m's identifier-type set into target's, preserving the
+// shared-slice fast path: a fresh instance aliases the message's cached
+// set (and its cached signature join); a genuine merge copies into the
+// instance's retained buffer first.
+func (a *Assigner) mergeTypes(target *Instance, m *extract.Message) {
+	if mts := m.IdentifierTypes(); target.types == nil {
+		target.types = mts
+		target.typesShared = true
+		// Inherit the message's cached signature join — built once per
+		// distinct rendering instead of once per instance.
+		target.sig = m.TypeSignature()
+		target.sigOK = true
+	} else if !sameStrings(target.types, mts) {
+		if target.typesShared {
+			// Copy into the instance's retained merge buffer rather than
+			// a fresh slice; the shared (message-cached) set itself is
+			// never mutated.
+			target.types = append(target.typesBuf[:0], target.types...)
+			target.typesShared = false
+		}
+		for _, t := range mts {
+			target.types = insertSorted(target.types, t)
+		}
+		target.typesBuf = target.types
+		target.sig, target.sigOK = "", false
+	}
 }
 
 // sameStrings reports whether a and b hold the same sequence. Instance
@@ -333,6 +363,48 @@ type Subroutine struct {
 	// runs only during (sequential) training; concurrent detection paths
 	// like Violations must not touch it.
 	scratch []int
+	// frozen caches detection-time views of Before and Critical (see
+	// frozenTables), built lazily on first check and invalidated by
+	// Update. Concurrent detection workers may race the first build; the
+	// tables are deterministic, so the duplicate work is harmless.
+	frozen atomic.Pointer[frozenTables]
+}
+
+// frozenTables is the detection-shaped view of a trained subroutine:
+// the surviving BEFORE relations flattened to a pair list sorted by
+// (a, b), and the critical keys in Keys order. ViolationsOrder and
+// MissingCritical used to re-walk the training maps per instance —
+// map iteration per check dominated the structural-check CPU profile —
+// whereas these slices scan linearly and yield already-sorted output.
+type frozenTables struct {
+	pairs    [][2]int
+	critical []int
+}
+
+// tables returns the frozen views, building them on first use.
+func (s *Subroutine) tables() *frozenTables {
+	if t := s.frozen.Load(); t != nil {
+		return t
+	}
+	t := &frozenTables{}
+	for _, k := range s.Keys {
+		if s.Critical[k] {
+			t.critical = append(t.critical, k)
+		}
+	}
+	for a, succ := range s.Before {
+		for b := range succ {
+			t.pairs = append(t.pairs, [2]int{a, b})
+		}
+	}
+	sort.Slice(t.pairs, func(i, j int) bool {
+		if t.pairs[i][0] != t.pairs[j][0] {
+			return t.pairs[i][0] < t.pairs[j][0]
+		}
+		return t.pairs[i][1] < t.pairs[j][1]
+	})
+	s.frozen.Store(t)
+	return t
 }
 
 // NewSubroutine returns an empty subroutine for a signature.
@@ -388,6 +460,9 @@ func (s *Subroutine) Update(seq []int) {
 		}
 	}
 	s.Instances++
+	// Invalidate the frozen detection views; the next check rebuilds them
+	// from the updated maps.
+	s.frozen.Store(nil)
 }
 
 // Violations returns the order relations an instance's key sequence
@@ -401,23 +476,23 @@ func (s *Subroutine) Violations(seq []int) [][2]int {
 // once per instance into caller scratch and feeds every check from it.
 func (s *Subroutine) ViolationsOrder(order []int) [][2]int {
 	var out [][2]int
-	for a, succ := range s.Before {
-		pa := indexOfInt(order, a)
+	t := s.tables()
+	lastA, lastPA := -1, -1
+	for _, p := range t.pairs {
+		a, b := p[0], p[1]
+		pa := lastPA
+		if a != lastA {
+			pa = indexOfInt(order, a)
+			lastA, lastPA = a, pa
+		}
 		if pa < 0 {
 			continue
 		}
-		for b := range succ {
-			if pb := indexOfInt(order, b); pb >= 0 && pb < pa {
-				out = append(out, [2]int{a, b})
-			}
+		if pb := indexOfInt(order, b); pb >= 0 && pb < pa {
+			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
+	// t.pairs is sorted by (a, b), so out already is — no per-call sort.
 	return out
 }
 
@@ -426,8 +501,8 @@ func (s *Subroutine) ViolationsOrder(order []int) [][2]int {
 // reduced sequence (FirstOccurrenceInto) gives the same answer cheaper.
 func (s *Subroutine) MissingCritical(seq []int) []int {
 	var out []int
-	for _, k := range s.Keys {
-		if s.Critical[k] && !containsInt(seq, k) {
+	for _, k := range s.tables().critical {
+		if !containsInt(seq, k) {
 			out = append(out, k)
 		}
 	}

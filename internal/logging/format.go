@@ -1,10 +1,12 @@
 package logging
 
 import (
+	"bytes"
 	"fmt"
 	"regexp"
 	"strings"
 	"time"
+	"unsafe"
 )
 
 // Formatter converts between raw log lines and Records for one framework's
@@ -207,6 +209,37 @@ func ParseLines(f Formatter, lines []string) []Record {
 		}
 		if len(out) > 0 {
 			out[len(out)-1].Message += "\n" + line
+		}
+	}
+	return out
+}
+
+// ParseLinesBytes is ParseLines over a raw file image, producing
+// byte-identical records without materializing a lines slice: each line
+// is handed to the formatter as a zero-copy string view into data.
+// data must stay live and unmodified for as long as the records (and
+// anything derived from them) are in use — MapFile's process-lifetime
+// mappings guarantee exactly that, which is what makes the view safe.
+func ParseLinesBytes(f Formatter, data []byte) []Record {
+	var out []Record
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line = data[:i]
+			data = data[i+1:]
+		} else {
+			data = nil
+		}
+		if len(line) == 0 {
+			continue
+		}
+		s := unsafe.String(&line[0], len(line))
+		if rec, ok := f.Parse(s); ok {
+			out = append(out, rec)
+			continue
+		}
+		if len(out) > 0 {
+			out[len(out)-1].Message += "\n" + s
 		}
 	}
 	return out

@@ -1,0 +1,39 @@
+//go:build unix
+
+package logging
+
+import (
+	"os"
+	"syscall"
+)
+
+// MapFile maps path read-only into memory and returns the file's bytes
+// as a view over the mapping. The mapping is deliberately never
+// unmapped: batch inputs are read once per process and every Record
+// parsed out of them (see ParseLinesBytes) references the mapped bytes
+// directly, so the mapping's lifetime is the process's. Compared to
+// ReadFile + string conversion the file's bytes are never copied onto
+// the heap at all — the page cache is the buffer.
+//
+// An empty file (or an unmappable one, e.g. a pipe) falls back to an
+// ordinary read, which satisfies the same immutable-forever contract.
+func MapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return os.ReadFile(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return os.ReadFile(path)
+	}
+	return data, nil
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package logging
+
+import "os"
+
+// MapFile reads path into memory on platforms without mmap support.
+// The returned bytes satisfy the same contract as the mapped variant:
+// immutable for the life of the process.
+func MapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,110 @@
+package logging
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseLinesBytesDifferential pins the zero-copy parser to the
+// string parser, edge by edge: continuation lines, blank lines, leading
+// junk, missing trailing newline and invalid UTF-8 must all come out
+// byte-identical.
+func TestParseLinesBytesDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		fw   Framework
+		text string
+	}{
+		{"empty", Spark, ""},
+		{"newline only", Spark, "\n\n\n"},
+		{"single line no newline", Spark,
+			"19/03/01 12:00:00 INFO BlockManager: Registering block manager"},
+		{"trailing newline", Spark,
+			"19/03/01 12:00:00 INFO BlockManager: Registering block manager\n"},
+		{"continuation lines", Spark,
+			"19/03/01 12:00:00 ERROR Executor: Exception in task 0.0\n" +
+				"java.io.IOException: Connection reset\n" +
+				"\tat java.net.SocketInputStream.read\n" +
+				"19/03/01 12:00:01 INFO Executor: Finished task 0.0\n"},
+		{"leading junk dropped", Spark,
+			"not a log line\nanother stray\n" +
+				"19/03/01 12:00:00 INFO DAGScheduler: Job 0 finished\n"},
+		{"blank lines between records", Spark,
+			"19/03/01 12:00:00 INFO A: one\n\n\n19/03/01 12:00:01 INFO B: two\n"},
+		{"invalid utf8 in message", Spark,
+			"19/03/01 12:00:00 INFO Fetcher: bad bytes \xff\xfe here\n"},
+		{"hadoop format", MapReduce,
+			"2019-03-01 12:00:00,123 INFO [main] org.apache.hadoop.mapred.MapTask: spill complete\n" +
+				"stack continuation\n"},
+		{"tez format", Tez,
+			"2019-03-01 12:00:00,123 WARN [main] org.apache.tez.dag.app.DAGAppMaster: recovering\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := FormatterFor(tc.fw)
+			want := ParseLines(f, strings.Split(tc.text, "\n"))
+			got := ParseLinesBytes(f, []byte(tc.text))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ParseLinesBytes diverges from ParseLines\nbytes:  %+v\nstring: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestMapFile checks the mapped reader returns exactly the file's bytes
+// and that the empty-file fallback holds.
+func TestMapFile(t *testing.T) {
+	dir := t.TempDir()
+	content := []byte("19/03/01 12:00:00 INFO A: one\nnot a match\n\xff raw bytes")
+	path := filepath.Join(dir, "session.log")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(content) {
+		t.Fatalf("MapFile = %q, want %q", got, content)
+	}
+
+	empty := filepath.Join(dir, "empty.log")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := MapFile(empty); err != nil || len(got) != 0 {
+		t.Fatalf("MapFile(empty) = (%q, %v)", got, err)
+	}
+
+	if _, err := MapFile(filepath.Join(dir, "missing.log")); err == nil {
+		t.Fatal("MapFile(missing) did not error")
+	}
+}
+
+// TestMapFileParsePipeline runs the full mapped pipeline — MapFile →
+// ParseLinesBytes — against ReadFile → ParseLines over the same file,
+// proving the zero-copy views produce identical records.
+func TestMapFileParsePipeline(t *testing.T) {
+	dir := t.TempDir()
+	text := "19/03/01 12:00:00 INFO BlockManager: Registering block manager\n" +
+		"19/03/01 12:00:01 ERROR Executor: Exception in task 1.0\n" +
+		"\tat org.apache.spark.executor.Executor\n" +
+		"19/03/01 12:00:02 INFO Executor: Finished task 1.0\n"
+	path := filepath.Join(dir, "c1.log")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := FormatterFor(Spark)
+	want := ParseLines(f, strings.Split(text, "\n"))
+	data, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ParseLinesBytes(f, data)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mapped pipeline diverges\nmapped: %+v\nstring: %+v", got, want)
+	}
+}

@@ -166,7 +166,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Pre-size the batch from the request size (~wire bytes per record)
 	// so append doesn't re-copy the record array while decoding.
 	recs := make([]logging.Record, 0, batchSizeHint(r.ContentLength))
-	var intern wireIntern
+	resolver := &batchResolver{
+		intern: &wireIntern{},
+		msg: func(b []byte) string {
+			if canon, _, _, ok := t.det.Cache.Peek(b); ok {
+				return canon
+			}
+			return string(b)
+		},
+	}
 	skipped := 0
 	line := 0
 	for scanner.Scan() {
@@ -176,7 +184,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		var wr WireRecord
-		if !fastWireRecord(raw, &wr, &intern) {
+		if !fastWireRecord(raw, &wr, resolver) {
 			wr = WireRecord{}
 			if err := json.Unmarshal(raw, &wr); err != nil {
 				httpError(w, http.StatusBadRequest, "line %d: %v", line, err)

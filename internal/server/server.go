@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,6 +129,11 @@ type Server struct {
 	reg    *metrics.Registry
 	closed chan struct{}
 	stopWG sync.WaitGroup // background checkpointer
+
+	// streamConns tracks live binary-protocol ingest connections (see
+	// ServeStream) so shutdown can sever them.
+	streamMu    sync.Mutex
+	streamConns map[net.Conn]struct{}
 
 	started time.Time
 }
@@ -373,6 +379,7 @@ func (s *Server) Close() error {
 	default:
 		close(s.closed)
 	}
+	s.closeStreamConns()
 	s.stopWG.Wait()
 	var firstErr error
 	for _, t := range s.resident() {
@@ -393,6 +400,7 @@ func (s *Server) Kill() {
 	default:
 		close(s.closed)
 	}
+	s.closeStreamConns()
 	s.stopWG.Wait()
 	for _, t := range s.resident() {
 		t.close(false)

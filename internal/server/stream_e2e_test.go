@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+
+	"intellog/internal/conformance"
+	"intellog/internal/detect"
+	"intellog/internal/server"
+)
+
+// canonicalizeServed canonicalizes a batch-path report as a report-API
+// client would observe it: through one JSON round trip. The binary
+// ingest wire carries record bytes verbatim, but the report endpoint is
+// JSON, which rewrites invalid UTF-8 (the line-fault corpora carry
+// some) into U+FFFD on the way out; a round trip applies the identical
+// rewrite to the local reference. For valid UTF-8 this is the identity.
+func canonicalizeServed(t *testing.T, rep *detect.Report) []byte {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt detect.Report
+	if err := json.Unmarshal(raw, &rt); err != nil {
+		t.Fatal(err)
+	}
+	canon, err := conformance.Canonicalize(&rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon
+}
+
+// bootStreamListener exposes srv's binary ingest protocol on a loopback
+// listener and returns its address.
+func bootStreamListener(t *testing.T, srv *server.Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.ServeStream(ln)
+	return ln.Addr().String()
+}
+
+// TestStreamServeConformance is the binary-protocol differential check
+// over the whole matrix: a corpus replayed through the length-prefixed
+// wire (encode → frame → CRC → decode → queue → worker → streaming
+// detector) must canonicalize byte-identical to plain batch detection.
+// Unlike the NDJSON path, the binary wire carries record bytes verbatim
+// — no JSON UTF-8 rewriting on ingest — so even the line-fault corpora
+// compare against local batch detection (normalized only for the JSON
+// report endpoint), pipelined and sharded across three connections.
+func TestStreamServeConformance(t *testing.T) {
+	for _, spec := range conformance.DefaultMatrix() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			corpus := spec.Generate()
+			m := conformance.ModelFor(spec.Framework)
+			want := canonicalizeServed(t, conformance.BatchPath(m.Detector(), corpus.Records))
+
+			modelDir := t.TempDir()
+			writeModel(t, modelDir, "acme", spec.Framework)
+			srv, hs := bootServer(t, server.Config{
+				ModelDir:         modelDir,
+				DefaultFramework: spec.Framework,
+				IngestWorkers:    4,
+			})
+			defer srv.Close()
+			addr := bootStreamListener(t, srv)
+
+			c := &server.Client{Base: hs.URL, Tenant: "acme"}
+			res, err := c.ReplayStream(addr, corpus.Records, server.StreamReplayOptions{
+				Batch: 48, Concurrency: 3, Window: 4,
+			})
+			if err != nil {
+				t.Fatalf("stream replay: %v", err)
+			}
+			if res.Records != len(corpus.Records) {
+				t.Fatalf("stream replay accepted %d records, corpus has %d", res.Records, len(corpus.Records))
+			}
+			if _, err := c.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+			rep, err := c.Report()
+			if err != nil {
+				t.Fatalf("report: %v", err)
+			}
+			got, err := conformance.Canonicalize(&rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stream-served report diverges from batch detection\nbatch:\n%s\nserved:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestStreamKillRestartConformance is the crash drill over the binary
+// protocol: half the corpus over a persistent connection, checkpoint,
+// kill (which severs the live stream connections), boot a successor on
+// the same state dir, replay the rest over a fresh connection, and
+// require the combined two-life findings to canonicalize byte-identical
+// to batch detection, with the anomaly cursor advancing across lives.
+func TestStreamKillRestartConformance(t *testing.T) {
+	spec := conformance.DefaultMatrix()[1] // spark-faulted
+	corpus := spec.Generate()
+	m := conformance.ModelFor(spec.Framework)
+	want, err := conformance.Canonicalize(conformance.BatchPath(m.Detector(), corpus.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelDir, stateDir := t.TempDir(), t.TempDir()
+	writeModel(t, modelDir, "acme", spec.Framework)
+	cfg := server.Config{
+		ModelDir: modelDir, StateDir: stateDir,
+		DefaultFramework: spec.Framework,
+	}
+	cut := len(corpus.Records) / 2
+
+	srv1, hs1 := bootServer(t, cfg)
+	addr1 := bootStreamListener(t, srv1)
+	c1 := &server.Client{Base: hs1.URL, Tenant: "acme"}
+	if _, err := c1.ReplayStream(addr1, corpus.Records[:cut], server.StreamReplayOptions{
+		Batch: 64, Concurrency: 1, Window: 4,
+	}); err != nil {
+		t.Fatalf("first-life stream replay: %v", err)
+	}
+	if err := c1.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	preKill, err := c1.AllAnomalies()
+	if err != nil {
+		t.Fatalf("pre-kill anomalies: %v", err)
+	}
+	var maxSeq uint64
+	for _, a := range preKill {
+		if a.Seq <= maxSeq && maxSeq != 0 {
+			t.Fatalf("pre-kill anomaly seqs not increasing: %d after %d", a.Seq, maxSeq)
+		}
+		maxSeq = a.Seq
+	}
+	hs1.Close()
+	srv1.Kill() // severs the stream listener's live connections too
+
+	srv2, hs2 := bootServer(t, cfg)
+	defer srv2.Close()
+	addr2 := bootStreamListener(t, srv2)
+	c2 := &server.Client{Base: hs2.URL, Tenant: "acme"}
+	if _, err := c2.ReplayStream(addr2, corpus.Records[cut:], server.StreamReplayOptions{
+		Batch: 64, Concurrency: 1, Window: 4,
+	}); err != nil {
+		t.Fatalf("second-life stream replay: %v", err)
+	}
+	if _, err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	page, err := c2.Anomalies(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range page.Anomalies {
+		if a.Seq <= maxSeq && maxSeq > 0 {
+			t.Fatalf("post-restart seq %d does not advance past pre-kill max %d", a.Seq, maxSeq)
+		}
+	}
+
+	rep, err := c2.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := detect.Report{Sessions: rep.Sessions}
+	for _, a := range preKill {
+		combined.Anomalies = append(combined.Anomalies, a.Anomaly)
+	}
+	combined.Anomalies = append(combined.Anomalies, rep.Anomalies...)
+	got, err := conformance.Canonicalize(&combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream kill/restart report diverges from batch detection\nbatch:\n%s\nserved:\n%s", want, got)
+	}
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"intellog/internal/logging"
+	"intellog/internal/metrics"
+)
+
+// helloTimeout bounds how long a fresh connection may dawdle before
+// completing the magic + Hello exchange.
+const helloTimeout = 30 * time.Second
+
+// ServeStream accepts binary-protocol ingest connections on ln until
+// the listener is closed (then it returns nil) or fails. Each
+// connection serves one tenant, named in its Hello frame; record
+// admission, backpressure and counters are exactly the NDJSON
+// handler's, answered as Ack frames instead of HTTP statuses.
+func (s *Server) ServeStream(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.trackConn(conn, true)
+		s.reg.Counter("intellogd_stream_connections_total",
+			"binary ingest connections accepted").Inc()
+		go func() {
+			defer s.trackConn(conn, false)
+			defer conn.Close()
+			if err := s.serveStreamConn(conn); err != nil &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("intellogd: stream conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// trackConn registers live stream connections so Close/Kill can sever
+// them (their goroutines would otherwise outlive the server).
+func (s *Server) trackConn(conn net.Conn, add bool) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if add {
+		if s.streamConns == nil {
+			s.streamConns = map[net.Conn]struct{}{}
+		}
+		s.streamConns[conn] = struct{}{}
+	} else {
+		delete(s.streamConns, conn)
+	}
+}
+
+// closeStreamConns severs every live binary-protocol connection.
+func (s *Server) closeStreamConns() {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	for conn := range s.streamConns {
+		conn.Close()
+	}
+}
+
+// serveStreamConn runs one binary ingest connection: magic, Hello,
+// then Batch frames acked in arrival order. Acks buffer through bw and
+// flush only when no further frame is already readable, so a
+// pipelining client gets its verdicts in batches instead of one
+// syscall each.
+func (s *Server) serveStreamConn(conn net.Conn) error {
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return err
+	}
+	if string(magic[:]) != streamMagic {
+		return wireErrf("bad magic %q", magic[:])
+	}
+
+	maxFrame := int(s.cfg.MaxBodyBytes)
+	var fbuf, abuf []byte
+	sendAck := func(a streamAck) error {
+		abuf = appendFrame(abuf[:0], frameAck, appendAck(nil, a))
+		if _, err := bw.Write(abuf); err != nil {
+			return err
+		}
+		// Batched acks: another frame already buffered means the client
+		// is pipelining — hold the flush and let its verdict share the
+		// write.
+		if br.Buffered() > 0 {
+			return nil
+		}
+		return bw.Flush()
+	}
+
+	typ, body, fbuf, err := readFrame(br, fbuf, maxFrame)
+	if err != nil {
+		return err
+	}
+	if typ != frameHello {
+		return wireErrf("expected hello, got frame type %d", typ)
+	}
+	tenantName, fw, err := parseHello(body)
+	if err != nil {
+		sendAck(streamAck{Status: ackBadRecord, Msg: err.Error()})
+		return err
+	}
+	if fw == "" {
+		fw = s.cfg.DefaultFramework
+	}
+	if !fw.Known() {
+		err := wireErrf("unknown framework %q", fw)
+		sendAck(streamAck{Status: ackBadRecord, Msg: err.Error()})
+		return err
+	}
+	t, err := s.Tenant(tenantName)
+	if err != nil {
+		st := 500
+		switch {
+		case errors.Is(err, errBadTenant):
+			st = ackBadRecord
+		case errors.As(err, &errUnknownTenant{}):
+			st = 404
+		}
+		sendAck(streamAck{Status: st, Msg: err.Error()})
+		return err
+	}
+	if err := sendAck(streamAck{Status: ackAccepted}); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	// The per-connection resolver: small fields dedup through a bounded
+	// intern table; message bytes resolve against the model's lookup
+	// cache first, so the overwhelmingly common repeat-rendering costs
+	// no allocation and the detector's own cache probe later hits the
+	// very same string.
+	intern := &wireIntern{}
+	resolver := &batchResolver{
+		intern: intern,
+		msg: func(b []byte) string {
+			if canon, _, _, ok := t.det.Cache.Peek(b); ok {
+				return canon
+			}
+			return string(b)
+		},
+	}
+
+	// resyncSeq, when non-zero, is the refused frame the client must
+	// retransmit next; frames with any other seq bounce with 425 so the
+	// accepted stream keeps per-session order (go-back-N).
+	var resyncSeq uint64
+	for {
+		typ, body, fbuf, err = readFrame(br, fbuf, maxFrame)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// Clean end of stream: client closed after its last ack.
+				return nil
+			}
+			return err
+		}
+		if typ != frameBatch {
+			return wireErrf("unexpected frame type %d", typ)
+		}
+		select {
+		case <-s.closed:
+			sendAck(streamAck{Status: ackShutdown, Msg: "server draining"})
+			return nil
+		default:
+		}
+		seq, recs, err := decodeBatch(body, resolver, nil)
+		if err != nil {
+			return err
+		}
+		if resyncSeq != 0 && seq != resyncSeq {
+			if err := sendAck(streamAck{Seq: seq, Status: ackRetryEarly}); err != nil {
+				return err
+			}
+			continue
+		}
+		ack := s.admitStreamBatch(t, fw, seq, recs)
+		if ack.Status == ackAccepted {
+			resyncSeq = 0
+		} else {
+			resyncSeq = seq
+		}
+		if err := sendAck(ack); err != nil {
+			return err
+		}
+	}
+}
+
+// admitStreamBatch validates and enqueues one decoded batch, mirroring
+// handleIngest's admission rules record for record.
+func (s *Server) admitStreamBatch(t *tenant, fw logging.Framework, seq uint64, recs []logging.Record) streamAck {
+	kept := recs[:0]
+	skipped := 0
+	for i := range recs {
+		if recs[i].Message == "" {
+			return streamAck{Seq: seq, Status: ackBadRecord,
+				Msg: "record has no message"}
+		}
+		if recs[i].SessionID == "" {
+			skipped++
+			continue
+		}
+		if recs[i].Framework == "" {
+			recs[i].Framework = fw
+		}
+		kept = append(kept, recs[i])
+	}
+	t.skipped.Add(uint64(skipped))
+	if len(kept) > s.cfg.QueueRecords {
+		return streamAck{Seq: seq, Status: ackTooLarge, Skipped: skipped,
+			Msg: "batch exceeds the tenant queue budget; split it"}
+	}
+	if !t.enqueueBatch(kept) {
+		return streamAck{Seq: seq, Status: ackQueueFull, Skipped: skipped,
+			RetryMs: 1000, Msg: "ingest queue full"}
+	}
+	s.reg.Counter("intellogd_stream_batches_total",
+		"binary ingest batches accepted, per tenant",
+		metrics.Label{Key: "tenant", Value: t.name}).Inc()
+	return streamAck{Seq: seq, Status: ackAccepted, Accepted: len(kept), Skipped: skipped}
+}

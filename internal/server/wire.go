@@ -24,12 +24,24 @@ import (
 // framework names. One batch carries each session ID and source dozens
 // of times; interning turns those into one allocation each, which
 // matters because GC work is the second-largest band in the serving
-// profile after the codec itself. Scoped to a single request (one
-// goroutine), so it needs no locking and its strings die with the
-// batch's records.
+// profile after the codec itself. Scoped to a single request or
+// connection (one goroutine), so it needs no locking.
+//
+// The table is bounded: an HTTP-scoped interner dies with its request,
+// but a binary-protocol connection lives for the whole replay, and an
+// adversarial (or merely high-cardinality) stream of distinct session
+// IDs would otherwise grow it without limit. At wireInternCap entries
+// the table resets wholesale — dedup restarts warm within a batch,
+// which is where virtually all the repetition lives, and the evicted
+// strings stay reachable only from the records that used them.
 type wireIntern struct {
 	m map[string]string
 }
+
+// wireInternCap bounds one interner's table. Real streams carry a few
+// hundred distinct small strings; the cap only exists to make the
+// worst case a reset instead of a leak.
+const wireInternCap = 4096
 
 func (in *wireIntern) get(b []byte) string {
 	if in == nil {
@@ -41,6 +53,8 @@ func (in *wireIntern) get(b []byte) string {
 	s := string(b)
 	if in.m == nil {
 		in.m = make(map[string]string, 64)
+	} else if len(in.m) >= wireInternCap {
+		clear(in.m)
 	}
 	in.m[s] = s
 	return s
@@ -49,11 +63,11 @@ func (in *wireIntern) get(b []byte) string {
 // fastWireRecord decodes one structured NDJSON line into wr. It handles
 // a single flat object whose keys are exactly Record's fields (any
 // order, any subset, plus "line"), with plain printable-ASCII string
-// values and a bare-integer Level. in may be nil. Returns false — with
+// values and a bare-integer Level. br may be nil. Returns false — with
 // wr possibly half-filled, the caller must re-decode from scratch — on
 // anything else: escapes, non-ASCII, unknown keys, unexpected value
 // shapes, malformed JSON.
-func fastWireRecord(raw []byte, wr *WireRecord, in *wireIntern) bool {
+func fastWireRecord(raw []byte, wr *WireRecord, br *batchResolver) bool {
 	i := 0
 	ws := func() {
 		for i < len(raw) {
@@ -147,15 +161,20 @@ func fastWireRecord(raw []byte, wr *WireRecord, in *wireIntern) bool {
 					return false
 				}
 			case "Source":
-				wr.Source = in.get(val)
+				wr.Source = br.small(val)
 			case "Message":
-				wr.Message = string(val)
+				// Resolve against the tenant's lookup cache when wired
+				// (batchResolver.msg): the overwhelmingly common repeat
+				// rendering lands on the model's interned string with no
+				// allocation, and the detector's own cache probe then
+				// hits that very string.
+				wr.Message = br.message(val)
 			case "Framework":
-				wr.Framework = logging.Framework(in.get(val))
+				wr.Framework = logging.Framework(br.small(val))
 			case "SessionID":
-				wr.SessionID = in.get(val)
+				wr.SessionID = br.small(val)
 			case "TemplateID":
-				wr.TemplateID = in.get(val)
+				wr.TemplateID = br.small(val)
 			case "line":
 				wr.Line = string(val)
 			default:

@@ -99,7 +99,7 @@ func TestFastWireRecordFallbacks(t *testing.T) {
 	}
 	for _, raw := range decodeCases {
 		var wr WireRecord
-		if fastWireRecord([]byte(raw), &wr, &wireIntern{}) {
+		if fastWireRecord([]byte(raw), &wr, &batchResolver{intern: &wireIntern{}}) {
 			t.Errorf("fast decoder accepted %q", raw)
 		}
 	}

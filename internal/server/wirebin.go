@@ -1,0 +1,372 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// This file is the length-prefixed binary ingest protocol ("ILS1") that
+// intellogd serves beside NDJSON HTTP. A client opens a persistent TCP
+// connection, writes the 4-byte magic and a Hello frame naming the
+// tenant, and then streams Batch frames of structured records; the
+// server answers every frame with an Ack carrying the same admission
+// semantics as /v1/ingest (202 accepted, 429 queue-full + retry hint,
+// 413 over-budget, 400 malformed) plus 425 for frames refused only
+// because an earlier frame must be retransmitted first (go-back-N, so
+// per-session record order survives pipelining).
+//
+// Every frame is
+//
+//	u32  LE payload length n (= 1 type byte + body + 4 CRC bytes)
+//	u8   frame type
+//	...  body (n-5 bytes)
+//	u32  LE CRC-32 (IEEE) over type byte + body
+//
+// Bodies use fixed-width little-endian integers for timestamps, varints
+// for small counts, and uvarint-length-prefixed raw bytes for strings.
+// Record timestamps travel as UnixNano plus the zone offset in seconds,
+// which round-trips everything RFC3339 can express (the JSON wire
+// form's fidelity); the zero time.Time is a sentinel since its UnixNano
+// is out of range. The decode side never trusts a length without
+// bounds-checking it first — a truncated, oversized or corrupt frame is
+// an error, never a panic or over-read (FuzzWireFrame pins this).
+
+// streamMagic opens every binary ingest connection.
+const streamMagic = "ILS1"
+
+// streamVersion is the protocol revision carried in Hello.
+const streamVersion = 1
+
+// Frame types.
+const (
+	frameHello byte = 1 // client → server: version, tenant, framework
+	frameBatch byte = 2 // client → server: seq + records
+	frameAck   byte = 3 // server → client: per-frame admission verdict
+)
+
+// Ack statuses (HTTP codes where one exists, so the two wire forms stay
+// one vocabulary).
+const (
+	ackAccepted   = 202 // batch queued
+	ackBadRecord  = 400 // malformed record (empty message)
+	ackTooLarge   = 413 // batch exceeds the whole queue budget
+	ackRetryEarly = 425 // refused: an earlier refused frame must be resent first
+	ackQueueFull  = 429 // admission refused, retry after retryMs
+	ackShutdown   = 503 // server draining; the connection is closing
+)
+
+// maxWireFrame bounds a frame a peer will accept regardless of
+// configuration — the decode-side allocation cap.
+const maxWireFrame = 64 << 20
+
+// zeroTimeNano is the on-wire sentinel for the zero time.Time, whose
+// UnixNano is undefined (year 1 is outside the int64-nanosecond range).
+const zeroTimeNano = int64(-1 << 63)
+
+// errWire marks protocol-level decode failures (distinct from I/O
+// errors, which pass through unwrapped).
+var errWire = errors.New("wire protocol error")
+
+func wireErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errWire, fmt.Sprintf(format, args...))
+}
+
+// appendFrame wraps a finished body in the frame envelope.
+func appendFrame(dst []byte, typ byte, body []byte) []byte {
+	n := 1 + len(body) + 4
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, typ)
+	dst = append(dst, body...)
+	crc := crc32.ChecksumIEEE(dst[len(dst)-1-len(body):])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// readFrame reads one frame, reusing buf (grown as needed) for the
+// payload. The returned body aliases the buffer and is valid until the
+// next call. max bounds the accepted frame length (≤ 0 means
+// maxWireFrame).
+func readFrame(r io.Reader, buf []byte, max int) (typ byte, body, newBuf []byte, err error) {
+	if max <= 0 || max > maxWireFrame {
+		max = maxWireFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 5 {
+		return 0, nil, buf, wireErrf("frame length %d below minimum", n)
+	}
+	if n > max {
+		return 0, nil, buf, wireErrf("frame length %d exceeds limit %d", n, max)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n, n+n/2)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	want := binary.LittleEndian.Uint32(buf[n-4:])
+	if got := crc32.ChecksumIEEE(buf[:n-4]); got != want {
+		return 0, nil, buf, wireErrf("frame CRC mismatch (got %08x want %08x)", got, want)
+	}
+	return buf[0], buf[1 : n-4], buf, nil
+}
+
+// --- body primitives ---------------------------------------------------
+
+// wireUvarint decodes a uvarint, returning ok=false on malformed or
+// truncated input.
+func wireUvarint(p []byte) (v uint64, rest []byte, ok bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, p[n:], true
+}
+
+// wireVarint is wireUvarint for signed values.
+func wireVarint(p []byte) (v int64, rest []byte, ok bool) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, p[n:], true
+}
+
+// wireBytes decodes a uvarint-length-prefixed byte string as a view
+// into p.
+func wireBytes(p []byte) (s, rest []byte, ok bool) {
+	l, p, ok := wireUvarint(p)
+	if !ok || l > uint64(len(p)) {
+		return nil, nil, false
+	}
+	return p[:l], p[l:], true
+}
+
+func appendWireBytes(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// --- Hello -------------------------------------------------------------
+
+// appendHello builds a Hello frame body.
+func appendHello(dst []byte, tenant string, fw logging.Framework) []byte {
+	dst = append(dst, streamVersion)
+	dst = appendWireBytes(dst, tenant)
+	return appendWireBytes(dst, string(fw))
+}
+
+// parseHello decodes a Hello body.
+func parseHello(p []byte) (tenant string, fw logging.Framework, err error) {
+	if len(p) < 1 {
+		return "", "", wireErrf("hello: empty body")
+	}
+	if v := p[0]; v != streamVersion {
+		return "", "", wireErrf("hello: unsupported version %d", v)
+	}
+	p = p[1:]
+	tb, p, ok := wireBytes(p)
+	if !ok {
+		return "", "", wireErrf("hello: bad tenant")
+	}
+	fb, p, ok := wireBytes(p)
+	if !ok {
+		return "", "", wireErrf("hello: bad framework")
+	}
+	if len(p) != 0 {
+		return "", "", wireErrf("hello: %d trailing bytes", len(p))
+	}
+	return string(tb), logging.Framework(fb), nil
+}
+
+// --- Batch -------------------------------------------------------------
+
+// appendBatch builds a Batch frame body from structured records.
+func appendBatch(dst []byte, seq uint64, recs []logging.Record) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for i := range recs {
+		rec := &recs[i]
+		nano := zeroTimeNano
+		off := 0
+		if !rec.Time.IsZero() {
+			nano = rec.Time.UnixNano()
+			_, off = rec.Time.Zone()
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(nano))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(off)))
+		dst = binary.AppendVarint(dst, int64(rec.Level))
+		dst = appendWireBytes(dst, rec.Source)
+		dst = appendWireBytes(dst, rec.Message)
+		dst = appendWireBytes(dst, string(rec.Framework))
+		dst = appendWireBytes(dst, rec.SessionID)
+		dst = appendWireBytes(dst, rec.TemplateID)
+	}
+	return dst
+}
+
+// batchResolver materializes a decoded record's strings. intern dedups
+// the small repeating fields (session IDs, sources); msg, when set,
+// resolves message bytes against an interned rendering the model
+// already owns (the lookup cache), so repeats cost no allocation at
+// all. A nil resolver plain-copies everything.
+type batchResolver struct {
+	intern *wireIntern
+	msg    func([]byte) string
+}
+
+func (br *batchResolver) message(b []byte) string {
+	if br != nil && br.msg != nil {
+		return br.msg(b)
+	}
+	return string(b)
+}
+
+func (br *batchResolver) small(b []byte) string {
+	if br == nil {
+		return string(b)
+	}
+	return br.intern.get(b)
+}
+
+// decodeBatch decodes a Batch body, appending the records to recs. The
+// record strings are materialized through br (the payload buffer is
+// reused by the next frame, so views cannot escape).
+func decodeBatch(p []byte, br *batchResolver, recs []logging.Record) (seq uint64, out []logging.Record, err error) {
+	seq, p, ok := wireUvarint(p)
+	if !ok {
+		return 0, recs, wireErrf("batch: bad seq")
+	}
+	count, p, ok := wireUvarint(p)
+	if !ok {
+		return 0, recs, wireErrf("batch: bad record count")
+	}
+	// Each record costs ≥ 17 bytes on the wire; a count the remaining
+	// body cannot possibly hold is malformed, not an allocation order.
+	if count > uint64(len(p)/17)+1 {
+		return 0, recs, wireErrf("batch: record count %d exceeds body", count)
+	}
+	if need := len(recs) + int(count); cap(recs) < need {
+		grown := make([]logging.Record, len(recs), need)
+		copy(grown, recs)
+		recs = grown
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 12 {
+			return 0, recs, wireErrf("batch: record %d truncated", i)
+		}
+		nano := int64(binary.LittleEndian.Uint64(p))
+		off := int32(binary.LittleEndian.Uint32(p[8:]))
+		p = p[12:]
+		lvl, rest, ok := wireVarint(p)
+		if !ok {
+			return 0, recs, wireErrf("batch: record %d: bad level", i)
+		}
+		p = rest
+		var rec logging.Record
+		rec.Level = logging.Level(lvl)
+		if nano != zeroTimeNano {
+			t := time.Unix(0, nano)
+			if off == 0 {
+				rec.Time = t.UTC()
+			} else {
+				rec.Time = t.In(time.FixedZone("", int(off)))
+			}
+		}
+		var b []byte
+		if b, p, ok = wireBytes(p); !ok {
+			return 0, recs, wireErrf("batch: record %d: bad source", i)
+		}
+		rec.Source = br.small(b)
+		if b, p, ok = wireBytes(p); !ok {
+			return 0, recs, wireErrf("batch: record %d: bad message", i)
+		}
+		rec.Message = br.message(b)
+		if b, p, ok = wireBytes(p); !ok {
+			return 0, recs, wireErrf("batch: record %d: bad framework", i)
+		}
+		rec.Framework = logging.Framework(br.small(b))
+		if b, p, ok = wireBytes(p); !ok {
+			return 0, recs, wireErrf("batch: record %d: bad session", i)
+		}
+		rec.SessionID = br.small(b)
+		if b, p, ok = wireBytes(p); !ok {
+			return 0, recs, wireErrf("batch: record %d: bad template", i)
+		}
+		rec.TemplateID = br.small(b)
+		recs = append(recs, rec)
+	}
+	if len(p) != 0 {
+		return 0, recs, wireErrf("batch: %d trailing bytes", len(p))
+	}
+	return seq, recs, nil
+}
+
+// --- Ack ---------------------------------------------------------------
+
+// streamAck is one server verdict for one client frame.
+type streamAck struct {
+	Seq      uint64 // echoes the batch seq (0 for the hello ack)
+	Status   int    // ackAccepted, ackQueueFull, ...
+	Accepted int
+	Skipped  int
+	RetryMs  int    // backoff hint, set with ackQueueFull
+	Msg      string // human-readable detail on errors
+}
+
+// appendAck builds an Ack frame body.
+func appendAck(dst []byte, a streamAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Seq)
+	dst = binary.AppendUvarint(dst, uint64(a.Status))
+	dst = binary.AppendUvarint(dst, uint64(a.Accepted))
+	dst = binary.AppendUvarint(dst, uint64(a.Skipped))
+	dst = binary.AppendUvarint(dst, uint64(a.RetryMs))
+	return appendWireBytes(dst, a.Msg)
+}
+
+// parseAck decodes an Ack body.
+func parseAck(p []byte) (streamAck, error) {
+	var a streamAck
+	var ok bool
+	if a.Seq, p, ok = wireUvarint(p); !ok {
+		return a, wireErrf("ack: bad seq")
+	}
+	var v uint64
+	if v, p, ok = wireUvarint(p); !ok || v > 999 {
+		return a, wireErrf("ack: bad status")
+	}
+	a.Status = int(v)
+	if v, p, ok = wireUvarint(p); !ok || v > uint64(maxWireFrame) {
+		return a, wireErrf("ack: bad accepted count")
+	}
+	a.Accepted = int(v)
+	if v, p, ok = wireUvarint(p); !ok || v > uint64(maxWireFrame) {
+		return a, wireErrf("ack: bad skipped count")
+	}
+	a.Skipped = int(v)
+	if v, p, ok = wireUvarint(p); !ok || v > 1<<30 {
+		return a, wireErrf("ack: bad retry hint")
+	}
+	a.RetryMs = int(v)
+	var b []byte
+	if b, p, ok = wireBytes(p); !ok {
+		return a, wireErrf("ack: bad message")
+	}
+	a.Msg = string(b)
+	if len(p) != 0 {
+		return a, wireErrf("ack: %d trailing bytes", len(p))
+	}
+	return a, nil
+}

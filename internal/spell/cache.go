@@ -99,6 +99,35 @@ func (c *LookupCache) GetAux(msg string) (key *Key, aux any, hit bool) {
 	return nil, nil, false
 }
 
+// Peek probes the cache with raw message bytes, returning the canonical
+// stored string for msg on a hit. It is the zero-copy entry point of the
+// ingest path: a decoder holding a []byte view resolves it to the
+// interned rendering the model already owns without materializing a
+// string first (the map probe compiles to a no-alloc lookup). Peek takes
+// only the read lock and touches neither recency order nor the hit/miss
+// counters — it is a side-effect-free probe, so a decoder consulting it
+// ahead of detection does not double-count the record's real lookup.
+func (c *LookupCache) Peek(msg []byte) (canon string, key *Key, aux any, hit bool) {
+	c.mu.RLock()
+	e, ok := c.m[string(msg)] // no-alloc lookup
+	if ok {
+		ent := e.Value.(*cacheEntry)
+		canon, key, aux = ent.msg, ent.key, ent.aux
+	}
+	c.mu.RUnlock()
+	return canon, key, aux, ok
+}
+
+// AddHits folds n hits into the hit counter in one atomic add. Worker-
+// local memo layers (the detector's per-scratch L1) count their hits
+// locally and flush here when the scratch retires, so the shared counter
+// stays accurate without a contended atomic per record.
+func (c *LookupCache) AddHits(n uint64) {
+	if n > 0 {
+		c.hits.Add(n)
+	}
+}
+
 // Add records the lookup result for msg (key may be nil), evicting the
 // least recently used entry when full.
 func (c *LookupCache) Add(msg string, key *Key) { c.AddAux(msg, key, nil) }

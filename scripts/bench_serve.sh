@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
-# bench_serve.sh — measure HTTP serving throughput and archive it in
+# bench_serve.sh — measure serving throughput and archive it in
 # BENCH_serve.json (the serving analogue of BENCH_spell.json /
 # BENCH_detect.json): build the binaries, train a tenant, boot intellogd
-# with a session-sharded ingest pool, replay a generated faulted corpus
-# over HTTP via `intellog bench-serve`, and merge the headline numbers
-# into the archive at the repo root.
+# with a session-sharded ingest pool and the binary stream listener,
+# replay a generated faulted corpus twice via `intellog bench-serve` —
+# once over NDJSON HTTP, once over the length-prefixed binary protocol
+# (-proto=stream) — and merge both sets of headline numbers into the
+# archive at the repo root (serve_replay_spark and
+# serve_replay_stream_spark).
 #
 #   scripts/bench_serve.sh                    # archive to BENCH_serve.json
 #   OUT=/tmp/serve.json scripts/bench_serve.sh
@@ -45,14 +48,21 @@ echo "==> generate replay corpus ($jobs jobs)"
 
 echo "==> boot intellogd (ingest-workers=$ingest_workers)"
 addr="127.0.0.1:7872"
-"$work/intellogd" -addr "$addr" -models "$work/models" \
+stream_addr="127.0.0.1:7873"
+"$work/intellogd" -addr "$addr" -stream-addr "$stream_addr" -models "$work/models" \
 	-ingest-workers "$ingest_workers" -checkpoint-every 0 -idle 0 \
 	>"$work/intellogd.log" 2>&1 &
 daemon_pid=$!
 
-echo "==> replay over HTTP"
+echo "==> replay over NDJSON HTTP"
 "$work/intellog" bench-serve -server "http://$addr" -tenant bench -framework spark \
 	-logs "$work/replay-logs" -batch 512 -concurrency 4 -wait 10s \
+	-bench-json "$out"
+
+echo "==> replay over the binary stream protocol"
+"$work/intellog" bench-serve -server "http://$addr" -tenant bench -framework spark \
+	-proto stream -stream-addr "$stream_addr" \
+	-logs "$work/replay-logs" -batch 512 -concurrency 4 -window 4 \
 	-bench-json "$out"
 
 kill -TERM "$daemon_pid"

@@ -52,6 +52,7 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	go test -run '^$' -fuzz '^FuzzExtract$' -fuzztime "$ft" ./internal/extract/
 	go test -run '^$' -fuzz '^FuzzStreamConsume$' -fuzztime "$ft" ./internal/detect/
 	go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime "$ft" ./internal/core/
+	go test -run '^$' -fuzz '^FuzzWireFrame$' -fuzztime "$ft" ./internal/server/
 fi
 
 if [ "${SERVE:-0}" = "1" ]; then
