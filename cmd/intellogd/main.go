@@ -48,6 +48,13 @@ func main() {
 		shards     = flag.Int("shards", 0, "stream detector shards per tenant (0 = default)")
 		framework  = flag.String("framework", "spark", "default framework for records that carry none: spark | mapreduce | tez")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "in-flight HTTP request drain budget on shutdown")
+
+		walOn       = flag.Bool("wal", true, "write-ahead-log acked batches (needs -state; crash recovery replays the un-checkpointed suffix)")
+		walSync     = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | none")
+		walSyncEvry = flag.Duration("wal-sync-every", 100*time.Millisecond, "max un-fsynced WAL window under -wal-sync interval")
+		walSegBytes = flag.Int64("wal-segment-bytes", 8<<20, "WAL segment rotation size")
+		maxRecBytes = flag.Int("max-record-bytes", 1<<20, "single-record size cap; larger records dead-letter instead of ingesting")
+		dlqRetain   = flag.Int("dlq-retain", 4096, "per-tenant dead-letter retention in records (<0 unbounded)")
 	)
 	flag.Parse()
 
@@ -66,6 +73,12 @@ func main() {
 			Shards:         *shards,
 		},
 		DefaultFramework: logging.Framework(*framework),
+		DisableWAL:       !*walOn,
+		WALSync:          *walSync,
+		WALSyncEvery:     *walSyncEvry,
+		WALSegmentBytes:  *walSegBytes,
+		MaxRecordBytes:   *maxRecBytes,
+		DLQRetain:        *dlqRetain,
 	})
 	if err != nil {
 		log.Fatalf("intellogd: %v", err)

@@ -42,6 +42,14 @@ type StreamState struct {
 	// a restart. Empty in older checkpoints and for streams whose
 	// records arrive already carrying session IDs.
 	Sticky string `json:"sticky,omitempty"`
+	// WALSeq is the write-ahead-log cursor this snapshot covers: every
+	// logged record with seq ≤ WALSeq is reflected in the state, so a
+	// boot-time replay feeds only the suffix past it. Like Sticky, the
+	// detector itself neither produces nor consumes it — intellogd's
+	// tenant layer stamps it at the checkpoint barrier and reconciles
+	// against it on restore. Zero in older checkpoints and for servers
+	// running without a WAL.
+	WALSeq uint64 `json:"walSeq,omitempty"`
 }
 
 // SessionState is one in-flight session inside a StreamState.

@@ -193,6 +193,46 @@ func (c *Client) AllAnomalies() ([]SeqAnomaly, error) {
 	}
 }
 
+// DLQ fetches one page of the tenant's dead-letter queue.
+func (c *Client) DLQ(since uint64, limit int) (DLQResponse, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	resp, err := c.http().Get(c.url("/v1/dlq", q))
+	if err != nil {
+		return DLQResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return DLQResponse{}, apiError(resp)
+	}
+	var out DLQResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// DLQRequeue asks the server to re-validate and re-enqueue dead
+// letters: the named seqs, or everything live when seqs is empty.
+func (c *Client) DLQRequeue(seqs []uint64) (RequeueResponse, error) {
+	body, err := json.Marshal(RequeueRequest{Seqs: seqs})
+	if err != nil {
+		return RequeueResponse{}, err
+	}
+	resp, err := c.http().Post(c.url("/v1/dlq/requeue", nil), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return RequeueResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return RequeueResponse{}, apiError(resp)
+	}
+	var out RequeueResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
 // Metrics fetches the raw Prometheus text exposition.
 func (c *Client) Metrics() (string, error) {
 	resp, err := c.http().Get(c.Base + "/metrics")

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 
 	"intellog/internal/detect"
 	"intellog/internal/logging"
+	"intellog/internal/wal"
 )
 
 // WireRecord is one NDJSON ingest line. Structured records embed the
@@ -29,6 +31,38 @@ type WireRecord struct {
 type IngestResponse struct {
 	Accepted int `json:"accepted"`
 	Skipped  int `json:"skipped,omitempty"`
+	// DeadLettered counts records routed to the tenant's dead-letter
+	// queue (malformed JSON, no message, oversized) instead of failing
+	// the batch; list them on /v1/dlq.
+	DeadLettered int `json:"deadLettered,omitempty"`
+}
+
+// DLQResponse is one /v1/dlq page.
+type DLQResponse struct {
+	Entries []wal.Entry `json:"entries"`
+	// Next is the cursor to pass as since on the following call.
+	Next uint64 `json:"next"`
+	// Depth is the tenant's total live dead-letter count.
+	Depth int `json:"depth"`
+	// Dropped counts entries the retention bound has discarded.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// RequeueRequest selects dead letters for /v1/dlq/requeue; an empty or
+// absent body requeues everything live.
+type RequeueRequest struct {
+	Seqs []uint64 `json:"seqs,omitempty"`
+}
+
+// RequeueResponse reports a /v1/dlq/requeue outcome. Requeued entries
+// re-ran ingest validation, were admitted, and left the queue; Failed
+// ones still fail validation (or carry no session) and stay put.
+// Requeue is at-least-once: a crash between admission and the tombstone
+// write can replay an entry on the next requeue.
+type RequeueResponse struct {
+	Requeued int `json:"requeued"`
+	Failed   int `json:"failed,omitempty"`
+	Depth    int `json:"depth"`
 }
 
 // AnomaliesResponse is one /v1/anomalies page.
@@ -57,6 +91,8 @@ type TenantInfo struct {
 	RejectedBatches uint64 `json:"rejectedBatches"`
 	Anomalies       int    `json:"anomalies"`
 	Restored        bool   `json:"restored,omitempty"`
+	DLQDepth        int    `json:"dlqDepth,omitempty"`
+	WALReplayed     uint64 `json:"walReplayed,omitempty"`
 }
 
 // Handler returns the server's HTTP API.
@@ -69,6 +105,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/v1/hwgraph", s.handleHWGraph)
 	mux.HandleFunc("/v1/tenants", s.handleTenants)
+	mux.HandleFunc("/v1/dlq", s.handleDLQ)
+	mux.HandleFunc("/v1/dlq/requeue", s.handleDLQRequeue)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -162,7 +200,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	scanner := bufio.NewScanner(body)
 	sb := scanBufs.Get().([]byte)
 	defer scanBufs.Put(sb) //nolint:staticcheck // slice reuse, not a pointer
-	scanner.Buffer(sb, 1<<20)
+	// The scanner must be able to hold any line the body limit admits:
+	// a line past MaxRecordBytes is read whole and dead-lettered as one
+	// record, not turned into a scan error that fails its whole batch.
+	scanner.Buffer(sb, s.scanLineLimit())
 	// Pre-size the batch from the request size (~wire bytes per record)
 	// so append doesn't re-copy the record array while decoding.
 	recs := make([]logging.Record, 0, batchSizeHint(r.ContentLength))
@@ -176,45 +217,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	skipped := 0
-	line := 0
+	var dead []wal.DeadLetter
 	for scanner.Scan() {
-		line++
 		raw := scanner.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
-		var wr WireRecord
-		if !fastWireRecord(raw, &wr, resolver) {
-			wr = WireRecord{}
-			if err := json.Unmarshal(raw, &wr); err != nil {
-				httpError(w, http.StatusBadRequest, "line %d: %v", line, err)
-				return
-			}
-		}
-		if wr.Line != "" {
-			rec, ok := t.parseLine(formatter, wr.Line)
-			if !ok {
-				skipped++
-				continue
-			}
+		rec, verdict, reason := s.classifyLine(t, raw, fw, formatter, resolver)
+		switch verdict {
+		case lineRecord:
 			recs = append(recs, rec)
-			continue
-		}
-		rec := wr.Record
-		if rec.Message == "" {
-			httpError(w, http.StatusBadRequest, "line %d: record has no message (and no raw line)", line)
-			return
-		}
-		if rec.SessionID == "" {
+		case lineSkip:
 			skipped++
-			continue
+		case lineDead:
+			// One bad record must not poison its neighbors: quarantine it
+			// with its reason and keep going. The entries are written only
+			// after the batch is admitted — a refused batch gets retried
+			// verbatim by the client and would duplicate them.
+			dead = append(dead, wal.DeadLetter{Reason: reason, Line: string(raw)})
 		}
-		if rec.Framework == "" {
-			rec.Framework = fw
-		}
-		recs = append(recs, rec)
 	}
 	if err := scanner.Err(); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes; split the batch", mbe.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
@@ -229,13 +258,78 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			len(recs), t.name, s.cfg.QueueRecords)
 		return
 	}
-	if !t.enqueueBatch(recs) {
+	ok, err := t.enqueueBatch(recs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError,
+			"tenant %s write-ahead log failed; batch not accepted: %v", t.name, err)
+		return
+	}
+	if !ok {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			"tenant %s ingest queue full (%d records budget); retry later", t.name, s.cfg.QueueRecords)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(recs), Skipped: skipped})
+	t.deadLetter(dead)
+	writeJSON(w, http.StatusAccepted,
+		IngestResponse{Accepted: len(recs), Skipped: skipped, DeadLettered: len(dead)})
+}
+
+// scanLineLimit is the ingest scanner's maximum token size: every line
+// the body cap admits must be scannable so oversized records can be
+// dead-lettered individually.
+func (s *Server) scanLineLimit() int {
+	limit := int(s.cfg.MaxBodyBytes) + 1
+	if limit < s.cfg.MaxRecordBytes+1 {
+		limit = s.cfg.MaxRecordBytes + 1
+	}
+	return limit
+}
+
+// lineVerdict classifies one ingest line.
+type lineVerdict int
+
+const (
+	lineRecord lineVerdict = iota // a valid record to enqueue
+	lineSkip                      // silently dropped (unparsable raw line / no session)
+	lineDead                      // dead-lettered with a per-record reason
+)
+
+// classifyLine runs per-record ingest validation on one NDJSON wire
+// line — size cap, JSON shape, raw-line parse, message presence — and
+// is shared by /v1/ingest and /v1/dlq/requeue, so a requeued entry
+// faces exactly the rules live traffic does.
+func (s *Server) classifyLine(t *tenant, raw []byte, fw logging.Framework,
+	formatter logging.Formatter, resolver *batchResolver) (logging.Record, lineVerdict, string) {
+	if len(raw) > s.cfg.MaxRecordBytes {
+		return logging.Record{}, lineDead,
+			fmt.Sprintf("record of %d bytes exceeds the %d-byte record cap", len(raw), s.cfg.MaxRecordBytes)
+	}
+	var wr WireRecord
+	if !fastWireRecord(raw, &wr, resolver) {
+		wr = WireRecord{}
+		if err := json.Unmarshal(raw, &wr); err != nil {
+			return logging.Record{}, lineDead, fmt.Sprintf("invalid JSON: %v", err)
+		}
+	}
+	if wr.Line != "" {
+		rec, ok := t.parseLine(formatter, wr.Line)
+		if !ok {
+			return logging.Record{}, lineSkip, ""
+		}
+		return rec, lineRecord, ""
+	}
+	rec := wr.Record
+	if rec.Message == "" {
+		return logging.Record{}, lineDead, "record has no message (and no raw line)"
+	}
+	if rec.SessionID == "" {
+		return logging.Record{}, lineSkip, ""
+	}
+	if rec.Framework == "" {
+		rec.Framework = fw
+	}
+	return rec, lineRecord, ""
 }
 
 // parseLine parses one raw log line through the given formatter and the
@@ -343,7 +437,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var saveErr error
-	ok := t.control(func() { saveErr = t.saveCheckpoint() }, true)
+	ok := t.controlCut(func(cut uint64) { saveErr = t.saveCheckpoint(cut) }, true)
 	if !ok {
 		httpError(w, http.StatusServiceUnavailable, "tenant %s is shutting down", t.name)
 		return
@@ -388,12 +482,136 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 			RejectedBatches: t.rejected.Load(),
 			Anomalies:       t.sink.len(),
 			Restored:        t.restored,
+			DLQDepth:        t.dlq.Depth(),
+			WALReplayed:     t.walReplayed.Load(),
 		})
 	}
 	if out == nil {
 		out = []TenantInfo{}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDLQ serves the cursor-paginated dead-letter listing: every
+// record per-record validation refused, with its reason and verbatim
+// wire line, oldest first.
+func (s *Server) handleDLQ(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "since: %v", err)
+			return
+		}
+		since = n
+	}
+	limit := 1000
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	entries, next, depth := t.dlq.List(since, limit)
+	if entries == nil {
+		entries = []wal.Entry{}
+	}
+	writeJSON(w, http.StatusOK, DLQResponse{
+		Entries: entries,
+		Next:    next,
+		Depth:   depth,
+		Dropped: t.dlq.Dropped(),
+	})
+}
+
+// handleDLQRequeue re-runs dead-lettered records through ingest
+// validation under the server's *current* configuration and enqueues
+// the ones that now pass (the typical flow: records dead-lettered under
+// a tight record cap are requeued after the cap is raised, or after a
+// client bug producing bad JSON is fixed and the lines hand-edited).
+// Entries that still fail stay in the queue untouched. A full ingest
+// queue aborts with 429 before anything is removed, so no entry is ever
+// lost to backpressure.
+func (s *Server) handleDLQRequeue(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	fw := s.cfg.DefaultFramework
+	formatter := t.formatter
+	if q := r.URL.Query().Get("framework"); q != "" {
+		fw = logging.Framework(q)
+		if !fw.Known() {
+			httpError(w, http.StatusBadRequest, "unknown framework %q", q)
+			return
+		}
+		formatter = logging.FormatterFor(fw)
+	}
+	var req RequeueRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			httpError(w, http.StatusBadRequest, "request body: %v", err)
+			return
+		}
+	}
+	var want map[uint64]bool
+	if len(req.Seqs) > 0 {
+		want = make(map[uint64]bool, len(req.Seqs))
+		for _, seq := range req.Seqs {
+			want[seq] = true
+		}
+	}
+	entries, _, _ := t.dlq.List(0, 0)
+	var recs []logging.Record
+	var okSeqs []uint64
+	failed := 0
+	for _, e := range entries {
+		if want != nil && !want[e.Seq] {
+			continue
+		}
+		rec, verdict, _ := s.classifyLine(t, []byte(e.Line), fw, formatter, nil)
+		if verdict != lineRecord {
+			failed++
+			continue
+		}
+		recs = append(recs, rec)
+		okSeqs = append(okSeqs, e.Seq)
+	}
+	if len(recs) > s.cfg.QueueRecords {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"%d requeueable records exceed tenant %s's whole queue budget (%d); requeue a subset via seqs",
+			len(recs), t.name, s.cfg.QueueRecords)
+		return
+	}
+	ok, err := t.enqueueBatch(recs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError,
+			"tenant %s write-ahead log failed; nothing requeued: %v", t.name, err)
+		return
+	}
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"tenant %s ingest queue full; nothing requeued, retry later", t.name)
+		return
+	}
+	t.dlq.Remove(okSeqs)
+	writeJSON(w, http.StatusOK, RequeueResponse{
+		Requeued: len(okSeqs),
+		Failed:   failed,
+		Depth:    t.dlq.Depth(),
+	})
 }
 
 // handleHealthz is the liveness probe.

@@ -15,15 +15,27 @@ import (
 // Swappable so tests can observe backoff decisions without real sleeps.
 var retrySleep = time.Sleep
 
+// minRetryDelay floors every backoff sleep. Without it a tiny (or
+// absent) Retry-After hint — or the jitter rounding one down — yields a
+// zero-length sleep, and a refused worker busy-loops against a server
+// that is saturated by definition, burning both sides' CPU on retries
+// that cannot succeed yet.
+const minRetryDelay = 10 * time.Millisecond
+
 // retryDelay jitters the server's Retry-After hint by ±20%: when many
 // replay workers are refused in the same admission window, a bare hint
 // would wake them in lockstep and they'd collide at the queue again;
-// spreading the wakeups lets the pool drain between waves.
+// spreading the wakeups lets the pool drain between waves. The result
+// is never below minRetryDelay, hint or no hint.
 func retryDelay(hint time.Duration, rng *rand.Rand) time.Duration {
 	if hint <= 0 {
-		return hint
+		return minRetryDelay
 	}
-	return time.Duration(float64(hint) * (0.8 + 0.4*rng.Float64()))
+	d := time.Duration(float64(hint) * (0.8 + 0.4*rng.Float64()))
+	if d < minRetryDelay {
+		d = minRetryDelay
+	}
+	return d
 }
 
 // ReplayOptions tunes a load replay against a running server.

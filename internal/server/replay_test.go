@@ -30,8 +30,29 @@ func TestRetryDelayJitterBounds(t *testing.T) {
 	if len(seen) < 100 {
 		t.Errorf("jitter produced only %d distinct delays in 1000 draws", len(seen))
 	}
-	if d := retryDelay(0, rng); d != 0 {
-		t.Errorf("retryDelay(0) = %v, want 0 (no hint, no jitter)", d)
+	if d := retryDelay(0, rng); d != minRetryDelay {
+		t.Errorf("retryDelay(0) = %v, want the %v floor (no hint must still back off)", d, minRetryDelay)
+	}
+}
+
+// TestRetryDelayFloor pins the busy-loop fix: no combination of a small
+// hint and unlucky jitter may produce a zero (or near-zero) sleep — a
+// refused worker hammering a saturated server with back-to-back
+// retries is the failure mode the floor exists to prevent.
+func TestRetryDelayFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, hint := range []time.Duration{
+		-time.Second, 0, time.Nanosecond, time.Microsecond, time.Millisecond, minRetryDelay,
+	} {
+		for i := 0; i < 200; i++ {
+			if d := retryDelay(hint, rng); d < minRetryDelay {
+				t.Fatalf("retryDelay(%v) = %v, below the %v floor", hint, d, minRetryDelay)
+			}
+		}
+	}
+	// Large hints must still jitter around the hint, not the floor.
+	if d := retryDelay(time.Second, rng); d < 800*time.Millisecond {
+		t.Fatalf("retryDelay(1s) = %v, jitter band broken", d)
 	}
 }
 

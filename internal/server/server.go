@@ -11,6 +11,7 @@ package server
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -24,6 +25,7 @@ import (
 	"intellog/internal/detect"
 	"intellog/internal/logging"
 	"intellog/internal/metrics"
+	"intellog/internal/wal"
 )
 
 // checkpointExt is the suffix of per-tenant checkpoint files under
@@ -32,6 +34,13 @@ const checkpointExt = ".ckpt"
 
 // modelExt is the suffix of per-tenant model files under Config.ModelDir.
 const modelExt = ".json"
+
+// walDirExt and dlqDirExt are the suffixes of the per-tenant
+// write-ahead-log and dead-letter directories under Config.StateDir.
+const (
+	walDirExt = ".wal"
+	dlqDirExt = ".dlq"
+)
 
 // Config tunes the serving layer.
 type Config struct {
@@ -72,6 +81,30 @@ type Config struct {
 	DefaultFramework logging.Framework
 	// MaxBodyBytes bounds one ingest request body. 0 means 8 MiB.
 	MaxBodyBytes int64
+	// MaxRecordBytes bounds one ingest record (NDJSON line, or a
+	// structured record's string fields on the binary wire). A larger
+	// record dead-letters individually instead of failing its batch. 0
+	// means 1 MiB.
+	MaxRecordBytes int
+	// DisableWAL turns the per-tenant write-ahead log off. With a
+	// StateDir and the WAL on (the default), every 202-acked record is
+	// logged before it is queued and replayed through the model on boot,
+	// so a crash between checkpoints loses nothing; without it, recovery
+	// falls back to the last checkpoint alone. No StateDir means no WAL
+	// regardless.
+	DisableWAL bool
+	// WALSync is the WAL fsync policy: "always", "interval" or "none"
+	// (empty means interval; see wal.ParseSyncPolicy).
+	WALSync string
+	// WALSyncEvery is the fsync cadence under the "interval" policy; 0
+	// means 100ms.
+	WALSyncEvery time.Duration
+	// WALSegmentBytes is the WAL segment rotation threshold; 0 means
+	// 8 MiB.
+	WALSegmentBytes int64
+	// DLQRetain bounds each tenant's live dead-letter entries (oldest
+	// dropped past it). 0 means 4096; negative means unbounded.
+	DLQRetain int
 }
 
 // defaults fills zero values.
@@ -91,6 +124,17 @@ func (c *Config) defaults() {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxRecordBytes == 0 {
+		c.MaxRecordBytes = 1 << 20
+	}
+	if c.DLQRetain == 0 {
+		c.DLQRetain = 4096
+	}
+}
+
+// walEnabled reports whether tenants run with a write-ahead log.
+func (c *Config) walEnabled() bool {
+	return c.StateDir != "" && !c.DisableWAL
 }
 
 // queueBatches sizes a tenant's task channel. The record budget is the
@@ -143,6 +187,9 @@ type Server struct {
 // until first use).
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
+	if _, err := wal.ParseSyncPolicy(cfg.WALSync); err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:      cfg,
 		tenants:  map[string]*list.Element{},
@@ -178,22 +225,39 @@ func (s *Server) restoreCheckpointed() error {
 		return err
 	}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), checkpointExt) {
+		var name string
+		fromWAL := false
+		switch {
+		case !e.IsDir() && strings.HasSuffix(e.Name(), checkpointExt):
+			name = strings.TrimSuffix(e.Name(), checkpointExt)
+		case e.IsDir() && strings.HasSuffix(e.Name(), walDirExt) && s.cfg.walEnabled():
+			// A WAL directory without a checkpoint is a tenant that
+			// crashed before its first checkpoint: its acked records live
+			// only in the log, so it must boot (and replay) now, not at
+			// first use.
+			name = strings.TrimSuffix(e.Name(), walDirExt)
+			fromWAL = true
+		default:
 			continue
 		}
-		name := strings.TrimSuffix(e.Name(), checkpointExt)
 		// A stray file with an invalid tenant basename is junk, not a
 		// reason to refuse to boot: skip it (loadTenant would never have
 		// written it, so no real state is being ignored).
 		if !validTenantName(name) {
-			log.Printf("intellogd: ignoring checkpoint %s: invalid tenant name",
+			log.Printf("intellogd: ignoring state %s: invalid tenant name",
 				filepath.Join(s.cfg.StateDir, e.Name()))
 			continue
 		}
 		if s.cfg.MaxTenants > 0 && s.lru.Len() >= s.cfg.MaxTenants {
 			break
 		}
-		if _, err := s.Tenant(name); err != nil {
+		_, err := s.Tenant(name)
+		if err != nil && fromWAL && errors.As(err, &errUnknownTenant{}) {
+			// An orphaned WAL (model deleted since) shouldn't block boot.
+			log.Printf("intellogd: ignoring wal for %s: %v", name, err)
+			continue
+		}
+		if err != nil {
 			return fmt.Errorf("restore tenant %s: %w", name, err)
 		}
 	}
@@ -290,6 +354,20 @@ func validTenantName(name string) bool {
 	return !strings.Contains(name, "..")
 }
 
+// walDir is the tenant's write-ahead-log segment directory.
+func (s *Server) walDir(name string) string {
+	return filepath.Join(s.cfg.StateDir, name+walDirExt)
+}
+
+// dlqDir is the tenant's dead-letter segment directory; empty (the
+// DLQ's memory-only mode) without a state dir.
+func (s *Server) dlqDir(name string) string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.StateDir, name+dlqDirExt)
+}
+
 // loadTenant reads a tenant's state from disk: checkpoint first (it
 // embeds the model), then the trained model file.
 func (s *Server) loadTenant(name string) (*tenant, error) {
@@ -348,8 +426,8 @@ func (s *Server) checkpointLoop() {
 		case <-ticker.C:
 			for _, t := range s.resident() {
 				t := t
-				ok := t.control(func() {
-					if err := t.saveCheckpoint(); err == nil {
+				ok := t.controlCut(func(cut uint64) {
+					if err := t.saveCheckpoint(cut); err == nil {
 						s.reg.Counter("intellogd_checkpoints_total",
 							"checkpoints written per tenant",
 							metrics.Label{Key: "tenant", Value: t.name}).Inc()
@@ -483,6 +561,31 @@ func (s *Server) registerGauges() {
 			_, m := t.det.Cache.Stats()
 			return float64(m)
 		}))
+	s.reg.CounterFunc("intellogd_wal_replayed_records",
+		"records recovered from the write-ahead log at tenant boot",
+		perTenant(func(t *tenant) float64 { return float64(t.walReplayed.Load()) }))
+	s.reg.GaugeFunc("intellogd_wal_seq",
+		"newest write-ahead-log record sequence per tenant",
+		perTenant(func(t *tenant) float64 {
+			if t.wal == nil {
+				return 0
+			}
+			return float64(t.wal.Seq())
+		}))
+	s.reg.GaugeFunc("intellogd_wal_segments",
+		"live write-ahead-log segment files per tenant",
+		perTenant(func(t *tenant) float64 {
+			if t.wal == nil {
+				return 0
+			}
+			return float64(t.wal.Segments())
+		}))
+	s.reg.GaugeFunc("intellogd_dlq_depth",
+		"live dead-letter entries per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.dlq.Depth()) }))
+	s.reg.CounterFunc("intellogd_dlq_dropped_total",
+		"dead-letter entries discarded by the retention bound per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.dlq.Dropped()) }))
 	s.reg.GaugeFunc("intellogd_resident_tenants",
 		"tenants currently resident",
 		func() []metrics.Sample {

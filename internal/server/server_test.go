@@ -126,8 +126,8 @@ func TestLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ta.enqueueBatch(testRecords("sess-1", 2)) {
-		t.Fatal("enqueue refused")
+	if ok, err := ta.enqueueBatch(testRecords("sess-1", 2)); err != nil || !ok {
+		t.Fatalf("enqueue refused (ok=%v err=%v)", ok, err)
 	}
 	if !ta.control(func() {}, true) {
 		t.Fatal("drain barrier refused")

@@ -115,7 +115,7 @@ func (sc *StreamConn) Send(recs []logging.Record) (IngestResponse, error) {
 	switch ack.Status {
 	case ackAccepted:
 		sc.refused = false
-		return IngestResponse{Accepted: ack.Accepted, Skipped: ack.Skipped}, nil
+		return IngestResponse{Accepted: ack.Accepted, Skipped: ack.Skipped, DeadLettered: ack.Dead}, nil
 	case ackQueueFull:
 		sc.refused = true
 		return IngestResponse{}, ErrQueueFull{RetryAfter: time.Duration(ack.RetryMs) * time.Millisecond}

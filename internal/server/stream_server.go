@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -10,6 +12,7 @@ import (
 
 	"intellog/internal/logging"
 	"intellog/internal/metrics"
+	"intellog/internal/wal"
 )
 
 // helloTimeout bounds how long a fresh connection may dawdle before
@@ -205,14 +208,17 @@ func (s *Server) serveStreamConn(conn net.Conn) error {
 }
 
 // admitStreamBatch validates and enqueues one decoded batch, mirroring
-// handleIngest's admission rules record for record.
+// handleIngest's admission rules record for record: an invalid record
+// (no message, oversized) dead-letters individually instead of failing
+// the frame, so one bad record no longer rejects its neighbors.
 func (s *Server) admitStreamBatch(t *tenant, fw logging.Framework, seq uint64, recs []logging.Record) streamAck {
 	kept := recs[:0]
 	skipped := 0
+	var dead []wal.DeadLetter
 	for i := range recs {
-		if recs[i].Message == "" {
-			return streamAck{Seq: seq, Status: ackBadRecord,
-				Msg: "record has no message"}
+		if reason := s.validateStreamRecord(&recs[i]); reason != "" {
+			dead = append(dead, wal.DeadLetter{Reason: reason, Line: deadLetterLine(&recs[i])})
+			continue
 		}
 		if recs[i].SessionID == "" {
 			skipped++
@@ -228,12 +234,49 @@ func (s *Server) admitStreamBatch(t *tenant, fw logging.Framework, seq uint64, r
 		return streamAck{Seq: seq, Status: ackTooLarge, Skipped: skipped,
 			Msg: "batch exceeds the tenant queue budget; split it"}
 	}
-	if !t.enqueueBatch(kept) {
+	ok, err := t.enqueueBatch(kept)
+	if err != nil {
+		return streamAck{Seq: seq, Status: ackShutdown, Skipped: skipped,
+			Msg: "write-ahead log failed; batch not accepted: " + err.Error()}
+	}
+	if !ok {
 		return streamAck{Seq: seq, Status: ackQueueFull, Skipped: skipped,
 			RetryMs: 1000, Msg: "ingest queue full"}
 	}
+	t.deadLetter(dead)
 	s.reg.Counter("intellogd_stream_batches_total",
 		"binary ingest batches accepted, per tenant",
 		metrics.Label{Key: "tenant", Value: t.name}).Inc()
-	return streamAck{Seq: seq, Status: ackAccepted, Accepted: len(kept), Skipped: skipped}
+	return streamAck{Seq: seq, Status: ackAccepted,
+		Accepted: len(kept), Skipped: skipped, Dead: len(dead)}
+}
+
+// validateStreamRecord applies per-record validation to a structured
+// (binary-wire) record; a non-empty reason dead-letters it. Size is
+// judged on the string payload, the analogue of the NDJSON line cap.
+func (s *Server) validateStreamRecord(rec *logging.Record) string {
+	if rec.Message == "" {
+		return "record has no message"
+	}
+	size := len(rec.Message) + len(rec.Source) + len(rec.SessionID) +
+		len(rec.TemplateID) + len(rec.Framework)
+	if size > s.cfg.MaxRecordBytes {
+		return fmt.Sprintf("record payload of %d bytes exceeds the %d-byte record cap",
+			size, s.cfg.MaxRecordBytes)
+	}
+	return ""
+}
+
+// deadLetterLine renders a structured record as the NDJSON wire line
+// the DLQ stores, so a binary-wire dead letter requeues through the
+// same path as an HTTP one.
+func deadLetterLine(rec *logging.Record) string {
+	if out, ok := appendWireRecord(nil, rec); ok {
+		return string(out[:len(out)-1]) // strip the trailing newline
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return ""
+	}
+	return string(b)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -10,6 +11,8 @@ import (
 	"intellog/internal/core"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
+	"intellog/internal/metrics"
+	"intellog/internal/wal"
 )
 
 // task is one unit of work on a tenant worker's queue: either an ingest
@@ -60,11 +63,22 @@ type tenant struct {
 	assigner  logging.SessionAssigner
 	formatter logging.Formatter
 
+	// wal, when non-nil, is the tenant's write-ahead log: every batch is
+	// appended (and, per the sync policy, fsynced) under routeMu between
+	// the queue-room check and the channel sends, so WAL order equals
+	// queue placement order and a control barrier's cut corresponds to
+	// an exact WAL sequence number. dlq is always non-nil (memory-only
+	// without a state dir) and quarantines records refused by per-record
+	// validation.
+	wal *wal.Log
+	dlq *wal.DLQ
+
 	// ingest counters (mirrored into /metrics).
-	records  atomic.Uint64 // accepted records
-	batches  atomic.Uint64 // accepted batches
-	rejected atomic.Uint64 // batches refused with 429
-	skipped  atomic.Uint64 // lines dropped (unparsable / no session)
+	records     atomic.Uint64 // accepted records
+	batches     atomic.Uint64 // accepted batches
+	rejected    atomic.Uint64 // batches refused with 429
+	skipped     atomic.Uint64 // lines dropped (unparsable / no session)
+	walReplayed atomic.Uint64 // records recovered from the WAL at boot
 
 	restored bool // loaded from a checkpoint at startup
 }
@@ -100,11 +114,78 @@ func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState) 
 	// append out of order (and restored tenants continue past their
 	// checkpointed cursor).
 	t.sink.prime(t.sd.AnomalySeq() + 1)
+	dlq, err := wal.OpenDLQ(srv.dlqDir(name), srv.cfg.DLQRetain)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: open dlq: %w", name, err)
+	}
+	t.dlq = dlq
+	if srv.cfg.walEnabled() {
+		if err := t.openWALAndReplay(st); err != nil {
+			dlq.Close()
+			return nil, err
+		}
+	}
 	t.worker.Add(len(t.queues))
 	for _, q := range t.queues {
 		go t.run(q)
 	}
 	return t, nil
+}
+
+// openWALAndReplay opens the tenant's write-ahead log and feeds every
+// record past the checkpoint's WAL cursor back through the detector —
+// the crash-window records that were 202-acked but not yet covered by a
+// checkpoint. It runs before the worker pool starts, so the replay is a
+// strictly ordered prefix of whatever the new life ingests; recovery is
+// deterministic from (checkpoint, WAL suffix), so repeated crashes
+// replay to the same state.
+func (t *tenant) openWALAndReplay(st *detect.StreamState) error {
+	pol, err := wal.ParseSyncPolicy(t.srv.cfg.WALSync)
+	if err != nil {
+		return fmt.Errorf("tenant %s: %w", t.name, err)
+	}
+	wl, err := wal.Open(t.srv.walDir(t.name), wal.Options{
+		Sync:         pol,
+		SyncEvery:    t.srv.cfg.WALSyncEvery,
+		SegmentBytes: t.srv.cfg.WALSegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("tenant %s: open wal: %w", t.name, err)
+	}
+	t.wal = wl
+	if torn := wl.TornBytes(); torn > 0 {
+		log.Printf("intellogd: tenant %s: wal: truncated %d-byte torn tail (records past it were never acked)",
+			t.name, torn)
+	}
+	var cursor uint64
+	if st != nil {
+		cursor = st.WALSeq
+	}
+	if seq := wl.Seq(); cursor > seq {
+		// A checkpoint ahead of the log means the WAL directory was
+		// tampered with (or lost); the checkpoint is still authoritative
+		// for everything it covers, so boot rather than refuse.
+		log.Printf("intellogd: tenant %s: checkpoint covers wal seq %d but the log ends at %d",
+			t.name, cursor, seq)
+		cursor = seq
+	}
+	replayed, err := wl.ReplayAfter(cursor, func(recs []logging.Record) error {
+		if anoms := t.sd.ConsumeBatch(recs, 0); len(anoms) > 0 {
+			t.sink.append(anoms)
+			t.srv.countAnomalies(t.name, anoms)
+		}
+		return nil
+	})
+	if err != nil {
+		wl.Close()
+		return fmt.Errorf("tenant %s: wal replay: %w", t.name, err)
+	}
+	if replayed > 0 {
+		t.walReplayed.Add(replayed)
+		log.Printf("intellogd: tenant %s: replayed %d wal records past checkpoint cursor %d",
+			t.name, replayed, cursor)
+	}
+	return nil
 }
 
 // run is one tenant worker: it feeds the streaming detector with its
@@ -148,10 +229,14 @@ func (t *tenant) route(session string) int {
 // placement of the batch's per-worker splits — if either stage fails the
 // batch is refused (the caller answers 429) and nothing is buffered, so
 // a saturated tenant holds at most QueueRecords records plus the
-// in-flight tasks, never an unbounded backlog.
-func (t *tenant) enqueueBatch(recs []logging.Record) bool {
+// in-flight tasks, never an unbounded backlog. A non-nil error means the
+// write-ahead append failed after admission succeeded: the batch is NOT
+// buffered and the caller must answer a hard failure (500/503), never an
+// ack — acking what the WAL could not hold would silently re-open the
+// crash window.
+func (t *tenant) enqueueBatch(recs []logging.Record) (bool, error) {
 	if len(recs) == 0 {
-		return true
+		return true, nil
 	}
 	n := int64(len(recs))
 	max := int64(t.srv.cfg.QueueRecords)
@@ -159,39 +244,61 @@ func (t *tenant) enqueueBatch(recs []logging.Record) bool {
 		cur := t.pending.Load()
 		if cur+n > max {
 			t.rejected.Add(1)
-			return false
+			return false, nil
 		}
 		if t.pending.CompareAndSwap(cur, cur+n) {
 			break
 		}
 	}
-	if !t.sendBatch(recs) {
+	ok, err := t.sendBatch(recs)
+	if !ok || err != nil {
 		t.pending.Add(-n)
-		t.rejected.Add(1)
-		return false
+		if err == nil {
+			t.rejected.Add(1)
+		}
+		return false, err
 	}
 	t.records.Add(uint64(len(recs)))
 	t.batches.Add(1)
-	return true
+	return true, nil
 }
 
 // sendBatch splits a batch by session route (preserving input order
 // within each split) and places the splits atomically: under routeMu
 // every target queue is checked for room before anything is sent, so
-// admission is all-or-nothing and the sends never block.
-func (t *tenant) sendBatch(recs []logging.Record) bool {
+// admission is all-or-nothing and the sends never block. The WAL append
+// sits between the room check and the sends, inside the same routeMu
+// critical section: refused batches never touch the log (a client 429
+// retry cannot duplicate records on replay), and no record can land on
+// a queue before a control barrier yet in the log after the barrier's
+// cut.
+func (t *tenant) sendBatch(recs []logging.Record) (bool, error) {
 	t.sendMu.RLock()
 	defer t.sendMu.RUnlock()
 	if t.closed {
-		return false
+		return false, nil
 	}
-	if len(t.queues) == 1 {
+	if len(t.queues) == 1 && t.wal == nil {
+		// No WAL: the single channel itself orders sends against control
+		// barriers, so the lock-free fast path stands.
 		select {
 		case t.queues[0] <- task{recs: recs}:
-			return true
+			return true, nil
 		default:
-			return false
+			return false, nil
 		}
+	}
+	if len(t.queues) == 1 {
+		t.routeMu.Lock()
+		defer t.routeMu.Unlock()
+		if len(t.queues[0]) >= cap(t.queues[0]) {
+			return false, nil
+		}
+		if err := t.walAppend(recs); err != nil {
+			return false, err
+		}
+		t.queues[0] <- task{recs: recs}
+		return true, nil
 	}
 	split := make([][]logging.Record, len(t.queues))
 	for i := range recs {
@@ -202,26 +309,74 @@ func (t *tenant) sendBatch(recs []logging.Record) bool {
 	defer t.routeMu.Unlock()
 	for w, rs := range split {
 		if len(rs) > 0 && len(t.queues[w]) >= cap(t.queues[w]) {
-			return false
+			return false, nil
 		}
+	}
+	if err := t.walAppend(recs); err != nil {
+		return false, err
 	}
 	for w, rs := range split {
 		if len(rs) > 0 {
 			t.queues[w] <- task{recs: rs}
 		}
 	}
-	return true
+	return true, nil
 }
 
-// control runs fn with the whole worker pool quiesced, after everything
-// already queued, and waits for it to finish: a barrier task fans out to
-// every queue under routeMu (so it cuts the accepted stream at one exact
-// point), each worker parks once it reaches its leg, fn runs on the
-// calling goroutine, and closing the release resumes the pool. Returns
-// false if the tenant is closed. block=false refuses instead of waiting
-// when any queue is full (the periodic checkpointer prefers skipping a
-// cycle over stalling ingest).
+// walAppend durably logs an admitted batch (no-op without a WAL). Must
+// run under routeMu — see sendBatch.
+func (t *tenant) walAppend(recs []logging.Record) error {
+	if t.wal == nil {
+		return nil
+	}
+	if err := t.wal.Append(recs); err != nil {
+		t.srv.reg.Counter("intellogd_wal_append_errors_total",
+			"failed write-ahead-log appends per tenant",
+			metrics.Label{Key: "tenant", Value: t.name}).Inc()
+		return err
+	}
+	return nil
+}
+
+// deadLetter quarantines records that failed per-record validation.
+// Callers append only after their batch's valid records were admitted —
+// a refused (429/413) batch will be retried by the client verbatim, and
+// dead-lettering it early would duplicate the entries.
+func (t *tenant) deadLetter(ls []wal.DeadLetter) {
+	if len(ls) == 0 {
+		return
+	}
+	if err := t.dlq.Add(ls); err != nil {
+		log.Printf("intellogd: tenant %s: dlq: %v", t.name, err)
+		t.srv.reg.Counter("intellogd_dlq_write_errors_total",
+			"failed dead-letter persistence attempts per tenant",
+			metrics.Label{Key: "tenant", Value: t.name}).Inc()
+	}
+	t.srv.reg.Counter("intellogd_dlq_records_total",
+		"records dead-lettered per tenant",
+		metrics.Label{Key: "tenant", Value: t.name}).Add(float64(len(ls)))
+}
+
+// control runs fn with the whole worker pool quiesced — see controlCut,
+// which it wraps for callers that don't need the barrier's WAL cut.
 func (t *tenant) control(fn func(), block bool) bool {
+	return t.controlCut(func(uint64) { fn() }, block)
+}
+
+// controlCut runs fn with the whole worker pool quiesced, after
+// everything already queued, and waits for it to finish: a barrier task
+// fans out to every queue under routeMu (so it cuts the accepted stream
+// at one exact point), each worker parks once it reaches its leg, fn
+// runs on the calling goroutine, and closing the release resumes the
+// pool. fn receives the WAL sequence of the barrier's cut — captured
+// under the same routeMu hold that places the legs, so it covers
+// exactly the records queued before the barrier (concurrent barriers
+// each get their own cut; a shared field would let a later barrier's
+// larger cut leak into an earlier checkpoint and truncate unapplied
+// records). Returns false if the tenant is closed. block=false refuses
+// instead of waiting when any queue is full (the periodic checkpointer
+// prefers skipping a cycle over stalling ingest).
+func (t *tenant) controlCut(fn func(walCut uint64), block bool) bool {
 	t.sendMu.RLock()
 	if t.closed {
 		t.sendMu.RUnlock()
@@ -248,13 +403,17 @@ func (t *tenant) control(fn func(), block bool) bool {
 	// draining (it cannot have parked: its leg is enqueued exactly once,
 	// by us, later), so the send always progresses and no ingest sneaks
 	// in between legs — routeMu is held across the whole fan-out.
+	var cut uint64
+	if t.wal != nil {
+		cut = t.wal.Seq()
+	}
 	for _, q := range t.queues {
 		q <- leg
 	}
 	t.routeMu.Unlock()
 	t.sendMu.RUnlock()
 	ready.Wait()
-	fn()
+	fn(cut)
 	close(release)
 	return true
 }
@@ -264,12 +423,35 @@ func (t *tenant) checkpointPath() string {
 	return filepath.Join(t.srv.cfg.StateDir, t.name+checkpointExt)
 }
 
+// fileSync flushes a file (or directory) to stable storage; a variable
+// so the checkpoint fault-injection test can simulate a dying disk.
+var fileSync = func(f *os.File) error { return f.Sync() }
+
+// syncParentDir fsyncs a directory so a just-renamed file's directory
+// entry survives power loss.
+func syncParentDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = fileSync(d)
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // saveCheckpoint persists the model plus current stream state
-// atomically (write + rename). It must only run with the worker pool
-// quiesced (inside a control barrier, or after the workers have exited),
-// so the snapshot pairs with an exact position in the accepted ingest
-// stream.
-func (t *tenant) saveCheckpoint() error {
+// atomically and durably: the temp file is fsynced before the rename
+// and the state directory after it, so a power loss at any point leaves
+// either the old checkpoint or the complete new one — never a torn or
+// unlinked file. It must only run with the worker pool quiesced (inside
+// a control barrier, or after the workers have exited), so the snapshot
+// pairs with an exact position in the accepted ingest stream; walCut is
+// that position's WAL sequence (0 without a WAL), stamped into the
+// state so boot replay knows where coverage ends, and every WAL segment
+// it covers is truncated once the checkpoint is safely down.
+func (t *tenant) saveCheckpoint(walCut uint64) error {
 	if t.srv.cfg.StateDir == "" {
 		return nil
 	}
@@ -283,12 +465,18 @@ func (t *tenant) saveCheckpoint() error {
 	// Carry the raw-line sessionizer's stickiness so a restored tenant
 	// keeps attributing ID-less lines instead of dropping them. The
 	// assigner tracks the latest *accepted* line, which may run slightly
-	// ahead of the worker's consumed cut — the right side to err on,
-	// since queued-but-unconsumed records are lost on a crash anyway.
+	// ahead of the worker's consumed cut — the right side to err on:
+	// with a WAL the gap replays on boot, without one it is lost anyway.
 	t.assignMu.Lock()
 	st.Sticky = t.assigner.Current()
 	t.assignMu.Unlock()
+	st.WALSeq = walCut
 	if err := core.SaveCheckpoint(f, t.model, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fileSync(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -297,7 +485,22 @@ func (t *tenant) saveCheckpoint() error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncParentDir(t.srv.cfg.StateDir); err != nil {
+		return err
+	}
+	if t.wal != nil {
+		// The checkpoint covers everything through walCut; the segments
+		// holding those records are dead weight now. A truncate failure
+		// costs only re-replay on the next boot, never correctness.
+		if err := t.wal.TruncateThrough(walCut); err != nil {
+			log.Printf("intellogd: tenant %s: wal truncate: %v", t.name, err)
+		}
+	}
+	return nil
 }
 
 // close stops the tenant: no further sends are admitted, the queues are
@@ -315,8 +518,26 @@ func (t *tenant) close(checkpoint bool) error {
 	}
 	t.sendMu.Unlock()
 	t.worker.Wait()
-	if already || !checkpoint {
+	if already {
 		return nil
 	}
-	return t.saveCheckpoint()
+	var err error
+	if checkpoint {
+		// All appends are done (closed was set under sendMu), so Seq() is
+		// the final cut and the drained detector state covers all of it.
+		var cut uint64
+		if t.wal != nil {
+			cut = t.wal.Seq()
+		}
+		err = t.saveCheckpoint(cut)
+	}
+	if t.wal != nil {
+		if cerr := t.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := t.dlq.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

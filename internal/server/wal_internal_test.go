@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"intellog/internal/logging"
+)
+
+// TestCheckpointFsyncFaultInjection simulates a disk that accepts
+// writes but dies at fsync: saveCheckpoint must surface the error, leave
+// the previous checkpoint byte-intact, and clean up its temp file — the
+// atomic-replace contract power loss depends on.
+func TestCheckpointFsyncFaultInjection(t *testing.T) {
+	modelDir, stateDir := t.TempDir(), t.TempDir()
+	saveSparkModel(t, modelDir, "acme")
+	s, err := New(Config{ModelDir: modelDir, StateDir: stateDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tn, err := s.Tenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tn.enqueueBatch(testRecords("sess-1", 3)); err != nil || !ok {
+		t.Fatalf("enqueue: ok=%v err=%v", ok, err)
+	}
+	if !tn.controlCut(func(cut uint64) { err = tn.saveCheckpoint(cut) }, true) {
+		t.Fatal("control barrier refused")
+	}
+	if err != nil {
+		t.Fatalf("healthy checkpoint: %v", err)
+	}
+	good, err := os.ReadFile(tn.checkpointPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk dies. More records arrive; the checkpoint attempt must
+	// fail loudly and leave the good checkpoint alone.
+	dead := errors.New("injected fsync failure")
+	orig := fileSync
+	fileSync = func(*os.File) error { return dead }
+	defer func() { fileSync = orig }()
+
+	if ok, err := tn.enqueueBatch(testRecords("sess-2", 3)); err != nil || !ok {
+		t.Fatalf("enqueue: ok=%v err=%v", ok, err)
+	}
+	var saveErr error
+	if !tn.controlCut(func(cut uint64) { saveErr = tn.saveCheckpoint(cut) }, true) {
+		t.Fatal("control barrier refused")
+	}
+	if !errors.Is(saveErr, dead) {
+		t.Fatalf("saveCheckpoint under fsync failure = %v, want the injected error", saveErr)
+	}
+	after, err := os.ReadFile(tn.checkpointPath())
+	if err != nil {
+		t.Fatalf("previous checkpoint gone after failed save: %v", err)
+	}
+	if !bytes.Equal(good, after) {
+		t.Fatal("failed checkpoint attempt modified the previous checkpoint")
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(stateDir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("failed checkpoint left temp files behind: %v", tmps)
+	}
+
+	// Disk recovers; the next checkpoint goes through and advances.
+	fileSync = orig
+	if !tn.controlCut(func(cut uint64) { saveErr = tn.saveCheckpoint(cut) }, true) {
+		t.Fatal("control barrier refused")
+	}
+	if saveErr != nil {
+		t.Fatalf("post-recovery checkpoint: %v", saveErr)
+	}
+	recovered, err := os.ReadFile(tn.checkpointPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(recovered, good) {
+		t.Fatal("post-recovery checkpoint did not advance past the pre-failure one")
+	}
+}
+
+// TestStreamDeadLetterAck drives the binary wire with a batch holding an
+// invalid record: the frame must be accepted (not 400'd whole, the old
+// behavior), the bad record counted in the ack's Dead field, and the
+// entry listed on the tenant's DLQ.
+func TestStreamDeadLetterAck(t *testing.T) {
+	s, addr := bootStreamServer(t, Config{})
+	c := &Client{Tenant: "acme"}
+	sc, err := c.DialStream(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	recs := sparkRecs("sess-a", 3)
+	recs = append(recs, logging.Record{SessionID: "sess-a", Framework: logging.Spark}) // no message
+	resp, err := sc.Send(recs)
+	if err != nil {
+		t.Fatalf("batch with one invalid record refused: %v", err)
+	}
+	if resp.Accepted != 3 || resp.DeadLettered != 1 {
+		t.Fatalf("ack = %+v, want 3 accepted, 1 dead-lettered", resp)
+	}
+	tn, err := s.Tenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _, depth := tn.dlq.List(0, 0)
+	if depth != 1 || len(entries) != 1 {
+		t.Fatalf("DLQ depth = %d, want the 1 invalid record", depth)
+	}
+	if entries[0].Reason != "record has no message" {
+		t.Fatalf("DLQ reason = %q", entries[0].Reason)
+	}
+}

@@ -2,13 +2,10 @@ package server
 
 import (
 	"encoding/binary"
-	"errors"
-	"fmt"
-	"hash/crc32"
-	"io"
 	"time"
 
 	"intellog/internal/logging"
+	"intellog/internal/wal"
 )
 
 // This file is the length-prefixed binary ingest protocol ("ILS1") that
@@ -63,101 +60,33 @@ const (
 
 // maxWireFrame bounds a frame a peer will accept regardless of
 // configuration — the decode-side allocation cap.
-const maxWireFrame = 64 << 20
+const maxWireFrame = wal.MaxFrame
 
 // zeroTimeNano is the on-wire sentinel for the zero time.Time, whose
 // UnixNano is undefined (year 1 is outside the int64-nanosecond range).
-const zeroTimeNano = int64(-1 << 63)
+const zeroTimeNano = wal.ZeroTimeNano
 
 // errWire marks protocol-level decode failures (distinct from I/O
-// errors, which pass through unwrapped).
-var errWire = errors.New("wire protocol error")
+// errors, which pass through unwrapped). The frame envelope and body
+// primitives now live in internal/wal — the write-ahead log persists
+// entries in the same CRC-framed vocabulary, so one implementation
+// covers the wire and the disk; these bindings keep the server-side
+// vocabulary in place.
+var errWire = wal.ErrWire
 
 func wireErrf(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", errWire, fmt.Sprintf(format, args...))
+	return wal.Errf(format, args...)
 }
 
-// appendFrame wraps a finished body in the frame envelope.
-func appendFrame(dst []byte, typ byte, body []byte) []byte {
-	n := 1 + len(body) + 4
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, typ)
-	dst = append(dst, body...)
-	crc := crc32.ChecksumIEEE(dst[len(dst)-1-len(body):])
-	return binary.LittleEndian.AppendUint32(dst, crc)
-}
+var (
+	appendFrame = wal.AppendFrame
+	readFrame   = wal.ReadFrame
 
-// readFrame reads one frame, reusing buf (grown as needed) for the
-// payload. The returned body aliases the buffer and is valid until the
-// next call. max bounds the accepted frame length (≤ 0 means
-// maxWireFrame).
-func readFrame(r io.Reader, buf []byte, max int) (typ byte, body, newBuf []byte, err error) {
-	if max <= 0 || max > maxWireFrame {
-		max = maxWireFrame
-	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, buf, err
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n < 5 {
-		return 0, nil, buf, wireErrf("frame length %d below minimum", n)
-	}
-	if n > max {
-		return 0, nil, buf, wireErrf("frame length %d exceeds limit %d", n, max)
-	}
-	if cap(buf) < n {
-		buf = make([]byte, n, n+n/2)
-	}
-	buf = buf[:n]
-	if _, err := io.ReadFull(r, buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return 0, nil, buf, err
-	}
-	want := binary.LittleEndian.Uint32(buf[n-4:])
-	if got := crc32.ChecksumIEEE(buf[:n-4]); got != want {
-		return 0, nil, buf, wireErrf("frame CRC mismatch (got %08x want %08x)", got, want)
-	}
-	return buf[0], buf[1 : n-4], buf, nil
-}
-
-// --- body primitives ---------------------------------------------------
-
-// wireUvarint decodes a uvarint, returning ok=false on malformed or
-// truncated input.
-func wireUvarint(p []byte) (v uint64, rest []byte, ok bool) {
-	v, n := binary.Uvarint(p)
-	if n <= 0 {
-		return 0, nil, false
-	}
-	return v, p[n:], true
-}
-
-// wireVarint is wireUvarint for signed values.
-func wireVarint(p []byte) (v int64, rest []byte, ok bool) {
-	v, n := binary.Varint(p)
-	if n <= 0 {
-		return 0, nil, false
-	}
-	return v, p[n:], true
-}
-
-// wireBytes decodes a uvarint-length-prefixed byte string as a view
-// into p.
-func wireBytes(p []byte) (s, rest []byte, ok bool) {
-	l, p, ok := wireUvarint(p)
-	if !ok || l > uint64(len(p)) {
-		return nil, nil, false
-	}
-	return p[:l], p[l:], true
-}
-
-func appendWireBytes(dst []byte, s string) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(s)))
-	return append(dst, s...)
-}
+	wireUvarint     = wal.Uvarint
+	wireVarint      = wal.Varint
+	wireBytes       = wal.Bytes
+	appendWireBytes = wal.AppendString
+)
 
 // --- Hello -------------------------------------------------------------
 
@@ -198,21 +127,7 @@ func appendBatch(dst []byte, seq uint64, recs []logging.Record) []byte {
 	dst = binary.AppendUvarint(dst, seq)
 	dst = binary.AppendUvarint(dst, uint64(len(recs)))
 	for i := range recs {
-		rec := &recs[i]
-		nano := zeroTimeNano
-		off := 0
-		if !rec.Time.IsZero() {
-			nano = rec.Time.UnixNano()
-			_, off = rec.Time.Zone()
-		}
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(nano))
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(off)))
-		dst = binary.AppendVarint(dst, int64(rec.Level))
-		dst = appendWireBytes(dst, rec.Source)
-		dst = appendWireBytes(dst, rec.Message)
-		dst = appendWireBytes(dst, string(rec.Framework))
-		dst = appendWireBytes(dst, rec.SessionID)
-		dst = appendWireBytes(dst, rec.TemplateID)
+		dst = wal.AppendRecord(dst, &recs[i])
 	}
 	return dst
 }
@@ -322,6 +237,7 @@ type streamAck struct {
 	Status   int    // ackAccepted, ackQueueFull, ...
 	Accepted int
 	Skipped  int
+	Dead     int    // records dead-lettered out of an accepted batch
 	RetryMs  int    // backoff hint, set with ackQueueFull
 	Msg      string // human-readable detail on errors
 }
@@ -332,6 +248,7 @@ func appendAck(dst []byte, a streamAck) []byte {
 	dst = binary.AppendUvarint(dst, uint64(a.Status))
 	dst = binary.AppendUvarint(dst, uint64(a.Accepted))
 	dst = binary.AppendUvarint(dst, uint64(a.Skipped))
+	dst = binary.AppendUvarint(dst, uint64(a.Dead))
 	dst = binary.AppendUvarint(dst, uint64(a.RetryMs))
 	return appendWireBytes(dst, a.Msg)
 }
@@ -356,6 +273,10 @@ func parseAck(p []byte) (streamAck, error) {
 		return a, wireErrf("ack: bad skipped count")
 	}
 	a.Skipped = int(v)
+	if v, p, ok = wireUvarint(p); !ok || v > uint64(maxWireFrame) {
+		return a, wireErrf("ack: bad dead count")
+	}
+	a.Dead = int(v)
 	if v, p, ok = wireUvarint(p); !ok || v > 1<<30 {
 		return a, wireErrf("ack: bad retry hint")
 	}

@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// dlqSegmentPrefix/-Ext name DLQ segment files:
+// seg-<first-seq, zero-padded>.ndjson.
+const (
+	dlqSegmentPrefix = "seg-"
+	dlqSegmentExt    = ".ndjson"
+)
+
+// DeadLetter is one record refused by ingest validation, as handed to
+// DLQ.Add: the verbatim NDJSON wire line (so a requeue can re-run it
+// through the very same ingest path) plus why it was refused.
+type DeadLetter struct {
+	Reason string
+	Line   string
+}
+
+// Entry is one stored dead letter, as listed by /v1/dlq.
+type Entry struct {
+	Seq    uint64    `json:"seq"`
+	At     time.Time `json:"at"`
+	Reason string    `json:"reason"`
+	Line   string    `json:"line"`
+}
+
+// dlqLine is the on-disk NDJSON union: an Entry, or a requeue/retention
+// tombstone ({"requeued": seq}) marking an earlier entry dead. Appending
+// tombstones instead of rewriting segments keeps every write an append;
+// segments whose entries are all dead are deleted whole.
+type dlqLine struct {
+	Entry
+	Requeued uint64 `json:"requeued,omitempty"`
+}
+
+// DLQ is a per-tenant dead-letter queue: log-structured NDJSON segments
+// holding refused records until an operator lists ([/v1/dlq]) and
+// requeues or drops them. With an empty dir it runs memory-only (a
+// stateless server still gets per-record refusal semantics, just
+// without crash persistence). Retention is bounded: past retain live
+// entries the oldest are dropped (counted in Dropped), so a poisoned
+// firehose cannot fill the disk.
+type DLQ struct {
+	mu       sync.Mutex
+	dir      string
+	retain   int
+	segBytes int64
+
+	f        *os.File
+	size     int64
+	segments []uint64 // first seq assigned at each segment's creation
+	live     []Entry  // ascending by Seq
+	seq      uint64
+	dropped  uint64
+}
+
+// OpenDLQ opens (creating if needed) the queue in dir; dir == "" means
+// memory-only. retain bounds live entries (0 means 4096, negative
+// unbounded).
+func OpenDLQ(dir string, retain int) (*DLQ, error) {
+	if retain == 0 {
+		retain = 4096
+	}
+	q := &DLQ{dir: dir, retain: retain, segBytes: 4 << 20}
+	if dir == "" {
+		return q, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var firsts []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, dlqSegmentPrefix) || !strings.HasSuffix(name, dlqSegmentExt) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, dlqSegmentPrefix), dlqSegmentExt), 10, 64)
+		if err != nil || n == 0 {
+			continue
+		}
+		firsts = append(firsts, n)
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	liveBySeq := map[uint64]Entry{}
+	for _, first := range firsts {
+		if err := q.loadSegment(q.segPath(first), liveBySeq); err != nil {
+			return nil, err
+		}
+	}
+	q.segments = firsts
+	for _, e := range liveBySeq {
+		q.live = append(q.live, e)
+	}
+	sort.Slice(q.live, func(i, j int) bool { return q.live[i].Seq < q.live[j].Seq })
+	if len(firsts) == 0 {
+		if err := q.openSegment(q.seq + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(q.segPath(firsts[len(firsts)-1]), os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		q.f, q.size = f, fi.Size()
+	}
+	// Apply retention to whatever the previous process left behind.
+	q.enforceRetentionLocked()
+	q.collectSegmentsLocked()
+	return q, nil
+}
+
+// loadSegment folds one segment's lines into the live map. A trailing
+// line a crash cut short fails to parse and is skipped — dead letters
+// are diagnostics, best-effort by design.
+func (q *DLQ) loadSegment(path string, live map[uint64]Entry) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), MaxFrame)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ln dlqLine
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			continue
+		}
+		if ln.Requeued != 0 {
+			delete(live, ln.Requeued)
+			continue
+		}
+		if ln.Seq == 0 {
+			continue
+		}
+		live[ln.Seq] = ln.Entry
+		if ln.Seq > q.seq {
+			q.seq = ln.Seq
+		}
+	}
+	return sc.Err()
+}
+
+func (q *DLQ) segPath(first uint64) string {
+	return filepath.Join(q.dir, fmt.Sprintf("%s%020d%s", dlqSegmentPrefix, first, dlqSegmentExt))
+}
+
+func (q *DLQ) openSegment(first uint64) error {
+	f, err := os.OpenFile(q.segPath(first), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if q.f != nil {
+		q.f.Close()
+	}
+	q.f = f
+	q.size = 0
+	q.segments = append(q.segments, first)
+	return nil
+}
+
+// writeLine appends one NDJSON line to the active segment, rotating by
+// size first. Persistence errors are returned but the in-memory state
+// has already advanced — the DLQ degrades to memory-only rather than
+// refusing records.
+func (q *DLQ) writeLine(ln dlqLine) error {
+	if q.dir == "" {
+		return nil
+	}
+	if q.f == nil || q.size >= q.segBytes {
+		if err := q.openSegment(q.seq + 1); err != nil {
+			return err
+		}
+	}
+	b, err := json.Marshal(ln)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	n, err := q.f.Write(b)
+	q.size += int64(n)
+	return err
+}
+
+// Add appends dead letters, assigning each a sequence number, and
+// enforces retention. The first persistence error is returned (callers
+// surface it as a metric; admission is unaffected).
+func (q *DLQ) Add(ls []DeadLetter) error {
+	if len(ls) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now().UTC()
+	var firstErr error
+	for _, dl := range ls {
+		q.seq++
+		e := Entry{Seq: q.seq, At: now, Reason: dl.Reason, Line: dl.Line}
+		q.live = append(q.live, e)
+		if err := q.writeLine(dlqLine{Entry: e}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := q.enforceRetentionLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := q.collectSegmentsLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (q *DLQ) enforceRetentionLocked() error {
+	if q.retain < 0 {
+		return nil
+	}
+	var firstErr error
+	for len(q.live) > q.retain {
+		if err := q.writeLine(dlqLine{Requeued: q.live[0].Seq}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		q.live = q.live[1:]
+		q.dropped++
+	}
+	return firstErr
+}
+
+// collectSegmentsLocked deletes closed segments that no longer hold any
+// live entry (everything in them was requeued or aged out).
+func (q *DLQ) collectSegmentsLocked() error {
+	if q.dir == "" {
+		return nil
+	}
+	for len(q.segments) >= 2 {
+		// Closed segment 0 holds entries with seqs in [segments[0],
+		// segments[1]); it is dead iff no live seq falls in that range.
+		hi := q.segments[1]
+		i := sort.Search(len(q.live), func(i int) bool { return q.live[i].Seq >= q.segments[0] })
+		if i < len(q.live) && q.live[i].Seq < hi {
+			return nil
+		}
+		if err := os.Remove(q.segPath(q.segments[0])); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		q.segments = q.segments[1:]
+	}
+	return nil
+}
+
+// List returns up to limit live entries with Seq > since (ascending)
+// plus the cursor for the following page and the total live depth.
+// limit <= 0 means no bound.
+func (q *DLQ) List(since uint64, limit int) (entries []Entry, next uint64, depth int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	next = since
+	i := sort.Search(len(q.live), func(i int) bool { return q.live[i].Seq > since })
+	for ; i < len(q.live); i++ {
+		if limit > 0 && len(entries) >= limit {
+			break
+		}
+		entries = append(entries, q.live[i])
+		next = q.live[i].Seq
+	}
+	return entries, next, len(q.live)
+}
+
+// Remove drops the named entries (post-requeue), appending tombstones
+// so the drop survives a restart. Unknown seqs are ignored. Returns how
+// many entries were actually removed.
+func (q *DLQ) Remove(seqs []uint64) int {
+	if len(seqs) == 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	drop := make(map[uint64]bool, len(seqs))
+	for _, s := range seqs {
+		drop[s] = true
+	}
+	removed := 0
+	kept := q.live[:0]
+	for _, e := range q.live {
+		if drop[e.Seq] {
+			q.writeLine(dlqLine{Requeued: e.Seq})
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	q.live = kept
+	q.collectSegmentsLocked()
+	return removed
+}
+
+// Depth is the live entry count.
+func (q *DLQ) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.live)
+}
+
+// Dropped counts entries the retention bound discarded (lifetime of
+// this process).
+func (q *DLQ) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Close closes the active segment file.
+func (q *DLQ) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.f == nil {
+		return nil
+	}
+	err := q.f.Close()
+	q.f = nil
+	return err
+}

@@ -1,0 +1,222 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func addLetters(t *testing.T, q *DLQ, prefix string, n int) {
+	t.Helper()
+	ls := make([]DeadLetter, n)
+	for i := range ls {
+		ls[i] = DeadLetter{
+			Reason: "invalid JSON",
+			Line:   fmt.Sprintf(`{"msg":"%s-%d"`, prefix, i), // the truncation is the point
+		}
+	}
+	if err := q.Add(ls); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+}
+
+// TestDLQAddListRemove is the basic lifecycle: add, page through List,
+// remove a subset, and watch depth/cursor semantics hold.
+func TestDLQAddListRemove(t *testing.T) {
+	q, err := OpenDLQ(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	addLetters(t, q, "a", 5)
+	if d := q.Depth(); d != 5 {
+		t.Fatalf("Depth = %d, want 5", d)
+	}
+
+	page, next, depth := q.List(0, 2)
+	if len(page) != 2 || depth != 5 {
+		t.Fatalf("List(0,2) = %d entries, depth %d", len(page), depth)
+	}
+	if page[0].Seq != 1 || page[1].Seq != 2 || next != 2 {
+		t.Fatalf("first page seqs %d,%d next %d; want 1,2,2", page[0].Seq, page[1].Seq, next)
+	}
+	rest, _, _ := q.List(next, 0)
+	if len(rest) != 3 || rest[0].Seq != 3 {
+		t.Fatalf("second page: %d entries starting at %d", len(rest), rest[0].Seq)
+	}
+
+	if n := q.Remove([]uint64{2, 4, 99}); n != 2 {
+		t.Fatalf("Remove removed %d, want 2 (unknown seqs ignored)", n)
+	}
+	all, _, depth := q.List(0, 0)
+	if depth != 3 || len(all) != 3 {
+		t.Fatalf("after remove: depth %d, %d entries", depth, len(all))
+	}
+	for i, want := range []uint64{1, 3, 5} {
+		if all[i].Seq != want {
+			t.Fatalf("survivor %d has seq %d, want %d", i, all[i].Seq, want)
+		}
+	}
+}
+
+// TestDLQPersistence proves adds and removes both survive a reopen: the
+// tombstone lines keep a requeued entry dead, and seq assignment
+// continues where the previous process stopped.
+func TestDLQPersistence(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenDLQ(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addLetters(t, q, "p", 4)
+	if n := q.Remove([]uint64{2}); n != 1 {
+		t.Fatalf("Remove = %d", n)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := OpenDLQ(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	all, _, depth := q2.List(0, 0)
+	if depth != 3 {
+		t.Fatalf("reopened depth = %d, want 3", depth)
+	}
+	for i, want := range []uint64{1, 3, 4} {
+		if all[i].Seq != want {
+			t.Fatalf("reopened entry %d has seq %d, want %d", i, all[i].Seq, want)
+		}
+	}
+	addLetters(t, q2, "after", 1)
+	if fresh, _, _ := q2.List(4, 0); len(fresh) != 1 || fresh[0].Seq != 5 {
+		t.Fatalf("seq did not continue past restart: %+v", fresh)
+	}
+}
+
+// TestDLQRetention pins the disk bound: past retain live entries the
+// oldest are dropped and counted, and the drop also survives reopen.
+func TestDLQRetention(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenDLQ(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addLetters(t, q, "r", 5)
+	if d := q.Depth(); d != 3 {
+		t.Fatalf("Depth = %d, want the retain bound 3", d)
+	}
+	if n := q.Dropped(); n != 2 {
+		t.Fatalf("Dropped = %d, want 2", n)
+	}
+	all, _, _ := q.List(0, 0)
+	if all[0].Seq != 3 {
+		t.Fatalf("oldest survivor is seq %d, want 3 (1 and 2 aged out)", all[0].Seq)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := OpenDLQ(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if d := q2.Depth(); d != 3 {
+		t.Fatalf("reopened Depth = %d, want 3", d)
+	}
+}
+
+// TestDLQMemoryOnly: with no directory the queue still provides full
+// semantics, just without persistence.
+func TestDLQMemoryOnly(t *testing.T) {
+	q, err := OpenDLQ("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	addLetters(t, q, "m", 3)
+	if d := q.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+	if n := q.Remove([]uint64{2}); n != 1 {
+		t.Fatalf("Remove = %d", n)
+	}
+	if d := q.Depth(); d != 1 {
+		t.Fatalf("Depth after remove = %d", d)
+	}
+}
+
+// TestDLQSegmentGC forces rotation with a tiny segment threshold and
+// checks that a closed segment whose entries are all gone is deleted.
+func TestDLQSegmentGC(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenDLQ(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.segBytes = 64 // rotate roughly every line
+	addLetters(t, q, "gc", 6)
+	if got := countDLQSegments(t, dir); got < 3 {
+		t.Fatalf("expected rotation to produce ≥3 segments, got %d", got)
+	}
+
+	// Killing the oldest entries must let their segments go.
+	before := countDLQSegments(t, dir)
+	q.Remove([]uint64{1, 2, 3})
+	after := countDLQSegments(t, dir)
+	if after >= before {
+		t.Fatalf("GC reclaimed nothing (%d → %d segments)", before, after)
+	}
+	all, _, depth := q.List(0, 0)
+	if depth != 3 || all[0].Seq != 4 {
+		t.Fatalf("after GC: depth %d, first seq %d; want 3, 4", depth, all[0].Seq)
+	}
+}
+
+func countDLQSegments(t *testing.T, dir string) int {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, dlqSegmentPrefix+"*"+dlqSegmentExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(m)
+}
+
+// TestDLQTruncatedTrailingLine: the line a crash cut short is skipped on
+// load instead of failing the whole queue.
+func TestDLQTruncatedTrailingLine(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenDLQ(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addLetters(t, q, "t", 2)
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, dlqSegmentPrefix+"*"+dlqSegmentExt))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments on disk (err=%v)", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"reason":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	q2, err := OpenDLQ(dir, 0)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer q2.Close()
+	if d := q2.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want the 2 intact entries", d)
+	}
+}

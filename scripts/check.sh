@@ -8,6 +8,7 @@
 #   FUZZ=1 scripts/check.sh     # also run the native fuzz targets
 #   FUZZTIME=60s FUZZ=1 ...     # with a larger per-target budget
 #   SERVE=1 scripts/check.sh    # also run the serving-mode smoke test
+#   WAL=1 scripts/check.sh      # also run the WAL crash-durability smoke test
 #
 # Setting INTELLOG_BENCH_JSON=BENCH_spell.json before the bench pass
 # archives the Spell benchmarks' headline numbers, and
@@ -53,11 +54,17 @@ if [ "${FUZZ:-0}" = "1" ]; then
 	go test -run '^$' -fuzz '^FuzzStreamConsume$' -fuzztime "$ft" ./internal/detect/
 	go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime "$ft" ./internal/core/
 	go test -run '^$' -fuzz '^FuzzWireFrame$' -fuzztime "$ft" ./internal/server/
+	go test -run '^$' -fuzz '^FuzzWALSegment$' -fuzztime "$ft" ./internal/wal/
 fi
 
 if [ "${SERVE:-0}" = "1" ]; then
 	echo "==> serving-mode smoke (boot intellogd, HTTP replay, metrics, SIGTERM drain)"
 	scripts/serve_smoke.sh
+fi
+
+if [ "${WAL:-0}" = "1" ]; then
+	echo "==> WAL crash smoke (ack, SIGKILL, boot replay, DLQ, byte-identical report)"
+	scripts/wal_crash_smoke.sh
 fi
 
 echo "==> OK"

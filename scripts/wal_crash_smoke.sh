@@ -1,0 +1,155 @@
+#!/usr/bin/env sh
+# wal_crash_smoke.sh — end-to-end crash-durability smoke test of the
+# write-ahead log and the dead-letter queue, as run by the CI
+# wal-crash-smoke job:
+#
+#   1. build intellogd, intellog and loggen
+#   2. train a tenant model and generate a replay corpus
+#   3. reference run: a stateless daemon ingests the corpus serially,
+#      flushes, and its /v1/report is saved verbatim
+#   4. crash run: a stateful daemon (-checkpoint-every 0, so nothing is
+#      ever checkpointed) acks the whole corpus and is SIGKILLed — every
+#      acked record now exists only in the WAL
+#   5. restart over the same state dir; assert /metrics reports the full
+#      corpus in intellogd_wal_replayed_records (no acked record lost)
+#   6. dead-letter leg: POST a malformed record, assert it is quarantined
+#      (202 + deadLettered), listed on /v1/dlq, still-failed on requeue,
+#      and visible as intellogd_dlq_depth
+#   7. flush and require the restarted daemon's /v1/report to be
+#      byte-identical to the never-crashed reference
+#
+# Everything lands in a scratch dir and is cleaned up on exit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -KILL "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+wait_ready() {
+	i=0
+	until curl -fsS "http://$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 200 ]; then
+			echo "daemon on $1 never became ready" >&2
+			return 1
+		fi
+		sleep 0.1
+	done
+}
+
+echo "==> build"
+go build -o "$work/intellogd" ./cmd/intellogd
+go build -o "$work/intellog" ./cmd/intellog
+go build -o "$work/loggen" ./cmd/loggen
+
+echo "==> train tenant model"
+"$work/loggen" -framework spark -jobs 6 -fault none -seed 11 -out "$work/train-logs"
+mkdir -p "$work/models" "$work/state"
+"$work/intellog" train -framework spark -logs "$work/train-logs" -model "$work/models/smoke.json"
+
+echo "==> generate replay corpus"
+"$work/loggen" -framework spark -jobs 4 -fault kill -seed 12 -out "$work/replay-logs"
+
+# --- reference: a clean, never-crashed run ------------------------------
+echo "==> reference run (no crash)"
+ref_addr="127.0.0.1:7971"
+"$work/intellogd" -addr "$ref_addr" -models "$work/models" \
+	-idle 0 >"$work/ref.log" 2>&1 &
+daemon_pid=$!
+"$work/intellog" bench-serve -server "http://$ref_addr" -tenant smoke -framework spark \
+	-logs "$work/replay-logs" -batch 128 -concurrency 1 -wait 10s -no-flush
+curl -fsS -X POST "http://$ref_addr/v1/flush?tenant=smoke" >/dev/null
+curl -fsS "http://$ref_addr/v1/report?tenant=smoke" >"$work/ref-report.json"
+kill -TERM "$daemon_pid" && wait "$daemon_pid" || true
+daemon_pid=""
+
+# --- crash run: ack everything, checkpoint nothing, SIGKILL -------------
+echo "==> crash run (WAL only, -checkpoint-every 0)"
+addr="127.0.0.1:7972"
+"$work/intellogd" -addr "$addr" -models "$work/models" -state "$work/state" \
+	-checkpoint-every 0 -idle 0 >"$work/crash.log" 2>&1 &
+daemon_pid=$!
+"$work/intellog" bench-serve -server "http://$addr" -tenant smoke -framework spark \
+	-logs "$work/replay-logs" -batch 128 -concurrency 1 -wait 10s -no-flush
+echo "==> SIGKILL with every acked record un-checkpointed"
+kill -KILL "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+if ls "$work/state/smoke.ckpt" >/dev/null 2>&1; then
+	echo "unexpected checkpoint: the crash window was supposed to cover the whole corpus" >&2
+	exit 1
+fi
+
+echo "==> restart over the same state dir (boot replay)"
+"$work/intellogd" -addr "$addr" -models "$work/models" -state "$work/state" \
+	-checkpoint-every 0 -idle 0 >"$work/restart.log" 2>&1 &
+daemon_pid=$!
+wait_ready "$addr"
+
+curl -fsS "http://$addr/metrics" >"$work/metrics.txt"
+replayed=$(awk '/^intellogd_wal_replayed_records\{tenant="smoke"\}/ {print $2}' "$work/metrics.txt")
+if [ -z "$replayed" ] || [ "$replayed" = "0" ]; then
+	echo "intellogd_wal_replayed_records = '${replayed:-missing}'; boot replay recovered nothing" >&2
+	cat "$work/restart.log" >&2
+	exit 1
+fi
+echo "==> boot replay recovered $replayed acked records"
+
+echo "==> dead-letter leg"
+ingest=$(printf '{"message":"broken json","sessionId":\n' |
+	curl -fsS -X POST --data-binary @- -H 'Content-Type: application/x-ndjson' \
+		"http://$addr/v1/ingest?tenant=smoke")
+case "$ingest" in
+*'"deadLettered":1'*) ;;
+*)
+	echo "malformed record was not dead-lettered: $ingest" >&2
+	exit 1
+	;;
+esac
+dlq=$(curl -fsS "http://$addr/v1/dlq?tenant=smoke")
+case "$dlq" in
+*'"depth":1'*'"reason":"invalid JSON'* | *'"reason":"invalid JSON'*'"depth":1'*) ;;
+*)
+	echo "/v1/dlq does not list the quarantined record: $dlq" >&2
+	exit 1
+	;;
+esac
+requeue=$(curl -fsS -X POST "http://$addr/v1/dlq/requeue?tenant=smoke")
+case "$requeue" in
+*'"failed":1'*) ;;
+*)
+	echo "requeue of a still-broken record did not report it failed: $requeue" >&2
+	exit 1
+	;;
+esac
+curl -fsS "http://$addr/metrics" | grep -q '^intellogd_dlq_depth{tenant="smoke"} 1$' || {
+	echo "intellogd_dlq_depth does not expose the quarantined record" >&2
+	exit 1
+}
+
+echo "==> compare the recovered stream with the clean reference"
+curl -fsS -X POST "http://$addr/v1/flush?tenant=smoke" >/dev/null
+curl -fsS "http://$addr/v1/report?tenant=smoke" >"$work/crash-report.json"
+if ! cmp -s "$work/ref-report.json" "$work/crash-report.json"; then
+	echo "recovered report diverges from the never-crashed reference" >&2
+	echo "--- reference:" >&2
+	head -c 2000 "$work/ref-report.json" >&2
+	echo "" >&2
+	echo "--- recovered:" >&2
+	head -c 2000 "$work/crash-report.json" >&2
+	exit 1
+fi
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+
+echo "==> wal crash smoke OK"
