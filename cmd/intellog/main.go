@@ -130,7 +130,7 @@ func loadSessions(fw logging.Framework, dir string) ([]*logging.Session, error) 
 
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	framework := fs.String("framework", "spark", "spark | mapreduce | tez")
+	framework := fs.String("framework", "spark", "spark | mapreduce | tez | tensorflow | flink | hdfs | yarn-rm")
 	logs := fs.String("logs", "", "directory of session logs from normal runs")
 	aggregated := fs.String("aggregated", "", "single aggregated log file (sessionized by container ID)")
 	model := fs.String("model", "model.json", "output model file")
@@ -170,7 +170,7 @@ func loadModel(path string) (*core.Model, error) {
 
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
-	framework := fs.String("framework", "spark", "spark | mapreduce | tez")
+	framework := fs.String("framework", "spark", "spark | mapreduce | tez | tensorflow | flink | hdfs | yarn-rm")
 	logs := fs.String("logs", "", "directory of session logs to check")
 	aggregated := fs.String("aggregated", "", "single aggregated log file (sessionized by container ID)")
 	model := fs.String("model", "model.json", "trained model file")
@@ -269,7 +269,7 @@ func cmdKeys(args []string) error {
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	framework := fs.String("framework", "spark", "spark | mapreduce | tez")
+	framework := fs.String("framework", "spark", "spark | mapreduce | tez | tensorflow | flink | hdfs | yarn-rm")
 	logs := fs.String("logs", "", "directory of session logs")
 	model := fs.String("model", "model.json", "trained model file")
 	entity := fs.String("entity", "", "filter: messages whose key extracted this entity")
@@ -329,7 +329,13 @@ func parseFramework(s string) (logging.Framework, error) {
 		return logging.Tez, nil
 	case "tensorflow", "tf":
 		return logging.TensorFlow, nil
+	case "flink":
+		return logging.Flink, nil
+	case "hdfs":
+		return logging.HDFS, nil
+	case "yarn-rm", "yarnrm":
+		return logging.YarnRM, nil
 	default:
-		return "", fmt.Errorf("unknown framework %q", s)
+		return "", fmt.Errorf("unknown framework %q (want spark, mapreduce, tez, tensorflow, flink, hdfs or yarn-rm)", s)
 	}
 }

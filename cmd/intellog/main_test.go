@@ -94,6 +94,68 @@ func TestTrainDetectStreamRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseFrameworkRoster pins the CLI's framework vocabulary,
+// including the flink / hdfs / yarn-rm simulators.
+func TestParseFrameworkRoster(t *testing.T) {
+	good := map[string]logging.Framework{
+		"spark":      logging.Spark,
+		"mapreduce":  logging.MapReduce,
+		"mr":         logging.MapReduce,
+		"tez":        logging.Tez,
+		"tensorflow": logging.TensorFlow,
+		"tf":         logging.TensorFlow,
+		"flink":      logging.Flink,
+		"hdfs":       logging.HDFS,
+		"HDFS":       logging.HDFS,
+		"yarn-rm":    logging.YarnRM,
+		"yarnrm":     logging.YarnRM,
+	}
+	for in, want := range good {
+		fw, err := parseFramework(in)
+		if err != nil {
+			t.Errorf("parseFramework(%q): %v", in, err)
+		} else if fw != want {
+			t.Errorf("parseFramework(%q) = %s, want %s", in, fw, want)
+		}
+	}
+	for _, in := range []string{"hive", "yarn", "", "hdfs2"} {
+		if _, err := parseFramework(in); err == nil || !strings.Contains(err.Error(), "unknown framework") {
+			t.Errorf("parseFramework(%q) = %v, want unknown-framework error", in, err)
+		}
+	}
+}
+
+// TestTrainDetectNewFramework proves the CLI path works end to end for a
+// new simulator: render a flink corpus to disk the way loggen does,
+// train on it, and detect over it with -framework flink.
+func TestTrainDetectNewFramework(t *testing.T) {
+	dir := t.TempDir()
+	logs := filepath.Join(dir, "logs")
+	if err := os.Mkdir(logs, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(sim.NewCluster(10, 73), 74)
+	sessions := g.TrainingCorpus(logging.Flink, 3)
+	f := logging.FormatterFor(logging.Flink)
+	for _, s := range sessions {
+		var b strings.Builder
+		for _, r := range s.Records {
+			b.WriteString(f.Render(r))
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(logs, s.ID+".log"), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := filepath.Join(dir, "model.json")
+	if err := cmdTrain([]string{"-framework", "flink", "-logs", logs, "-model", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := cmdDetect([]string{"-framework", "flink", "-logs", logs, "-model", model}); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+}
+
 func TestBadCorpusPaths(t *testing.T) {
 	dir := t.TempDir()
 	empty := filepath.Join(dir, "empty")

@@ -58,7 +58,7 @@ func validateStreamFlags(fs *flag.FlagSet, truncate, corrupt, dup float64, reord
 
 func cmdStream(args []string) error {
 	fs := flag.NewFlagSet("stream", flag.ExitOnError)
-	framework := fs.String("framework", "spark", "spark | mapreduce | tez")
+	framework := fs.String("framework", "spark", "spark | mapreduce | tez | tensorflow | flink | hdfs | yarn-rm")
 	input := fs.String("input", "", "aggregated log file to stream ('-' or empty = stdin)")
 	model := fs.String("model", "model.json", "trained model file")
 	idle := fs.Duration("idle", 0, "finalize a session when its log time falls this far behind the stream (0 = only at EOF)")

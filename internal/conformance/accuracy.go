@@ -101,8 +101,13 @@ func (g Gate) Check(s Score) error {
 // honest):
 //
 //	spark      P=1.000 R=1.000 F1=1.000
-//	mapreduce  P=1.000 R=1.000 F1=1.000
+//	mapreduce  P=1.000 R=1.000 F1=1.000 (clean-faulted and hostile-churn)
 //	tez        P=0.960 R=1.000 F1=0.980
+//	tensorflow P=1.000 R=1.000 F1=1.000
+//	flink      P=1.000 R=1.000 F1=1.000 (clean-faulted and hostile-skew)
+//	hdfs       P=1.000 R=1.000 F1=1.000
+//	yarn-rm    P=1.000 R=1.000 F1=1.000
+//	spark+burst P=1.000 R=1.000 F1=1.000
 //
 // Floors sit ≥ 10 points under the measured precision and exactly tight
 // enough on recall that disabling the structural checks (critical keys,
@@ -110,7 +115,11 @@ func (g Gate) Check(s Score) error {
 // TestGatesCatchCrippledDetector, which measured R=0.857 for that
 // mutation.
 var DefaultGates = map[logging.Framework]Gate{
-	logging.Spark:     {Framework: logging.Spark, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
-	logging.MapReduce: {Framework: logging.MapReduce, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
-	logging.Tez:       {Framework: logging.Tez, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.Spark:      {Framework: logging.Spark, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.MapReduce:  {Framework: logging.MapReduce, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.Tez:        {Framework: logging.Tez, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.TensorFlow: {Framework: logging.TensorFlow, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.Flink:      {Framework: logging.Flink, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.HDFS:       {Framework: logging.HDFS, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
+	logging.YarnRM:     {Framework: logging.YarnRM, MinPrecision: 0.85, MinRecall: 0.90, MinF1: 0.90},
 }

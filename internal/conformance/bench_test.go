@@ -52,6 +52,48 @@ func BenchmarkConformanceBatchDetect(b *testing.B) {
 	})
 }
 
+// benchMatrixCorpora are the new-framework corpora of the matrix, each
+// detected with its own framework's model — the breadth counterpart to
+// the spark-only benches above.
+var benchMatrixCorpora []*Corpus
+
+// BenchmarkConformanceBatchDetectMatrix measures batch detection across
+// the matrix's new-framework corpora (TensorFlow, Flink, HDFS, YARN RM),
+// one Detect per corpus per iteration.
+func BenchmarkConformanceBatchDetectMatrix(b *testing.B) {
+	if benchMatrixCorpora == nil {
+		m := DefaultMatrix()
+		for _, sp := range m[7:11] { // tensorflow-faulted … yarnrm-failover
+			benchMatrixCorpora = append(benchMatrixCorpora, sp.Generate())
+		}
+	}
+	type unit struct {
+		sessions []*logging.Session
+		d        *detect.Detector
+	}
+	var units []unit
+	records := 0
+	for _, c := range benchMatrixCorpora {
+		units = append(units, unit{c.Sessions(), ModelFor(c.Spec.Framework).Detector()})
+		records += len(c.Records)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range units {
+			if rep := u.d.Detect(u.sessions); rep.Sessions != len(u.sessions) {
+				b.Fatalf("report covers %d sessions, want %d", rep.Sessions, len(u.sessions))
+			}
+		}
+	}
+	logsPerSec := float64(records*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(logsPerSec, "logs/sec")
+	writeDetectBenchJSON(b, "BenchmarkConformanceBatchDetectMatrix", map[string]float64{
+		"logs_per_sec": logsPerSec,
+		"logs_per_op":  float64(records),
+	})
+}
+
 // BenchmarkConformanceStreamDetect measures the sharded streaming path
 // over the same record stream, consumed one record at a time.
 func BenchmarkConformanceStreamDetect(b *testing.B) {

@@ -6,39 +6,68 @@ import (
 
 	"intellog/internal/core"
 	"intellog/internal/logging"
+	"intellog/internal/workload"
 )
 
 // TestMatrixShape pins the acceptance contract of the corpus matrix: at
-// least six corpora, at least one line-fault-injected, and all three
-// frameworks represented. Shrinking the matrix below that weakens the
-// oracle, so it fails here first.
+// least thirteen corpora, spanning at least six frameworks and at least
+// two hostile traffic profiles, with at least one line-fault-injected
+// corpus. Shrinking the matrix below that weakens the oracle, so it
+// fails here first.
 func TestMatrixShape(t *testing.T) {
 	matrix := DefaultMatrix()
-	if len(matrix) < 6 {
-		t.Fatalf("matrix has %d corpora, want ≥ 6", len(matrix))
+	if len(matrix) < 13 {
+		t.Fatalf("matrix has %d corpora, want ≥ 13", len(matrix))
 	}
 	faulted := 0
 	fws := map[logging.Framework]bool{}
+	hostiles := map[workload.HostileProfile]bool{}
 	for _, sp := range matrix {
 		if sp.LineFaults {
 			faulted++
 		}
 		fws[sp.Framework] = true
+		if sp.Hostile != "" {
+			if !sp.Hostile.Known() {
+				t.Errorf("corpus %s names unknown hostile profile %q", sp.Name, sp.Hostile)
+			}
+			hostiles[sp.Hostile] = true
+		}
 	}
 	if faulted < 1 {
 		t.Errorf("matrix has no line-fault-injected corpus")
 	}
-	for _, fw := range []logging.Framework{logging.Spark, logging.MapReduce, logging.Tez} {
+	if len(fws) < 6 {
+		t.Errorf("matrix spans %d frameworks, want ≥ 6", len(fws))
+	}
+	if len(hostiles) < 2 {
+		t.Errorf("matrix spans %d hostile profiles, want ≥ 2", len(hostiles))
+	}
+	for _, fw := range []logging.Framework{
+		logging.Spark, logging.MapReduce, logging.Tez,
+		logging.TensorFlow, logging.Flink, logging.HDFS, logging.YarnRM,
+	} {
 		if !fws[fw] {
 			t.Errorf("matrix misses framework %s", fw)
 		}
+	}
+	gated := 0
+	for _, sp := range GatedSpecs() {
+		if sp.Hostile != "" {
+			gated++
+		}
+	}
+	if gated < 2 {
+		t.Errorf("only %d hostile corpora are accuracy-gated, want ≥ 2 (time-only profiles must stay gateable)", gated)
 	}
 }
 
 // TestCorpusDeterminism: the harness's own contract — a Spec regenerates
 // byte-identically, including the perturbed corpora.
 func TestCorpusDeterminism(t *testing.T) {
-	for _, sp := range []Spec{DefaultMatrix()[0], DefaultMatrix()[5]} {
+	// Index 0 and 5 cover clean and line-faulted corpora; 12 and 14 cover
+	// a time-only hostile profile and dupstorm stacked on line faults.
+	for _, sp := range []Spec{DefaultMatrix()[0], DefaultMatrix()[5], DefaultMatrix()[12], DefaultMatrix()[14]} {
 		a, b := sp.Generate(), sp.Generate()
 		if len(a.Records) != len(b.Records) {
 			t.Fatalf("%s: %d vs %d records across regenerations", sp.Name, len(a.Records), len(b.Records))

@@ -47,6 +47,11 @@ type Spec struct {
 	// applied before every execution path so the differential oracle still
 	// holds on mangled input.
 	LineFaults bool
+	// Hostile reshapes the aggregated stream's arrival pattern (bursts,
+	// clock skew, tenant churn, duplicate storms — see workload.ApplyHostile)
+	// after interleaving and before LineFaults. Time-only profiles keep the
+	// corpus accuracy-gateable; dupstorm corpora are oracle-only.
+	Hostile workload.HostileProfile
 }
 
 // Corpus is one generated detection corpus: a time-ordered aggregated
@@ -95,6 +100,10 @@ func (sp Spec) Generate() *Corpus {
 	// timestamp, stable so equal-time records keep emission order.
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
 
+	if sp.Hostile != "" {
+		recs = workload.ApplyHostile(sp.Hostile, recs, sp.Seed+3)
+	}
+
 	if sp.LineFaults {
 		inj := sim.NewFaultInjector(sp.Seed + 2)
 		inj.TruncateProb = 0.03
@@ -114,9 +123,11 @@ func (c *Corpus) Sessions() []*logging.Session {
 	return logging.GroupSessions(c.Records)
 }
 
-// DefaultMatrix is the corpus matrix the conformance tests run: all three
-// frameworks, clean and fault-injected jobs, two sizes, and two corpora
-// with line-level (collection-pipeline) faults on top.
+// DefaultMatrix is the corpus matrix the conformance tests run: every
+// simulated framework, clean and fault-injected jobs, two sizes, corpora
+// with line-level (collection-pipeline) faults on top, and hostile
+// traffic profiles (burst, clock skew, tenant churn, duplicate storms).
+// New corpora are appended — several tests pin entries by index.
 func DefaultMatrix() []Spec {
 	return []Spec{
 		{Name: "spark-clean", Framework: logging.Spark, Jobs: 4, Seed: 201},
@@ -132,6 +143,26 @@ func DefaultMatrix() []Spec {
 			Faults: []sim.FaultKind{sim.FaultNone, sim.FaultKill}, LineFaults: true},
 		{Name: "tez-line-faults", Framework: logging.Tez, Jobs: 4, Seed: 207,
 			Faults: []sim.FaultKind{sim.FaultNone, sim.FaultNetwork}, LineFaults: true},
+		{Name: "tensorflow-faulted", Framework: logging.TensorFlow, Jobs: 6, Seed: 208,
+			Faults: []sim.FaultKind{sim.FaultNone, sim.FaultKill, sim.FaultNetwork}},
+		{Name: "flink-faulted", Framework: logging.Flink, Jobs: 6, Seed: 209,
+			Faults: []sim.FaultKind{sim.FaultNone, sim.FaultKill, sim.FaultNetwork}},
+		{Name: "hdfs-faulted", Framework: logging.HDFS, Jobs: 6, Seed: 210,
+			Faults: []sim.FaultKind{sim.FaultNone, sim.FaultNetwork, sim.FaultKill}},
+		{Name: "yarnrm-failover", Framework: logging.YarnRM, Jobs: 6, Seed: 211,
+			Faults: []sim.FaultKind{sim.FaultNone, sim.FaultKill, sim.FaultNetwork}},
+		{Name: "spark-hostile-burst", Framework: logging.Spark, Jobs: 6, Seed: 218,
+			Faults:  []sim.FaultKind{sim.FaultNone, sim.FaultKill, sim.FaultNetwork},
+			Hostile: workload.HostileBurst},
+		{Name: "flink-hostile-skew", Framework: logging.Flink, Jobs: 5, Seed: 213,
+			Faults:  []sim.FaultKind{sim.FaultNone, sim.FaultNetwork, sim.FaultKill},
+			Hostile: workload.HostileSkew},
+		{Name: "mapreduce-hostile-churn", Framework: logging.MapReduce, Jobs: 5, Seed: 214,
+			Faults:  []sim.FaultKind{sim.FaultNone, sim.FaultKill, sim.FaultNode},
+			Hostile: workload.HostileChurn},
+		{Name: "hdfs-hostile-dupstorm-linefaults", Framework: logging.HDFS, Jobs: 4, Seed: 215,
+			Faults:  []sim.FaultKind{sim.FaultNone, sim.FaultNetwork},
+			Hostile: workload.HostileDupStorm, LineFaults: true},
 	}
 }
 
@@ -139,10 +170,26 @@ func DefaultMatrix() []Spec {
 // mix of clean jobs and the three real injected problems (§6.4), with no
 // line-level mangling — corrupt message bytes would create unexpected-
 // message findings in clean sessions and measure the injector, not the
-// detector.
+// detector. Hostile corpora are gated only for time-only profiles:
+// detection is order-based and never consults timestamps, so burst /
+// skew / churn must not move accuracy, while dupstorm legitimately
+// changes what the detector sees and stays oracle-only.
 func GatedSpecs() []Spec {
 	m := DefaultMatrix()
-	return []Spec{m[1], m[2], m[3]}
+	var out []Spec
+	for i, sp := range m {
+		if i == 0 || sp.LineFaults || (sp.Hostile != "" && !sp.Hostile.TimeOnly()) {
+			continue
+		}
+		if sp.Name == "spark-large-mixed" {
+			// Mixed-fault jumbo corpus: oracle coverage, not a gate — the
+			// SlowShutdown benign-config scenario is the paper's designed
+			// false positive.
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
 }
 
 // models caches one trained reference model per framework; training is

@@ -1,0 +1,209 @@
+// Package corpus loads real-world log corpora in the LogHub line layouts
+// (HDFS datanode logs sessionized by block ID, BGL supercomputer logs
+// sessionized by node, with per-line alert labels). Each layout is a
+// logging.Formatter, so files stream through logging.ParseLinesBytes —
+// the same zero-copy byte path the ingest server uses — and the loaders
+// double as conformance inputs: parsed records plus ground truth.
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// BGL is the framework stamp for Blue Gene/L RAS records. It is local to
+// the corpus layer on purpose: BGL is a labelled evaluation corpus, not a
+// servable framework, so it stays out of logging.Known().
+const BGL logging.Framework = "bgl"
+
+// Corpus is a loaded labelled log file.
+type Corpus struct {
+	// Records are the parsed lines with SessionID stamped (block ID for
+	// HDFS, node for BGL). Lines that match no session stay grouped under
+	// the empty session ID.
+	Records []logging.Record
+	// Truth maps session ID -> ground-truth anomalous, from the label
+	// sidecar (HDFS) or the per-line alert labels (BGL). Sessions absent
+	// from the map are unlabelled.
+	Truth map[string]bool
+}
+
+// hdfsLayout is the LogHub HDFS timestamp: "081109 203615".
+const hdfsLayout = "060102 150405"
+
+// bglLayout is the LogHub BGL full timestamp: "2005-06-03-15.42.50.363779".
+const bglLayout = "2006-01-02-15.04.05.000000"
+
+var (
+	hdfsLine = regexp.MustCompile(`^(\d{6} \d{6}) (\d+) (TRACE|DEBUG|INFO|WARN|WARNING|ERROR|FATAL) ([^:]+): (.*)$`)
+	blkID    = regexp.MustCompile(`blk_-?\d+`)
+	bglLine  = regexp.MustCompile(`^(\S+) (\d+) (\d{4}\.\d{2}\.\d{2}) (\S+) (\d{4}-\d{2}-\d{2}-\d{2}\.\d{2}\.\d{2}\.\d+) (\S+) (\S+) (\S+) (\S+) (.*)$`)
+)
+
+// HDFSFormat parses the LogHub HDFS datanode layout:
+//
+//	081109 203615 148 INFO dfs.DataNode$PacketResponder: PacketResponder 1 for block blk_38865049064139660 terminating
+//
+// (date, time, pid, level, component, message). The session ID is the
+// block ID mentioned in the message, the sessionization the LogHub
+// benchmarks use; lines that mention no block get an empty session ID.
+type HDFSFormat struct{}
+
+// Parse implements logging.Formatter.
+func (HDFSFormat) Parse(line string) (logging.Record, bool) {
+	m := hdfsLine.FindStringSubmatch(line)
+	if m == nil {
+		return logging.Record{}, false
+	}
+	t, err := time.Parse(hdfsLayout, m[1])
+	if err != nil {
+		return logging.Record{}, false
+	}
+	return logging.Record{
+		Time:      t,
+		Level:     logging.ParseLevel(m[3]),
+		Source:    m[4],
+		Message:   m[5],
+		Framework: logging.HDFS,
+		SessionID: blkID.FindString(m[5]),
+	}, true
+}
+
+// Render implements logging.Formatter. The pid column is rendered as 0;
+// the layout carries it but the record model (rightly) does not.
+func (HDFSFormat) Render(rec logging.Record) string {
+	return fmt.Sprintf("%s 0 %s %s: %s",
+		rec.Time.Format(hdfsLayout), rec.Level, rec.Source, rec.Message)
+}
+
+// BGLFormat parses the LogHub BGL RAS layout:
+//
+//   - 1117838570 2005.06.03 R02-M1-N0-C:J12-U11 2005-06-03-15.42.50.363779 R02-M1-N0-C:J12-U11 RAS KERNEL INFO instruction cache parity error corrected
+//
+// (alert label, epoch, date, node, timestamp, node, type, component,
+// level, message). The session ID is the node. The alert label — "-" for
+// normal lines, an alert category otherwise — is ground truth, consumed
+// by LoadBGL; Parse itself drops it, and Render writes "-", because
+// labels are evaluation metadata, not log content.
+type BGLFormat struct{}
+
+// Parse implements logging.Formatter.
+func (BGLFormat) Parse(line string) (logging.Record, bool) {
+	m := bglLine.FindStringSubmatch(line)
+	if m == nil {
+		return logging.Record{}, false
+	}
+	t, err := time.Parse(bglLayout, m[5])
+	if err != nil {
+		return logging.Record{}, false
+	}
+	lvl := logging.ParseLevel(m[9])
+	if m[9] == "SEVERE" {
+		lvl = logging.Error
+	}
+	return logging.Record{
+		Time:      t,
+		Level:     lvl,
+		Source:    m[8],
+		Message:   m[10],
+		Framework: BGL,
+		SessionID: m[4],
+	}, true
+}
+
+// Render implements logging.Formatter.
+func (BGLFormat) Render(rec logging.Record) string {
+	lvl := rec.Level.String()
+	if lvl == "WARN" {
+		lvl = "WARNING"
+	}
+	return fmt.Sprintf("- %d %s %s %s %s RAS %s %s %s",
+		rec.Time.Unix(), rec.Time.Format("2006.01.02"), rec.SessionID,
+		rec.Time.Format(bglLayout), rec.SessionID, rec.Source, lvl, rec.Message)
+}
+
+// LoadHDFS parses a LogHub-shaped HDFS log image through the zero-copy
+// byte path, with an optional anomaly_label.csv sidecar ("BlockId,Label"
+// rows, Label ∈ {Normal, Anomaly}) providing ground truth. logData must
+// stay live while the records are in use (see ParseLinesBytes).
+func LoadHDFS(logData, labelData []byte) Corpus {
+	return Corpus{
+		Records: logging.ParseLinesBytes(HDFSFormat{}, logData),
+		Truth:   ParseHDFSLabels(labelData),
+	}
+}
+
+// ParseHDFSLabels parses the LogHub anomaly_label.csv sidecar. A header
+// row and blank lines are skipped; malformed rows are ignored rather
+// than rejected, since the loader also runs under fuzzing.
+func ParseHDFSLabels(data []byte) map[string]bool {
+	if len(data) == 0 {
+		return nil
+	}
+	truth := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		blk, label, ok := strings.Cut(line, ",")
+		if !ok || !strings.HasPrefix(blk, "blk_") {
+			continue
+		}
+		truth[blk] = strings.EqualFold(strings.TrimSpace(label), "Anomaly")
+	}
+	return truth
+}
+
+// LoadBGL parses a LogHub-shaped BGL log image through the zero-copy
+// byte path. Ground truth comes from the in-line alert labels: a node is
+// anomalous if any of its lines carries a label other than "-".
+func LoadBGL(data []byte) Corpus {
+	c := Corpus{
+		Records: logging.ParseLinesBytes(BGLFormat{}, data),
+		Truth:   make(map[string]bool),
+	}
+	// Second pass for the labels Parse drops. Splitting mirrors
+	// ParseLinesBytes so labels line up with records.
+	rest := data
+	for len(rest) > 0 {
+		line := rest
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			line = rest[:i]
+			rest = rest[i+1:]
+		} else {
+			rest = nil
+		}
+		s := string(line)
+		m := bglLine.FindStringSubmatch(s)
+		if m == nil {
+			continue
+		}
+		// Mirror Parse exactly: a line whose timestamp fails to parse
+		// produced no record, so it must not produce a label either.
+		if _, ok := (BGLFormat{}).Parse(s); !ok {
+			continue
+		}
+		node := m[4]
+		if m[1] != "-" {
+			c.Truth[node] = true
+		} else if _, ok := c.Truth[node]; !ok {
+			c.Truth[node] = false
+		}
+	}
+	return c
+}
+
+// Sessions groups the corpus records into sessions, dropping the
+// unsessionized remainder (lines that matched no block / node).
+func (c Corpus) Sessions() []*logging.Session {
+	var out []*logging.Session
+	for _, s := range logging.GroupSessions(c.Records) {
+		if s.ID != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"intellog/internal/logging"
+)
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// requireSamePaths asserts the zero-copy byte path and the string path
+// produce identical records — the contract FuzzCorpusLoader also checks,
+// pinned here on the real fixtures.
+func requireSamePaths(t *testing.T, f logging.Formatter, data []byte) []logging.Record {
+	t.Helper()
+	byBytes := logging.ParseLinesBytes(f, data)
+	byString := logging.ParseLines(f, strings.Split(string(data), "\n"))
+	if len(byBytes) != len(byString) {
+		t.Fatalf("byte path parsed %d records, string path %d", len(byBytes), len(byString))
+	}
+	for i := range byBytes {
+		if byBytes[i] != byString[i] {
+			t.Fatalf("record %d differs between byte and string paths:\n%+v\n%+v",
+				i, byBytes[i], byString[i])
+		}
+	}
+	return byBytes
+}
+
+func TestLoadHDFS(t *testing.T) {
+	logData := readFixture(t, "hdfs_sample.log")
+	labelData := readFixture(t, "hdfs_labels.csv")
+	recs := requireSamePaths(t, HDFSFormat{}, logData)
+
+	c := LoadHDFS(logData, labelData)
+	if len(c.Records) != len(recs) {
+		t.Fatalf("LoadHDFS parsed %d records, want %d", len(c.Records), len(recs))
+	}
+	sessions := c.Sessions()
+	if len(sessions) != 4 {
+		t.Fatalf("got %d block sessions, want 4", len(sessions))
+	}
+	for _, s := range sessions {
+		if !strings.HasPrefix(s.ID, "blk_") {
+			t.Fatalf("session %q is not a block ID", s.ID)
+		}
+		if s.Framework != logging.HDFS {
+			t.Fatalf("session %s framework = %q", s.ID, s.Framework)
+		}
+	}
+	if len(c.Truth) != 4 {
+		t.Fatalf("got %d labels, want 4", len(c.Truth))
+	}
+	if !c.Truth["blk_7503483334202473044"] {
+		t.Fatal("blk_7503483334202473044 should be labelled anomalous")
+	}
+	if c.Truth["blk_-1608999687919862906"] {
+		t.Fatal("blk_-1608999687919862906 should be labelled normal")
+	}
+
+	// The stack-trace continuation lines must fold into the IOException
+	// record, not vanish or start records of their own.
+	var ioexc *logging.Record
+	for i := range c.Records {
+		if strings.Contains(c.Records[i].Message, "IOException in BlockReceiver") {
+			ioexc = &c.Records[i]
+		}
+	}
+	if ioexc == nil {
+		t.Fatal("IOException record not parsed")
+	}
+	if !strings.Contains(ioexc.Message, "Connection reset by peer") ||
+		!strings.Contains(ioexc.Message, "FileDispatcher.read0") {
+		t.Fatalf("continuation lines not folded into the exception record: %q", ioexc.Message)
+	}
+	if ioexc.Level != logging.Warn {
+		t.Fatalf("exception record level = %v, want WARN", ioexc.Level)
+	}
+}
+
+func TestLoadBGL(t *testing.T) {
+	data := readFixture(t, "bgl_sample.log")
+	recs := requireSamePaths(t, BGLFormat{}, data)
+	if len(recs) != 18 {
+		t.Fatalf("parsed %d records, want 18", len(recs))
+	}
+
+	c := LoadBGL(data)
+	sessions := c.Sessions()
+	if len(sessions) != 5 {
+		t.Fatalf("got %d node sessions, want 5", len(sessions))
+	}
+	wantTruth := map[string]bool{
+		"R02-M1-N0-C:J12-U11": false,
+		"R16-M1-N2-C:J17-U01": false,
+		"R23-M0-NE-C:J05-U01": true, // KERNDTLB alerts
+		"R24-M0-N1-C:J13-U11": false,
+		"R30-M0-N9-C:J16-U01": true, // APPSEV + APPREAD alerts
+	}
+	if len(c.Truth) != len(wantTruth) {
+		t.Fatalf("got %d labelled nodes, want %d", len(c.Truth), len(wantTruth))
+	}
+	for node, want := range wantTruth {
+		if got, ok := c.Truth[node]; !ok || got != want {
+			t.Fatalf("truth[%s] = %v (present=%v), want %v", node, got, ok, want)
+		}
+	}
+
+	// SEVERE maps to Error; the label column never leaks into the message.
+	for _, r := range c.Records {
+		if strings.Contains(r.Message, "Error reading message prefix") && r.Level != logging.Error {
+			t.Fatalf("SEVERE line parsed with level %v", r.Level)
+		}
+		if strings.HasPrefix(r.Message, "KERNDTLB") || strings.HasPrefix(r.Message, "APPSEV") {
+			t.Fatalf("alert label leaked into message: %q", r.Message)
+		}
+	}
+}
+
+// TestRoundTrip renders parsed records back to lines and re-parses them:
+// the second parse must reproduce the records exactly (labels and pid
+// columns are deliberately lossy; record fields are not).
+func TestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       logging.Formatter
+		fixture string
+	}{
+		{"hdfs", HDFSFormat{}, "hdfs_sample.log"},
+		{"bgl", BGLFormat{}, "bgl_sample.log"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			recs := logging.ParseLinesBytes(tc.f, readFixture(t, tc.fixture))
+			for i, r := range recs {
+				// Folded multi-line messages cannot ride a single rendered
+				// line; round-trip their first line only.
+				r.Message, _, _ = strings.Cut(r.Message, "\n")
+				line := tc.f.Render(r)
+				got, ok := tc.f.Parse(line)
+				if !ok {
+					t.Fatalf("record %d: rendered line does not re-parse: %q", i, line)
+				}
+				if got != r {
+					t.Fatalf("record %d did not round-trip:\n%+v\n%+v", i, r, got)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"intellog/internal/logging"
+)
+
+// FuzzCorpusLoader fuzzes both LogHub-shaped loaders with one input
+// treated as every role at once: HDFS log image, HDFS label sidecar, and
+// BGL log image. The invariants are the loaders' contract with the
+// ingest path:
+//
+//  1. no input panics a loader;
+//  2. the zero-copy byte path and the string path parse identically;
+//  3. every parsed record groups under the session its line names.
+func FuzzCorpusLoader(f *testing.F) {
+	f.Add([]byte("081109 203518 143 INFO dfs.DataNode$DataXceiver: Receiving block blk_-1608999687919862906 src: /10.250.19.102:54106 dest: /10.250.19.102:50010\n"))
+	f.Add([]byte("- 1117838570 2005.06.03 R02-M1-N0-C:J12-U11 2005-06-03-15.42.50.363779 R02-M1-N0-C:J12-U11 RAS KERNEL INFO instruction cache parity error corrected\n"))
+	f.Add([]byte("KERNDTLB 1117842440 2005.06.03 R23-M0-NE-C:J05-U01 2005-06-03-16.47.20.730542 R23-M0-NE-C:J05-U01 RAS KERNEL FATAL data TLB error interrupt"))
+	f.Add([]byte("BlockId,Label\nblk_1,Anomaly\nblk_2,Normal\n"))
+	f.Add([]byte("081109 203526 145 WARN dfs.DataNode$DataXceiver: IOException for block blk_750\njava.io.IOException: Connection reset by peer\n\tat read0(Native Method)\n"))
+	f.Add([]byte("\n\n\x00\xff garbage « line\n081109 invalid trailer"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, fm := range []logging.Formatter{HDFSFormat{}, BGLFormat{}} {
+			byBytes := logging.ParseLinesBytes(fm, data)
+			byString := logging.ParseLines(fm, strings.Split(string(data), "\n"))
+			if len(byBytes) != len(byString) {
+				t.Fatalf("%T: byte path %d records, string path %d", fm, len(byBytes), len(byString))
+			}
+			for i := range byBytes {
+				if byBytes[i] != byString[i] {
+					t.Fatalf("%T: record %d differs between byte and string paths", fm, i)
+				}
+			}
+		}
+
+		hdfs := LoadHDFS(data, data)
+		for _, r := range hdfs.Records {
+			if r.SessionID != "" && !strings.HasPrefix(r.SessionID, "blk_") {
+				t.Fatalf("HDFS record sessionized to non-block ID %q", r.SessionID)
+			}
+		}
+		for blk := range hdfs.Truth {
+			if !strings.HasPrefix(blk, "blk_") {
+				t.Fatalf("label sidecar accepted non-block ID %q", blk)
+			}
+		}
+
+		bgl := LoadBGL(data)
+		sessions := make(map[string]bool)
+		for _, r := range bgl.Records {
+			sessions[r.SessionID] = true
+		}
+		for node := range bgl.Truth {
+			if !sessions[node] {
+				t.Fatalf("BGL truth names node %q with no parsed records", node)
+			}
+		}
+		for _, s := range bgl.Sessions() {
+			if s.ID == "" {
+				t.Fatal("Sessions() leaked the unsessionized remainder")
+			}
+		}
+	})
+}

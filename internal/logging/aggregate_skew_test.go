@@ -1,0 +1,157 @@
+package logging
+
+// Clock-skew / multi-day audit of the sessionizers. The hostile skew
+// profile (internal/workload) offsets whole sessions by up to ±36h, so
+// an aggregated stream can interleave records whose timestamps disagree
+// by days while per-session order stays intact. These tests pin the
+// properties GroupSessions and the sticky SessionAssigner must keep
+// under that shape: grouping is purely ID-driven, per-session record
+// order is arrival order (never re-sorted by timestamp), session
+// ordering is deterministic with a stable tie-break, and stickiness
+// survives timestamp regressions between records.
+
+import (
+	"testing"
+	"time"
+)
+
+func skewRec(sid string, at time.Time, msg string) Record {
+	return Record{Time: at, Level: Info, Source: "src", Message: msg, Framework: Spark, SessionID: sid}
+}
+
+// TestGroupSessionsClockSkew: two sessions interleaved record-by-record,
+// one running a calendar day behind the other. Grouping must follow the
+// stamped IDs, keep each session's arrival order even where timestamps
+// regress across the stream, and order sessions by first-record time —
+// which under skew is NOT first-appearance order.
+func TestGroupSessionsClockSkew(t *testing.T) {
+	t0 := time.Date(2019, 3, 4, 12, 0, 0, 0, time.UTC)
+	skewed := t0.Add(-24 * time.Hour) // the skewed session lags a full day
+	recs := []Record{
+		skewRec("ahead", t0, "a0"),
+		skewRec("behind", skewed, "b0"),
+		skewRec("ahead", t0.Add(time.Second), "a1"),
+		skewRec("behind", skewed.Add(time.Second), "b1"),
+		skewRec("ahead", t0.Add(2*time.Second), "a2"),
+		skewRec("behind", skewed.Add(2*time.Second), "b2"),
+	}
+	sessions := GroupSessions(recs)
+	if len(sessions) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(sessions))
+	}
+	// "behind" appears second in the stream but starts a day earlier, so
+	// it must lead the first-record-time ordering.
+	if sessions[0].ID != "behind" || sessions[1].ID != "ahead" {
+		t.Fatalf("session order = [%s %s], want [behind ahead]", sessions[0].ID, sessions[1].ID)
+	}
+	for _, s := range sessions {
+		if len(s.Records) != 3 {
+			t.Fatalf("session %s has %d records, want 3", s.ID, len(s.Records))
+		}
+		for i, r := range s.Records {
+			want := string(s.ID[0]) + string(rune('0'+i))
+			if r.Message != want {
+				t.Fatalf("session %s record %d = %q, want %q (arrival order lost)", s.ID, i, r.Message, want)
+			}
+		}
+	}
+}
+
+// TestGroupSessionsMultiDayTie: sessions whose first records carry the
+// exact same timestamp (multi-day corpora folded to day boundaries do
+// this) must keep first-appearance order — the sort is stable, so equal
+// first times cannot flip across runs.
+func TestGroupSessionsMultiDayTie(t *testing.T) {
+	t0 := time.Date(2019, 3, 4, 0, 0, 0, 0, time.UTC)
+	var recs []Record
+	ids := []string{"s3", "s1", "s2"}
+	for day, sid := range ids {
+		recs = append(recs, skewRec(sid, t0, "first"))
+		recs = append(recs, skewRec(sid, t0.Add(time.Duration(day+1)*24*time.Hour), "later"))
+	}
+	sessions := GroupSessions(recs)
+	if len(sessions) != 3 {
+		t.Fatalf("got %d sessions, want 3", len(sessions))
+	}
+	for i, want := range ids {
+		if sessions[i].ID != want {
+			t.Fatalf("tie-broken order[%d] = %s, want %s (first-appearance order lost)", i, sessions[i].ID, want)
+		}
+	}
+}
+
+// TestAssignerStickyAcrossTimestampRegression: stickiness is an order
+// property, not a time property. A record whose timestamp jumps back a
+// day (skewed session interleaved mid-stream) must not reset or confuse
+// the sticky state, and ID-less records keep attributing to the most
+// recent extractable session regardless of time travel.
+func TestAssignerStickyAcrossTimestampRegression(t *testing.T) {
+	byPrefix := func(r *Record) string {
+		if len(r.Message) > 0 && r.Message[0] == '#' {
+			return r.Message[1:3]
+		}
+		return ""
+	}
+	t0 := time.Date(2019, 3, 4, 12, 0, 0, 0, time.UTC)
+	a := SessionAssigner{Extract: byPrefix}
+	stream := []struct {
+		rec  Record
+		want string
+	}{
+		{skewRec("", t0, "#s1 start"), "s1"},
+		{skewRec("", t0.Add(-36*time.Hour), "continuation, no id"), "s1"},
+		{skewRec("", t0.Add(time.Hour), "#s2 start"), "s2"},
+		{skewRec("", t0.Add(-48*time.Hour), "skewed continuation"), "s2"},
+		{skewRec("", t0.Add(2*time.Hour), "still no id"), "s2"},
+	}
+	for i, step := range stream {
+		rec := step.rec
+		if !a.Assign(&rec) {
+			t.Fatalf("record %d dropped; a session was already active", i)
+		}
+		if rec.SessionID != step.want {
+			t.Fatalf("record %d assigned to %q, want %q", i, rec.SessionID, step.want)
+		}
+	}
+	if a.Current() != "s2" {
+		t.Fatalf("Current() = %q, want s2", a.Current())
+	}
+}
+
+// TestSplitBySessionSkewEqualsGrouping: splitting an ID-carrying skewed
+// stream must agree with GroupSessions on membership — the sticky path
+// only differs in session ordering (first appearance vs first-record
+// time), which matters for multi-day corpora and is pinned here.
+func TestSplitBySessionSkewEqualsGrouping(t *testing.T) {
+	t0 := time.Date(2019, 3, 4, 12, 0, 0, 0, time.UTC)
+	extract := func(r *Record) string { return r.SessionID }
+	recs := []Record{
+		skewRec("late", t0, "l0"),
+		skewRec("early", t0.Add(-30*time.Hour), "e0"),
+		skewRec("late", t0.Add(time.Second), "l1"),
+		skewRec("early", t0.Add(-30*time.Hour).Add(time.Second), "e1"),
+	}
+	split := SplitBySession(recs, extract)
+	grouped := GroupSessions(recs)
+	if len(split) != 2 || len(grouped) != 2 {
+		t.Fatalf("split=%d grouped=%d sessions, want 2 each", len(split), len(grouped))
+	}
+	// Same membership either way.
+	bySplit := map[string]int{}
+	for _, s := range split {
+		bySplit[s.ID] = len(s.Records)
+	}
+	for _, g := range grouped {
+		if bySplit[g.ID] != len(g.Records) {
+			t.Fatalf("session %s: split holds %d records, grouped holds %d", g.ID, bySplit[g.ID], len(g.Records))
+		}
+	}
+	// Ordering contracts diverge deliberately: split is first-appearance,
+	// grouped is first-record time.
+	if split[0].ID != "late" {
+		t.Fatalf("SplitBySession order[0] = %s, want late (first appearance)", split[0].ID)
+	}
+	if grouped[0].ID != "early" {
+		t.Fatalf("GroupSessions order[0] = %s, want early (first-record time)", grouped[0].ID)
+	}
+}

@@ -35,7 +35,40 @@ var (
 	sparkLine  = regexp.MustCompile(`^(\d{2}/\d{2}/\d{2} \d{2}:\d{2}:\d{2}) (TRACE|DEBUG|INFO|WARN|ERROR|FATAL) ([^:]+): (.*)$`)
 	novaLine   = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3}) (\d+) (TRACE|DEBUG|INFO|WARNING|ERROR|CRITICAL) (\S+) (?:\[([^\]]*)\] )?(.*)$`)
 	tfLine     = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{6}): ([IWEF]) (\S+)\] (.*)$`)
+	flinkLine  = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2},\d{3}) (TRACE|DEBUG|INFO|WARN|ERROR|FATAL) +(\S+) +- (.*)$`)
 )
+
+// FlinkFormatter parses Flink's default log4j conversion pattern
+// (`%d %-5p %-60c %x - %m`):
+//
+//	2019-03-01 12:00:00,123 INFO  org.apache.flink.runtime.checkpoint.CheckpointCoordinator - message
+type FlinkFormatter struct{}
+
+// Parse implements Formatter.
+func (FlinkFormatter) Parse(line string) (Record, bool) {
+	m := flinkLine.FindStringSubmatch(line)
+	if m == nil {
+		return Record{}, false
+	}
+	t, err := time.Parse(hadoopLayout, m[1])
+	if err != nil {
+		return Record{}, false
+	}
+	return Record{
+		Time:      t,
+		Level:     ParseLevel(m[2]),
+		Source:    m[3],
+		Message:   m[4],
+		Framework: Flink,
+	}, true
+}
+
+// Render implements Formatter. The level is left-padded to five columns,
+// matching log4j's %-5p.
+func (FlinkFormatter) Render(rec Record) string {
+	return fmt.Sprintf("%s %-5s %s - %s",
+		rec.Time.Format(hadoopLayout), rec.Level, rec.Source, rec.Message)
+}
 
 // tfLayout is the absl/glog timestamp TensorFlow uses.
 const tfLayout = "2006-01-02 15:04:05.000000"
@@ -179,7 +212,9 @@ func (NovaFormatter) Render(rec Record) string {
 		rec.Time.Format(novaLayout), rec.Level, rec.Source, rec.Message)
 }
 
-// FormatterFor returns the Formatter for a framework.
+// FormatterFor returns the Formatter for a framework. HDFS and the
+// ResourceManager share Hadoop's log4j layout; only the stamped
+// Framework differs.
 func FormatterFor(fw Framework) Formatter {
 	switch fw {
 	case Spark:
@@ -188,6 +223,8 @@ func FormatterFor(fw Framework) Formatter {
 		return NovaFormatter{}
 	case TensorFlow:
 		return TFFormatter{}
+	case Flink:
+		return FlinkFormatter{}
 	default:
 		return HadoopFormatter{Framework: fw}
 	}

@@ -67,6 +67,18 @@ const (
 	// TensorFlow implements the paper's §9 future work: extending IntelLog
 	// to distributed machine-learning systems.
 	TensorFlow Framework = "tensorflow"
+	// Flink covers streaming dataflow jobs: a JobManager plus TaskManager
+	// containers whose sessions center on the checkpointing lifecycle.
+	Flink Framework = "flink"
+	// HDFS covers datanode logs: block write pipelines, packet
+	// responders, scanners and heartbeats — also the layout family of the
+	// public LogHub HDFS corpus (see internal/corpus).
+	HDFS Framework = "hdfs"
+	// YarnRM covers ResourceManager HA pairs: leader election,
+	// active/standby transitions and failover recovery. Distinct from
+	// Yarn (the per-container NM/RM daemon chatter of Table 1) — YarnRM
+	// sessions are the RM instances themselves.
+	YarnRM Framework = "yarn-rm"
 )
 
 // Known reports whether fw is one of the frameworks above. Callers that
@@ -75,7 +87,7 @@ const (
 // silently parse an unknown name with the Hadoop layout.
 func (fw Framework) Known() bool {
 	switch fw {
-	case Spark, MapReduce, Tez, Yarn, NovaCompute, TensorFlow:
+	case Spark, MapReduce, Tez, Yarn, NovaCompute, TensorFlow, Flink, HDFS, YarnRM:
 		return true
 	}
 	return false

@@ -83,12 +83,15 @@ func (r *JobResult) TotalRecords() int {
 type Cluster struct {
 	Nodes []string
 
-	Spark *Inventory
-	MR    *Inventory
-	Tez   *Inventory
-	Yarn  *Inventory
-	Nova  *Inventory
-	TF    *Inventory
+	Spark   *Inventory
+	MR      *Inventory
+	Tez     *Inventory
+	Yarn    *Inventory
+	Nova    *Inventory
+	TF      *Inventory
+	Flink   *Inventory
+	HDFSInv *Inventory
+	RM      *Inventory
 
 	rng    *rand.Rand
 	clock  time.Time
@@ -106,16 +109,19 @@ func NewCluster(n int, seed int64) *Cluster {
 		nodes[i] = fmt.Sprintf("host%d", i+1)
 	}
 	return &Cluster{
-		Nodes: nodes,
-		Spark: SparkTemplates(),
-		MR:    MapReduceTemplates(),
-		Tez:   TezTemplates(),
-		Yarn:  YarnTemplates(),
-		Nova:  NovaTemplates(),
-		TF:    TensorFlowTemplates(),
-		rng:   rand.New(rand.NewSource(seed)),
-		clock: time.Date(2019, 3, 1, 8, 0, 0, 0, time.UTC),
-		epoch: 1551400000000,
+		Nodes:   nodes,
+		Spark:   SparkTemplates(),
+		MR:      MapReduceTemplates(),
+		Tez:     TezTemplates(),
+		Yarn:    YarnTemplates(),
+		Nova:    NovaTemplates(),
+		TF:      TensorFlowTemplates(),
+		Flink:   FlinkTemplates(),
+		HDFSInv: HDFSTemplates(),
+		RM:      YarnRMTemplates(),
+		rng:     rand.New(rand.NewSource(seed)),
+		clock:   time.Date(2019, 3, 1, 8, 0, 0, 0, time.UTC),
+		epoch:   1551400000000,
 	}
 }
 

@@ -54,7 +54,10 @@ func runOnce(seed int64, spec JobSpec, fault FaultKind) *JobResult {
 }
 
 func TestJobStreamDeterminism(t *testing.T) {
-	frameworks := []logging.Framework{logging.Spark, logging.MapReduce, logging.Tez, logging.TensorFlow}
+	frameworks := []logging.Framework{
+		logging.Spark, logging.MapReduce, logging.Tez, logging.TensorFlow,
+		logging.Flink, logging.HDFS, logging.YarnRM,
+	}
 	faults := []FaultKind{FaultNone, FaultKill, FaultNetwork, FaultNode, FaultSpill, FaultIdleContainers, FaultSlowShutdown}
 	for _, fw := range frameworks {
 		for _, fault := range faults {

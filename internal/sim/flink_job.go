@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// runFlink simulates one Flink streaming job: a JobManager container plus
+// TaskManager containers, each a session. The job runs a fixed pipeline
+// (source → transform → sink tasks spread across TaskManagers) through a
+// number of checkpoint rounds scaled by InputMB, so session lengths vary
+// with input size the way the Hadoop generators' do.
+//
+// Fault mapping:
+//   - Kill/Node: one TaskManager session truncates mid-stream (SIGKILL —
+//     no shutdown lines), and its in-flight checkpoints expire on the
+//     JobManager.
+//   - Network: the JobManager heartbeat path to one TaskManager degrades;
+//     that TaskManager logs heartbeat timeouts and reconnect attempts and
+//     declines barriers, the JobManager logs expired checkpoints.
+//   - Spill (the performance-issue analogue): one TaskManager
+//     backpressures, queuing checkpoint barriers for seconds.
+func (c *Cluster) runFlink(spec JobSpec, fault FaultKind) *JobResult {
+	app := c.nextApp()
+	res := &JobResult{Spec: spec, Fault: fault, Affected: map[string]bool{}}
+
+	jobID := fmt.Sprintf("%016x", c.rng.Int63())
+	tms := maxInt(1, spec.Containers-1)
+	rounds := maxInt(3, spec.InputMB/512)
+	tasksPerTM := maxInt(1, spec.CoresPerContainer)
+	killIdx, netNode, deadNode := c.pickFaultTargets(tms, fault)
+	badTM := -1
+	if fault == FaultNetwork || fault == FaultSpill {
+		badTM = c.rng.Intn(tms)
+	}
+
+	taskName := func(tm, slot int) string {
+		kinds := []string{"Source_Kafka", "Map_Enrich", "Window_Aggregate", "Sink_Parquet"}
+		return fmt.Sprintf("%s_%d_%d", kinds[(tm+slot)%len(kinds)], tm, slot)
+	}
+
+	// --- JobManager ---------------------------------------------------------
+	jm := newThread(c.rng, 0)
+	jmCID := c.containerID(app, 1)
+	jm.emit(c.Flink.Get("flink.jm.rest.started"), v("addr", c.pickNode()+":8081"))
+	jm.emit(c.Flink.Get("flink.jm.rm.started"), v("addr", c.pickNode()+":6123"))
+	jm.emit(c.Flink.Get("flink.jm.job.received"), v("jobid", jobID))
+	for tm := 0; tm < tms; tm++ {
+		jm.emit(c.Flink.Get("flink.jm.slot.request"),
+			v("profile", fmt.Sprintf("slot_%dcpu_%dmb", spec.CoresPerContainer, spec.MemoryMB), "jobid", jobID))
+	}
+	jm.emit(c.Flink.Get("flink.jm.job.running"), v("jobid", jobID))
+	for tm := 0; tm < tms; tm++ {
+		host := c.pickNode()
+		if fault == FaultNode && tm == killIdx {
+			host = deadNode
+		}
+		for slot := 0; slot < tasksPerTM; slot++ {
+			jm.emit(c.Flink.Get("flink.jm.task.deploying"),
+				v("taskname", taskName(tm, slot), "attempt", itoa(tm*tasksPerTM+slot), "host", host))
+		}
+	}
+	jmAnomalous := false
+	for ck := 1; ck <= rounds; ck++ {
+		jm.wait(time.Duration(200+c.rng.Intn(400)) * time.Millisecond)
+		jm.emit(c.Flink.Get("flink.jm.ckpt.triggering"), v("ckpt", itoa(ck), "jobid", jobID))
+		failedRound := (fault == FaultNetwork && c.rng.Intn(2) == 0) ||
+			((fault == FaultKill || fault == FaultNode) && ck > rounds/2)
+		if failedRound {
+			jm.emit(c.Flink.Get("flink.anom.ckpt.expired"), v("ckpt", itoa(ck), "jobid", jobID))
+			jmAnomalous = true
+			continue
+		}
+		jm.emit(c.Flink.Get("flink.jm.ckpt.completed"),
+			v("ckpt", itoa(ck), "jobid", jobID,
+				"bytes", itoa(100000+c.rng.Intn(4000000)), "ms", itoa(40+c.rng.Intn(400))))
+	}
+	jm.emit(c.Flink.Get("flink.jm.job.finished"), v("jobid", jobID))
+	if jmAnomalous {
+		res.Affected[jmCID] = true
+	}
+	res.Sessions = append(res.Sessions, materialize(jmCID, logging.Flink, c.clock, jm.events))
+
+	// --- TaskManagers -------------------------------------------------------
+	for tm := 0; tm < tms; tm++ {
+		cid := c.containerID(app, tm+2)
+		host := c.pickNode()
+		if fault == FaultNode && tm == killIdx {
+			host = deadNode
+		}
+		th := newThread(c.rng, time.Duration(50+c.rng.Intn(150))*time.Millisecond)
+		th.emit(c.Flink.Get("flink.tm.started"),
+			v("rid", fmt.Sprintf("tm_%s_%04d_%02d", host, app, tm), "addr", host+":6122"))
+		for slot := 0; slot < tasksPerTM; slot++ {
+			th.emit(c.Flink.Get("flink.tm.slot.offered"), v("slot", itoa(slot)))
+		}
+		for slot := 0; slot < tasksPerTM; slot++ {
+			name, att := taskName(tm, slot), itoa(tm*tasksPerTM+slot)
+			th.emit(c.Flink.Get("flink.tm.task.deploying"), v("taskname", name, "attempt", att))
+			th.emit(c.Flink.Get("flink.tm.task.running"), v("taskname", name, "attempt", att))
+			th.emit(c.Flink.Get("flink.tm.statebackend"), v("taskname", name))
+		}
+
+		anomalous := false
+		for ck := 1; ck <= rounds; ck++ {
+			th.wait(time.Duration(200+c.rng.Intn(400)) * time.Millisecond)
+			if fault == FaultNetwork && tm == badTM && c.rng.Intn(2) == 0 {
+				th.emit(c.Flink.Get("flink.anom.heartbeat.timeout"), v("addr", netNode+":6123"))
+				th.emit(c.Flink.Get("flink.anom.reconnect"),
+					v("addr", netNode+":6123", "ms", itoa(100*(1+c.rng.Intn(10)))))
+				th.emit(c.Flink.Get("flink.anom.ckpt.declined"),
+					v("ckpt", itoa(ck), "taskname", taskName(tm, c.rng.Intn(tasksPerTM))))
+				anomalous = true
+				continue
+			}
+			if fault == FaultSpill && tm == badTM && c.rng.Intn(2) == 0 {
+				th.emit(c.Flink.Get("flink.anom.backpressure"),
+					v("taskname", taskName(tm, c.rng.Intn(tasksPerTM)), "s", itoa(5+c.rng.Intn(55))))
+				anomalous = true
+			}
+			for slot := 0; slot < tasksPerTM; slot++ {
+				th.emit(c.Flink.Get("flink.tm.ckpt.snapshot"),
+					v("ckpt", itoa(ck), "taskname", taskName(tm, slot), "ms", itoa(5+c.rng.Intn(120))))
+				th.emit(c.Flink.Get("flink.tm.ckpt.ack"),
+					v("ckpt", itoa(ck), "taskname", taskName(tm, slot)))
+			}
+			if c.rng.Intn(3) == 0 {
+				th.emit(c.Flink.Get("flink.tm.watermark.kv"),
+					v("wm", itoa(1551400000+ck*1000+c.rng.Intn(1000)), "n", itoa(c.rng.Intn(100000))))
+			}
+		}
+		// A network-degraded TaskManager must log at least one timeout even
+		// if every per-round draw spared it — the fault touched it.
+		if fault == FaultNetwork && tm == badTM && !anomalous {
+			th.emit(c.Flink.Get("flink.anom.heartbeat.timeout"), v("addr", netNode+":6123"))
+			anomalous = true
+		}
+		for slot := 0; slot < tasksPerTM; slot++ {
+			th.emit(c.Flink.Get("flink.tm.task.finished"),
+				v("taskname", taskName(tm, slot), "attempt", itoa(tm*tasksPerTM+slot)))
+		}
+		th.emit(c.Flink.Get("flink.tm.shutdown"), nil)
+
+		events := th.events
+		if (fault == FaultKill || fault == FaultNode) && tm == killIdx {
+			events = truncateAt(events, 0.3+0.5*c.rng.Float64())
+			res.Affected[cid] = true
+		} else if anomalous {
+			res.Affected[cid] = true
+		}
+		res.Sessions = append(res.Sessions, materialize(cid, logging.Flink, c.clock, events))
+	}
+
+	res.YarnRecords = c.yarnForJob(app, len(res.Sessions))
+	return res
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// runHDFS simulates one batch of block writes against a set of datanodes.
+// Each datanode process is a session (HDFS daemons are not containerised,
+// so no YARN daemon records are produced). The write count scales with
+// InputMB the way other generators' round counts do.
+//
+// Fault mapping:
+//   - Kill/Node: one datanode truncates mid-pipeline (SIGKILL — the block
+//     pool shutdown lines never appear).
+//   - Network: one datanode's mirror connection flaps; it logs broken
+//     pipes and pipeline rebuilds.
+//   - Spill (the disk-pressure analogue): one datanode logs slow packet
+//     writes and eventually drops a volume.
+func (c *Cluster) runHDFS(spec JobSpec, fault FaultKind) *JobResult {
+	app := c.nextApp()
+	res := &JobResult{Spec: spec, Fault: fault, Affected: map[string]bool{}}
+
+	dns := maxInt(2, spec.Containers)
+	blocks := maxInt(2, spec.InputMB/256)
+	killIdx, netNode, deadNode := c.pickFaultTargets(dns, fault)
+	badDN := -1
+	if fault == FaultNetwork || fault == FaultSpill {
+		badDN = c.rng.Intn(dns)
+	}
+
+	blkID := func() string {
+		sign := ""
+		if c.rng.Intn(2) == 0 {
+			sign = "-"
+		}
+		return fmt.Sprintf("blk_%s%d", sign, 1000000000000000000+c.rng.Int63n(8000000000000000000))
+	}
+
+	for dn := 0; dn < dns; dn++ {
+		host := c.pickNode()
+		if fault == FaultNode && dn == killIdx {
+			host = deadNode
+		}
+		// The port is offset by the datanode index so two datanodes that
+		// land on the same simulated host still get distinct session IDs.
+		sid := fmt.Sprintf("dn_%04d_%s_%d", app, host, 50010+dn)
+		th := newThread(c.rng, time.Duration(c.rng.Intn(200))*time.Millisecond)
+		th.emit(c.HDFSInv.Get("hdfs.dn.starting"),
+			v("host", host, "sid", fmt.Sprintf("DS-%08x-%s", c.rng.Int63n(1<<31), host)))
+		th.emit(c.HDFSInv.Get("hdfs.dn.registered"), v("host", host, "nn", "nn1:8020"))
+		th.emit(c.HDFSInv.Get("hdfs.dn.pool.joined"),
+			v("bp", fmt.Sprintf("BP-%d-nn1", c.epoch), "nn", "nn1:8020"))
+
+		anomalous := false
+		for b := 0; b < blocks; b++ {
+			th.wait(time.Duration(100+c.rng.Intn(300)) * time.Millisecond)
+			blk := blkID()
+			src, dest := c.pickNode(), host
+			mirror := c.pickNode()
+			if fault == FaultNetwork && dn == badDN {
+				mirror = netNode
+			}
+			th.emit(c.HDFSInv.Get("hdfs.dn.block.receiving"),
+				v("blk", blk, "src", src+":50010", "dest", dest+":50010"))
+			if fault == FaultNetwork && dn == badDN && c.rng.Intn(2) == 0 {
+				th.emit(c.HDFSInv.Get("hdfs.anom.mirror.broken"),
+					v("blk", blk, "mirror", mirror+":50010"))
+				th.emit(c.HDFSInv.Get("hdfs.anom.pipeline.rebuild"),
+					v("blk", blk, "mirror", mirror+":50010"))
+				anomalous = true
+			} else if c.rng.Intn(3) > 0 {
+				th.emit(c.HDFSInv.Get("hdfs.dn.mirror.forward"),
+					v("blk", blk, "mirror", mirror+":50010"))
+			}
+			if fault == FaultSpill && dn == badDN && c.rng.Intn(2) == 0 {
+				th.emit(c.HDFSInv.Get("hdfs.anom.slow.write"),
+					v("blk", blk, "ms", itoa(300+c.rng.Intn(9000))))
+				anomalous = true
+			}
+			th.emit(c.HDFSInv.Get("hdfs.dn.responder.terminating"), v("blk", blk))
+			th.emit(c.HDFSInv.Get("hdfs.dn.block.received"),
+				v("blk", blk, "bytes", itoa(1048576+c.rng.Intn(66060288)), "src", src+":50010"))
+			th.emit(c.HDFSInv.Get("hdfs.dn.block.finalized"),
+				v("blk", blk, "path", fmt.Sprintf("/data/%d/current", 1+c.rng.Intn(4))))
+			if c.rng.Intn(4) == 0 {
+				th.emit(c.HDFSInv.Get("hdfs.dn.scanner.verified"), v("blk", blk))
+			}
+			if c.rng.Intn(3) == 0 {
+				th.emit(c.HDFSInv.Get("hdfs.dn.heartbeat.kv"),
+					v("n", itoa(b+1), "m", itoa(100+c.rng.Intn(5000)), "mb", itoa(200000+c.rng.Intn(800000))))
+			}
+			if c.rng.Intn(5) == 0 {
+				th.emit(c.HDFSInv.Get("hdfs.dn.deleting"), v("blk", blkID()))
+			}
+		}
+		// A degraded datanode must log at least one fault line even if every
+		// per-block draw spared it — the fault touched it.
+		if fault == FaultNetwork && dn == badDN && !anomalous {
+			th.emit(c.HDFSInv.Get("hdfs.anom.mirror.broken"),
+				v("blk", blkID(), "mirror", netNode+":50010"))
+			anomalous = true
+		}
+		if fault == FaultSpill && dn == badDN {
+			if !anomalous {
+				th.emit(c.HDFSInv.Get("hdfs.anom.slow.write"),
+					v("blk", blkID(), "ms", itoa(300+c.rng.Intn(9000))))
+			}
+			th.emit(c.HDFSInv.Get("hdfs.anom.volume.failed"),
+				v("path", fmt.Sprintf("/data/%d/current", 1+c.rng.Intn(4))))
+			anomalous = true
+		}
+		th.emit(c.HDFSInv.Get("hdfs.dn.blockreport"),
+			v("n", itoa(100+c.rng.Intn(5000)), "nn", "nn1:8020", "ms", itoa(5+c.rng.Intn(200))))
+		th.emit(c.HDFSInv.Get("hdfs.dn.shutdown"), nil)
+
+		events := th.events
+		if (fault == FaultKill || fault == FaultNode) && dn == killIdx {
+			events = truncateAt(events, 0.3+0.5*c.rng.Float64())
+			res.Affected[sid] = true
+		} else if anomalous {
+			res.Affected[sid] = true
+		}
+		res.Sessions = append(res.Sessions, materialize(sid, logging.HDFS, c.clock, events))
+	}
+	return res
+}

@@ -1,0 +1,92 @@
+package sim
+
+import "intellog/internal/logging"
+
+// HDFSTemplates models HDFS datanode logs: the block write pipeline
+// (receive, packet responder, finalize), the block scanner, and the
+// heartbeat/block-report service. One datanode process is one session.
+// The message shapes follow the public LogHub HDFS corpus family (see
+// internal/corpus for the loader of the real dataset's layout).
+func HDFSTemplates() *Inventory {
+	ts := []*Template{
+		// --- startup ------------------------------------------------------------
+		tpl("hdfs.dn.starting", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Starting DataNode with hostname {host} and storage id {sid}",
+			ents("datanode", "hostname", "storage id"), locs("host"), ids("sid"),
+			ops(op("", "start", "datanode"))),
+		tpl("hdfs.dn.registered", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Registered datanode {host} with namenode {nn}",
+			ents("datanode", "namenode"), locs("host", "nn"),
+			ops(op("", "register", "datanode"))),
+		tpl("hdfs.dn.pool.joined", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Joined block pool {bp} on namenode {nn}",
+			ents("block pool", "namenode"), ids("bp"), locs("nn"),
+			ops(op("", "join", "block pool"))),
+
+		// --- block write pipeline ----------------------------------------------
+		tpl("hdfs.dn.block.receiving", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Receiving block {blk} src {src} dest {dest}",
+			ents("block"), ids("blk"), locs("src", "dest"),
+			ops(op("", "receive", "block"))),
+		tpl("hdfs.dn.responder.terminating", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"PacketResponder for block {blk} terminating",
+			ents("packetresponder", "block"), ids("blk"),
+			ops(op("packetresponder", "terminate", ""))),
+		tpl("hdfs.dn.block.received", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Received block {blk} of size {bytes} from {src}",
+			ents("block"), ids("blk"), vals("bytes"), locs("src"),
+			ops(op("", "receive", "block"))),
+		tpl("hdfs.dn.block.finalized", "org.apache.hadoop.hdfs.server.datanode.fsdataset.impl.FsDatasetImpl",
+			"Finalizing block {blk} on volume {path}",
+			ents("block", "volume"), ids("blk"), locs("path"),
+			ops(op("", "finalize", "block"))),
+		tpl("hdfs.dn.mirror.forward", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Forwarding block {blk} to mirror {mirror}",
+			ents("block", "mirror"), ids("blk"), locs("mirror"),
+			ops(op("", "forward", "block"))),
+
+		// --- scanner and service threads ----------------------------------------
+		tpl("hdfs.dn.scanner.verified", "org.apache.hadoop.hdfs.server.datanode.BlockPoolSliceScanner",
+			"Verification succeeded for block {blk}",
+			ents("verification", "block"), ids("blk"),
+			ops(op("verification", "succeed", ""))),
+		tpl("hdfs.dn.heartbeat.kv", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"heartbeats={n} blocks={m} capacity={mb}MB",
+			nonNL(), vals("n", "m", "mb")),
+		tpl("hdfs.dn.blockreport", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Sent block report with {n} blocks to namenode {nn} in {ms} ms",
+			ents("block report", "namenode"), vals("n", "ms"), locs("nn"),
+			ops(op("", "send", "block report"))),
+		tpl("hdfs.dn.deleting", "org.apache.hadoop.hdfs.server.datanode.fsdataset.impl.FsDatasetAsyncDiskService",
+			"Scheduling block {blk} for deletion",
+			ents("block", "deletion"), ids("blk"),
+			ops(op("", "schedule", "block"))),
+		tpl("hdfs.dn.shutdown", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Shutting down DataNode and closing all block pools",
+			ents("datanode", "block pool"),
+			ops(op("", "shut down", "datanode"))),
+
+		// --- anomalous ----------------------------------------------------------
+		tpl("hdfs.anom.mirror.broken", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Exception writing block {blk} to mirror {mirror} connection reset by peer",
+			level(logging.Error), anomalous(),
+			ents("block", "mirror", "connection"), ids("blk"), locs("mirror"),
+			ops(op("", "fail", ""), op("", "write", "block"))),
+		tpl("hdfs.anom.pipeline.rebuild", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Recovering write pipeline for block {blk} after excluding datanode {mirror}",
+			level(logging.Warn), anomalous(),
+			ents("write pipeline", "block", "datanode"), ids("blk"), locs("mirror"),
+			ops(op("", "recover", "write pipeline"))),
+		tpl("hdfs.anom.slow.write", "org.apache.hadoop.hdfs.server.datanode.DataNode",
+			"Slow BlockReceiver write packet to disk for block {blk} took {ms} ms",
+			level(logging.Warn), anomalous(),
+			ents("blockreceiver", "packet", "block"), ids("blk"), vals("ms"),
+			ops(op("", "write", "packet"))),
+		tpl("hdfs.anom.volume.failed", "org.apache.hadoop.hdfs.server.datanode.fsdataset.impl.FsDatasetImpl",
+			"Removing failed volume {path} after repeated io errors",
+			level(logging.Error), anomalous(),
+			ents("volume", "io error"), locs("path"),
+			ops(op("", "remove", "volume"))),
+	}
+	return NewInventory(logging.HDFS, ts)
+}

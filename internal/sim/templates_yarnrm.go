@@ -1,0 +1,109 @@
+package sim
+
+import "intellog/internal/logging"
+
+// YarnRMTemplates models a ResourceManager HA pair: leader election
+// through ZooKeeper, active/standby transitions, app lifecycle handling
+// on the active, and state-store sync on the standby. Each RM instance
+// is one session; the interesting failure mode is failover, where the
+// standby wins the election and replays recovery.
+func YarnRMTemplates() *Inventory {
+	ts := []*Template{
+		// --- shared daemon lifecycle -------------------------------------------
+		tpl("rm.started", "org.apache.hadoop.yarn.server.resourcemanager.ResourceManager",
+			"Starting ResourceManager {rmid} at {host}",
+			ents("resourcemanager"), ids("rmid"), locs("host"),
+			ops(op("", "start", "resourcemanager"))),
+		tpl("rm.zk.connected", "org.apache.hadoop.ha.ActiveStandbyElector",
+			"Session connected to zookeeper quorum {quorum}",
+			ents("session", "zookeeper quorum"), locs("quorum"),
+			ops(op("session", "connect", ""))),
+		tpl("rm.election.joined", "org.apache.hadoop.ha.ActiveStandbyElector",
+			"Joined leader election for {rmid}",
+			ents("leader election"), ids("rmid"),
+			ops(op("", "join", "leader election"))),
+		tpl("rm.statestore.loaded", "org.apache.hadoop.yarn.server.resourcemanager.recovery.ZKRMStateStore",
+			"Loaded RM state store with {n} applications",
+			ents("rm state store", "application"), vals("n"),
+			ops(op("", "load", "rm state store"))),
+		tpl("rm.sync.kv", "org.apache.hadoop.yarn.server.resourcemanager.recovery.ZKRMStateStore",
+			"synced={n} pending={m} lagms={ms}",
+			nonNL(), vals("n", "m", "ms")),
+		tpl("rm.shutdown", "org.apache.hadoop.yarn.server.resourcemanager.ResourceManager",
+			"Transitioning ResourceManager {rmid} services to state STOPPED",
+			ents("resourcemanager"), ids("rmid"),
+			ops(op("", "stop", "resourcemanager"))),
+
+		// --- active role --------------------------------------------------------
+		tpl("rm.active.elected", "org.apache.hadoop.ha.ActiveStandbyElector",
+			"Checking for any old active which needs to be fenced",
+			ents("old active"),
+			ops(op("", "check", "old active"))),
+		tpl("rm.active.transition", "org.apache.hadoop.yarn.server.resourcemanager.ResourceManager",
+			"Transitioning {rmid} to active state",
+			ents("active state"), ids("rmid"),
+			ops(op("", "transition", "active state"))),
+		tpl("rm.app.submitted", "org.apache.hadoop.yarn.server.resourcemanager.ClientRMService",
+			"Application {app} submitted by user {user}",
+			ents("application", "user"), ids("app", "user"),
+			ops(op("", "submit", "application"))),
+		tpl("rm.app.accepted", "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl",
+			"Application {app} state change from SUBMITTED to ACCEPTED",
+			ents("application"), ids("app"),
+			ops(op("application", "change", ""))),
+		tpl("rm.attempt.registered", "org.apache.hadoop.yarn.server.resourcemanager.ApplicationMasterService",
+			"AM registration for attempt {attempt} from host {host}",
+			ents("am registration", "attempt"), ids("attempt"), locs("host"),
+			ops(op("", "register", "am"))),
+		tpl("rm.container.allocated", "org.apache.hadoop.yarn.server.resourcemanager.scheduler.SchedulerNode",
+			"Assigned container {container} of capacity memory {mb} on host {host}",
+			ents("container", "capacity"), ids("container"), vals("mb"), locs("host"),
+			ops(op("", "assign", "container"))),
+		tpl("rm.app.finished", "org.apache.hadoop.yarn.server.resourcemanager.rmapp.RMAppImpl",
+			"Application {app} state change from RUNNING to FINISHED",
+			ents("application"), ids("app"),
+			ops(op("application", "change", ""))),
+		tpl("rm.attempt.unregistered", "org.apache.hadoop.yarn.server.resourcemanager.ApplicationMasterService",
+			"AM for attempt {attempt} unregistered with final status SUCCEEDED",
+			ents("am", "attempt"), ids("attempt"),
+			ops(op("am", "unregister", ""))),
+
+		// --- standby role -------------------------------------------------------
+		tpl("rm.standby.transition", "org.apache.hadoop.yarn.server.resourcemanager.ResourceManager",
+			"Transitioning {rmid} to standby state",
+			ents("standby state"), ids("rmid"),
+			ops(op("", "transition", "standby state"))),
+		tpl("rm.standby.watching", "org.apache.hadoop.ha.ActiveStandbyElector",
+			"Watching the active's election znode {znode} for deletion",
+			ents("election znode"), ids("znode"),
+			ops(op("", "watch", "election znode"))),
+
+		// --- anomalous: failover and degradation -------------------------------
+		tpl("rm.anom.zk.expired", "org.apache.hadoop.ha.ActiveStandbyElector",
+			"Zookeeper session for {rmid} expired connection loss to quorum {quorum}",
+			level(logging.Error), anomalous(),
+			ents("zookeeper session", "connection"), ids("rmid"), locs("quorum"),
+			ops(op("zookeeper session", "expire", ""))),
+		tpl("rm.anom.fencing", "org.apache.hadoop.yarn.server.resourcemanager.recovery.ZKRMStateStore",
+			"Fencing old active {rmid} before taking over the state store",
+			level(logging.Warn), anomalous(),
+			ents("old active", "state store"), ids("rmid"),
+			ops(op("", "fence", "old active"))),
+		tpl("rm.anom.failover.recovering", "org.apache.hadoop.yarn.server.resourcemanager.ResourceManager",
+			"Failover detected recovering {n} running applications from the state store",
+			level(logging.Warn), anomalous(),
+			ents("failover", "application", "state store"), vals("n"),
+			ops(op("", "recover", "application"))),
+		tpl("rm.anom.nm.resync", "org.apache.hadoop.yarn.server.resourcemanager.ResourceTrackerService",
+			"Node {host} asked to resync after resourcemanager restart",
+			level(logging.Warn), anomalous(),
+			ents("node", "resourcemanager"), locs("host"),
+			ops(op("node", "resync", ""))),
+		tpl("rm.anom.statestore.slow", "org.apache.hadoop.yarn.server.resourcemanager.recovery.ZKRMStateStore",
+			"Slow state store write took {ms} ms exceeding the fencing budget",
+			level(logging.Warn), anomalous(),
+			ents("state store write", "fencing budget"), vals("ms"),
+			ops(op("state store write", "exceed", ""))),
+	}
+	return NewInventory(logging.YarnRM, ts)
+}

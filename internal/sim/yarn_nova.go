@@ -30,6 +30,12 @@ func (c *Cluster) RunJob(spec JobSpec, fault FaultKind) *JobResult {
 		return c.runTez(spec, fault)
 	case logging.TensorFlow:
 		return c.runTensorFlow(spec, fault)
+	case logging.Flink:
+		return c.runFlink(spec, fault)
+	case logging.HDFS:
+		return c.runHDFS(spec, fault)
+	case logging.YarnRM:
+		return c.runYarnRM(spec, fault)
 	default:
 		panic(fmt.Sprintf("sim: no generator for framework %q", spec.Framework))
 	}
@@ -120,6 +126,12 @@ func (c *Cluster) Inventory(fw logging.Framework) *Inventory {
 		return c.Nova
 	case logging.TensorFlow:
 		return c.TF
+	case logging.Flink:
+		return c.Flink
+	case logging.HDFS:
+		return c.HDFSInv
+	case logging.YarnRM:
+		return c.RM
 	default:
 		return nil
 	}

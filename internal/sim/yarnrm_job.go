@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// runYarnRM simulates a ResourceManager HA pair handling one application:
+// rm1 wins the initial election and runs the app lifecycle, rm2 idles in
+// standby syncing the state store. Each RM instance is one session (RM
+// daemons are not containerised, so no extra YARN daemon records).
+//
+// Fault mapping — faults always strike the active RM, which is where HA
+// failure modes live:
+//   - Kill/Node: rm1 truncates mid-lifecycle (SIGKILL); rm2 detects the
+//     lost leader, fences rm1, replays recovery and goes active. Both
+//     sessions are affected ground truth.
+//   - Network: rm1's ZooKeeper session expires in a connectivity blip;
+//     it logs the expiry and rejoins the election without losing the
+//     leadership.
+//   - Spill (the degradation analogue): rm1's state-store writes slow
+//     down past the fencing budget.
+func (c *Cluster) runYarnRM(spec JobSpec, fault FaultKind) *JobResult {
+	app := c.nextApp()
+	res := &JobResult{Spec: spec, Fault: fault, Affected: map[string]bool{}}
+
+	appID := c.appID(app)
+	attempt := fmt.Sprintf("appattempt_%d_%04d_000001", c.epoch, app)
+	quorum := "zk1:2181,zk2:2181,zk3:2181"
+	znode := fmt.Sprintf("/yarn-leader-election/cluster/ActiveStandbyElectorLock_%04d", app)
+	allocs := maxInt(2, spec.Containers)
+	syncs := maxInt(3, spec.InputMB/512)
+	_, netNode, deadNode := c.pickFaultTargets(2, fault)
+	failover := fault == FaultKill || fault == FaultNode
+
+	rm1ID := fmt.Sprintf("rm1_%04d", app)
+	rm2ID := fmt.Sprintf("rm2_%04d", app)
+	host1 := c.pickNode()
+	if fault == FaultNode {
+		host1 = deadNode
+	}
+	host2 := c.pickNode()
+
+	// --- rm1: the initially active instance ---------------------------------
+	rm1 := newThread(c.rng, 0)
+	rm1.emit(c.RM.Get("rm.started"), v("rmid", "rm1", "host", host1+":8032"))
+	rm1.emit(c.RM.Get("rm.zk.connected"), v("quorum", quorum))
+	rm1.emit(c.RM.Get("rm.election.joined"), v("rmid", "rm1"))
+	rm1.emit(c.RM.Get("rm.active.elected"), nil)
+	rm1.emit(c.RM.Get("rm.active.transition"), v("rmid", "rm1"))
+	rm1.emit(c.RM.Get("rm.statestore.loaded"), v("n", itoa(c.rng.Intn(20))))
+	rm1.emit(c.RM.Get("rm.app.submitted"), v("app", appID, "user", "hadoop"))
+	rm1.emit(c.RM.Get("rm.app.accepted"), v("app", appID))
+	rm1.emit(c.RM.Get("rm.attempt.registered"), v("attempt", attempt, "host", c.pickNode()))
+	rm1Anomalous := false
+	for i := 0; i < allocs; i++ {
+		rm1.wait(time.Duration(50+c.rng.Intn(200)) * time.Millisecond)
+		rm1.emit(c.RM.Get("rm.container.allocated"),
+			v("container", c.containerID(app, i+1), "mb", itoa(1024+1024*c.rng.Intn(4)), "host", c.pickNode()))
+		if fault == FaultNetwork && !rm1Anomalous && i == allocs/2 {
+			rm1.emit(c.RM.Get("rm.anom.zk.expired"), v("rmid", "rm1", "quorum", quorum))
+			rm1.emit(c.RM.Get("rm.zk.connected"), v("quorum", quorum))
+			rm1.emit(c.RM.Get("rm.election.joined"), v("rmid", "rm1"))
+			rm1Anomalous = true
+		}
+		if fault == FaultSpill && c.rng.Intn(2) == 0 {
+			rm1.emit(c.RM.Get("rm.anom.statestore.slow"), v("ms", itoa(2000+c.rng.Intn(8000))))
+			rm1Anomalous = true
+		}
+		if c.rng.Intn(3) == 0 {
+			rm1.emit(c.RM.Get("rm.sync.kv"),
+				v("n", itoa(i+1), "m", itoa(c.rng.Intn(5)), "ms", itoa(1+c.rng.Intn(40))))
+		}
+	}
+	// A degraded state store must log at least one slow write even if every
+	// per-allocation draw spared it.
+	if fault == FaultSpill && !rm1Anomalous {
+		rm1.emit(c.RM.Get("rm.anom.statestore.slow"), v("ms", itoa(2000+c.rng.Intn(8000))))
+		rm1Anomalous = true
+	}
+	rm1.emit(c.RM.Get("rm.app.finished"), v("app", appID))
+	rm1.emit(c.RM.Get("rm.attempt.unregistered"), v("attempt", attempt))
+	rm1.emit(c.RM.Get("rm.shutdown"), v("rmid", "rm1"))
+
+	rm1Events := rm1.events
+	if failover {
+		rm1Events = truncateAt(rm1Events, 0.3+0.4*c.rng.Float64())
+		res.Affected[rm1ID] = true
+	} else if rm1Anomalous {
+		res.Affected[rm1ID] = true
+	}
+	res.Sessions = append(res.Sessions, materialize(rm1ID, logging.YarnRM, c.clock, rm1Events))
+
+	// --- rm2: the standby instance ------------------------------------------
+	rm2 := newThread(c.rng, time.Duration(100+c.rng.Intn(200))*time.Millisecond)
+	rm2.emit(c.RM.Get("rm.started"), v("rmid", "rm2", "host", host2+":8032"))
+	rm2.emit(c.RM.Get("rm.zk.connected"), v("quorum", quorum))
+	rm2.emit(c.RM.Get("rm.election.joined"), v("rmid", "rm2"))
+	rm2.emit(c.RM.Get("rm.standby.transition"), v("rmid", "rm2"))
+	rm2.emit(c.RM.Get("rm.standby.watching"), v("znode", znode))
+	for i := 0; i < syncs; i++ {
+		rm2.wait(time.Duration(200+c.rng.Intn(400)) * time.Millisecond)
+		rm2.emit(c.RM.Get("rm.sync.kv"),
+			v("n", itoa(i+1), "m", itoa(c.rng.Intn(5)), "ms", itoa(1+c.rng.Intn(40))))
+	}
+	if failover {
+		// The active's znode vanishes; rm2 fences it and takes over.
+		rm2.wait(time.Duration(300+c.rng.Intn(300)) * time.Millisecond)
+		rm2.emit(c.RM.Get("rm.anom.fencing"), v("rmid", "rm1"))
+		rm2.emit(c.RM.Get("rm.active.elected"), nil)
+		rm2.emit(c.RM.Get("rm.active.transition"), v("rmid", "rm2"))
+		rm2.emit(c.RM.Get("rm.anom.failover.recovering"), v("n", itoa(1+c.rng.Intn(5))))
+		rm2.emit(c.RM.Get("rm.statestore.loaded"), v("n", itoa(1+c.rng.Intn(20))))
+		for i := 0; i < 1+c.rng.Intn(3); i++ {
+			rm2.emit(c.RM.Get("rm.anom.nm.resync"), v("host", c.pickNode()))
+		}
+		if fault == FaultNode {
+			// The dead node's NM never resyncs; note the mirror on netNode.
+			rm2.emit(c.RM.Get("rm.anom.nm.resync"), v("host", netNode))
+		}
+		rm2.emit(c.RM.Get("rm.app.finished"), v("app", appID))
+		rm2.emit(c.RM.Get("rm.attempt.unregistered"), v("attempt", attempt))
+		res.Affected[rm2ID] = true
+	}
+	rm2.emit(c.RM.Get("rm.shutdown"), v("rmid", "rm2"))
+	res.Sessions = append(res.Sessions, materialize(rm2ID, logging.YarnRM, c.clock, rm2.events))
+
+	return res
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"intellog/internal/logging"
+)
+
+// HostileProfile names a deterministic stream transform that reshapes a
+// generated corpus into traffic the serving path finds hard: bursts,
+// tenant churn, clock skew, duplicate storms. Profiles rearrange arrival
+// shape — timestamps, stream order, repetition — but never the order of
+// records *within* a session, which is the invariant the order-based
+// detector and the differential oracle depend on.
+type HostileProfile string
+
+// The hostile profiles.
+const (
+	// HostileBurst compresses arrivals into dense bursts separated by
+	// minutes of silence, the thundering-herd shape of retry storms.
+	HostileBurst HostileProfile = "burst"
+	// HostileSkew gives every session its own clock offset of up to ±36h,
+	// stretching the corpus over multiple days and making the merged
+	// stream arrive far out of timestamp order.
+	HostileSkew HostileProfile = "skew"
+	// HostileChurn serializes sessions into contiguous short-lived blocks:
+	// many tenants connecting, logging for a few seconds, and vanishing.
+	HostileChurn HostileProfile = "churn"
+	// HostileDupStorm repeats records — steady low-rate duplicates plus
+	// occasional storms of one line — the at-least-once delivery failure
+	// mode of log shippers.
+	HostileDupStorm HostileProfile = "dupstorm"
+)
+
+// HostileProfiles lists every profile, in flag-documentation order.
+func HostileProfiles() []HostileProfile {
+	return []HostileProfile{HostileBurst, HostileSkew, HostileChurn, HostileDupStorm}
+}
+
+// Known reports whether p names a defined profile.
+func (p HostileProfile) Known() bool {
+	switch p {
+	case HostileBurst, HostileSkew, HostileChurn, HostileDupStorm:
+		return true
+	}
+	return false
+}
+
+// HostileFlagDoc is the -hostile usage string shared by the CLIs.
+var HostileFlagDoc = fmt.Sprintf("hostile traffic profile (one of %v; empty for none)", HostileProfiles())
+
+// TimeOnly reports whether the profile changes only arrival shape
+// (timestamps and stream order), never the per-session record content.
+// Time-only profiles are safe to hold to the detection-accuracy floors,
+// because detection is order-based and never consults timestamps;
+// duplicate-injecting profiles legitimately change what the detector
+// sees, so they are held to the differential oracle only.
+func (p HostileProfile) TimeOnly() bool { return p != HostileDupStorm }
+
+// ApplyHostile reshapes a corpus stream under the profile, deterministic
+// in (profile, seed). The input is not mutated. Per-session record order
+// is always preserved; per-session timestamps stay monotonic. An unknown
+// or empty profile returns a copy of the input unchanged.
+func ApplyHostile(p HostileProfile, recs []logging.Record, seed int64) []logging.Record {
+	out := append([]logging.Record(nil), recs...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch p {
+	case HostileBurst:
+		applyBurst(out, rng)
+	case HostileSkew:
+		applySkew(out, rng)
+	case HostileChurn:
+		out = applyChurn(out, rng)
+	case HostileDupStorm:
+		out = applyDupStorm(out, rng)
+	}
+	return out
+}
+
+// applyBurst rewrites timestamps in place: runs of 40–240 records land
+// microseconds apart, then the clock jumps one to ten minutes. Stream
+// order is untouched, and the new clock is globally monotonic, so every
+// session's internal order and monotonicity survive.
+func applyBurst(recs []logging.Record, rng *rand.Rand) {
+	clock := recs[0].Time
+	i := 0
+	for i < len(recs) {
+		n := 40 + rng.Intn(200)
+		if i+n > len(recs) {
+			n = len(recs) - i
+		}
+		for j := 0; j < n; j++ {
+			clock = clock.Add(time.Duration(50+rng.Intn(2000)) * time.Microsecond)
+			recs[i+j].Time = clock
+		}
+		i += n
+		clock = clock.Add(time.Duration(1+rng.Intn(10)) * time.Minute)
+	}
+}
+
+// applySkew adds a per-session clock offset drawn in [-36h, +36h], in
+// first-appearance order so the draw sequence is deterministic. Stream
+// order is untouched: the merged stream now arrives wildly out of
+// timestamp order and spans several days, but each session's own clock
+// only shifts, staying monotonic.
+func applySkew(recs []logging.Record, rng *rand.Rand) {
+	offsets := make(map[string]time.Duration)
+	for i := range recs {
+		off, ok := offsets[recs[i].SessionID]
+		if !ok {
+			off = time.Duration(rng.Int63n(int64(72*time.Hour))) - 36*time.Hour
+			offsets[recs[i].SessionID] = off
+		}
+		recs[i].Time = recs[i].Time.Add(off)
+	}
+}
+
+// applyChurn rebuilds the stream as contiguous per-session blocks in
+// first-appearance order: each tenant connects, logs its whole session
+// within a few seconds, and disconnects before the next appears.
+func applyChurn(recs []logging.Record, rng *rand.Rand) []logging.Record {
+	index := make(map[string]int)
+	var blocks [][]logging.Record
+	for _, r := range recs {
+		i, ok := index[r.SessionID]
+		if !ok {
+			i = len(blocks)
+			index[r.SessionID] = i
+			blocks = append(blocks, nil)
+		}
+		blocks[i] = append(blocks[i], r)
+	}
+	out := recs[:0]
+	clock := recs[0].Time
+	for _, block := range blocks {
+		for i := range block {
+			clock = clock.Add(time.Duration(1+rng.Intn(20)) * time.Millisecond)
+			block[i].Time = clock
+			out = append(out, block[i])
+		}
+		clock = clock.Add(time.Duration(200+rng.Intn(2000)) * time.Millisecond)
+	}
+	return out
+}
+
+// applyDupStorm re-emits records: a steady ~7% duplicate rate (each
+// duplicated record repeated 1–3 extra times) plus, roughly every 400
+// records, a storm repeating one line 20–49 more times. Duplicates keep
+// the original timestamp, the way a replaying shipper would resend them.
+func applyDupStorm(recs []logging.Record, rng *rand.Rand) []logging.Record {
+	out := make([]logging.Record, 0, len(recs)+len(recs)/4)
+	for i, r := range recs {
+		out = append(out, r)
+		if rng.Intn(15) == 0 {
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				out = append(out, r)
+			}
+		}
+		if i > 0 && i%400 == 0 {
+			for n := 20 + rng.Intn(30); n > 0; n-- {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package workload
+
+// The hostile profiles feed the conformance matrix, so they inherit the
+// same regeneration contract as the generator: (profile, seed) must
+// reproduce the exact reshaped stream. They also carry an invariant of
+// their own — per-session record order is never disturbed — because the
+// order-based detector and the differential oracle both assume it.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"intellog/internal/logging"
+	"intellog/internal/sim"
+)
+
+// hostileInput builds a deterministic multi-framework stream to reshape.
+func hostileInput(t *testing.T) []logging.Record {
+	t.Helper()
+	g := NewGenerator(sim.NewCluster(8, 71), 72)
+	var recs []logging.Record
+	for _, fw := range []logging.Framework{logging.Spark, logging.Flink, logging.HDFS} {
+		res := g.Submit(fw, sim.FaultNone)
+		for _, s := range res.Sessions {
+			recs = append(recs, s.Records...)
+		}
+	}
+	if len(recs) == 0 {
+		t.Fatal("hostile input stream is empty")
+	}
+	return recs
+}
+
+func renderRecords(recs []logging.Record) string {
+	var b strings.Builder
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%s|%s|%s\n", r.SessionID, r.Time.Format(time.RFC3339Nano), r.Message)
+	}
+	return b.String()
+}
+
+func bySession(recs []logging.Record) map[string][]logging.Record {
+	m := make(map[string][]logging.Record)
+	for _, r := range recs {
+		m[r.SessionID] = append(m[r.SessionID], r)
+	}
+	return m
+}
+
+// isSubsequence reports whether want's messages appear in order within
+// got's (equality is the special case with no extra records).
+func isSubsequence(want, got []logging.Record) bool {
+	i := 0
+	for _, g := range got {
+		if i < len(want) && want[i].Message == g.Message {
+			i++
+		}
+	}
+	return i == len(want)
+}
+
+func TestHostileDeterminismAndSeedSensitivity(t *testing.T) {
+	in := hostileInput(t)
+	for _, p := range HostileProfiles() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			a := renderRecords(ApplyHostile(p, in, 7))
+			b := renderRecords(ApplyHostile(p, in, 7))
+			if a != b {
+				t.Fatal("same (profile, seed) produced different streams")
+			}
+			if c := renderRecords(ApplyHostile(p, in, 8)); a == c {
+				t.Fatal("different seeds produced byte-identical streams; profile ignores its seed")
+			}
+			if a == renderRecords(in) {
+				t.Fatal("profile left the stream untouched")
+			}
+		})
+	}
+}
+
+// TestHostilePreservesSessionOrder pins the invariant the detector
+// depends on: reshaping never changes the order of a session's records.
+// Time-only profiles must keep each session's message sequence exactly;
+// dupstorm may add repeats but the original sequence must survive as a
+// subsequence. All profiles must keep per-session timestamps monotonic.
+func TestHostilePreservesSessionOrder(t *testing.T) {
+	in := hostileInput(t)
+	want := bySession(in)
+	for _, p := range HostileProfiles() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			out := ApplyHostile(p, in, 13)
+			got := bySession(out)
+			if len(got) != len(want) {
+				t.Fatalf("session count changed: got %d want %d", len(got), len(want))
+			}
+			for id, w := range want {
+				g := got[id]
+				if p.TimeOnly() {
+					if len(g) != len(w) {
+						t.Fatalf("session %s: record count changed: got %d want %d", id, len(g), len(w))
+					}
+					for i := range w {
+						if g[i].Message != w[i].Message {
+							t.Fatalf("session %s: record %d reordered", id, i)
+						}
+					}
+				} else if !isSubsequence(w, g) {
+					t.Fatalf("session %s: original sequence not preserved under %s", id, p)
+				}
+				for i := 1; i < len(g); i++ {
+					if g[i].Time.Before(g[i-1].Time) {
+						t.Fatalf("session %s: timestamps regress at record %d under %s", id, i, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHostileShapes spot-checks that each profile produces the traffic
+// shape it advertises.
+func TestHostileShapes(t *testing.T) {
+	in := hostileInput(t)
+
+	t.Run("skew-multiday", func(t *testing.T) {
+		out := ApplyHostile(HostileSkew, in, 21)
+		first, last := out[0].Time, out[0].Time
+		ordered := true
+		for i, r := range out {
+			if r.Time.Before(first) {
+				first = r.Time
+			}
+			if r.Time.After(last) {
+				last = r.Time
+			}
+			if i > 0 && r.Time.Before(out[i-1].Time) {
+				ordered = false
+			}
+		}
+		if span := last.Sub(first); span < 24*time.Hour {
+			t.Fatalf("skewed corpus spans %v, want a multi-day spread", span)
+		}
+		if ordered {
+			t.Fatal("skewed stream is still in timestamp order; skew should interleave sessions across days")
+		}
+	})
+
+	t.Run("churn-contiguous", func(t *testing.T) {
+		out := ApplyHostile(HostileChurn, in, 22)
+		seen := make(map[string]bool)
+		last := ""
+		for _, r := range out {
+			if r.SessionID != last {
+				if seen[r.SessionID] {
+					t.Fatalf("session %s appears in two separate blocks", r.SessionID)
+				}
+				seen[r.SessionID] = true
+				last = r.SessionID
+			}
+		}
+	})
+
+	t.Run("dupstorm-grows", func(t *testing.T) {
+		out := ApplyHostile(HostileDupStorm, in, 23)
+		if len(out) <= len(in) {
+			t.Fatalf("dupstorm did not add records: %d <= %d", len(out), len(in))
+		}
+	})
+
+	t.Run("burst-gaps", func(t *testing.T) {
+		out := ApplyHostile(HostileBurst, in, 24)
+		gaps := 0
+		for i := 1; i < len(out); i++ {
+			if out[i].Time.Sub(out[i-1].Time) >= time.Minute {
+				gaps++
+			}
+		}
+		if gaps == 0 {
+			t.Fatal("burst profile produced no inter-burst silences")
+		}
+	})
+
+	t.Run("unknown-profile-identity", func(t *testing.T) {
+		out := ApplyHostile(HostileProfile(""), in, 25)
+		if renderRecords(out) != renderRecords(in) {
+			t.Fatal("empty profile must be the identity transform")
+		}
+	})
+}

@@ -26,6 +26,19 @@ var MLJobs = []string{
 	"ResNet50", "Inception", "Word2Vec", "Transformer", "NCF", "WideDeep",
 }
 
+// StreamingJobs lists the Flink pipelines (the HiBench streaming bench
+// plus the usual demo topologies).
+var StreamingJobs = []string{
+	"Identity", "Repartition", "StatefulWordCount", "FixWindow",
+	"ClickstreamJoin", "FraudDetection", "SessionWindows",
+}
+
+// StorageJobs lists HDFS write-path workloads (DFSIO-style block write
+// batches).
+var StorageJobs = []string{
+	"DFSIOWrite", "TeraGen", "DistCp", "HBaseWALFlush", "LogArchive",
+}
+
 // TPCHQueries lists the 22 TPC-H queries submitted through Hive on Tez.
 var TPCHQueries = func() []string {
 	qs := make([]string, 22)
@@ -91,6 +104,10 @@ func (g *Generator) SpecWithConfig(fw logging.Framework, cfg ConfigSet) sim.JobS
 		name = TPCHQueries[g.rng.Intn(len(TPCHQueries))]
 	case logging.TensorFlow:
 		name = MLJobs[g.rng.Intn(len(MLJobs))]
+	case logging.Flink:
+		name = StreamingJobs[g.rng.Intn(len(StreamingJobs))]
+	case logging.HDFS:
+		name = StorageJobs[g.rng.Intn(len(StorageJobs))]
 	default:
 		name = HiBenchJobs[g.rng.Intn(len(HiBenchJobs))]
 	}
