@@ -6,6 +6,7 @@
 //
 //	intellog train  -framework spark -logs ./train-logs -model model.json
 //	intellog detect -framework spark -logs ./new-logs   -model model.json
+//	intellog analyze -framework spark -logs ./new-logs  -model model.json
 //	intellog graph  -model model.json
 //	intellog query  -framework spark -logs ./new-logs -model model.json -entity fetcher -groupby FETCHER
 //
@@ -39,6 +40,8 @@ func main() {
 		err = cmdTrain(args)
 	case "detect":
 		err = cmdDetect(args)
+	case "analyze":
+		err = cmdAnalyze(args)
 	case "stream":
 		err = cmdStream(args)
 	case "bench-serve":
@@ -59,9 +62,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: intellog <train|detect|stream|bench-serve|graph|query> [flags]
+	fmt.Fprintln(os.Stderr, `usage: intellog <train|detect|analyze|stream|bench-serve|graph|query> [flags]
   train  -framework F -logs DIR -model FILE [-threshold 1.7]
   detect -framework F -logs DIR -model FILE
+  analyze -framework F -logs DIR -model FILE [-threshold T] [-window D] [-budget B] [-top N] [-json]
   stream -framework F -model FILE [-input FILE] [-idle D] [-max-sessions N] [-max-msgs N]
          [-checkpoint FILE [-checkpoint-every N]] [-fault-seed S -fault-truncate P
           -fault-corrupt P -fault-dup P -fault-reorder K] [-summary-only]

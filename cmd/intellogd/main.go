@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"intellog/internal/analytics"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
 	"intellog/internal/server"
@@ -55,6 +56,10 @@ func main() {
 		walSegBytes = flag.Int64("wal-segment-bytes", 8<<20, "WAL segment rotation size")
 		maxRecBytes = flag.Int("max-record-bytes", 1<<20, "single-record size cap; larger records dead-letter instead of ingesting")
 		dlqRetain   = flag.Int("dlq-retain", 4096, "per-tenant dead-letter retention in records (<0 unbounded)")
+
+		clusterThreshold = flag.Float64("cluster-threshold", 0, "anomaly cluster cosine similarity threshold (0 = default 0.60)")
+		rollupWindow     = flag.Duration("rollup-window", 0, "rollup bucket width (0 = default 1m)")
+		sloBudget        = flag.Float64("slo-budget", 0, "anomaly budget per rollup window for burn-rate alerts (0 = default 10)")
 	)
 	flag.Parse()
 
@@ -79,6 +84,11 @@ func main() {
 		WALSegmentBytes:  *walSegBytes,
 		MaxRecordBytes:   *maxRecBytes,
 		DLQRetain:        *dlqRetain,
+		Analytics: analytics.Config{
+			Threshold: *clusterThreshold,
+			Window:    *rollupWindow,
+			Budget:    *sloBudget,
+		},
 	})
 	if err != nil {
 		log.Fatalf("intellogd: %v", err)

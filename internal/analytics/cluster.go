@@ -1,0 +1,313 @@
+package analytics
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"intellog/internal/baselines/logcluster"
+	"intellog/internal/detect"
+	"intellog/internal/hwgraph"
+)
+
+// Cluster is one near-duplicate anomaly cluster in a snapshot.
+type Cluster struct {
+	// ID is a stable content hash of the label shape — the pagination
+	// cursor. It never depends on arrival order.
+	ID uint64 `json:"id"`
+	// Label is the representative shape's terms (space-joined): the
+	// lexicographically smallest member shape.
+	Label string `json:"label"`
+	// Count is total member anomalies; Shapes is distinct templates.
+	Count  uint64            `json:"count"`
+	Shapes int               `json:"shapes"`
+	Kinds  map[string]uint64 `json:"kinds,omitempty"`
+	// Groups are the distinct HW-graph groups implicated, sorted.
+	Groups []string `json:"groups,omitempty"`
+	// Sessions sums the member shapes' distinct-session counts (an
+	// upper bound when sessions span shapes; exact below SessionCap for
+	// single-shape clusters).
+	Sessions int       `json:"sessions"`
+	FirstAt  time.Time `json:"firstAt"`
+	// Sample is a representative member detail.
+	Sample string `json:"sample,omitempty"`
+	// Explanation localizes the cluster's root cause on the HW-graph.
+	Explanation *Explanation `json:"explanation,omitempty"`
+}
+
+// Explanation is a root-cause localization: the forward causal path
+// from the earliest deviating group to the erroneous one.
+type Explanation struct {
+	// Session is the member session the deviation evidence came from.
+	Session string `json:"session,omitempty"`
+	// RootCause is the earliest deviating group on the backward walk.
+	RootCause string `json:"rootCause"`
+	// Path walks forward from RootCause to the anomalous group.
+	Path []hwgraph.WalkStep `json:"path"`
+	// Deviating lists every group that deviated in the session, sorted.
+	Deviating []string `json:"deviating,omitempty"`
+}
+
+// Snapshot is the engine's full observable state, canonically ordered:
+// byte-identical JSON for the same anomaly multiset regardless of
+// arrival order. Overload counters (drops, evictions) are deliberately
+// excluded — they are arrival-dependent; see Stats.
+type Snapshot struct {
+	Observed uint64    `json:"observed"`
+	Shapes   int       `json:"shapes"`
+	Clusters []Cluster `json:"clusters"`
+	Rollup   Rollup    `json:"rollup"`
+}
+
+// fnv64a of the shape key: the cluster's stable identity.
+func clusterID(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// componentsLocked returns the memoized connected components of the
+// shape graph: shapes are nodes, and an edge links two shapes whose
+// IDF-weighted term vectors reach the cosine threshold. Components are
+// a pure function of the edge set, so the clustering is independent of
+// both shape-arrival order and union order — unlike greedy centroid
+// assignment, which the LogCluster baseline can afford but the
+// byte-identity guarantee cannot.
+func (e *Engine) componentsLocked() []int {
+	if !e.compDirty && e.comp != nil {
+		return e.comp
+	}
+	n := len(e.shapeList)
+	idf := make([]float64, len(e.df))
+	for t, d := range e.df {
+		if d > 0 {
+			idf[t] = logcluster.IDF(n, d)
+		}
+	}
+	vecs := make([]logcluster.Vector, n)
+	for i, sp := range e.shapeList {
+		v := make(logcluster.Vector, len(sp.vec))
+		for t, c := range sp.vec {
+			v[t] = logcluster.TFWeight(c) * idf[t]
+		}
+		vecs[i] = v
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if logcluster.Cosine(vecs[i], vecs[j]) >= e.cfg.Threshold {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = find(i)
+	}
+	e.comp, e.compDirty = comp, false
+	return comp
+}
+
+// Snapshot renders the canonical view: clusters sorted by ID, buckets
+// by start.
+func (e *Engine) Snapshot() *Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	comp := e.componentsLocked()
+	members := map[int][]*shape{} // component root → member shapes
+	for i, sp := range e.shapeList {
+		members[comp[i]] = append(members[comp[i]], sp)
+	}
+
+	snap := &Snapshot{Observed: e.observed, Shapes: len(e.shapeList)}
+	shapeCluster := make(map[int]string, len(e.shapeList)) // shape id → cluster key
+	for _, ms := range members {
+		c := e.buildCluster(ms)
+		for _, sp := range ms {
+			shapeCluster[sp.id] = clusterKey(c.ID)
+		}
+		snap.Clusters = append(snap.Clusters, c)
+	}
+	sort.Slice(snap.Clusters, func(i, j int) bool { return snap.Clusters[i].ID < snap.Clusters[j].ID })
+
+	snap.Rollup = e.rollupLocked(func(shapeID int) string {
+		if k, ok := shapeCluster[shapeID]; ok {
+			return k
+		}
+		return "other"
+	})
+	return snap
+}
+
+// buildCluster aggregates one component's member shapes. Every field is
+// a count, min, or sorted set over member content — order-independent.
+func (e *Engine) buildCluster(ms []*shape) Cluster {
+	label := ms[0]
+	for _, sp := range ms[1:] {
+		if sp.key < label.key {
+			label = sp
+		}
+	}
+	c := Cluster{
+		ID:     clusterID(label.key),
+		Label:  strings.Join(label.terms, " "),
+		Shapes: len(ms),
+		Kinds:  map[string]uint64{},
+	}
+	groups := map[string]bool{}
+	var firstAt int64
+	for i, sp := range ms {
+		c.Count += sp.count
+		c.Kinds[sp.kind] += sp.count
+		c.Sessions += sp.sessionCount
+		if sp.group != "" {
+			groups[sp.group] = true
+		}
+		if i == 0 || sp.firstAt < firstAt {
+			firstAt = sp.firstAt
+		}
+		if c.Sample == "" || (sp.sample != "" && sp.sample < c.Sample) {
+			c.Sample = sp.sample
+		}
+	}
+	c.FirstAt = time.Unix(0, firstAt).UTC()
+	for g := range groups {
+		c.Groups = append(c.Groups, g)
+	}
+	sort.Strings(c.Groups)
+	c.Explanation = e.explainLocked(label.group, label.sampleSes, c.Groups)
+	return c
+}
+
+// explainLocked localizes group's root cause using the session's
+// deviation evidence (falling back to the cluster's own group set if
+// the session is no longer tracked). Returns nil for groupless
+// anomalies (e.g. overflow findings).
+func (e *Engine) explainLocked(group, session string, fallback []string) *Explanation {
+	if group == "" {
+		return nil
+	}
+	deviating := map[string]bool{group: true}
+	usedSession := ""
+	if si := e.sessions[session]; si != nil {
+		usedSession = session
+		for g := range si.groups {
+			deviating[g] = true
+		}
+	} else {
+		for _, g := range fallback {
+			deviating[g] = true
+		}
+	}
+	expl := &Explanation{Session: usedSession}
+	if e.graph != nil {
+		expl.Path = e.graph.DeviationWalk(group, func(g string) bool { return deviating[g] })
+	} else {
+		expl.Path = []hwgraph.WalkStep{{Group: group, Deviating: true}}
+	}
+	expl.RootCause = expl.Path[0].Group
+	for g := range deviating {
+		expl.Deviating = append(expl.Deviating, g)
+	}
+	sort.Strings(expl.Deviating)
+	e.localizations++
+	return expl
+}
+
+// AnomalyExplanation answers /v1/anomalies/{seq}/explain: the anomaly's
+// cluster identity plus its localization.
+type AnomalyExplanation struct {
+	ClusterID    uint64       `json:"clusterId,omitempty"`
+	ClusterLabel string       `json:"clusterLabel,omitempty"`
+	Explanation  *Explanation `json:"explanation,omitempty"`
+}
+
+// Explain localizes one anomaly against its own session's deviation
+// evidence and names the cluster it belongs to.
+func (e *Engine) Explain(a *detect.Anomaly) *AnomalyExplanation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	out := &AnomalyExplanation{}
+	terms := a.ClusterTerms()
+	if sp := e.shapes[strings.Join(terms, "\x1f")]; sp != nil {
+		comp := e.componentsLocked()
+		root := comp[sp.id]
+		label := sp
+		for i, other := range e.shapeList {
+			if comp[i] == root && other.key < label.key {
+				label = other
+			}
+		}
+		out.ClusterID = clusterID(label.key)
+		out.ClusterLabel = strings.Join(label.terms, " ")
+	}
+	out.Explanation = e.explainLocked(a.Group, a.Session, nil)
+	return out
+}
+
+// Stats is the metrics view: cheap gauges plus the arrival-dependent
+// overload counters excluded from Snapshot.
+type Stats struct {
+	Observed        uint64
+	Shapes          int
+	Clusters        int
+	TrackedSessions int
+	Localizations   uint64
+	AlertsFiring    int
+	ShapesDropped   uint64
+	BucketsDropped  uint64
+	SessionsEvicted uint64
+}
+
+// Stats reports current engine statistics for /metrics.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	comp := e.componentsLocked()
+	roots := map[int]bool{}
+	for _, r := range comp {
+		roots[r] = true
+	}
+	starts := make([]int64, 0, len(e.buckets))
+	for s := range e.buckets {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	firing := 0
+	for _, a := range e.alertsLocked(starts) {
+		if a.Firing {
+			firing++
+		}
+	}
+	return Stats{
+		Observed:        e.observed,
+		Shapes:          len(e.shapeList),
+		Clusters:        len(roots),
+		TrackedSessions: len(e.sessions),
+		Localizations:   e.localizations,
+		AlertsFiring:    firing,
+		ShapesDropped:   e.shapesDropped,
+		BucketsDropped:  e.bucketsDropped,
+		SessionsEvicted: e.sessionsEvicted,
+	}
+}

@@ -1,0 +1,201 @@
+package analytics
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"intellog/internal/detect"
+)
+
+// observeBucket rolls the anomaly into its event-time window. Retention
+// is a horizon, not an eviction queue: buckets more than MaxBuckets
+// windows behind the newest observed window are dropped and never
+// recreated. That keeps the retained bucket set a pure function of the
+// anomaly multiset — the set of windows within the final horizon, each
+// with exact counts — regardless of arrival order (an early arrival
+// gets bucketed and later swept; a late arrival is refused at the
+// horizon; either way the final state is identical).
+func (e *Engine) observeBucket(a *detect.Anomaly, sp *shape, at int64) {
+	win := int64(e.cfg.Window / time.Second)
+	if win <= 0 {
+		win = 1
+	}
+	sec := at / int64(time.Second)
+	if at < 0 && at%int64(time.Second) != 0 {
+		sec-- // floor, not truncate, for pre-epoch times
+	}
+	start := sec - mod(sec, win)
+
+	if !e.anyAt || start > e.maxStart {
+		e.maxStart = start
+		e.anyAt = true
+		// Sweep on every horizon advance, not just when full: a bucket
+		// below the horizon lingering until the table fills would make
+		// the retained set depend on arrival order.
+		e.sweepBuckets()
+	}
+	if start <= e.horizon() {
+		e.bucketsDropped++
+		return
+	}
+
+	b := e.buckets[start]
+	if b == nil {
+		b = &bucket{
+			start:    start,
+			kinds:    map[string]uint64{},
+			shapes:   map[int]uint64{},
+			sessions: map[string]struct{}{},
+		}
+		e.buckets[start] = b
+	}
+	b.total++
+	b.kinds[a.Kind.String()]++
+	if sp != nil {
+		b.shapes[sp.id]++
+	} else {
+		b.shapes[-1]++
+	}
+	if !b.frozen {
+		if _, ok := b.sessions[a.Session]; !ok {
+			b.sessions[a.Session] = struct{}{}
+			b.sessionCount++
+			if b.sessionCount >= e.cfg.SessionCap {
+				b.sessions, b.frozen = nil, true
+			}
+		}
+	}
+}
+
+// horizon is the oldest retained window start (exclusive).
+func (e *Engine) horizon() int64 {
+	if !e.anyAt {
+		return -1 << 62
+	}
+	win := int64(e.cfg.Window / time.Second)
+	if win <= 0 {
+		win = 1
+	}
+	return e.maxStart - int64(e.cfg.MaxBuckets)*win
+}
+
+func (e *Engine) sweepBuckets() {
+	h := e.horizon()
+	for start, b := range e.buckets {
+		if start <= h {
+			e.bucketsDropped += b.total
+			delete(e.buckets, start)
+		}
+	}
+}
+
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// Bucket is one rollup window in a snapshot.
+type Bucket struct {
+	Start time.Time         `json:"start"`
+	Total uint64            `json:"total"`
+	Kinds map[string]uint64 `json:"kinds,omitempty"`
+	// Clusters maps cluster ID (decimal string) → anomaly count in this
+	// window; the key "other" collects anomalies whose shape was over
+	// the MaxShapes cap.
+	Clusters map[string]uint64 `json:"clusters,omitempty"`
+	// Sessions is the distinct sessions active in the window, exact up
+	// to SessionCap then saturated.
+	Sessions int `json:"sessions"`
+}
+
+// Alert is one burn-rate evaluation against the SLO budget.
+type Alert struct {
+	Name      string  `json:"name"`
+	Windows   int     `json:"windows"`
+	BurnRate  float64 `json:"burnRate"`
+	Threshold float64 `json:"threshold"`
+	Firing    bool    `json:"firing"`
+}
+
+// Rollup is the time-bucketed view in a snapshot.
+type Rollup struct {
+	Window  string   `json:"window"`
+	Budget  float64  `json:"budget"`
+	Buckets []Bucket `json:"buckets"`
+	Alerts  []Alert  `json:"alerts"`
+}
+
+// rollupLocked builds the rollup view. clusterOf maps shape id → cluster
+// ID string ("other" for -1). Alerts evaluate at event time — relative
+// to the newest observed window, not the wall clock — so the view is
+// reproducible and testable.
+func (e *Engine) rollupLocked(clusterOf func(int) string) Rollup {
+	starts := make([]int64, 0, len(e.buckets))
+	for s := range e.buckets {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	out := Rollup{Window: e.cfg.Window.String(), Budget: e.cfg.Budget}
+	for _, s := range starts {
+		b := e.buckets[s]
+		bk := Bucket{
+			Start:    time.Unix(s, 0).UTC(),
+			Total:    b.total,
+			Sessions: b.sessionCount,
+		}
+		if len(b.kinds) > 0 {
+			bk.Kinds = make(map[string]uint64, len(b.kinds))
+			for k, n := range b.kinds {
+				bk.Kinds[k] = n
+			}
+		}
+		if len(b.shapes) > 0 {
+			bk.Clusters = make(map[string]uint64)
+			for id, n := range b.shapes {
+				bk.Clusters[clusterOf(id)] += n
+			}
+		}
+		out.Buckets = append(out.Buckets, bk)
+	}
+	out.Alerts = e.alertsLocked(starts)
+	return out
+}
+
+// alertsLocked evaluates the two-window burn-rate policy over the
+// newest windows. Summation runs in ascending start order so the
+// floating-point result is run-independent.
+func (e *Engine) alertsLocked(sortedStarts []int64) []Alert {
+	win := int64(e.cfg.Window / time.Second)
+	if win <= 0 {
+		win = 1
+	}
+	eval := func(name string, windows int, threshold float64) Alert {
+		var total uint64
+		if e.anyAt {
+			lo := e.maxStart - int64(windows-1)*win
+			for _, s := range sortedStarts {
+				if s >= lo && s <= e.maxStart {
+					total += e.buckets[s].total
+				}
+			}
+		}
+		burn := float64(total) / (float64(windows) * e.cfg.Budget)
+		return Alert{
+			Name: name, Windows: windows,
+			BurnRate: burn, Threshold: threshold,
+			Firing: burn >= threshold,
+		}
+	}
+	return []Alert{
+		eval("fast-burn", FastBurnWindows, FastBurnThreshold),
+		eval("slow-burn", SlowBurnWindows, SlowBurnThreshold),
+	}
+}
+
+// clusterKeyFor renders a cluster ID for bucket maps.
+func clusterKey(id uint64) string { return strconv.FormatUint(id, 10) }

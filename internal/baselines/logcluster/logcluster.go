@@ -6,8 +6,6 @@
 // is surfaced for examination.
 package logcluster
 
-import "math"
-
 // Model is the trained knowledge base.
 type Model struct {
 	// Threshold is the cosine-similarity cut for cluster membership.
@@ -15,7 +13,7 @@ type Model struct {
 	// idf maps key ID → inverse document frequency over training sessions.
 	idf map[int]float64
 	// reps are the cluster representative vectors.
-	reps []map[int]float64
+	reps []Vector
 	// Sizes records each cluster's training membership count.
 	Sizes []int
 }
@@ -28,7 +26,7 @@ func Train(seqs [][]int, threshold float64) *Model {
 	}
 	m := &Model{Threshold: threshold, idf: computeIDF(seqs)}
 
-	vecs := make([]map[int]float64, len(seqs))
+	vecs := make([]Vector, len(seqs))
 	for i, s := range seqs {
 		vecs[i] = m.vectorize(s)
 	}
@@ -36,29 +34,29 @@ func Train(seqs [][]int, threshold float64) *Model {
 	// Agglomerative clustering with centroid linkage: greedily assign each
 	// vector to the nearest existing centroid above threshold, else found a
 	// new cluster; a second pass re-merges centroid pairs above threshold.
-	var centroids []map[int]float64
+	var centroids []Vector
 	var sizes []int
 	for _, v := range vecs {
 		best, bestSim := -1, threshold
 		for ci, c := range centroids {
-			if sim := cosine(v, c); sim >= bestSim {
+			if sim := Cosine(v, c); sim >= bestSim {
 				best, bestSim = ci, sim
 			}
 		}
 		if best < 0 {
-			centroids = append(centroids, cloneVec(v))
+			centroids = append(centroids, Clone(v))
 			sizes = append(sizes, 1)
 			continue
 		}
-		mergeInto(centroids[best], v, sizes[best])
+		MergeInto(centroids[best], v, sizes[best])
 		sizes[best]++
 	}
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(centroids) && !changed; i++ {
 			for j := i + 1; j < len(centroids); j++ {
-				if cosine(centroids[i], centroids[j]) >= threshold {
-					mergeCentroids(centroids, sizes, i, j)
+				if Cosine(centroids[i], centroids[j]) >= threshold {
+					MergeCentroids(centroids, sizes, i, j)
 					centroids = append(centroids[:j], centroids[j+1:]...)
 					sizes = append(sizes[:j], sizes[j+1:]...)
 					changed = true
@@ -80,7 +78,7 @@ func (m *Model) Clusters() int { return len(m.reps) }
 func (m *Model) Anomalous(seq []int) bool {
 	v := m.vectorize(seq)
 	for _, c := range m.reps {
-		if cosine(v, c) >= m.Threshold {
+		if Cosine(v, c) >= m.Threshold {
 			return false
 		}
 	}
@@ -92,7 +90,7 @@ func (m *Model) Similarity(seq []int) float64 {
 	v := m.vectorize(seq)
 	best := 0.0
 	for _, c := range m.reps {
-		if s := cosine(v, c); s > best {
+		if s := Cosine(v, c); s > best {
 			best = s
 		}
 	}
@@ -102,7 +100,7 @@ func (m *Model) Similarity(seq []int) float64 {
 // vectorize builds the IDF-weighted key-count vector of a sequence. Keys
 // unseen at training get a fixed high weight so novel keys push sequences
 // away from every cluster.
-func (m *Model) vectorize(seq []int) map[int]float64 {
+func (m *Model) vectorize(seq []int) Vector {
 	tf := map[int]int{}
 	for _, k := range seq {
 		tf[k]++
@@ -113,7 +111,7 @@ func (m *Model) vectorize(seq []int) map[int]float64 {
 		if !ok {
 			w = 3.0
 		}
-		v[k] = (1 + math.Log(float64(n))) * w
+		v[k] = TFWeight(n) * w
 	}
 	return v
 }
@@ -131,57 +129,8 @@ func computeIDF(seqs [][]int) map[int]float64 {
 		}
 	}
 	idf := map[int]float64{}
-	n := float64(len(seqs))
 	for k, d := range df {
-		idf[k] = math.Log(1 + n/float64(d))
+		idf[k] = IDF(len(seqs), d)
 	}
 	return idf
-}
-
-func cosine(a, b map[int]float64) float64 {
-	var dot, na, nb float64
-	for k, av := range a {
-		if bv, ok := b[k]; ok {
-			dot += av * bv
-		}
-		na += av * av
-	}
-	for _, bv := range b {
-		nb += bv * bv
-	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
-}
-
-func cloneVec(v map[int]float64) map[int]float64 {
-	out := make(map[int]float64, len(v))
-	for k, x := range v {
-		out[k] = x
-	}
-	return out
-}
-
-// mergeInto updates centroid c (holding size members) with vector v.
-func mergeInto(c, v map[int]float64, size int) {
-	w := float64(size)
-	for k := range c {
-		c[k] = c[k] * w / (w + 1)
-	}
-	for k, x := range v {
-		c[k] += x / (w + 1)
-	}
-}
-
-// mergeCentroids folds centroid j into centroid i.
-func mergeCentroids(cs []map[int]float64, sizes []int, i, j int) {
-	wi, wj := float64(sizes[i]), float64(sizes[j])
-	for k := range cs[i] {
-		cs[i][k] = cs[i][k] * wi / (wi + wj)
-	}
-	for k, x := range cs[j] {
-		cs[i][k] += x * wj / (wi + wj)
-	}
-	sizes[i] += sizes[j]
 }

@@ -72,13 +72,13 @@ func TestSimilarityEdges(t *testing.T) {
 }
 
 func TestCosineZeroVectors(t *testing.T) {
-	if c := cosine(map[int]float64{}, map[int]float64{1: 1}); c != 0 {
-		t.Errorf("cosine(zero, v) = %f", c)
+	if c := Cosine(map[int]float64{}, map[int]float64{1: 1}); c != 0 {
+		t.Errorf("Cosine(zero, v) = %f", c)
 	}
-	if c := cosine(map[int]float64{1: 1}, map[int]float64{}); c != 0 {
-		t.Errorf("cosine(v, zero) = %f", c)
+	if c := Cosine(map[int]float64{1: 1}, map[int]float64{}); c != 0 {
+		t.Errorf("Cosine(v, zero) = %f", c)
 	}
-	if c := cosine(map[int]float64{1: 2}, map[int]float64{1: 3}); math.Abs(c-1) > 1e-9 {
+	if c := Cosine(map[int]float64{1: 2}, map[int]float64{1: 3}); math.Abs(c-1) > 1e-9 {
 		t.Errorf("cosine of parallel vectors = %f, want 1", c)
 	}
 }

@@ -1,0 +1,90 @@
+package logcluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse IDF-weighted term-count vector: feature ID → weight.
+// It is the shared vector form for the LogCluster baseline and for the
+// analytics layer's anomaly-shape clustering (which reuses this package's
+// weighting and similarity machinery rather than reimplementing it).
+type Vector = map[int]float64
+
+// Cosine returns the cosine similarity of two sparse vectors.
+//
+// The dot product and norms are accumulated in sorted key order so the
+// floating-point result is identical across runs — map iteration order
+// would otherwise let a similarity sitting exactly on a clustering
+// threshold flip between runs, which the analytics layer's byte-identity
+// guarantees cannot tolerate.
+func Cosine(a, b Vector) float64 {
+	var dot, na, nb float64
+	for _, k := range sortedKeys(a) {
+		av := a[k]
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+		na += av * av
+	}
+	for _, k := range sortedKeys(b) {
+		nb += b[k] * b[k]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Clone returns a copy of v.
+func Clone(v Vector) Vector {
+	out := make(Vector, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// MergeInto updates centroid c (holding size members) with vector v.
+func MergeInto(c, v Vector, size int) {
+	w := float64(size)
+	for k := range c {
+		c[k] = c[k] * w / (w + 1)
+	}
+	for k, x := range v {
+		c[k] += x / (w + 1)
+	}
+}
+
+// MergeCentroids folds centroid j into centroid i, weighting by sizes.
+func MergeCentroids(cs []Vector, sizes []int, i, j int) {
+	wi, wj := float64(sizes[i]), float64(sizes[j])
+	for k := range cs[i] {
+		cs[i][k] = cs[i][k] * wi / (wi + wj)
+	}
+	for k, x := range cs[j] {
+		cs[i][k] += x * wj / (wi + wj)
+	}
+	sizes[i] += sizes[j]
+}
+
+// IDF is the inverse-document-frequency weight of a feature occurring in
+// docFreq of numDocs documents: log(1 + N/df).
+func IDF(numDocs, docFreq int) float64 {
+	return math.Log(1 + float64(numDocs)/float64(docFreq))
+}
+
+// TFWeight is the sublinear term-frequency weight of a feature occurring
+// n times in one document: 1 + log(n).
+func TFWeight(n int) float64 {
+	return 1 + math.Log(float64(n))
+}
+
+func sortedKeys(v Vector) []int {
+	keys := make([]int, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

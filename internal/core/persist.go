@@ -91,6 +91,12 @@ type checkpointJSON struct {
 	// same command after a crash fast-forwards past them instead of
 	// double-consuming.
 	Cursor int64 `json:"cursor,omitempty"`
+	// Analytics is an opaque serving-layer payload: the tenant's
+	// analytics-engine state (clusters, rollups, session deviation
+	// evidence), marshaled by the owner so the core stays decoupled from
+	// the analytics package. Absent in checkpoints written before the
+	// analytics layer existed — loaders treat nil as "start fresh".
+	Analytics json.RawMessage `json:"analytics,omitempty"`
 }
 
 // checkpointVersion guards checkpoint format compatibility.
@@ -106,11 +112,18 @@ func SaveCheckpoint(w io.Writer, m *Model, st *detect.StreamState) error {
 // checkpointJSON.Cursor); zero means "resume from wherever the caller's
 // input begins".
 func SaveCheckpointAt(w io.Writer, m *Model, st *detect.StreamState, cursor int64) error {
+	return SaveCheckpointState(w, m, st, cursor, nil)
+}
+
+// SaveCheckpointState is SaveCheckpointAt with an opaque serving-layer
+// analytics payload (see checkpointJSON.Analytics); nil omits it.
+func SaveCheckpointState(w io.Writer, m *Model, st *detect.StreamState, cursor int64, analytics []byte) error {
 	out := checkpointJSON{
-		Version: checkpointVersion,
-		Model:   m.toJSON(),
-		Stream:  st,
-		Cursor:  cursor,
+		Version:   checkpointVersion,
+		Model:     m.toJSON(),
+		Stream:    st,
+		Cursor:    cursor,
+		Analytics: analytics,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -127,21 +140,28 @@ func LoadCheckpoint(r io.Reader) (*Model, *detect.StreamState, error) {
 
 // LoadCheckpointAt is LoadCheckpoint plus the stored input cursor.
 func LoadCheckpointAt(r io.Reader) (*Model, *detect.StreamState, int64, error) {
+	m, st, cursor, _, err := LoadCheckpointState(r)
+	return m, st, cursor, err
+}
+
+// LoadCheckpointState is LoadCheckpointAt plus the opaque analytics
+// payload; nil when the checkpoint predates the analytics layer.
+func LoadCheckpointState(r io.Reader) (*Model, *detect.StreamState, int64, []byte, error) {
 	var in checkpointJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, nil, 0, fmt.Errorf("decode checkpoint: %w", err)
+		return nil, nil, 0, nil, fmt.Errorf("decode checkpoint: %w", err)
 	}
 	if in.Version != checkpointVersion {
-		return nil, nil, 0, fmt.Errorf("checkpoint version %d, want %d", in.Version, checkpointVersion)
+		return nil, nil, 0, nil, fmt.Errorf("checkpoint version %d, want %d", in.Version, checkpointVersion)
 	}
 	if in.Stream == nil {
-		return nil, nil, 0, fmt.Errorf("checkpoint has no stream state")
+		return nil, nil, 0, nil, fmt.Errorf("checkpoint has no stream state")
 	}
 	m, err := fromJSON(&in.Model)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, nil, err
 	}
-	return m, in.Stream, in.Cursor, nil
+	return m, in.Stream, in.Cursor, in.Analytics, nil
 }
 
 // RestoreStream rebuilds the model's streaming detector from checkpoint

@@ -1,0 +1,69 @@
+package detect
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ClusterTerms returns the anomaly's template terms: the stable,
+// parameter-free features the analytics layer clusters on. Two anomalies
+// with the same term multiset are near-duplicates by construction —
+// concrete identifier values, addresses, and timestamps are excluded, so
+// ten thousand repeats of one fault collapse onto one term set.
+//
+// The result is sorted, and every term is a pure function of the
+// anomaly's content (never of arrival order or clock), so batch,
+// streaming, and resumed runs produce identical terms for the same
+// finding. Namespaced prefixes keep feature spaces from colliding
+// (a group named "sig" must not alias a signature "sig").
+func (a *Anomaly) ClusterTerms() []string {
+	out := make([]string, 0, 8)
+	out = append(out, "kind:"+a.Kind.String())
+	if a.Group != "" {
+		out = append(out, "group:"+a.Group)
+	}
+	if a.Signature != "" {
+		out = append(out, "sig:"+a.Signature)
+	}
+	for _, k := range a.MissingKeys {
+		out = append(out, "miss:"+strconv.Itoa(k))
+	}
+	for _, p := range a.Pairs {
+		out = append(out, "order:"+strconv.Itoa(p[0])+">"+strconv.Itoa(p[1]))
+	}
+	switch a.Kind {
+	case UnexpectedMessage:
+		// The ad-hoc extraction is the template: entities, operations,
+		// identifier *types*, value units, and locality classes all come
+		// from the key, not from the concrete message parameters. The
+		// Message's cached accessors are deliberately avoided — they
+		// memoize lazily, and ClusterTerms may run concurrently with a
+		// query-API read of the same anomaly.
+		if m := a.Extracted; m != nil {
+			for _, e := range m.Entities {
+				out = append(out, "ent:"+e)
+			}
+			for _, op := range m.Operations {
+				out = append(out, "op:"+op.String())
+			}
+			for t := range m.Identifiers {
+				out = append(out, "idt:"+t)
+			}
+			for u := range m.Values {
+				out = append(out, "unit:"+u)
+			}
+			for c := range m.Localities {
+				out = append(out, "loc:"+c)
+			}
+		}
+	case MissingGroup, HierarchyViolation:
+		// Detail is stable for these kinds (built from group names and
+		// trained relations, not per-record values). Overflow details name
+		// the session — a parameter — so overflows cluster on kind alone.
+		if a.Detail != "" {
+			out = append(out, "detail:"+a.Detail)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

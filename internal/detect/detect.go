@@ -66,7 +66,15 @@ type Anomaly struct {
 	// (see StreamState.NextAnomalySeq). Excluded from JSON so the
 	// conformance oracle's canonical report form stays byte-identical
 	// across execution paths.
-	Seq       uint64 `json:"-"`
+	Seq uint64 `json:"-"`
+	// At is the anomaly's event time: the offending record's timestamp
+	// for unexpected messages, the session's newest record time for the
+	// end-of-session structural findings. It is derived purely from the
+	// records (never from the wall clock), so batch and streaming runs
+	// stamp identical times — the analytics layer's time-bucketed rollups
+	// rely on that. Excluded from JSON for the same reason Seq is: the
+	// canonical report form predates it.
+	At        time.Time `json:"-"`
 	Session   string
 	Kind      Kind
 	Group     string
@@ -425,8 +433,16 @@ func (d *Detector) detectSession(s *logging.Session, scr *sessionScratch) []Anom
 	var anomalies []Anomaly
 	msgs := scr.msgs[:0]
 
+	// last is the newest record time seen in the session: the event time
+	// stamped on the end-of-session structural anomalies. The streaming
+	// path tracks the same maximum in sessionBuf.last, so both paths
+	// stamp identical times.
+	var last time.Time
 	for i := range s.Records {
 		rec := &s.Records[i]
+		if rec.Time.After(last) {
+			last = rec.Time
+		}
 		key, cl := d.lookupRecordScr(rec, scr)
 		if key == nil {
 			anomalies = append(anomalies, d.unexpected(s, rec, cl))
@@ -441,7 +457,7 @@ func (d *Detector) detectSession(s *logging.Session, scr *sessionScratch) []Anom
 	}
 	scr.msgs = msgs
 
-	anomalies = append(anomalies, d.checkInstances(s.ID, msgs, scr)...)
+	anomalies = append(anomalies, d.checkInstances(s.ID, last, msgs, scr)...)
 	return anomalies
 }
 
@@ -495,6 +511,7 @@ func (d *Detector) unexpected(s *logging.Session, rec *logging.Record, cl *extra
 	}
 	m := extract.Bind(cl.Adhoc, cl.Tokens, rec.Time, s.ID, rec.Message)
 	return Anomaly{
+		At:      rec.Time,
 		Session: s.ID, Kind: UnexpectedMessage, Group: cl.AdhocGroup,
 		Record: rec, Extracted: m,
 		Detail: cl.AdhocDetail,
@@ -543,8 +560,10 @@ func (d *Detector) buildGroupIndex() {
 // subroutine instances against trained subroutines, expected-group
 // presence, and lifespan-relation consistency. scr is the calling
 // worker's scratch; checkInstances consumes each group's instances
-// before assigning the next group, so assigner reuse is safe.
-func (d *Detector) checkInstances(session string, msgs []*extract.Message, scr *sessionScratch) []Anomaly {
+// before assigning the next group, so assigner reuse is safe. last is
+// the session's newest record time, stamped as the event time of every
+// structural finding.
+func (d *Detector) checkInstances(session string, last time.Time, msgs []*extract.Message, scr *sessionScratch) []Anomaly {
 	var anomalies []Anomaly
 
 	// Bucket messages by entity group. Epoch stamping invalidates the
@@ -580,6 +599,7 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message, scr *
 			if sub == nil {
 				if len(node.Subroutines) > 0 {
 					anomalies = append(anomalies, Anomaly{
+						At:      last,
 						Session: session, Kind: UnknownSignature, Group: g, Signature: sig,
 						Detail: fmt.Sprintf("group %q has no trained subroutine with signature %q", g, sig),
 					})
@@ -597,6 +617,7 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message, scr *
 			scr.order = order
 			if missing := sub.MissingCritical(order); len(missing) > 0 {
 				anomalies = append(anomalies, Anomaly{
+					At:      last,
 					Session: session, Kind: MissingCriticalKeys, Group: g, Signature: sig,
 					MissingKeys: missing,
 					Detail:      fmt.Sprintf("subroutine %q in group %q missed %d critical Intel Keys", sig, g, len(missing)),
@@ -604,6 +625,7 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message, scr *
 			}
 			if pairs := sub.ViolationsOrder(order); len(pairs) > 0 {
 				anomalies = append(anomalies, Anomaly{
+					At:      last,
 					Session: session, Kind: OrderViolation, Group: g, Signature: sig,
 					Pairs:  pairs,
 					Detail: fmt.Sprintf("subroutine %q in group %q broke %d BEFORE relations", sig, g, len(pairs)),
@@ -619,6 +641,7 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message, scr *
 			}
 			if b, ok := scr.buckets[g]; !ok || b.epoch != scr.epoch {
 				anomalies = append(anomalies, Anomaly{
+					At:      last,
 					Session: session, Kind: MissingGroup, Group: g,
 					Detail: fmt.Sprintf("group %q appeared in every training session but is absent", g),
 				})
@@ -643,6 +666,7 @@ func (d *Detector) checkInstances(session string, msgs []*extract.Message, scr *
 				observed := hwgraph.SessionRelation(ga.span, gb.span)
 				if observed != trained {
 					anomalies = append(anomalies, Anomaly{
+						At:      last,
 						Session: session, Kind: HierarchyViolation, Group: ga.name,
 						Detail: fmt.Sprintf("groups %q and %q trained %v but observed %v", ga.name, gb.name, trained, observed),
 					})

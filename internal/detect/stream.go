@@ -370,6 +370,7 @@ func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl 
 			if !buf.overflowed {
 				buf.overflowed = true
 				out = append(out, Anomaly{
+					At:      rec.Time,
 					Session: buf.id, Kind: Overflow,
 					Detail: fmt.Sprintf("session %q reached the %d buffered-message cap; further messages dropped", buf.id, max),
 				})
@@ -389,6 +390,7 @@ func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl 
 	var findings []Anomaly
 	for _, b := range evicted {
 		findings = append(findings, Anomaly{
+			At:      b.last,
 			Session: b.id, Kind: Overflow,
 			Detail: fmt.Sprintf("session %q force-closed: %d in-flight sessions reached the cap", b.id, s.cfg.MaxSessions),
 		})
@@ -489,7 +491,7 @@ func (sh *streamShard) syncEarliestLocked() {
 func (s *StreamDetector) finalize(buf *sessionBuf) []Anomaly {
 	scr := s.d.getScratch()
 	defer s.d.putScratch(scr)
-	return s.d.checkInstances(buf.id, buf.msgs, scr)
+	return s.d.checkInstances(buf.id, buf.last, buf.msgs, scr)
 }
 
 // CloseSession finalizes one session and returns its structural findings.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Relation between two entity groups, derived from their lifespans across
@@ -199,6 +200,11 @@ type Graph struct {
 	TotalSessions int `json:"totalSessions"`
 
 	rels *relTracker
+
+	// back indexes backward (predecessor) edges for DeviationWalk; built
+	// lazily from the frozen node set.
+	backOnce sync.Once
+	back     map[string][]backEdge
 }
 
 // Relation exposes the aggregate lifespan relation of group a towards b.

@@ -1,0 +1,114 @@
+package hwgraph
+
+import "sort"
+
+// WalkStep is one hop of a deviation walk: the group reached, and the
+// trained edge that led forward into it ("parent" for containment,
+// "before" for a temporal BEFORE relation; empty on the path's first
+// step).
+type WalkStep struct {
+	Group     string `json:"group"`
+	Edge      string `json:"edge,omitempty"`
+	Deviating bool   `json:"deviating"`
+}
+
+// DeviationWalk localizes a root cause: starting from the erroneous
+// group, it walks the trained graph backward — through parent edges
+// (a container starts before its children) and BEFORE-predecessor edges
+// (a group that must finish before this one starts) — and returns the
+// forward causal path from the earliest deviating group reached down to
+// the starting group. deviating reports whether a group misbehaved in
+// the session under examination.
+//
+// "Earliest" is the deviating group farthest back along the walk (the
+// most upstream cause the deviation evidence supports); distance ties
+// break on the lexicographically smallest group name. Neighbors are
+// expanded in sorted order, so the walk is deterministic for a given
+// graph and deviating set. If the starting group is unknown or nothing
+// upstream deviates, the path is the single starting step.
+func (g *Graph) DeviationWalk(from string, deviating func(string) bool) []WalkStep {
+	if g.Nodes[from] == nil {
+		return []WalkStep{{Group: from, Deviating: deviating(from)}}
+	}
+	g.backOnce.Do(g.buildBackEdges)
+
+	// BFS backward from `from`. via[n] records the forward edge n → next
+	// hop toward `from`, so the chosen root's chain reads out forward.
+	type hop struct {
+		next string
+		edge string
+	}
+	via := map[string]hop{from: {}}
+	dist := map[string]int{from: 0}
+	queue := []string{from}
+	root, rootDist := from, 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.back[n] {
+			if _, seen := via[e.from]; seen {
+				continue
+			}
+			via[e.from] = hop{next: n, edge: e.edge}
+			dist[e.from] = dist[n] + 1
+			queue = append(queue, e.from)
+			if deviating(e.from) {
+				if d := dist[e.from]; d > rootDist || (d == rootDist && e.from < root) {
+					root, rootDist = e.from, d
+				}
+			}
+		}
+	}
+
+	var path []WalkStep
+	for n, edge := root, ""; ; {
+		path = append(path, WalkStep{Group: n, Edge: edge, Deviating: deviating(n)})
+		if n == from {
+			break
+		}
+		h := via[n]
+		n, edge = h.next, h.edge
+	}
+	return path
+}
+
+// backEdge is a backward hop: `from` is upstream of the node it is
+// indexed under, reached forward via `edge`.
+type backEdge struct {
+	from string
+	edge string
+}
+
+// buildBackEdges inverts the graph's parent and BEFORE relations into a
+// per-node predecessor list, sorted for deterministic expansion. The
+// graph is frozen once trained, so the index is computed once.
+func (g *Graph) buildBackEdges() {
+	back := make(map[string][]backEdge)
+	names := make([]string, 0, len(g.Nodes))
+	for name := range g.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		node := g.Nodes[name]
+		for _, c := range node.Children {
+			back[c] = append(back[c], backEdge{from: name, edge: "parent"})
+		}
+		for _, nx := range node.Next {
+			back[nx] = append(back[nx], backEdge{from: name, edge: "before"})
+		}
+	}
+	for _, es := range back {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].from != es[j].from {
+				return es[i].from < es[j].from
+			}
+			return es[i].edge < es[j].edge
+		})
+	}
+	g.back = back
+}
+
+// ParentOf returns the group containing n, or "" for roots. It is the
+// exported form of the placement helper the trainer uses internally.
+func (g *Graph) ParentOf(n string) string { return parentOf(g, n) }

@@ -1,0 +1,96 @@
+package hwgraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// walkFixture: driver contains executor contains task; task BEFORE
+// shuffle BEFORE commit.
+func walkFixture() *Graph {
+	return &Graph{
+		Nodes: map[string]*Node{
+			"driver":   {Name: "driver", Children: []string{"executor"}},
+			"executor": {Name: "executor", Children: []string{"task", "shuffle", "commit"}},
+			"task":     {Name: "task", Next: []string{"shuffle"}},
+			"shuffle":  {Name: "shuffle", Next: []string{"commit"}},
+			"commit":   {Name: "commit"},
+		},
+		Roots:         []string{"driver"},
+		TotalSessions: 3,
+	}
+}
+
+func devSet(groups ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, g := range groups {
+		set[g] = true
+	}
+	return func(g string) bool { return set[g] }
+}
+
+func TestDeviationWalkFindsEarliestUpstream(t *testing.T) {
+	g := walkFixture()
+	// commit erred, and both task and shuffle deviated: the walk must
+	// surface task (two BEFORE hops back) as the earliest cause and
+	// report the forward chain.
+	got := g.DeviationWalk("commit", devSet("commit", "shuffle", "task"))
+	want := []WalkStep{
+		{Group: "task", Deviating: true},
+		{Group: "shuffle", Edge: "before", Deviating: true},
+		{Group: "commit", Edge: "before", Deviating: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("walk = %+v, want %+v", got, want)
+	}
+}
+
+func TestDeviationWalkThroughParentEdges(t *testing.T) {
+	g := walkFixture()
+	// Only the enclosing driver deviated: the walk crosses clean
+	// intermediate groups (executor) to reach it.
+	got := g.DeviationWalk("task", devSet("task", "driver"))
+	want := []WalkStep{
+		{Group: "driver", Deviating: true},
+		{Group: "executor", Edge: "parent"},
+		{Group: "task", Edge: "parent", Deviating: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("walk = %+v, want %+v", got, want)
+	}
+}
+
+func TestDeviationWalkNoUpstreamDeviation(t *testing.T) {
+	g := walkFixture()
+	got := g.DeviationWalk("shuffle", devSet("shuffle"))
+	want := []WalkStep{{Group: "shuffle", Deviating: true}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("walk = %+v, want %+v", got, want)
+	}
+	// Unknown group: single-step path, no panic.
+	got = g.DeviationWalk("ghost", devSet())
+	want = []WalkStep{{Group: "ghost"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("walk = %+v, want %+v", got, want)
+	}
+}
+
+func TestDeviationWalkDeterministic(t *testing.T) {
+	g := walkFixture()
+	first := g.DeviationWalk("commit", devSet("task", "driver", "commit"))
+	for i := 0; i < 50; i++ {
+		if got := g.DeviationWalk("commit", devSet("task", "driver", "commit")); !reflect.DeepEqual(got, first) {
+			t.Fatalf("walk differs on repeat %d: %+v vs %+v", i, got, first)
+		}
+	}
+}
+
+func TestParentOf(t *testing.T) {
+	g := walkFixture()
+	if p := g.ParentOf("task"); p != "executor" {
+		t.Fatalf("ParentOf(task) = %q, want executor", p)
+	}
+	if p := g.ParentOf("driver"); p != "" {
+		t.Fatalf("ParentOf(driver) = %q, want root", p)
+	}
+}

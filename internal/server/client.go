@@ -193,6 +193,65 @@ func (c *Client) AllAnomalies() ([]SeqAnomaly, error) {
 	}
 }
 
+// Clusters fetches one page of anomaly clusters after the given
+// cluster-ID cursor.
+func (c *Client) Clusters(since uint64, limit int) (ClustersResponse, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	resp, err := c.http().Get(c.url("/v1/anomalies/clusters", q))
+	if err != nil {
+		return ClustersResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ClustersResponse{}, apiError(resp)
+	}
+	var out ClustersResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Explain fetches the root-cause localization for one retained anomaly.
+func (c *Client) Explain(seq uint64) (ExplainResponse, error) {
+	path := "/v1/anomalies/" + strconv.FormatUint(seq, 10) + "/explain"
+	resp, err := c.http().Get(c.url(path, nil))
+	if err != nil {
+		return ExplainResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ExplainResponse{}, apiError(resp)
+	}
+	var out ExplainResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Rollups fetches one page of time-bucketed rollups after the given
+// window-start cursor (unix seconds).
+func (c *Client) Rollups(since int64, limit int) (RollupsResponse, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatInt(since, 10))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	resp, err := c.http().Get(c.url("/v1/rollups", q))
+	if err != nil {
+		return RollupsResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return RollupsResponse{}, apiError(resp)
+	}
+	var out RollupsResponse
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
 // DLQ fetches one page of the tenant's dead-letter queue.
 func (c *Client) DLQ(since uint64, limit int) (DLQResponse, error) {
 	q := url.Values{}

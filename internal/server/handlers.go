@@ -100,6 +100,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/anomalies", s.handleAnomalies)
+	mux.HandleFunc("/v1/anomalies/clusters", s.handleClusters)
+	mux.HandleFunc("/v1/anomalies/{seq}/explain", s.handleExplain)
+	mux.HandleFunc("/v1/rollups", s.handleRollups)
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/v1/flush", s.handleFlush)
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)

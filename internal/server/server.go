@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"intellog/internal/analytics"
 	"intellog/internal/core"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
@@ -105,6 +106,10 @@ type Config struct {
 	// DLQRetain bounds each tenant's live dead-letter entries (oldest
 	// dropped past it). 0 means 4096; negative means unbounded.
 	DLQRetain int
+	// Analytics tunes each tenant's anomaly-aggregation engine (cluster
+	// threshold, rollup window, SLO budget, table bounds). Zero values
+	// take the analytics package defaults.
+	Analytics analytics.Config
 }
 
 // defaults fills zero values.
@@ -374,12 +379,12 @@ func (s *Server) loadTenant(name string) (*tenant, error) {
 	if s.cfg.StateDir != "" {
 		path := filepath.Join(s.cfg.StateDir, name+checkpointExt)
 		if f, err := os.Open(path); err == nil {
-			m, st, err := core.LoadCheckpoint(f)
+			m, st, _, analyticsState, err := core.LoadCheckpointState(f)
 			f.Close()
 			if err != nil {
 				return nil, fmt.Errorf("checkpoint %s: %w", path, err)
 			}
-			return newTenant(s, name, m, st)
+			return newTenant(s, name, m, st, analyticsState)
 		}
 	}
 	if s.cfg.ModelDir == "" {
@@ -398,7 +403,7 @@ func (s *Server) loadTenant(name string) (*tenant, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model %s: %w", path, err)
 	}
-	return newTenant(s, name, m, nil)
+	return newTenant(s, name, m, nil, nil)
 }
 
 // resident snapshots the resident tenants (most recently used first).
@@ -586,6 +591,27 @@ func (s *Server) registerGauges() {
 	s.reg.CounterFunc("intellogd_dlq_dropped_total",
 		"dead-letter entries discarded by the retention bound per tenant",
 		perTenant(func(t *tenant) float64 { return float64(t.dlq.Dropped()) }))
+	s.reg.CounterFunc("intellogd_anomaly_log_trimmed_total",
+		"anomalies dropped from the query window by retention per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.sink.trimmedCount()) }))
+	s.reg.CounterFunc("intellogd_analytics_anomalies_observed_total",
+		"anomalies folded into the analytics engine per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.engine.Stats().Observed) }))
+	s.reg.GaugeFunc("intellogd_analytics_shapes",
+		"distinct anomaly templates tracked per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.engine.Stats().Shapes) }))
+	s.reg.GaugeFunc("intellogd_analytics_clusters",
+		"live near-duplicate anomaly clusters per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.engine.Stats().Clusters) }))
+	s.reg.GaugeFunc("intellogd_analytics_tracked_sessions",
+		"sessions with deviation evidence tracked per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.engine.Stats().TrackedSessions) }))
+	s.reg.CounterFunc("intellogd_analytics_localizations_total",
+		"root-cause localizations computed per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.engine.Stats().Localizations) }))
+	s.reg.GaugeFunc("intellogd_analytics_alerts_firing",
+		"SLO burn-rate alerts currently firing per tenant",
+		perTenant(func(t *tenant) float64 { return float64(t.engine.Stats().AlertsFiring) }))
 	s.reg.GaugeFunc("intellogd_resident_tenants",
 		"tenants currently resident",
 		func() []metrics.Sample {

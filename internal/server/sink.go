@@ -35,6 +35,14 @@ type anomalyLog struct {
 	trimmed uint64
 	// maxRetain bounds len(entries); ≤ 0 means unbounded.
 	maxRetain int
+	// onAdmit, when set, receives every anomaly the moment the dense log
+	// admits it (in seq order, exactly once — duplicates below the cursor
+	// never reach it). It is the analytics engine's feed point: retention
+	// trimming happens after admission, so aggregation sees the full
+	// stream even when the queryable window is bounded. Set before any
+	// appends (newTenant wires it ahead of WAL replay and worker start)
+	// and invoked outside the log's lock.
+	onAdmit func([]detect.Anomaly)
 }
 
 func newAnomalyLog(maxRetain int) *anomalyLog {
@@ -58,8 +66,8 @@ func (l *anomalyLog) append(as []detect.Anomaly) {
 	if len(as) == 0 {
 		return
 	}
+	var admitted []detect.Anomaly
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	for i := range as {
 		a := as[i]
 		if l.nextSeq == 0 {
@@ -70,6 +78,7 @@ func (l *anomalyLog) append(as []detect.Anomaly) {
 		switch {
 		case a.Seq == l.nextSeq:
 			l.push(a)
+			admitted = append(admitted, a)
 			l.nextSeq++
 			for {
 				p, ok := l.pending[l.nextSeq]
@@ -78,6 +87,7 @@ func (l *anomalyLog) append(as []detect.Anomaly) {
 				}
 				delete(l.pending, l.nextSeq)
 				l.push(p)
+				admitted = append(admitted, p)
 				l.nextSeq++
 			}
 		case a.Seq > l.nextSeq:
@@ -88,6 +98,11 @@ func (l *anomalyLog) append(as []detect.Anomaly) {
 		default:
 			// Below the admitted cursor: a duplicate; drop it.
 		}
+	}
+	cb := l.onAdmit
+	l.mu.Unlock()
+	if cb != nil && len(admitted) > 0 {
+		cb(admitted)
 	}
 }
 
@@ -158,4 +173,25 @@ func (l *anomalyLog) len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
+}
+
+// trimmedCount returns how many entries retention has dropped.
+func (l *anomalyLog) trimmedCount() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.trimmed
+}
+
+// get returns the anomaly at seq, if still retained.
+func (l *anomalyLog) get(seq uint64) (detect.Anomaly, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 || seq < l.first {
+		return detect.Anomaly{}, false
+	}
+	d := seq - l.first
+	if d >= uint64(len(l.entries)) {
+		return detect.Anomaly{}, false
+	}
+	return l.entries[d], true
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"intellog/internal/analytics"
 	"intellog/internal/core"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
@@ -36,6 +37,13 @@ type tenant struct {
 	det   *detect.Detector
 	sd    *detect.StreamDetector
 	sink  *anomalyLog
+
+	// engine aggregates the tenant's admitted anomalies into clusters,
+	// rollups, and root-cause explanations. It is fed exactly once per
+	// finding through the sink's admission callback, so WAL replay,
+	// multi-worker reordering, and client retries all collapse to one
+	// observation per seq. Its state rides the checkpoint.
+	engine *analytics.Engine
 
 	// queues are drained by one worker goroutine each; a record routes to
 	// queues[hash(sessionID) % len(queues)], so records of one session are
@@ -83,9 +91,10 @@ type tenant struct {
 	restored bool // loaded from a checkpoint at startup
 }
 
-// newTenant assembles a tenant around a loaded model and optional
-// checkpointed stream state.
-func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState) (*tenant, error) {
+// newTenant assembles a tenant around a loaded model, optional
+// checkpointed stream state, and the checkpoint's analytics payload
+// (nil starts aggregation fresh).
+func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState, analyticsState []byte) (*tenant, error) {
 	t := &tenant{
 		name:      name,
 		srv:       srv,
@@ -114,6 +123,22 @@ func newTenant(srv *Server, name string, m *core.Model, st *detect.StreamState) 
 	// append out of order (and restored tenants continue past their
 	// checkpointed cursor).
 	t.sink.prime(t.sd.AnomalySeq() + 1)
+	// The analytics engine must be wired before WAL replay and worker
+	// start: replayed findings past the checkpoint cursor flow through
+	// the same admission callback as live ones.
+	if analyticsState != nil {
+		eng, err := analytics.RestoreJSON(srv.cfg.Analytics, m.Graph, analyticsState)
+		if err != nil {
+			// A bad payload must not block serving: aggregation restarts
+			// fresh while detection resumes from the checkpoint as usual.
+			log.Printf("intellogd: tenant %s: analytics state unreadable (starting fresh): %v", name, err)
+			eng = analytics.NewEngine(srv.cfg.Analytics, m.Graph)
+		}
+		t.engine = eng
+	} else {
+		t.engine = analytics.NewEngine(srv.cfg.Analytics, m.Graph)
+	}
+	t.sink.onAdmit = t.engine.ObserveBatch
 	dlq, err := wal.OpenDLQ(srv.dlqDir(name), srv.cfg.DLQRetain)
 	if err != nil {
 		return nil, fmt.Errorf("tenant %s: open dlq: %w", name, err)
@@ -471,7 +496,15 @@ func (t *tenant) saveCheckpoint(walCut uint64) error {
 	st.Sticky = t.assigner.Current()
 	t.assignMu.Unlock()
 	st.WALSeq = walCut
-	if err := core.SaveCheckpoint(f, t.model, st); err != nil {
+	// The quiesced pool means no admission callback is mid-flight, so
+	// the engine state pairs exactly with the stream cut.
+	analyticsState, err := t.engine.StateJSON()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := core.SaveCheckpointState(f, t.model, st, 0, analyticsState); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -42,7 +42,7 @@ INTELLOG_BENCH_JSON="$spell_out" \
 	go test -run '^$' -bench 'SpellThroughput|StreamDetectThroughput' \
 	-benchmem -benchtime "$bt" .
 INTELLOG_BENCH_DETECT_JSON="$detect_out" \
-	go test -run '^$' -bench 'ConformanceBatchDetect|ConformanceStreamDetect' \
+	go test -run '^$' -bench 'ConformanceBatchDetect|ConformanceStreamDetect|ClusterIngest' \
 	-benchmem -benchtime "$bt" ./internal/conformance/
 
 if [ "${REFRESH:-0}" = "1" ]; then
