@@ -1,14 +1,20 @@
 // Command benchdiff compares two benchjson archives (see
-// internal/benchjson) on one higher-is-better metric and exits nonzero
-// when the current numbers regress past the tolerance band. It is the
-// comparison half of scripts/bench_compare.sh:
+// internal/benchjson) on one metric and exits nonzero when the current
+// numbers regress past the tolerance band. It is the comparison half of
+// scripts/bench_compare.sh:
 //
 //	benchdiff -baseline BENCH_detect.json -current /tmp/detect.json \
 //	    -metric logs_per_sec -tolerance 0.35
+//	benchdiff -baseline BENCH_detect.json -current /tmp/detect.json \
+//	    -metric allocs_per_record -direction lower -tolerance 0.35
 //
-// Every benchmark in the baseline that carries the metric must be
-// present in the current archive and within tolerance of its baseline
-// value; extra benchmarks in the current archive are ignored.
+// -direction says which way the metric improves: "higher" (throughput,
+// the default) fails when current falls more than tolerance below
+// baseline; "lower" (allocations, latency) fails when it rises more
+// than tolerance above. Every benchmark in the baseline that carries
+// the metric must be present in the current archive and within
+// tolerance of its baseline value; extra benchmarks in the current
+// archive are ignored.
 package main
 
 import (
@@ -23,12 +29,18 @@ func main() {
 	var (
 		baseline  = flag.String("baseline", "", "committed benchjson archive (the reference)")
 		current   = flag.String("current", "", "freshly generated benchjson archive")
-		metric    = flag.String("metric", "logs_per_sec", "higher-is-better metric to compare")
-		tolerance = flag.Float64("tolerance", 0.35, "allowed fractional slowdown before failing (0.35 = -35%)")
+		metric    = flag.String("metric", "logs_per_sec", "metric to compare")
+		tolerance = flag.Float64("tolerance", 0.35, "allowed fractional drift toward worse before failing (0.35 = 35%)")
+		direction = flag.String("direction", "higher", "which way the metric improves: higher | lower")
 	)
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	dir, err := benchjson.ParseDirection(*direction)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
 	base, err := benchjson.Load(*baseline)
@@ -42,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	deltas := benchjson.Compare(base, cur, *metric, *tolerance)
+	deltas := benchjson.Compare(base, cur, *metric, *tolerance, dir)
 	if len(deltas) == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: baseline %s has no benchmarks with metric %q\n", *baseline, *metric)
 		os.Exit(2)
@@ -52,13 +64,13 @@ func main() {
 		switch {
 		case d.Missing:
 			failed = true
-			fmt.Printf("FAIL %-36s missing from current archive (baseline %.0f)\n", d.Name, d.Baseline)
+			fmt.Printf("FAIL %-36s missing from current archive (baseline %.6g)\n", d.Name, d.Baseline)
 		case d.Regressed:
 			failed = true
-			fmt.Printf("FAIL %-36s %s %.0f -> %.0f (%.2fx, tolerance %.0f%%)\n",
+			fmt.Printf("FAIL %-36s %s %.6g -> %.6g (%.2fx, tolerance %.0f%%)\n",
 				d.Name, *metric, d.Baseline, d.Current, d.Ratio, *tolerance*100)
 		default:
-			fmt.Printf("ok   %-36s %s %.0f -> %.0f (%.2fx)\n",
+			fmt.Printf("ok   %-36s %s %.6g -> %.6g (%.2fx)\n",
 				d.Name, *metric, d.Baseline, d.Current, d.Ratio)
 		}
 	}

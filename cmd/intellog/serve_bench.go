@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,6 +62,13 @@ func cmdBenchServe(args []string) error {
 		}
 	}
 
+	// Snapshot the daemon's allocation counter before the replay so the
+	// delta afterwards is (approximately) this replay's allocations. On a
+	// bench box the daemon serves only this client, so the attribution is
+	// clean; against a shared daemon the number includes whatever else it
+	// was doing.
+	preMallocs, preOK := scrapeMetric(c, "intellogd_mallocs_total")
+
 	var res server.ReplayResult
 	switch *proto {
 	case "ndjson":
@@ -78,6 +86,22 @@ func cmdBenchServe(args []string) error {
 		*tenant, *proto, res.Records, res.Batches, res.Rejected)
 	fmt.Printf("bench-serve: wall=%s throughput=%.0f rec/s p50=%s p99=%s\n",
 		res.Duration.Round(time.Millisecond), res.RecPerSec, res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+
+	// GC-pressure readout: allocations per ingested record (from the
+	// daemon's malloc counter delta) and the runtime's cumulative GC CPU
+	// fraction. Best-effort — an older daemon without the series just
+	// skips these numbers.
+	allocsPerRecord, gcFraction := -1.0, -1.0
+	if postMallocs, ok := scrapeMetric(c, "intellogd_mallocs_total"); ok && preOK && res.Records > 0 {
+		allocsPerRecord = (postMallocs - preMallocs) / float64(res.Records)
+	}
+	if f, ok := scrapeMetric(c, "intellogd_gc_cpu_fraction"); ok {
+		gcFraction = f
+	}
+	if allocsPerRecord >= 0 || gcFraction >= 0 {
+		fmt.Printf("bench-serve: allocs/record=%.1f gc_cpu_fraction=%.4f\n",
+			allocsPerRecord, gcFraction)
+	}
 
 	if !*noFlush {
 		fl, err := c.Flush()
@@ -115,7 +139,7 @@ func cmdBenchServe(args []string) error {
 		if *proto == "stream" {
 			key = "serve_replay_stream_" + *framework
 		}
-		if err := benchjson.Merge(*benchJSON, key, map[string]float64{
+		metrics := map[string]float64{
 			"records":       float64(res.Records),
 			"batches":       float64(res.Batches),
 			"rejected":      float64(res.Rejected),
@@ -125,10 +149,39 @@ func cmdBenchServe(args []string) error {
 			"p99_ms":        float64(res.P99) / float64(time.Millisecond),
 			"concurrency":   float64(*concurrency),
 			"batch_records": float64(*batch),
-		}); err != nil {
+		}
+		if allocsPerRecord >= 0 {
+			metrics["allocs_per_record"] = allocsPerRecord
+		}
+		if gcFraction >= 0 {
+			metrics["gc_cpu_fraction"] = gcFraction
+		}
+		if err := benchjson.Merge(*benchJSON, key, metrics); err != nil {
 			return fmt.Errorf("bench-json: %w", err)
 		}
 		fmt.Printf("bench-serve: archived to %s\n", *benchJSON)
 	}
 	return nil
+}
+
+// scrapeMetric fetches the daemon's /metrics exposition and returns the
+// value of the unlabeled series name. Best-effort: any scrape or parse
+// failure reports ok=false and the caller skips the derived number.
+func scrapeMetric(c *server.Client, name string) (float64, bool) {
+	text, err := c.Metrics()
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || len(rest) == 0 || (rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
 }

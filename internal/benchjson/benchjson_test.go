@@ -67,7 +67,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"Fast": {"logs_per_sec": 900}, // -10%: inside band
 		"Slow": {"logs_per_sec": 600}, // -40%: regression
 	}
-	ds := Compare(base, cur, "logs_per_sec", 0.25)
+	ds := Compare(base, cur, "logs_per_sec", 0.25, HigherIsBetter)
 	if len(ds) != 3 {
 		t.Fatalf("got %d deltas, want 3 (NoMet skipped): %+v", len(ds), ds)
 	}
@@ -83,6 +83,45 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 	if d := byName["Gone"]; !d.Regressed || !d.Missing {
 		t.Errorf("Gone = %+v, want missing+regressed", d)
+	}
+}
+
+func TestCompareLowerIsBetter(t *testing.T) {
+	base := map[string]map[string]float64{
+		"Lean":    {"allocs_per_record": 10},
+		"Bloated": {"allocs_per_record": 10},
+		"Dropped": {"allocs_per_record": 10},
+	}
+	cur := map[string]map[string]float64{
+		"Lean":    {"allocs_per_record": 11}, // +10%: inside band
+		"Bloated": {"allocs_per_record": 15}, // +50%: regression
+		"Dropped": {"logs_per_sec": 1},       // metric vanished: fail loudly
+	}
+	ds := Compare(base, cur, "allocs_per_record", 0.25, LowerIsBetter)
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["Lean"]; d.Regressed {
+		t.Errorf("Lean = %+v, want ok at 1.1x", d)
+	}
+	if d := byName["Bloated"]; !d.Regressed || d.Missing {
+		t.Errorf("Bloated = %+v, want regressed", d)
+	}
+	if d := byName["Dropped"]; !d.Regressed || !d.Missing {
+		t.Errorf("Dropped = %+v, want missing+regressed", d)
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	if d, err := ParseDirection("higher"); err != nil || d != HigherIsBetter {
+		t.Errorf("higher = %v, %v", d, err)
+	}
+	if d, err := ParseDirection("lower"); err != nil || d != LowerIsBetter {
+		t.Errorf("lower = %v, %v", d, err)
+	}
+	if _, err := ParseDirection("sideways"); err == nil {
+		t.Error("sideways parsed")
 	}
 }
 

@@ -21,23 +21,48 @@ func Load(path string) (map[string]map[string]float64, error) {
 	return all, nil
 }
 
+// Direction says which way a metric improves: throughput-style metrics
+// regress when they fall, allocation/latency-style metrics regress when
+// they rise.
+type Direction int
+
+const (
+	HigherIsBetter Direction = iota
+	LowerIsBetter
+)
+
+// ParseDirection maps the CLI spelling ("higher" | "lower") to a
+// Direction.
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "higher":
+		return HigherIsBetter, nil
+	case "lower":
+		return LowerIsBetter, nil
+	}
+	return 0, fmt.Errorf("unknown direction %q (want higher or lower)", s)
+}
+
 // Delta is one benchmark's baseline-vs-current comparison on a single
-// metric (higher is better).
+// metric.
 type Delta struct {
 	Name      string
 	Baseline  float64
 	Current   float64
 	Ratio     float64 // Current / Baseline
-	Missing   bool    // benchmark absent from the current archive
-	Regressed bool    // Ratio < 1 - tolerance (or Missing)
+	Missing   bool    // benchmark (or its metric) absent from the current archive
+	Regressed bool    // outside the tolerance band in the bad direction (or Missing)
 }
 
 // Compare checks every baseline benchmark that carries metric against
-// the current archive. tolerance is the allowed fractional slowdown
-// (0.25 = current may be up to 25% below baseline before it counts as a
-// regression); higher-is-better semantics. Baseline entries without the
-// metric are skipped; results come back sorted by name.
-func Compare(baseline, current map[string]map[string]float64, metric string, tolerance float64) []Delta {
+// the current archive. tolerance is the allowed fractional drift toward
+// worse: under HigherIsBetter, current may fall up to tolerance below
+// baseline (0.25 = -25%) before it counts as a regression; under
+// LowerIsBetter it may rise up to tolerance above. Baseline entries
+// without the metric are skipped; a current entry that dropped the
+// metric counts as missing (a silently vanished number should fail
+// loudly, not pass as zero). Results come back sorted by name.
+func Compare(baseline, current map[string]map[string]float64, metric string, tolerance float64, dir Direction) []Delta {
 	var out []Delta
 	for name, metrics := range baseline {
 		base, ok := metrics[metric]
@@ -45,15 +70,20 @@ func Compare(baseline, current map[string]map[string]float64, metric string, tol
 			continue
 		}
 		d := Delta{Name: name, Baseline: base}
-		cur, ok := current[name]
-		if !ok {
+		cur, hasBench := current[name]
+		curVal, hasMetric := cur[metric]
+		if !hasBench || !hasMetric {
 			d.Missing, d.Regressed = true, true
 		} else {
-			d.Current = cur[metric]
+			d.Current = curVal
 			if base > 0 {
 				d.Ratio = d.Current / base
 			}
-			d.Regressed = d.Ratio < 1-tolerance
+			if dir == LowerIsBetter {
+				d.Regressed = d.Ratio > 1+tolerance
+			} else {
+				d.Regressed = d.Ratio < 1-tolerance
+			}
 		}
 		out = append(out, d)
 	}

@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
 	"intellog/internal/benchjson"
@@ -19,6 +20,27 @@ func writeDetectBenchJSON(b *testing.B, name string, metrics map[string]float64)
 	if err := benchjson.Merge(os.Getenv("INTELLOG_BENCH_DETECT_JSON"), name, metrics); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// allocCounter snapshots the runtime's cumulative malloc count so a
+// bench can archive allocs-per-record alongside logs/sec — the number
+// the pooled batch path exists to push down, guarded lower-is-better by
+// scripts/bench_compare.sh.
+type allocCounter struct{ start uint64 }
+
+func startAllocCount() allocCounter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return allocCounter{start: ms.Mallocs}
+}
+
+func (a allocCounter) perRecord(records int) float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if records <= 0 {
+		return 0
+	}
+	return float64(ms.Mallocs-a.start) / float64(records)
 }
 
 // benchCorpus is the largest clean-ish corpus of the matrix, generated
@@ -39,16 +61,19 @@ func BenchmarkConformanceBatchDetect(b *testing.B) {
 	sessions := c.Sessions()
 	b.ReportAllocs()
 	b.ResetTimer()
+	ac := startAllocCount()
 	for i := 0; i < b.N; i++ {
 		if rep := d.Detect(sessions); rep.Sessions != len(sessions) {
 			b.Fatalf("report covers %d sessions, want %d", rep.Sessions, len(sessions))
 		}
 	}
+	allocsPerRecord := ac.perRecord(len(c.Records) * b.N)
 	logsPerSec := float64(len(c.Records)*b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(logsPerSec, "logs/sec")
 	writeDetectBenchJSON(b, "BenchmarkConformanceBatchDetect", map[string]float64{
-		"logs_per_sec": logsPerSec,
-		"logs_per_op":  float64(len(c.Records)),
+		"logs_per_sec":      logsPerSec,
+		"logs_per_op":       float64(len(c.Records)),
+		"allocs_per_record": allocsPerRecord,
 	})
 }
 
@@ -79,6 +104,7 @@ func BenchmarkConformanceBatchDetectMatrix(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	ac := startAllocCount()
 	for i := 0; i < b.N; i++ {
 		for _, u := range units {
 			if rep := u.d.Detect(u.sessions); rep.Sessions != len(u.sessions) {
@@ -86,11 +112,13 @@ func BenchmarkConformanceBatchDetectMatrix(b *testing.B) {
 			}
 		}
 	}
+	allocsPerRecord := ac.perRecord(records * b.N)
 	logsPerSec := float64(records*b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(logsPerSec, "logs/sec")
 	writeDetectBenchJSON(b, "BenchmarkConformanceBatchDetectMatrix", map[string]float64{
-		"logs_per_sec": logsPerSec,
-		"logs_per_op":  float64(records),
+		"logs_per_sec":      logsPerSec,
+		"logs_per_op":       float64(records),
+		"allocs_per_record": allocsPerRecord,
 	})
 }
 
@@ -100,6 +128,7 @@ func BenchmarkConformanceStreamDetect(b *testing.B) {
 	c, d := benchSetup(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	ac := startAllocCount()
 	for i := 0; i < b.N; i++ {
 		sd := detect.NewStream(d, detect.StreamConfig{Shards: 16})
 		for _, r := range c.Records {
@@ -107,10 +136,12 @@ func BenchmarkConformanceStreamDetect(b *testing.B) {
 		}
 		sd.Flush()
 	}
+	allocsPerRecord := ac.perRecord(len(c.Records) * b.N)
 	logsPerSec := float64(len(c.Records)*b.N) / b.Elapsed().Seconds()
 	b.ReportMetric(logsPerSec, "logs/sec")
 	writeDetectBenchJSON(b, "BenchmarkConformanceStreamDetect", map[string]float64{
-		"logs_per_sec": logsPerSec,
-		"logs_per_op":  float64(len(c.Records)),
+		"logs_per_sec":      logsPerSec,
+		"logs_per_op":       float64(len(c.Records)),
+		"allocs_per_record": allocsPerRecord,
 	})
 }

@@ -94,6 +94,40 @@ type sessionBuf struct {
 	dropped     int  // messages dropped after overflow
 }
 
+// sessionBufs recycles session buffers across open/finalize cycles. A
+// high-churn stream (short sessions, hostile churn profiles) otherwise
+// allocates one buffer plus two growing slices per session; recycling
+// keeps the msgs/times capacity from the previous tenant of the buffer.
+// Safe because checkInstances does not retain msgs, and every string an
+// emitted Anomaly keeps (session ID, details) is a value-copied header
+// onto immutable bytes.
+var sessionBufs = sync.Pool{New: func() any { return new(sessionBuf) }}
+
+// newSessionBuf rents a reset buffer and stamps its identity fields.
+func newSessionBuf(id string, fw logging.Framework, at time.Time, startSeq uint64) *sessionBuf {
+	b := sessionBufs.Get().(*sessionBuf)
+	b.id, b.fw = id, fw
+	b.first, b.last = at, at
+	b.startSeq = startSeq
+	return b
+}
+
+// releaseSessionBuf returns a finalized buffer to the pool. The msgs
+// capacity keeps its prototype pointers — they reference model-owned
+// prototypes that outlive every buffer, so pinning them is harmless and
+// skipping the clear keeps release O(1).
+func releaseSessionBuf(b *sessionBuf) {
+	b.id = ""
+	b.fw = logging.Framework("")
+	b.msgs = b.msgs[:0]
+	b.times = b.times[:0]
+	b.first, b.last = time.Time{}, time.Time{}
+	b.startSeq = 0
+	b.overflowed = false
+	b.dropped = 0
+	sessionBufs.Put(b)
+}
+
 // expiryEntry schedules one session's idle check. Entries are lazily
 // invalidated: a session touched after its entry was pushed simply gets a
 // fresh entry when the stale one surfaces, so no per-record heap fix-up is
@@ -281,11 +315,13 @@ func (s *StreamDetector) ConsumeBatch(recs []logging.Record, workers int) []Anom
 	if workers > len(recs) {
 		workers = len(recs)
 	}
-	type resolvedRec struct {
-		key *spell.Key
-		cl  *extract.CachedLookup
+	rp := resolvedScratch.Get().(*[]resolvedRec)
+	resolved := *rp
+	if cap(resolved) < len(recs) {
+		resolved = make([]resolvedRec, len(recs))
+	} else {
+		resolved = resolved[:len(recs)]
 	}
-	resolved := make([]resolvedRec, len(recs))
 	// Stride the batch across workers (not one task per record) so each
 	// worker resolves through a pooled scratch's private L1 memo — the
 	// common repeat rendering costs one unsynchronized map probe instead
@@ -301,8 +337,24 @@ func (s *StreamDetector) ConsumeBatch(recs []logging.Record, workers int) []Anom
 	for i := range recs {
 		out = append(out, s.consumeResolved(recs[i], resolved[i].key, resolved[i].cl)...)
 	}
+	*rp = resolved[:0]
+	resolvedScratch.Put(rp)
 	return out
 }
+
+// resolvedRec carries one record's resolution-stage result into the
+// ordered apply stage.
+type resolvedRec struct {
+	key *spell.Key
+	cl  *extract.CachedLookup
+}
+
+// resolvedScratch recycles the per-ConsumeBatch resolution array. Every
+// slot in [0, len(recs)) is overwritten by the resolve stage before the
+// apply stage reads it, so the array is reused without clearing; the
+// pointers a parked array pins reference the model and its bounded
+// lookup cache, which outlive the pool.
+var resolvedScratch = sync.Pool{New: func() any { return new([]resolvedRec) }}
 
 // consumeResolved is the ordered apply stage: it advances the stream
 // clock, buffers (or rejects) the already-resolved record, and collects
@@ -341,11 +393,7 @@ func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl 
 				s.inFlight.Add(-1)
 			}
 		}
-		buf = &sessionBuf{
-			id: rec.SessionID, fw: rec.Framework,
-			first: rec.Time, last: rec.Time,
-			startSeq: s.startSeq.Add(1),
-		}
+		buf = newSessionBuf(rec.SessionID, rec.Framework, rec.Time, s.startSeq.Add(1))
 		sh.sessions[rec.SessionID] = buf
 		s.inFlight.Add(1)
 		s.seen.Add(1)
@@ -386,7 +434,7 @@ func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl 
 	sh.mu.Unlock()
 
 	// Finalize outside the lock: the bufs are out of the maps, so they are
-	// exclusively owned here.
+	// exclusively owned here and go back to the pool once checked.
 	var findings []Anomaly
 	for _, b := range evicted {
 		findings = append(findings, Anomaly{
@@ -395,9 +443,11 @@ func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl 
 			Detail: fmt.Sprintf("session %q force-closed: %d in-flight sessions reached the cap", b.id, s.cfg.MaxSessions),
 		})
 		findings = append(findings, s.finalize(b)...)
+		releaseSessionBuf(b)
 	}
 	for _, b := range expired {
 		findings = append(findings, s.finalize(b)...)
+		releaseSessionBuf(b)
 	}
 	out = append(findings, out...)
 
@@ -416,6 +466,7 @@ func (s *StreamDetector) consumeResolved(rec logging.Record, key *spell.Key, cl 
 			o.mu.Unlock()
 			for _, b := range stale {
 				out = append(out, s.finalize(b)...)
+				releaseSessionBuf(b)
 			}
 		}
 	}
@@ -507,7 +558,9 @@ func (s *StreamDetector) CloseSession(id string) []Anomaly {
 	if !ok {
 		return nil
 	}
-	return s.stamp(s.finalize(buf))
+	out := s.finalize(buf)
+	releaseSessionBuf(buf)
+	return s.stamp(out)
 }
 
 // Flush finalizes every in-flight session (end of stream) and returns the
@@ -537,6 +590,7 @@ func (s *StreamDetector) Flush() *Report {
 	perSession := make([][]Anomaly, len(bufs))
 	par.ForEachIndex(len(bufs), func(i int) {
 		perSession[i] = s.finalize(bufs[i])
+		releaseSessionBuf(bufs[i])
 	})
 	r := &Report{Sessions: int(s.seen.Load())}
 	for _, anomalies := range perSession {

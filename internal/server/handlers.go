@@ -207,9 +207,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// a line past MaxRecordBytes is read whole and dead-lettered as one
 	// record, not turned into a scan error that fails its whole batch.
 	scanner.Buffer(sb, s.scanLineLimit())
-	// Pre-size the batch from the request size (~wire bytes per record)
-	// so append doesn't re-copy the record array while decoding.
-	recs := make([]logging.Record, 0, batchSizeHint(r.ContentLength))
+	// Decode into a rented batch, pre-sized from the request size (~wire
+	// bytes per record) so append doesn't re-copy the record array. The
+	// handler owns it until enqueueBatch accepts it; every refusal path
+	// below must release it.
+	b := s.batches.Get()
+	b.Grow(batchSizeHint(r.ContentLength))
 	resolver := &batchResolver{
 		intern: &wireIntern{},
 		msg: func(b []byte) string {
@@ -229,7 +232,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		rec, verdict, reason := s.classifyLine(t, raw, fw, formatter, resolver)
 		switch verdict {
 		case lineRecord:
-			recs = append(recs, rec)
+			b.Append(rec)
 		case lineSkip:
 			skipped++
 		case lineDead:
@@ -241,6 +244,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := scanner.Err(); err != nil {
+		b.Release()
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			httpError(w, http.StatusRequestEntityTooLarge,
@@ -255,19 +259,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// A batch larger than the whole queue budget can never be admitted;
 	// a retryable 429 would send well-behaved clients (the replay client
 	// included) into a futile retry loop, so refuse it outright.
-	if len(recs) > s.cfg.QueueRecords {
+	accepted := b.Len()
+	if accepted > s.cfg.QueueRecords {
+		b.Release()
 		httpError(w, http.StatusRequestEntityTooLarge,
 			"batch of %d records exceeds tenant %s's whole queue budget (%d) and can never be admitted; split the batch",
-			len(recs), t.name, s.cfg.QueueRecords)
+			accepted, t.name, s.cfg.QueueRecords)
 		return
 	}
-	ok, err := t.enqueueBatch(recs)
+	ok, err := t.enqueueBatch(b)
 	if err != nil {
+		b.Release()
 		httpError(w, http.StatusInternalServerError,
 			"tenant %s write-ahead log failed; batch not accepted: %v", t.name, err)
 		return
 	}
 	if !ok {
+		b.Release()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			"tenant %s ingest queue full (%d records budget); retry later", t.name, s.cfg.QueueRecords)
@@ -275,7 +283,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	t.deadLetter(dead)
 	writeJSON(w, http.StatusAccepted,
-		IngestResponse{Accepted: len(recs), Skipped: skipped, DeadLettered: len(dead)})
+		IngestResponse{Accepted: accepted, Skipped: skipped, DeadLettered: len(dead)})
 }
 
 // scanLineLimit is the ingest scanner's maximum token size: every line
@@ -576,7 +584,7 @@ func (s *Server) handleDLQRequeue(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	entries, _, _ := t.dlq.List(0, 0)
-	var recs []logging.Record
+	b := s.batches.Get()
 	var okSeqs []uint64
 	failed := 0
 	for _, e := range entries {
@@ -588,22 +596,26 @@ func (s *Server) handleDLQRequeue(w http.ResponseWriter, r *http.Request) {
 			failed++
 			continue
 		}
-		recs = append(recs, rec)
+		b.Append(rec)
 		okSeqs = append(okSeqs, e.Seq)
 	}
-	if len(recs) > s.cfg.QueueRecords {
+	if b.Len() > s.cfg.QueueRecords {
+		n := b.Len()
+		b.Release()
 		httpError(w, http.StatusRequestEntityTooLarge,
 			"%d requeueable records exceed tenant %s's whole queue budget (%d); requeue a subset via seqs",
-			len(recs), t.name, s.cfg.QueueRecords)
+			n, t.name, s.cfg.QueueRecords)
 		return
 	}
-	ok, err := t.enqueueBatch(recs)
+	ok, err := t.enqueueBatch(b)
 	if err != nil {
+		b.Release()
 		httpError(w, http.StatusInternalServerError,
 			"tenant %s write-ahead log failed; nothing requeued: %v", t.name, err)
 		return
 	}
 	if !ok {
+		b.Release()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			"tenant %s ingest queue full; nothing requeued, retry later", t.name)

@@ -17,11 +17,13 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"intellog/internal/analytics"
+	"intellog/internal/batch"
 	"intellog/internal/core"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
@@ -179,6 +181,12 @@ type Server struct {
 	closed chan struct{}
 	stopWG sync.WaitGroup // background checkpointer
 
+	// batches is the server-wide record-batch pool: both ingest wires
+	// fill rented batches and the tenant workers release them after the
+	// detector consumes in place — see internal/batch for the ownership
+	// contract.
+	batches *batch.Pool
+
 	// streamConns tracks live binary-protocol ingest connections (see
 	// ServeStream) so shutdown can sever them.
 	streamMu    sync.Mutex
@@ -202,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 		evicting: map[string]chan struct{}{},
 		reg:      metrics.NewRegistry(),
 		closed:   make(chan struct{}),
+		batches:  batch.NewPool(0),
 		started:  time.Now(),
 	}
 	s.registerGauges()
@@ -625,4 +634,49 @@ func (s *Server) registerGauges() {
 		func() []metrics.Sample {
 			return []metrics.Sample{{Value: time.Since(s.started).Seconds()}}
 		})
+	one := func(v float64) []metrics.Sample { return []metrics.Sample{{Value: v}} }
+	s.reg.CounterFunc("intellogd_batch_pool_hits_total",
+		"batch-pool rentals served from the home freelist shard",
+		func() []metrics.Sample { return one(float64(s.batches.Stats().Hits)) })
+	s.reg.CounterFunc("intellogd_batch_pool_steals_total",
+		"batch-pool rentals served by stealing from a sibling shard",
+		func() []metrics.Sample { return one(float64(s.batches.Stats().Steals)) })
+	s.reg.CounterFunc("intellogd_batch_pool_misses_total",
+		"batch-pool rentals that allocated a fresh batch",
+		func() []metrics.Sample { return one(float64(s.batches.Stats().Misses)) })
+	s.reg.GaugeFunc("intellogd_batch_pool_outstanding",
+		"pooled batches currently rented and not yet released; a growing floor at quiesce is a leak",
+		func() []metrics.Sample { return one(float64(s.batches.Stats().Outstanding)) })
+	// Runtime GC passthrough, so replay harnesses can measure collector
+	// pressure (and allocs/record, from the mallocs delta) off /metrics
+	// instead of attaching a profiler.
+	var msMu sync.Mutex
+	var msAt time.Time
+	var ms runtime.MemStats
+	memstats := func() *runtime.MemStats {
+		msMu.Lock()
+		defer msMu.Unlock()
+		// One stop-the-world read covers all the GC collectors of a
+		// scrape (and any scrape burst inside the freshness window).
+		if time.Since(msAt) > 50*time.Millisecond {
+			runtime.ReadMemStats(&ms)
+			msAt = time.Now()
+		}
+		return &ms
+	}
+	s.reg.GaugeFunc("intellogd_gc_cpu_fraction",
+		"fraction of available CPU spent in the garbage collector since process start",
+		func() []metrics.Sample { return one(memstats().GCCPUFraction) })
+	s.reg.CounterFunc("intellogd_gc_pause_seconds_total",
+		"cumulative stop-the-world GC pause time",
+		func() []metrics.Sample { return one(float64(memstats().PauseTotalNs) / 1e9) })
+	s.reg.CounterFunc("intellogd_gc_cycles_total",
+		"completed garbage-collection cycles",
+		func() []metrics.Sample { return one(float64(memstats().NumGC)) })
+	s.reg.CounterFunc("intellogd_mallocs_total",
+		"cumulative heap objects allocated (runtime.MemStats.Mallocs)",
+		func() []metrics.Sample { return one(float64(memstats().Mallocs)) })
+	s.reg.GaugeFunc("intellogd_heap_alloc_bytes",
+		"bytes of live heap (runtime.MemStats.HeapAlloc)",
+		func() []metrics.Sample { return one(float64(memstats().HeapAlloc)) })
 }

@@ -126,7 +126,7 @@ func TestLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := ta.enqueueBatch(testRecords("sess-1", 2)); err != nil || !ok {
+	if ok, err := ta.enqueueRecords(testRecords("sess-1", 2)); err != nil || !ok {
 		t.Fatalf("enqueue refused (ok=%v err=%v)", ok, err)
 	}
 	if !ta.control(func() {}, true) {

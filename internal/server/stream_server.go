@@ -10,6 +10,7 @@ import (
 	"net"
 	"time"
 
+	"intellog/internal/batch"
 	"intellog/internal/logging"
 	"intellog/internal/metrics"
 	"intellog/internal/wal"
@@ -185,17 +186,25 @@ func (s *Server) serveStreamConn(conn net.Conn) error {
 			return nil
 		default:
 		}
-		seq, recs, err := decodeBatch(body, resolver, nil)
+		// Decode into a rented batch (decodeBatch appends into — and may
+		// grow — its backing array; either way the batch keeps it).
+		// Ownership passes to admitStreamBatch; the refusal paths before
+		// it release here.
+		b := s.batches.Get()
+		seq, recs, err := decodeBatch(body, resolver, b.Recs[:0])
+		b.Recs = recs
 		if err != nil {
+			b.Release()
 			return err
 		}
 		if resyncSeq != 0 && seq != resyncSeq {
+			b.Release()
 			if err := sendAck(streamAck{Seq: seq, Status: ackRetryEarly}); err != nil {
 				return err
 			}
 			continue
 		}
-		ack := s.admitStreamBatch(t, fw, seq, recs)
+		ack := s.admitStreamBatch(t, fw, seq, b)
 		if ack.Status == ackAccepted {
 			resyncSeq = 0
 		} else {
@@ -211,7 +220,12 @@ func (s *Server) serveStreamConn(conn net.Conn) error {
 // handleIngest's admission rules record for record: an invalid record
 // (no message, oversized) dead-letters individually instead of failing
 // the frame, so one bad record no longer rejects its neighbors.
-func (s *Server) admitStreamBatch(t *tenant, fw logging.Framework, seq uint64, recs []logging.Record) streamAck {
+//
+// It always takes ownership of the rented batch: enqueue consumes it on
+// acceptance, every refusal releases it before the ack goes back (a
+// refused frame is retransmitted and decoded into a fresh rental).
+func (s *Server) admitStreamBatch(t *tenant, fw logging.Framework, seq uint64, b *batch.Batch) streamAck {
+	recs := b.Recs
 	kept := recs[:0]
 	skipped := 0
 	var dead []wal.DeadLetter
@@ -229,17 +243,21 @@ func (s *Server) admitStreamBatch(t *tenant, fw logging.Framework, seq uint64, r
 		}
 		kept = append(kept, recs[i])
 	}
+	b.Recs = kept
 	t.skipped.Add(uint64(skipped))
 	if len(kept) > s.cfg.QueueRecords {
+		b.Release()
 		return streamAck{Seq: seq, Status: ackTooLarge, Skipped: skipped,
 			Msg: "batch exceeds the tenant queue budget; split it"}
 	}
-	ok, err := t.enqueueBatch(kept)
+	ok, err := t.enqueueBatch(b)
 	if err != nil {
+		b.Release()
 		return streamAck{Seq: seq, Status: ackShutdown, Skipped: skipped,
 			Msg: "write-ahead log failed; batch not accepted: " + err.Error()}
 	}
 	if !ok {
+		b.Release()
 		return streamAck{Seq: seq, Status: ackQueueFull, Skipped: skipped,
 			RetryMs: 1000, Msg: "ingest queue full"}
 	}

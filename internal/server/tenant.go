@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"intellog/internal/analytics"
+	"intellog/internal/batch"
 	"intellog/internal/core"
 	"intellog/internal/detect"
 	"intellog/internal/logging"
@@ -21,9 +22,13 @@ import (
 // steps ride the same queues as batches, so they serialize behind every
 // record accepted before them — a checkpoint therefore captures an exact
 // cut of the ingest stream without pausing the HTTP layer.
+//
+// A batch task carries the pooled batch itself: placement on the queue
+// is the ownership hand-off, and the worker that drains it releases it
+// back to the pool after the detector consumes it.
 type task struct {
-	recs []logging.Record
-	ctl  func()
+	b   *batch.Batch
+	ctl func()
 }
 
 // tenant is one resident tenant: a trained model, its streaming
@@ -227,11 +232,16 @@ func (t *tenant) run(q chan task) {
 			tk.ctl()
 			continue
 		}
-		if anoms := t.sd.ConsumeBatch(tk.recs, 0); len(anoms) > 0 {
+		if anoms := t.sd.ConsumeBatch(tk.b.Recs, 0); len(anoms) > 0 {
 			t.sink.append(anoms)
 			t.srv.countAnomalies(t.name, anoms)
 		}
-		t.pending.Add(int64(-len(tk.recs)))
+		n := tk.b.Len()
+		// The detector consumed in place and retains nothing from the
+		// backing array (anomalies copy out what they keep), so the batch
+		// recycles here — the end of its ownership chain.
+		tk.b.Release()
+		t.pending.Add(int64(-n))
 	}
 }
 
@@ -249,7 +259,7 @@ func (t *tenant) route(session string) int {
 	return int(h % uint32(len(t.queues)))
 }
 
-// enqueueBatch admits a record batch under the per-tenant budget.
+// enqueueBatch admits a pooled record batch under the per-tenant budget.
 // Admission is two-staged: reserve record budget, then an all-or-nothing
 // placement of the batch's per-worker splits — if either stage fails the
 // batch is refused (the caller answers 429) and nothing is buffered, so
@@ -259,11 +269,17 @@ func (t *tenant) route(session string) int {
 // buffered and the caller must answer a hard failure (500/503), never an
 // ack — acking what the WAL could not hold would silently re-open the
 // crash window.
-func (t *tenant) enqueueBatch(recs []logging.Record) (bool, error) {
-	if len(recs) == 0 {
+//
+// Ownership: the batch is consumed (queued, ultimately released by a
+// worker) exactly when enqueueBatch returns (true, nil). On every other
+// outcome the caller still owns it — typically to release it after
+// writing the refusal.
+func (t *tenant) enqueueBatch(b *batch.Batch) (bool, error) {
+	if b.Len() == 0 {
+		b.Release()
 		return true, nil
 	}
-	n := int64(len(recs))
+	n := int64(b.Len())
 	max := int64(t.srv.cfg.QueueRecords)
 	for {
 		cur := t.pending.Load()
@@ -275,7 +291,7 @@ func (t *tenant) enqueueBatch(recs []logging.Record) (bool, error) {
 			break
 		}
 	}
-	ok, err := t.sendBatch(recs)
+	ok, err := t.sendBatch(b)
 	if !ok || err != nil {
 		t.pending.Add(-n)
 		if err == nil {
@@ -283,9 +299,24 @@ func (t *tenant) enqueueBatch(recs []logging.Record) (bool, error) {
 		}
 		return false, err
 	}
-	t.records.Add(uint64(len(recs)))
+	t.records.Add(uint64(n))
 	t.batches.Add(1)
 	return true, nil
+}
+
+// enqueueRecords is enqueueBatch over a plain record slice: it copies
+// recs into a rented batch, admits it, and releases the rental itself
+// on refusal — for callers (WAL-less internal paths, tests) that don't
+// hold a rental of their own.
+func (t *tenant) enqueueRecords(recs []logging.Record) (bool, error) {
+	b := t.srv.batches.Get()
+	b.Grow(len(recs))
+	b.Recs = append(b.Recs, recs...)
+	ok, err := t.enqueueBatch(b)
+	if !ok || err != nil {
+		b.Release()
+	}
+	return ok, err
 }
 
 // sendBatch splits a batch by session route (preserving input order
@@ -297,7 +328,7 @@ func (t *tenant) enqueueBatch(recs []logging.Record) (bool, error) {
 // retry cannot duplicate records on replay), and no record can land on
 // a queue before a control barrier yet in the log after the barrier's
 // cut.
-func (t *tenant) sendBatch(recs []logging.Record) (bool, error) {
+func (t *tenant) sendBatch(b *batch.Batch) (bool, error) {
 	t.sendMu.RLock()
 	defer t.sendMu.RUnlock()
 	if t.closed {
@@ -307,7 +338,7 @@ func (t *tenant) sendBatch(recs []logging.Record) (bool, error) {
 		// No WAL: the single channel itself orders sends against control
 		// barriers, so the lock-free fast path stands.
 		select {
-		case t.queues[0] <- task{recs: recs}:
+		case t.queues[0] <- task{b: b}:
 			return true, nil
 		default:
 			return false, nil
@@ -319,32 +350,50 @@ func (t *tenant) sendBatch(recs []logging.Record) (bool, error) {
 		if len(t.queues[0]) >= cap(t.queues[0]) {
 			return false, nil
 		}
-		if err := t.walAppend(recs); err != nil {
+		if err := t.walAppend(b.Recs); err != nil {
 			return false, err
 		}
-		t.queues[0] <- task{recs: recs}
+		t.queues[0] <- task{b: b}
 		return true, nil
 	}
-	split := make([][]logging.Record, len(t.queues))
-	for i := range recs {
-		w := t.route(recs[i].SessionID)
-		split[w] = append(split[w], recs[i])
+	// Multi-queue: copy each record into its route's own pooled
+	// sub-batch (input order preserved within a split), then place the
+	// splits atomically and recycle the original. Splits are rented
+	// lazily — a single-session batch costs one sub-batch, not one per
+	// queue.
+	split := make([]*batch.Batch, len(t.queues))
+	for i := range b.Recs {
+		w := t.route(b.Recs[i].SessionID)
+		if split[w] == nil {
+			split[w] = t.srv.batches.Get()
+		}
+		split[w].Append(b.Recs[i])
+	}
+	releaseSplits := func() {
+		for _, sb := range split {
+			if sb != nil {
+				sb.Release()
+			}
+		}
 	}
 	t.routeMu.Lock()
 	defer t.routeMu.Unlock()
-	for w, rs := range split {
-		if len(rs) > 0 && len(t.queues[w]) >= cap(t.queues[w]) {
+	for w, sb := range split {
+		if sb != nil && len(t.queues[w]) >= cap(t.queues[w]) {
+			releaseSplits()
 			return false, nil
 		}
 	}
-	if err := t.walAppend(recs); err != nil {
+	if err := t.walAppend(b.Recs); err != nil {
+		releaseSplits()
 		return false, err
 	}
-	for w, rs := range split {
-		if len(rs) > 0 {
-			t.queues[w] <- task{recs: rs}
+	for w, sb := range split {
+		if sb != nil {
+			t.queues[w] <- task{b: sb}
 		}
 	}
+	b.Release()
 	return true, nil
 }
 

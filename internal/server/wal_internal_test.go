@@ -26,7 +26,7 @@ func TestCheckpointFsyncFaultInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := tn.enqueueBatch(testRecords("sess-1", 3)); err != nil || !ok {
+	if ok, err := tn.enqueueRecords(testRecords("sess-1", 3)); err != nil || !ok {
 		t.Fatalf("enqueue: ok=%v err=%v", ok, err)
 	}
 	if !tn.controlCut(func(cut uint64) { err = tn.saveCheckpoint(cut) }, true) {
@@ -47,7 +47,7 @@ func TestCheckpointFsyncFaultInjection(t *testing.T) {
 	fileSync = func(*os.File) error { return dead }
 	defer func() { fileSync = orig }()
 
-	if ok, err := tn.enqueueBatch(testRecords("sess-2", 3)); err != nil || !ok {
+	if ok, err := tn.enqueueRecords(testRecords("sess-2", 3)); err != nil || !ok {
 		t.Fatalf("enqueue: ok=%v err=%v", ok, err)
 	}
 	var saveErr error

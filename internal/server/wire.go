@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"strconv"
 	"time"
 	"unicode/utf8"
@@ -60,6 +61,63 @@ func (in *wireIntern) get(b []byte) string {
 	return s
 }
 
+// plainWireChar marks bytes that may appear verbatim inside a fast-path
+// string literal: printable ASCII except the terminator '"' and the
+// escape introducer '\'. One table load replaces the three compares the
+// scan's inner loop used to make per byte.
+var plainWireChar = func() (t [256]bool) {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		t[c] = true
+	}
+	t['"'] = false
+	t['\\'] = false
+	return
+}()
+
+const (
+	swarOnes uint64 = 0x0101010101010101
+	swarHigh uint64 = 0x8080808080808080
+)
+
+// hasSpecialWireByte reports whether any byte of the 8-byte word must
+// end or fail the fast string scan: a control byte (< 0x20), '"', '\\',
+// or non-ASCII (>= 0x80). Standard SWAR detectors (hasless/hasvalue),
+// exact for these operands — but correctness only needs no false
+// negatives, since the scalar loop after the chunked skip re-judges the
+// flagged word byte by byte.
+func hasSpecialWireByte(x uint64) bool {
+	quote := x ^ (swarOnes * '"')
+	slash := x ^ (swarOnes * '\\')
+	mask := x & swarHigh                        // >= 0x80
+	mask |= (x - swarOnes*0x20) & ^x & swarHigh // < 0x20
+	mask |= (quote - swarOnes) & ^quote & swarHigh
+	mask |= (slash - swarOnes) & ^slash & swarHigh
+	return mask != 0
+}
+
+// scanWireString scans the string literal at raw[i] and returns its
+// body (plain printable ASCII, so the bytes are the value), the index
+// past the closing quote, and whether the literal fits the fast shape.
+// The scan is a single pass with no re-slicing: an 8-byte SWAR skip
+// over plain runs, then a table-driven byte loop for the remainder.
+func scanWireString(raw []byte, i int) ([]byte, int, bool) {
+	if i >= len(raw) || raw[i] != '"' {
+		return nil, i, false
+	}
+	i++
+	start := i
+	for i+8 <= len(raw) && !hasSpecialWireByte(binary.LittleEndian.Uint64(raw[i:])) {
+		i += 8
+	}
+	for i < len(raw) && plainWireChar[raw[i]] {
+		i++
+	}
+	if i < len(raw) && raw[i] == '"' {
+		return raw[start:i], i + 1, true
+	}
+	return nil, i, false
+}
+
 // fastWireRecord decodes one structured NDJSON line into wr. It handles
 // a single flat object whose keys are exactly Record's fields (any
 // order, any subset, plus "line"), with plain printable-ASCII string
@@ -79,28 +137,6 @@ func fastWireRecord(raw []byte, wr *WireRecord, br *batchResolver) bool {
 			}
 		}
 	}
-	// str scans a string literal and returns its body: printable ASCII
-	// with no escapes, so the bytes are the value.
-	str := func() ([]byte, bool) {
-		if i >= len(raw) || raw[i] != '"' {
-			return nil, false
-		}
-		i++
-		start := i
-		for i < len(raw) {
-			c := raw[i]
-			if c == '"' {
-				body := raw[start:i]
-				i++
-				return body, true
-			}
-			if c < 0x20 || c == '\\' || c >= utf8.RuneSelf {
-				return nil, false
-			}
-			i++
-		}
-		return nil, false
-	}
 
 	ws()
 	if i >= len(raw) || raw[i] != '{' {
@@ -115,10 +151,11 @@ func fastWireRecord(raw []byte, wr *WireRecord, br *batchResolver) bool {
 	}
 	for {
 		ws()
-		key, ok := str()
+		key, ni, ok := scanWireString(raw, i)
 		if !ok {
 			return false
 		}
+		i = ni
 		ws()
 		if i >= len(raw) || raw[i] != ':' {
 			return false
@@ -149,10 +186,11 @@ func fastWireRecord(raw []byte, wr *WireRecord, br *batchResolver) bool {
 			wr.Level = logging.Level(n)
 		} else {
 			quote := i
-			val, ok := str()
+			val, ni, ok := scanWireString(raw, i)
 			if !ok {
 				return false
 			}
+			i = ni
 			switch string(key) { // the conversion is elided in a switch
 			case "Time":
 				// Hand the still-quoted literal to time.Time's own parser,

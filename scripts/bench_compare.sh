@@ -9,6 +9,7 @@
 #
 #   scripts/bench_compare.sh                 # guard at the default band
 #   TOLERANCE=0.20 scripts/bench_compare.sh  # tighter band
+#   ALLOC_TOLERANCE=0.10 scripts/bench_compare.sh  # tighter alloc band
 #   REFRESH=1 scripts/bench_compare.sh       # refresh the baselines
 #
 # BENCHTIME tunes the per-benchmark iteration count (default 2x — quick
@@ -20,6 +21,9 @@ set -eu
 cd "$(dirname "$0")/.."
 
 tol="${TOLERANCE:-0.35}"
+# Allocation counts are far less noisy than wall-clock throughput, so
+# the allocs-per-record guard holds a tighter band by default.
+alloc_tol="${ALLOC_TOLERANCE:-0.20}"
 bt="${BENCHTIME:-2x}"
 
 # The bench processes run in their package directories, so archive
@@ -55,4 +59,10 @@ go run ./cmd/benchdiff -baseline BENCH_spell.json -current "$spell_out" \
 	-metric logs_per_sec -tolerance "$tol"
 go run ./cmd/benchdiff -baseline BENCH_detect.json -current "$detect_out" \
 	-metric logs_per_sec -tolerance "$tol"
+
+# The GC-pressure guard: allocations per record must not creep back up
+# (lower is better; the pooled batch path is what keeps this flat).
+echo "==> compare allocs/record vs committed baselines"
+go run ./cmd/benchdiff -baseline BENCH_detect.json -current "$detect_out" \
+	-metric allocs_per_record -direction lower -tolerance "$alloc_tol"
 echo "==> bench guard OK"

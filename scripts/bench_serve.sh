@@ -7,7 +7,10 @@
 # once over NDJSON HTTP, once over the length-prefixed binary protocol
 # (-proto=stream) — and merge both sets of headline numbers into the
 # archive at the repo root (serve_replay_spark and
-# serve_replay_stream_spark).
+# serve_replay_stream_spark). Alongside throughput and latency the
+# client archives GC-pressure numbers scraped from the daemon's
+# /metrics: allocs_per_record (malloc-counter delta across the replay)
+# and gc_cpu_fraction.
 #
 #   scripts/bench_serve.sh                    # archive to BENCH_serve.json
 #   OUT=/tmp/serve.json scripts/bench_serve.sh

@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
-# profile_serve.sh — capture CPU and heap profiles from intellogd under
-# replay load, via the daemon's /debug/pprof endpoints. The profiles
-# land under profiles/ next to a matching .txt top-listing; TESTING.md
+# profile_serve.sh — capture CPU, heap and allocation profiles from
+# intellogd under replay load, via the daemon's /debug/pprof endpoints,
+# plus a GC/batch-pool stats snapshot from /metrics. The profiles land
+# under profiles/ next to a matching .txt top-listing; TESTING.md
 # describes how to read them.
 #
-#   scripts/profile_serve.sh              # 10s CPU profile + heap snapshot
+#   scripts/profile_serve.sh              # 10s CPU profile + heap/allocs snapshots
 #   SECONDS_CPU=30 scripts/profile_serve.sh
 #   JOBS=64 WORKERS=8 scripts/profile_serve.sh
 #
@@ -64,11 +65,20 @@ echo "==> replay loop in background"
 ) &
 load_pid=$!
 
-echo "==> capture CPU profile (${cpu_secs}s) + heap snapshot"
+echo "==> capture CPU profile (${cpu_secs}s) + heap/allocs snapshots"
 curl -fsS -o "$outdir/cpu-serve.pb.gz" \
 	"http://$addr/debug/pprof/profile?seconds=$cpu_secs"
 curl -fsS -o "$outdir/heap-serve.pb.gz" \
 	"http://$addr/debug/pprof/heap?gc=1"
+curl -fsS -o "$outdir/allocs-serve.pb.gz" \
+	"http://$addr/debug/pprof/allocs"
+
+# GC + batch-pool counters, scraped while the load loop is still
+# running: the alloc/GC view the profiles can't show (pool hit rates,
+# pause totals, the runtime's GC CPU fraction).
+curl -fsS "http://$addr/metrics" |
+	grep -E '^intellogd_(gc_|heap_|mallocs_|batch_pool_|ingest_records_)' \
+		>"$outdir/gc-serve.txt" || true
 
 kill -KILL "$load_pid" 2>/dev/null || true
 load_pid=""
@@ -81,6 +91,8 @@ go tool pprof -top -nodecount 25 "$work/intellogd" "$outdir/cpu-serve.pb.gz" \
 	>"$outdir/cpu-serve.txt"
 go tool pprof -top -nodecount 25 -sample_index=alloc_space "$work/intellogd" \
 	"$outdir/heap-serve.pb.gz" >"$outdir/heap-serve.txt"
+go tool pprof -top -nodecount 25 -sample_index=alloc_objects "$work/intellogd" \
+	"$outdir/allocs-serve.pb.gz" >"$outdir/allocs-serve.txt"
 
 echo "==> profiles written:"
 ls -l "$outdir"
